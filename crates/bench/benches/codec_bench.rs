@@ -1,0 +1,102 @@
+//! Codec micro-benchmarks: encode / decode / peek across the three wire
+//! formats — the per-message costs behind the paper's Figs. 7 and 8b.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexric_codec::E2apCodec;
+use flexric_ctrl::flexran_emu::{decode_stats_pb, encode_stats_pb};
+use flexric_e2ap::*;
+use flexric_sm::mac::{MacStatsInd, MacUeStats};
+use flexric_sm::{SmCodec, SmPayload};
+
+fn mac_snapshot(ues: u16) -> MacStatsInd {
+    MacStatsInd {
+        tstamp_ms: 123_456,
+        cell_prbs: 106,
+        ues: (0..ues)
+            .map(|i| MacUeStats {
+                rnti: 0x4601 + i,
+                cqi: 15,
+                mcs: 20,
+                prbs_dl: 50,
+                prbs_ul: 10,
+                tbs_dl_bytes: 61_600,
+                tbs_ul_bytes: 8_000,
+                dl_aggr_bytes: 1 << 33,
+                ul_aggr_bytes: 1 << 20,
+                bsr: 1200,
+                dl_backlog_bytes: 95_000,
+                slice_id: (i % 2) as u32,
+                plmn_mcc: 208,
+                plmn_mnc: 95,
+            })
+            .collect(),
+    }
+}
+
+fn indication(payload: Bytes) -> E2apPdu {
+    E2apPdu::RicIndication(RicIndication {
+        req_id: RicRequestId::new(7, 3),
+        ran_function: RanFunctionId::new(142),
+        action: RicActionId(0),
+        sn: Some(42),
+        ind_type: RicIndicationType::Report,
+        header: Bytes::new(),
+        message: payload,
+        call_process_id: None,
+    })
+}
+
+fn bench_e2ap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2ap");
+    for payload_size in [100usize, 1500] {
+        let pdu = indication(Bytes::from(vec![0xA5u8; payload_size]));
+        for codec in E2apCodec::ALL {
+            let encoded = codec.encode(&pdu);
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode/{}", codec.label()), payload_size),
+                &pdu,
+                |b, pdu| b.iter(|| codec.encode(std::hint::black_box(pdu))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("decode/{}", codec.label()), payload_size),
+                &encoded,
+                |b, buf| b.iter(|| codec.decode(std::hint::black_box(buf)).unwrap()),
+            );
+            // The Fig. 8b mechanism: peek is O(1) for FB, a full decode
+            // for ASN.1-PER.
+            group.bench_with_input(
+                BenchmarkId::new(format!("peek/{}", codec.label()), payload_size),
+                &encoded,
+                |b, buf| b.iter(|| codec.peek(std::hint::black_box(buf)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac_stats_32ue");
+    let ind = mac_snapshot(32);
+    for codec in SmCodec::ALL {
+        let encoded = ind.encode(codec);
+        group.bench_function(format!("encode/{}", codec.label()), |b| {
+            b.iter(|| std::hint::black_box(&ind).encode(codec))
+        });
+        group.bench_function(format!("decode/{}", codec.label()), |b| {
+            b.iter(|| MacStatsInd::decode(codec, std::hint::black_box(&encoded)).unwrap())
+        });
+    }
+    // FlexRAN's protobuf baseline on the same snapshot.
+    let pb = encode_stats_pb(&ind);
+    group.bench_function("encode/PB", |b| {
+        b.iter(|| encode_stats_pb(std::hint::black_box(&ind)))
+    });
+    group.bench_function("decode/PB", |b| {
+        b.iter(|| decode_stats_pb(std::hint::black_box(&pb)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2ap, bench_sm);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Fig. 6a — Normalized CPU usage of the agent on a "radio" deployment
+//! (paper §5.1).
+//!
+//! Runs a simulated base station in its own process — LTE (25 RB, 3 UEs,
+//! MCS 28, normalized to the paper's 8-core budget) and NR (106 RB, 3 UEs,
+//! MCS 20, 16-core budget) — exporting MAC+RLC+PDCP statistics at 1 ms,
+//! and measures the base-station process CPU with the FlexRIC agent, with
+//! the FlexRAN agent, and with no agent at all.  The agent overhead is the
+//! delta against the no-agent baseline.
+//!
+//! Substitution note: the paper's absolute bars include the OAI PHY
+//! (6.5–8.7 % per cell), which has no counterpart here; the quantity the
+//! paper's claim concerns — the *agent-attributable* overhead being well
+//! below 1 % normalized — is exactly what this harness reports.
+//!
+//! ```text
+//! cargo run --release -p flexric-bench --bin fig6a_agent_overhead [--duration 10]
+//! ```
+
+use flexric_bench::{metrics, roles, spawn_role, table, Args};
+
+struct Scenario {
+    label: &'static str,
+    cell: &'static str,
+    mcs: u8,
+    cores: u32,
+    variant: &'static str,
+    ctrl_role: Option<&'static str>,
+    port: u16,
+}
+
+async fn run_scenario(s: &Scenario, duration: u64) -> f64 {
+    // Controller process (if the variant needs one).
+    let mut ctrl_child = None;
+    if let Some(role) = s.ctrl_role {
+        let child = spawn_role(&[
+            "--role".into(),
+            role.into(),
+            "--listen".into(),
+            format!("127.0.0.1:{}", s.port),
+            "--period".into(),
+            "1".into(),
+        ])
+        .expect("spawn controller");
+        ctrl_child = Some(child);
+        tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+    }
+    // Base-station process.
+    let mut bs_args: Vec<String> = vec![
+        "--role".into(),
+        "bs".into(),
+        "--variant".into(),
+        s.variant.into(),
+        "--cell".into(),
+        s.cell.into(),
+        "--mcs".into(),
+        s.mcs.to_string(),
+        "--ues".into(),
+        "3".into(),
+        "--duration".into(),
+        duration.to_string(),
+    ];
+    if s.ctrl_role.is_some() {
+        bs_args.push("--ctrl".into());
+        bs_args.push(format!("127.0.0.1:{}", s.port));
+    }
+    let mut bs = spawn_role(&bs_args).expect("spawn bs");
+    // Let it warm up, then meter the steady state.
+    tokio::time::sleep(std::time::Duration::from_millis(1000)).await;
+    let a = metrics::sample(Some(bs.id())).expect("sample");
+    tokio::time::sleep(std::time::Duration::from_secs(duration.saturating_sub(2).max(3))).await;
+    let b = metrics::sample(Some(bs.id())).expect("sample");
+    let pct = metrics::cpu_pct_normalized(&a, &b, s.cores);
+    let _ = bs.wait();
+    if let Some(mut c) = ctrl_child {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+    pct
+}
+
+#[tokio::main(flavor = "multi_thread", worker_threads = 4)]
+async fn main() {
+    let args = Args::parse();
+    if roles::dispatch(&args).await {
+        return;
+    }
+    let duration: u64 = args.get_or("duration", 10);
+
+    table::experiment(
+        "Fig. 6a",
+        "Normalized agent CPU overhead, radio deployment (BS process, Δ vs no agent)",
+    );
+    let scenarios = [
+        Scenario { label: "4G baseline", cell: "lte25", mcs: 28, cores: 8, variant: "none", ctrl_role: None, port: 0 },
+        Scenario { label: "4G FlexRIC", cell: "lte25", mcs: 28, cores: 8, variant: "flexric", ctrl_role: Some("monitor"), port: 39101 },
+        Scenario { label: "4G FlexRAN", cell: "lte25", mcs: 28, cores: 8, variant: "flexran", ctrl_role: Some("flexran-ctrl"), port: 39102 },
+        Scenario { label: "5G baseline", cell: "nr106", mcs: 20, cores: 16, variant: "none", ctrl_role: None, port: 0 },
+        Scenario { label: "5G FlexRIC", cell: "nr106", mcs: 20, cores: 16, variant: "flexric", ctrl_role: Some("monitor"), port: 39103 },
+    ];
+    let mut results = Vec::new();
+    for s in &scenarios {
+        let pct = run_scenario(s, duration).await;
+        eprintln!("  {}: {:.3} % (normalized, {} cores)", s.label, pct, s.cores);
+        results.push((s.label, s.cores, pct));
+    }
+    let base_4g = results.iter().find(|(l, _, _)| *l == "4G baseline").map(|r| r.2).unwrap_or(0.0);
+    let base_5g = results.iter().find(|(l, _, _)| *l == "5G baseline").map(|r| r.2).unwrap_or(0.0);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .filter(|(l, _, _)| !l.ends_with("baseline"))
+        .map(|(label, cores, pct)| {
+            let base = if label.starts_with("4G") { base_4g } else { base_5g };
+            vec![
+                label.to_string(),
+                cores.to_string(),
+                table::f(*pct),
+                table::f(base),
+                table::f((pct - base).max(0.0)),
+            ]
+        })
+        .collect();
+    table::table(
+        &["scenario", "cores", "bs_cpu_norm_%", "baseline_%", "agent_overhead_%"],
+        &rows,
+    );
+    println!();
+    println!("Paper shape check: all agent overheads well below 1 % normalized;");
+    println!("5G FlexRIC relative overhead smaller than 4G (larger cell budget).");
+}

@@ -1,0 +1,141 @@
+//! CPU and memory metering via `/proc` — the substitute for the paper's
+//! `docker stats` (same kernel counters, no container layer).
+
+use std::fs;
+use std::io;
+use std::time::Instant;
+
+/// Kernel clock ticks per second.  Linux has used 100 for USER_HZ-visible
+/// interfaces for decades; the value is part of the kernel ABI for
+/// `/proc/<pid>/stat`.
+pub const CLK_TCK: f64 = 100.0;
+
+/// One CPU/memory sample of a process.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcSample {
+    /// utime + stime, in clock ticks.
+    pub cpu_ticks: u64,
+    /// Resident set size, KiB.
+    pub rss_kb: u64,
+    /// Peak resident set size, KiB.
+    pub hwm_kb: u64,
+    /// When the sample was taken.
+    pub at: Instant,
+}
+
+/// Reads `/proc/<pid>/stat` + `/proc/<pid>/status` (pid `None` = self).
+pub fn sample(pid: Option<u32>) -> io::Result<ProcSample> {
+    let base = match pid {
+        Some(p) => format!("/proc/{p}"),
+        None => "/proc/self".to_owned(),
+    };
+    let stat = fs::read_to_string(format!("{base}/stat"))?;
+    // Field 2 (comm) may contain spaces; split after the closing paren.
+    let after = stat
+        .rsplit_once(')')
+        .map(|(_, rest)| rest)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad stat format"))?;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    // After the comm field: state is index 0, utime is index 11, stime 12.
+    let utime: u64 = fields
+        .get(11)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no utime"))?;
+    let stime: u64 = fields
+        .get(12)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no stime"))?;
+
+    let status = fs::read_to_string(format!("{base}/status"))?;
+    let grab = |key: &str| -> u64 {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    Ok(ProcSample {
+        cpu_ticks: utime + stime,
+        rss_kb: grab("VmRSS:"),
+        hwm_kb: grab("VmHWM:"),
+        at: Instant::now(),
+    })
+}
+
+/// CPU usage in percent of one core between two samples.
+pub fn cpu_pct(a: &ProcSample, b: &ProcSample) -> f64 {
+    let wall = b.at.duration_since(a.at).as_secs_f64();
+    if wall <= 0.0 {
+        return 0.0;
+    }
+    let cpu_s = (b.cpu_ticks.saturating_sub(a.cpu_ticks)) as f64 / CLK_TCK;
+    cpu_s / wall * 100.0
+}
+
+/// CPU usage normalized by a machine core count, as the paper reports
+/// ("note that the LTE cell has 8 cores, the NR cell 16").
+pub fn cpu_pct_normalized(a: &ProcSample, b: &ProcSample, cores: u32) -> f64 {
+    cpu_pct(a, b) / cores.max(1) as f64
+}
+
+/// A meter wrapping start/stop sampling of one process.
+#[derive(Debug)]
+pub struct Meter {
+    pid: Option<u32>,
+    start: ProcSample,
+}
+
+impl Meter {
+    /// Starts metering a process (`None` = self).
+    pub fn start(pid: Option<u32>) -> io::Result<Meter> {
+        Ok(Meter { pid, start: sample(pid)? })
+    }
+
+    /// Reads the meter: `(cpu % of one core, current RSS KiB, peak KiB)`.
+    pub fn read(&self) -> io::Result<(f64, u64, u64)> {
+        let now = sample(self.pid)?;
+        Ok((cpu_pct(&self.start, &now), now.rss_kb, now.hwm_kb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_self_is_sane() {
+        let s = sample(None).unwrap();
+        assert!(s.rss_kb > 100, "some resident memory: {}", s.rss_kb);
+        assert!(s.hwm_kb >= s.rss_kb);
+    }
+
+    #[test]
+    fn busy_loop_registers_cpu() {
+        let a = sample(None).unwrap();
+        // Burn ~80 ms of CPU.
+        let t0 = Instant::now();
+        let mut x = 0u64;
+        while t0.elapsed().as_millis() < 80 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(x);
+        let b = sample(None).unwrap();
+        let pct = cpu_pct(&a, &b);
+        assert!(pct > 30.0, "busy loop should register: {pct:.1}%");
+        assert!(cpu_pct_normalized(&a, &b, 8) < pct);
+    }
+
+    #[test]
+    fn meter_reads() {
+        let m = Meter::start(None).unwrap();
+        let (_cpu, rss, hwm) = m.read().unwrap();
+        assert!(rss > 0);
+        assert!(hwm >= rss);
+    }
+
+    #[test]
+    fn missing_pid_errors() {
+        assert!(sample(Some(u32::MAX - 3)).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Reusable process roles for the multi-process experiments: each CPU/RSS
+//! figure runs its components in separate processes (spawned via
+//! [`crate::spawn_role`]) so `/proc` attribution is clean, mirroring the
+//! paper's per-container `docker stats` measurements.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use flexric::agent::{Agent, AgentConfig};
+use flexric::server::{Server, ServerConfig};
+use flexric_codec::E2apCodec;
+use flexric_ctrl::dummy::{dummy_bundle, dummy_mac_only};
+use flexric_ctrl::flexran_emu::{FlexranAgent, FlexranSnapshot};
+use flexric_ctrl::monitoring::{MonitorApp, MonitorConfig};
+use flexric_ctrl::ranfun::{stats_bundle, SimBs};
+use flexric_e2ap::{E2NodeType, GlobalE2NodeId, GlobalRicId, Plmn};
+use flexric_ransim::{CellConfig, FlowConfig, FlowKind, PathConfig, Sim, UeConfig};
+use flexric_sm::SmCodec;
+use flexric_transport::TransportAddr;
+
+use crate::Args;
+
+/// Parses the `--codec` flag (`fb` | `asn`).
+pub fn codec_arg(args: &Args) -> E2apCodec {
+    match args.get("codec") {
+        Some("asn") => E2apCodec::Asn1Per,
+        _ => E2apCodec::Flatb,
+    }
+}
+
+/// SM codec matching the E2AP choice of [`codec_arg`].
+pub fn sm_codec_of(codec: E2apCodec) -> SmCodec {
+    match codec {
+        E2apCodec::Asn1Per => SmCodec::Asn1Per,
+        E2apCodec::Flatb => SmCodec::Flatb,
+    }
+}
+
+/// Parses `--sm fb|asn`, defaulting to match the E2AP codec.  Fig. 8b
+/// holds the SM encoding at FB while sweeping only the E2AP encoding, as
+/// the paper does ("dummy test agents that export the same statistics (in
+/// FB)").
+pub fn sm_arg(args: &Args, e2ap: E2apCodec) -> SmCodec {
+    match args.get("sm") {
+        Some("asn") => SmCodec::Asn1Per,
+        Some("fb") => SmCodec::Flatb,
+        _ => sm_codec_of(e2ap),
+    }
+}
+
+/// Builds the simulated cell of `--cell lte25|lte50|nr106` with `--ues`
+/// UEs at `--mcs`, each with one greedy TCP downlink flow.
+pub fn build_sim(args: &Args) -> Arc<Mutex<Sim>> {
+    let cell = match args.get("cell") {
+        Some("lte25") => CellConfig::lte("cell0", 25),
+        Some("lte50") => CellConfig::lte("cell0", 50),
+        _ => CellConfig::nr("cell0", 106),
+    };
+    let mcs: u8 = args.get_or("mcs", if matches!(args.get("cell"), Some("lte25")) { 28 } else { 20 });
+    let ues: u16 = args.get_or("ues", 3);
+    let mut sim = Sim::new(vec![cell], PathConfig::default());
+    for i in 0..ues {
+        sim.attach_ue(0, UeConfig::new(0x4601 + i, mcs));
+        sim.add_flow(FlowConfig {
+            cell: 0,
+            rnti: 0x4601 + i,
+            drb: 1,
+            kind: FlowKind::GreedyTcp { mss: 1500 },
+            tuple: (0x0A00_0001, 0x0A00_0100 + i as u32, 1000, 80, 6),
+            start_ms: 0,
+            stop_ms: None,
+        });
+    }
+    Arc::new(Mutex::new(sim))
+}
+
+/// Role: a simulated base station driven in real time at 1 ms TTI, with
+/// an optional agent variant (`--variant flexric|flexran|none`).
+/// Runs for `--duration` seconds, then exits.
+pub async fn role_bs(args: &Args) {
+    let sim = build_sim(args);
+    let duration_s: u64 = args.get_or("duration", 10);
+    let variant = args.get("variant").unwrap_or("flexric").to_owned();
+    let ctrl_addr = args.get("ctrl").map(|a| TransportAddr::parse(a).expect("ctrl addr"));
+    let codec = codec_arg(args);
+    let sm_codec = sm_codec_of(codec);
+
+    // Attach the agent variant.
+    let mut flexric_agent = None;
+    let mut flexran_agent = None;
+    match variant.as_str() {
+        "flexric" => {
+            let addr = ctrl_addr.expect("--ctrl required for flexric variant");
+            let mut acfg = AgentConfig::new(
+                GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
+                addr,
+            );
+            acfg.codec = codec;
+            acfg.tick_ms = None; // driven by the sim loop below
+            let bs = SimBs::new(sim.clone(), 0);
+            let agent = Agent::spawn(acfg, stats_bundle(&bs, sm_codec)).await.expect("agent");
+            flexric_agent = Some(agent);
+        }
+        "flexran" => {
+            let addr = ctrl_addr.expect("--ctrl required for flexran variant");
+            let sim2 = sim.clone();
+            let agent = FlexranAgent::spawn(&addr, move |_now| {
+                let mut sim = sim2.lock();
+                let cell = &mut sim.cells[0];
+                FlexranSnapshot {
+                    mac: cell.mac_stats(),
+                    rlc: cell.rlc_stats(),
+                    pdcp: cell.pdcp_stats(),
+                }
+            })
+            .await
+            .expect("flexran agent");
+            flexran_agent = Some(agent);
+        }
+        _ => {}
+    }
+
+    // Real-time TTI driver.
+    let mut iv = tokio::time::interval(std::time::Duration::from_millis(1));
+    iv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+    let t0 = std::time::Instant::now();
+    while t0.elapsed().as_secs() < duration_s {
+        iv.tick().await;
+        let now = {
+            let mut s = sim.lock();
+            s.tick();
+            s.now_ms()
+        };
+        if let Some(a) = &flexric_agent {
+            a.tick(now);
+        }
+        if let Some(a) = &flexran_agent {
+            a.tick(now);
+        }
+    }
+}
+
+/// Role: a FlexRIC monitoring controller (stats iApp) listening on
+/// `--listen`, with `--period` ms subscriptions, running until killed.
+pub async fn role_monitor(args: &Args) {
+    let listen = TransportAddr::parse(args.get("listen").expect("--listen")).expect("addr");
+    let codec = codec_arg(args);
+    let period: u32 = args.get_or("period", 1);
+    let store = !args.has("no-store");
+    let (app, _db, _counters) = MonitorApp::new(MonitorConfig {
+        period_ms: period,
+        sm_codec: sm_arg(args, codec),
+        store,
+        ..Default::default()
+    });
+    let mut cfg = ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), listen);
+    cfg.codec = codec;
+    cfg.tick_ms = Some(100);
+    let _server = Server::spawn(cfg, vec![Box::new(app)]).await.expect("server");
+    futures_park().await;
+}
+
+/// Role: a FlexRAN controller (RIB + 1 ms polling app) on `--listen`.
+pub async fn role_flexran_ctrl(args: &Args) {
+    let listen = TransportAddr::parse(args.get("listen").expect("--listen")).expect("addr");
+    let period: u32 = args.get_or("period", 1);
+    let _ctrl = flexric_ctrl::flexran_emu::FlexranController::spawn(&listen, period)
+        .await
+        .expect("flexran controller");
+    futures_park().await;
+}
+
+/// Role: `--agents` dummy test agents (32 UEs each) connected to
+/// `--ctrl`, self-ticked at 1 ms; exports MAC(+RLC+PDCP unless
+/// `--mac-only`) statistics.
+pub async fn role_dummy_agents(args: &Args) {
+    let ctrl = TransportAddr::parse(args.get("ctrl").expect("--ctrl")).expect("addr");
+    let n: usize = args.get_or("agents", 10);
+    let ues: u16 = args.get_or("ues", 32);
+    let codec = codec_arg(args);
+    let sm_codec = sm_arg(args, codec);
+    let mac_only = args.has("mac-only");
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let mut acfg = AgentConfig::new(
+            GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 100 + i as u64),
+            ctrl.clone(),
+        );
+        acfg.codec = codec;
+        acfg.tick_ms = Some(1);
+        let fns = if mac_only {
+            dummy_mac_only(ues, sm_codec)
+        } else {
+            dummy_bundle(ues, sm_codec)
+        };
+        let agent = Agent::spawn(acfg, fns).await.expect("dummy agent");
+        handles.push(agent);
+    }
+    futures_park().await;
+}
+
+/// Role: `--agents` FlexRAN agents with synthetic 32-UE statistics.
+pub async fn role_flexran_dummy_agents(args: &Args) {
+    let ctrl = TransportAddr::parse(args.get("ctrl").expect("--ctrl")).expect("addr");
+    let n: usize = args.get_or("agents", 10);
+    let ues: u16 = args.get_or("ues", 32);
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        let agent = FlexranAgent::spawn(&ctrl, move |now| synthetic_snapshot(now, ues))
+            .await
+            .expect("flexran dummy");
+        handles.push(agent);
+    }
+    // Self-tick at 1 ms.
+    let mut iv = tokio::time::interval(std::time::Duration::from_millis(1));
+    iv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+    let t0 = std::time::Instant::now();
+    loop {
+        iv.tick().await;
+        let now = t0.elapsed().as_millis() as u64;
+        for a in &handles {
+            a.tick(now);
+        }
+    }
+}
+
+/// Synthetic statistics equivalent to the dummy E2 agents' payload.
+pub fn synthetic_snapshot(now: u64, ues: u16) -> FlexranSnapshot {
+    use flexric_sm::{mac::*, pdcp::*, rlc::*};
+    FlexranSnapshot {
+        mac: MacStatsInd {
+            tstamp_ms: now,
+            cell_prbs: 106,
+            ues: (0..ues)
+                .map(|i| MacUeStats {
+                    rnti: 0x4601 + i,
+                    cqi: 15,
+                    mcs: 20,
+                    prbs_dl: 3,
+                    tbs_dl_bytes: 1500 + now % 512,
+                    dl_aggr_bytes: now * 1500,
+                    bsr: (now % 4000) as u32,
+                    dl_backlog_bytes: now % 90_000,
+                    ..Default::default()
+                })
+                .collect(),
+        },
+        rlc: RlcStatsInd {
+            tstamp_ms: now,
+            bearers: (0..ues)
+                .map(|i| RlcBearerStats {
+                    rnti: 0x4601 + i,
+                    drb_id: 1,
+                    tx_pdus: now,
+                    tx_bytes: now * 1400,
+                    buffer_bytes: now % 250_000,
+                    sojourn_us_avg: 1000 + now % 9000,
+                    ..Default::default()
+                })
+                .collect(),
+        },
+        pdcp: PdcpStatsInd {
+            tstamp_ms: now,
+            bearers: (0..ues)
+                .map(|i| PdcpBearerStats {
+                    rnti: 0x4601 + i,
+                    drb_id: 1,
+                    tx_pdus: now,
+                    tx_bytes: now * 1400,
+                    tx_aggr_bytes: now * 1400,
+                    ..Default::default()
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Parks the task forever (roles run until the orchestrator kills them).
+pub async fn futures_park() {
+    std::future::pending::<()>().await;
+}
+
+/// Dispatches `--role` subprocesses; returns `false` when no role flag is
+/// present (the caller is the orchestrator).
+pub async fn dispatch(args: &Args) -> bool {
+    match args.get("role") {
+        Some("bs") => {
+            role_bs(args).await;
+            true
+        }
+        Some("monitor") => {
+            role_monitor(args).await;
+            true
+        }
+        Some("flexran-ctrl") => {
+            role_flexran_ctrl(args).await;
+            true
+        }
+        Some("dummy-agents") => {
+            role_dummy_agents(args).await;
+            true
+        }
+        Some("flexran-dummy-agents") => {
+            role_flexran_dummy_agents(args).await;
+            true
+        }
+        Some(other) => panic!("unknown role {other}"),
+        None => false,
+    }
+}

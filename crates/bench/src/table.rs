@@ -1,0 +1,50 @@
+//! Plain-text table/series output, in the shape of the paper's figures.
+
+/// Prints a header block naming the experiment.
+pub fn experiment(id: &str, title: &str) {
+    println!();
+    println!("== {id}: {title} ==");
+}
+
+/// Prints a table from a header row and data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints a time series as `t<TAB>v…` rows (easily plottable).
+pub fn series(name: &str, points: &[(f64, f64)]) {
+    println!("# series: {name}");
+    for (t, v) in points {
+        println!("{t:.3}\t{v:.3}");
+    }
+}
+
+/// Formats a float with limited digits.
+pub fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}

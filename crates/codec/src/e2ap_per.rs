@@ -1,0 +1,623 @@
+//! Aligned-PER-style codec for the full E2AP message set.
+//!
+//! Every message of [`flexric_e2ap::E2apPdu`] is encoded with the bit-level
+//! primitives of [`crate::per`].  Decoding is necessarily a full sequential
+//! pass: no field can be located without decoding everything before it —
+//! the defining cost of PER that the paper's Figs. 7/8b measure.
+
+use bytes::Bytes;
+use flexric_e2ap::*;
+
+use crate::error::{CodecError, Result};
+use crate::per::{BitReader, BitWriter};
+
+const NODE_ID_MAX: u64 = (1 << 36) - 1;
+const RIC_ID_MAX: u64 = 0xF_FFFF;
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn put_plmn(w: &mut BitWriter, p: &Plmn) {
+    w.put_constrained(p.mcc as u64, 0, 999);
+    w.put_constrained(p.mnc as u64, 0, 999);
+    w.put_constrained(p.mnc_digits as u64, 2, 3);
+}
+
+fn get_plmn(r: &mut BitReader) -> Result<Plmn> {
+    let mcc = r.get_constrained(0, 999)? as u16;
+    let mnc = r.get_constrained(0, 999)? as u16;
+    let digits = r.get_constrained(2, 3)? as u8;
+    Ok(Plmn::new(mcc, mnc, digits))
+}
+
+fn put_node_id(w: &mut BitWriter, id: &GlobalE2NodeId) {
+    put_plmn(w, &id.plmn);
+    w.put_constrained(id.node_type as u64, 0, 6);
+    w.put_constrained(id.node_id, 0, NODE_ID_MAX);
+}
+
+fn get_node_id(r: &mut BitReader) -> Result<GlobalE2NodeId> {
+    let plmn = get_plmn(r)?;
+    let nt = r.get_constrained(0, 6)? as u8;
+    let node_type = E2NodeType::from_u8(nt)
+        .ok_or(CodecError::BadDiscriminant { what: "node type", value: nt as u64 })?;
+    let node_id = r.get_constrained(0, NODE_ID_MAX)?;
+    Ok(GlobalE2NodeId::new(plmn, node_type, node_id))
+}
+
+fn put_ric_id(w: &mut BitWriter, id: &GlobalRicId) {
+    put_plmn(w, &id.plmn);
+    w.put_constrained(id.ric_id as u64, 0, RIC_ID_MAX);
+}
+
+fn get_ric_id(r: &mut BitReader) -> Result<GlobalRicId> {
+    let plmn = get_plmn(r)?;
+    let ric_id = r.get_constrained(0, RIC_ID_MAX)? as u32;
+    Ok(GlobalRicId::new(plmn, ric_id))
+}
+
+fn put_req_id(w: &mut BitWriter, id: &RicRequestId) {
+    w.put_bits(id.requestor as u64, 16);
+    w.put_bits(id.instance as u64, 16);
+}
+
+fn get_req_id(r: &mut BitReader) -> Result<RicRequestId> {
+    let requestor = r.get_bits(16)? as u16;
+    let instance = r.get_bits(16)? as u16;
+    Ok(RicRequestId::new(requestor, instance))
+}
+
+fn put_ran_func(w: &mut BitWriter, id: &RanFunctionId) {
+    w.put_constrained(id.0 as u64, 0, RanFunctionId::MAX as u64);
+}
+
+fn get_ran_func(r: &mut BitReader) -> Result<RanFunctionId> {
+    Ok(RanFunctionId::new(r.get_constrained(0, RanFunctionId::MAX as u64)? as u16))
+}
+
+fn put_cause(w: &mut BitWriter, c: &Cause) {
+    w.put_constrained(c.group() as u64, 0, 4);
+    w.put_constrained(c.value() as u64, 0, 15);
+}
+
+fn get_cause(r: &mut BitReader) -> Result<Cause> {
+    let group = r.get_constrained(0, 4)? as u8;
+    let value = r.get_constrained(0, 15)? as u8;
+    Cause::from_parts(group, value)
+        .ok_or(CodecError::BadDiscriminant { what: "cause", value: ((group as u64) << 8) | value as u64 })
+}
+
+fn put_opt_u32(w: &mut BitWriter, v: &Option<u32>) {
+    w.put_bit(v.is_some());
+    if let Some(v) = v {
+        w.put_uint(*v as u64);
+    }
+}
+
+fn get_opt_u32(r: &mut BitReader) -> Result<Option<u32>> {
+    if r.get_bit()? {
+        Ok(Some(r.get_uint()? as u32))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_opt_bytes(w: &mut BitWriter, v: &Option<Bytes>) {
+    w.put_bit(v.is_some());
+    if let Some(v) = v {
+        w.put_octets(v);
+    }
+}
+
+fn get_opt_bytes(r: &mut BitReader) -> Result<Option<Bytes>> {
+    if r.get_bit()? {
+        Ok(Some(Bytes::copy_from_slice(r.get_octets()?)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_fn_item(w: &mut BitWriter, f: &RanFunctionItem) {
+    put_ran_func(w, &f.id);
+    w.put_octets(&f.definition);
+    w.put_bits(f.revision as u64, 16);
+    w.put_utf8(&f.oid);
+}
+
+fn get_fn_item(r: &mut BitReader) -> Result<RanFunctionItem> {
+    let id = get_ran_func(r)?;
+    let definition = Bytes::copy_from_slice(r.get_octets()?);
+    let revision = r.get_bits(16)? as u16;
+    let oid = r.get_utf8()?;
+    Ok(RanFunctionItem { id, definition, revision, oid })
+}
+
+fn put_component(w: &mut BitWriter, c: &E2NodeComponentConfig) {
+    w.put_constrained(c.interface as u64, 0, 6);
+    w.put_utf8(&c.component_id);
+    w.put_octets(&c.request_part);
+    w.put_octets(&c.response_part);
+}
+
+fn get_component(r: &mut BitReader) -> Result<E2NodeComponentConfig> {
+    let i = r.get_constrained(0, 6)? as u8;
+    let interface = InterfaceType::from_u8(i)
+        .ok_or(CodecError::BadDiscriminant { what: "interface", value: i as u64 })?;
+    let component_id = r.get_utf8()?;
+    let request_part = Bytes::copy_from_slice(r.get_octets()?);
+    let response_part = Bytes::copy_from_slice(r.get_octets()?);
+    Ok(E2NodeComponentConfig { interface, component_id, request_part, response_part })
+}
+
+fn put_interface_id(w: &mut BitWriter, (i, id): &(InterfaceType, String)) {
+    w.put_constrained(*i as u64, 0, 6);
+    w.put_utf8(id);
+}
+
+fn get_interface_id(r: &mut BitReader) -> Result<(InterfaceType, String)> {
+    let i = r.get_constrained(0, 6)? as u8;
+    let interface = InterfaceType::from_u8(i)
+        .ok_or(CodecError::BadDiscriminant { what: "interface", value: i as u64 })?;
+    Ok((interface, r.get_utf8()?))
+}
+
+fn put_tnl(w: &mut BitWriter, t: &TnlInfo) {
+    w.put_utf8(&t.address);
+    w.put_bits(t.port as u64, 16);
+    w.put_constrained(t.usage as u64, 0, 2);
+}
+
+fn get_tnl(r: &mut BitReader) -> Result<TnlInfo> {
+    let address = r.get_utf8()?;
+    let port = r.get_bits(16)? as u16;
+    let u = r.get_constrained(0, 2)? as u8;
+    let usage =
+        TnlUsage::from_u8(u).ok_or(CodecError::BadDiscriminant { what: "tnl usage", value: u as u64 })?;
+    Ok(TnlInfo { address, port, usage })
+}
+
+fn put_seq<T>(w: &mut BitWriter, items: &[T], f: impl Fn(&mut BitWriter, &T)) {
+    w.put_length(items.len());
+    for item in items {
+        f(w, item);
+    }
+}
+
+fn get_seq<T>(r: &mut BitReader, f: impl Fn(&mut BitReader) -> Result<T>) -> Result<Vec<T>> {
+    let n = r.get_length()?;
+    // Defensive cap: no E2AP sequence is anywhere near this long; prevents
+    // allocation bombs from corrupted length determinants.
+    if n > 1 << 20 {
+        return Err(CodecError::Malformed { what: "sequence too long" });
+    }
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(f(r)?);
+    }
+    Ok(out)
+}
+
+fn put_action(w: &mut BitWriter, a: &RicActionToBeSetup) {
+    w.put_bits(a.id.0 as u64, 8);
+    w.put_constrained(a.action_type as u64, 0, 2);
+    put_opt_bytes(w, &a.definition);
+    w.put_bit(a.subsequent.is_some());
+    if let Some(sub) = &a.subsequent {
+        w.put_constrained(sub.kind as u64, 0, 1);
+        w.put_uint(sub.wait_ms as u64);
+    }
+}
+
+fn get_action(r: &mut BitReader) -> Result<RicActionToBeSetup> {
+    let id = RicActionId(r.get_bits(8)? as u8);
+    let at = r.get_constrained(0, 2)? as u8;
+    let action_type = RicActionType::from_u8(at)
+        .ok_or(CodecError::BadDiscriminant { what: "action type", value: at as u64 })?;
+    let definition = get_opt_bytes(r)?;
+    let subsequent = if r.get_bit()? {
+        let k = r.get_constrained(0, 1)? as u8;
+        let kind = SubsequentActionType::from_u8(k)
+            .ok_or(CodecError::BadDiscriminant { what: "subsequent action", value: k as u64 })?;
+        let wait_ms = r.get_uint()? as u32;
+        Some(RicSubsequentAction { kind, wait_ms })
+    } else {
+        None
+    };
+    Ok(RicActionToBeSetup { id, action_type, definition, subsequent })
+}
+
+// ---------------------------------------------------------------------------
+// PDU encode
+// ---------------------------------------------------------------------------
+
+/// Encodes a PDU into aligned-PER-style bytes.
+pub fn encode(pdu: &E2apPdu) -> Vec<u8> {
+    let mut w = BitWriter::with_capacity(64);
+    w.put_constrained(pdu.msg_type() as u64, 0, 25);
+    match pdu {
+        E2apPdu::E2SetupRequest(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_node_id(&mut w, &m.global_node);
+            put_seq(&mut w, &m.ran_functions, put_fn_item);
+            put_seq(&mut w, &m.component_configs, put_component);
+        }
+        E2apPdu::E2SetupResponse(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_ric_id(&mut w, &m.global_ric);
+            put_seq(&mut w, &m.accepted, |w, id| put_ran_func(w, id));
+            put_seq(&mut w, &m.rejected, |w, (id, c)| {
+                put_ran_func(w, id);
+                put_cause(w, c);
+            });
+        }
+        E2apPdu::E2SetupFailure(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_cause(&mut w, &m.cause);
+            put_opt_u32(&mut w, &m.time_to_wait_ms);
+        }
+        E2apPdu::ResetRequest(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_cause(&mut w, &m.cause);
+        }
+        E2apPdu::ResetResponse(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+        }
+        E2apPdu::ErrorIndication(m) => {
+            w.put_bit(m.req_id.is_some());
+            if let Some(id) = &m.req_id {
+                put_req_id(&mut w, id);
+            }
+            w.put_bit(m.ran_function.is_some());
+            if let Some(f) = &m.ran_function {
+                put_ran_func(&mut w, f);
+            }
+            w.put_bit(m.cause.is_some());
+            if let Some(c) = &m.cause {
+                put_cause(&mut w, c);
+            }
+        }
+        E2apPdu::E2NodeConfigUpdate(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_seq(&mut w, &m.additions, put_component);
+            put_seq(&mut w, &m.updates, put_component);
+            put_seq(&mut w, &m.removals, put_interface_id);
+        }
+        E2apPdu::E2NodeConfigUpdateAck(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_seq(&mut w, &m.accepted, put_interface_id);
+            put_seq(&mut w, &m.rejected, |w, (i, id, c)| {
+                put_interface_id(w, &(*i, id.clone()));
+                put_cause(w, c);
+            });
+        }
+        E2apPdu::E2NodeConfigUpdateFailure(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_cause(&mut w, &m.cause);
+            put_opt_u32(&mut w, &m.time_to_wait_ms);
+        }
+        E2apPdu::E2ConnectionUpdate(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_seq(&mut w, &m.add, put_tnl);
+            put_seq(&mut w, &m.remove, put_tnl);
+            put_seq(&mut w, &m.modify, put_tnl);
+        }
+        E2apPdu::E2ConnectionUpdateAck(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_seq(&mut w, &m.setup, put_tnl);
+            put_seq(&mut w, &m.failed, |w, (t, c)| {
+                put_tnl(w, t);
+                put_cause(w, c);
+            });
+        }
+        E2apPdu::E2ConnectionUpdateFailure(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_cause(&mut w, &m.cause);
+            put_opt_u32(&mut w, &m.time_to_wait_ms);
+        }
+        E2apPdu::RicServiceUpdate(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_seq(&mut w, &m.added, put_fn_item);
+            put_seq(&mut w, &m.modified, put_fn_item);
+            put_seq(&mut w, &m.removed, |w, id| put_ran_func(w, id));
+        }
+        E2apPdu::RicServiceUpdateAck(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_seq(&mut w, &m.accepted, |w, id| put_ran_func(w, id));
+            put_seq(&mut w, &m.rejected, |w, (id, c)| {
+                put_ran_func(w, id);
+                put_cause(w, c);
+            });
+        }
+        E2apPdu::RicServiceUpdateFailure(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_cause(&mut w, &m.cause);
+            put_opt_u32(&mut w, &m.time_to_wait_ms);
+        }
+        E2apPdu::RicServiceQuery(m) => {
+            w.put_bits(m.transaction_id as u64, 8);
+            put_seq(&mut w, &m.accepted, |w, id| put_ran_func(w, id));
+        }
+        E2apPdu::RicSubscriptionRequest(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            w.put_octets(&m.event_trigger);
+            put_seq(&mut w, &m.actions, put_action);
+        }
+        E2apPdu::RicSubscriptionResponse(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            put_seq(&mut w, &m.admitted, |w, id| w.put_bits(id.0 as u64, 8));
+            put_seq(&mut w, &m.not_admitted, |w, (id, c)| {
+                w.put_bits(id.0 as u64, 8);
+                put_cause(w, c);
+            });
+        }
+        E2apPdu::RicSubscriptionFailure(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            put_cause(&mut w, &m.cause);
+        }
+        E2apPdu::RicSubscriptionDeleteRequest(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+        }
+        E2apPdu::RicSubscriptionDeleteResponse(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+        }
+        E2apPdu::RicSubscriptionDeleteFailure(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            put_cause(&mut w, &m.cause);
+        }
+        E2apPdu::RicIndication(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            w.put_bits(m.action.0 as u64, 8);
+            put_opt_u32(&mut w, &m.sn);
+            w.put_constrained(m.ind_type as u64, 0, 1);
+            w.put_octets(&m.header);
+            w.put_octets(&m.message);
+            put_opt_bytes(&mut w, &m.call_process_id);
+        }
+        E2apPdu::RicControlRequest(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            put_opt_bytes(&mut w, &m.call_process_id);
+            w.put_octets(&m.header);
+            w.put_octets(&m.message);
+            w.put_bit(m.ack_request.is_some());
+            if let Some(ack) = &m.ack_request {
+                w.put_constrained(*ack as u64, 0, 2);
+            }
+        }
+        E2apPdu::RicControlAcknowledge(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            put_opt_bytes(&mut w, &m.call_process_id);
+            put_opt_bytes(&mut w, &m.outcome);
+        }
+        E2apPdu::RicControlFailure(m) => {
+            put_req_id(&mut w, &m.req_id);
+            put_ran_func(&mut w, &m.ran_function);
+            put_opt_bytes(&mut w, &m.call_process_id);
+            put_cause(&mut w, &m.cause);
+            put_opt_bytes(&mut w, &m.outcome);
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// PDU decode
+// ---------------------------------------------------------------------------
+
+/// Decodes an aligned-PER-style E2AP PDU.  Always a full sequential pass.
+pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
+    let mut r = BitReader::new(buf);
+    let t = r.get_constrained(0, 25)? as u8;
+    let msg_type =
+        MsgType::from_u8(t).ok_or(CodecError::BadDiscriminant { what: "msg type", value: t as u64 })?;
+    let r = &mut r;
+    Ok(match msg_type {
+        MsgType::E2SetupRequest => E2apPdu::E2SetupRequest(E2SetupRequest {
+            transaction_id: r.get_bits(8)? as u8,
+            global_node: get_node_id(r)?,
+            ran_functions: get_seq(r, get_fn_item)?,
+            component_configs: get_seq(r, get_component)?,
+        }),
+        MsgType::E2SetupResponse => E2apPdu::E2SetupResponse(E2SetupResponse {
+            transaction_id: r.get_bits(8)? as u8,
+            global_ric: get_ric_id(r)?,
+            accepted: get_seq(r, get_ran_func)?,
+            rejected: get_seq(r, |r| Ok((get_ran_func(r)?, get_cause(r)?)))?,
+        }),
+        MsgType::E2SetupFailure => E2apPdu::E2SetupFailure(E2SetupFailure {
+            transaction_id: r.get_bits(8)? as u8,
+            cause: get_cause(r)?,
+            time_to_wait_ms: get_opt_u32(r)?,
+        }),
+        MsgType::ResetRequest => E2apPdu::ResetRequest(ResetRequest {
+            transaction_id: r.get_bits(8)? as u8,
+            cause: get_cause(r)?,
+        }),
+        MsgType::ResetResponse => {
+            E2apPdu::ResetResponse(ResetResponse { transaction_id: r.get_bits(8)? as u8 })
+        }
+        MsgType::ErrorIndication => E2apPdu::ErrorIndication(ErrorIndication {
+            req_id: if r.get_bit()? { Some(get_req_id(r)?) } else { None },
+            ran_function: if r.get_bit()? { Some(get_ran_func(r)?) } else { None },
+            cause: if r.get_bit()? { Some(get_cause(r)?) } else { None },
+        }),
+        MsgType::E2NodeConfigUpdate => E2apPdu::E2NodeConfigUpdate(E2NodeConfigUpdate {
+            transaction_id: r.get_bits(8)? as u8,
+            additions: get_seq(r, get_component)?,
+            updates: get_seq(r, get_component)?,
+            removals: get_seq(r, get_interface_id)?,
+        }),
+        MsgType::E2NodeConfigUpdateAck => E2apPdu::E2NodeConfigUpdateAck(E2NodeConfigUpdateAck {
+            transaction_id: r.get_bits(8)? as u8,
+            accepted: get_seq(r, get_interface_id)?,
+            rejected: get_seq(r, |r| {
+                let (i, id) = get_interface_id(r)?;
+                Ok((i, id, get_cause(r)?))
+            })?,
+        }),
+        MsgType::E2NodeConfigUpdateFailure => {
+            E2apPdu::E2NodeConfigUpdateFailure(E2NodeConfigUpdateFailure {
+                transaction_id: r.get_bits(8)? as u8,
+                cause: get_cause(r)?,
+                time_to_wait_ms: get_opt_u32(r)?,
+            })
+        }
+        MsgType::E2ConnectionUpdate => E2apPdu::E2ConnectionUpdate(E2ConnectionUpdate {
+            transaction_id: r.get_bits(8)? as u8,
+            add: get_seq(r, get_tnl)?,
+            remove: get_seq(r, get_tnl)?,
+            modify: get_seq(r, get_tnl)?,
+        }),
+        MsgType::E2ConnectionUpdateAck => E2apPdu::E2ConnectionUpdateAck(E2ConnectionUpdateAck {
+            transaction_id: r.get_bits(8)? as u8,
+            setup: get_seq(r, get_tnl)?,
+            failed: get_seq(r, |r| Ok((get_tnl(r)?, get_cause(r)?)))?,
+        }),
+        MsgType::E2ConnectionUpdateFailure => {
+            E2apPdu::E2ConnectionUpdateFailure(E2ConnectionUpdateFailure {
+                transaction_id: r.get_bits(8)? as u8,
+                cause: get_cause(r)?,
+                time_to_wait_ms: get_opt_u32(r)?,
+            })
+        }
+        MsgType::RicServiceUpdate => E2apPdu::RicServiceUpdate(RicServiceUpdate {
+            transaction_id: r.get_bits(8)? as u8,
+            added: get_seq(r, get_fn_item)?,
+            modified: get_seq(r, get_fn_item)?,
+            removed: get_seq(r, get_ran_func)?,
+        }),
+        MsgType::RicServiceUpdateAck => E2apPdu::RicServiceUpdateAck(RicServiceUpdateAck {
+            transaction_id: r.get_bits(8)? as u8,
+            accepted: get_seq(r, get_ran_func)?,
+            rejected: get_seq(r, |r| Ok((get_ran_func(r)?, get_cause(r)?)))?,
+        }),
+        MsgType::RicServiceUpdateFailure => {
+            E2apPdu::RicServiceUpdateFailure(RicServiceUpdateFailure {
+                transaction_id: r.get_bits(8)? as u8,
+                cause: get_cause(r)?,
+                time_to_wait_ms: get_opt_u32(r)?,
+            })
+        }
+        MsgType::RicServiceQuery => E2apPdu::RicServiceQuery(RicServiceQuery {
+            transaction_id: r.get_bits(8)? as u8,
+            accepted: get_seq(r, get_ran_func)?,
+        }),
+        MsgType::RicSubscriptionRequest => {
+            E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
+                req_id: get_req_id(r)?,
+                ran_function: get_ran_func(r)?,
+                event_trigger: Bytes::copy_from_slice(r.get_octets()?),
+                actions: get_seq(r, get_action)?,
+            })
+        }
+        MsgType::RicSubscriptionResponse => {
+            E2apPdu::RicSubscriptionResponse(RicSubscriptionResponse {
+                req_id: get_req_id(r)?,
+                ran_function: get_ran_func(r)?,
+                admitted: get_seq(r, |r| Ok(RicActionId(r.get_bits(8)? as u8)))?,
+                not_admitted: get_seq(r, |r| {
+                    Ok((RicActionId(r.get_bits(8)? as u8), get_cause(r)?))
+                })?,
+            })
+        }
+        MsgType::RicSubscriptionFailure => E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+            req_id: get_req_id(r)?,
+            ran_function: get_ran_func(r)?,
+            cause: get_cause(r)?,
+        }),
+        MsgType::RicSubscriptionDeleteRequest => {
+            E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
+                req_id: get_req_id(r)?,
+                ran_function: get_ran_func(r)?,
+            })
+        }
+        MsgType::RicSubscriptionDeleteResponse => {
+            E2apPdu::RicSubscriptionDeleteResponse(RicSubscriptionDeleteResponse {
+                req_id: get_req_id(r)?,
+                ran_function: get_ran_func(r)?,
+            })
+        }
+        MsgType::RicSubscriptionDeleteFailure => {
+            E2apPdu::RicSubscriptionDeleteFailure(RicSubscriptionDeleteFailure {
+                req_id: get_req_id(r)?,
+                ran_function: get_ran_func(r)?,
+                cause: get_cause(r)?,
+            })
+        }
+        MsgType::RicIndication => {
+            let req_id = get_req_id(r)?;
+            let ran_function = get_ran_func(r)?;
+            let action = RicActionId(r.get_bits(8)? as u8);
+            let sn = get_opt_u32(r)?;
+            let it = r.get_constrained(0, 1)? as u8;
+            let ind_type = RicIndicationType::from_u8(it)
+                .ok_or(CodecError::BadDiscriminant { what: "indication type", value: it as u64 })?;
+            let header = Bytes::copy_from_slice(r.get_octets()?);
+            let message = Bytes::copy_from_slice(r.get_octets()?);
+            let call_process_id = get_opt_bytes(r)?;
+            E2apPdu::RicIndication(RicIndication {
+                req_id,
+                ran_function,
+                action,
+                sn,
+                ind_type,
+                header,
+                message,
+                call_process_id,
+            })
+        }
+        MsgType::RicControlRequest => {
+            let req_id = get_req_id(r)?;
+            let ran_function = get_ran_func(r)?;
+            let call_process_id = get_opt_bytes(r)?;
+            let header = Bytes::copy_from_slice(r.get_octets()?);
+            let message = Bytes::copy_from_slice(r.get_octets()?);
+            let ack_request = if r.get_bit()? {
+                let a = r.get_constrained(0, 2)? as u8;
+                Some(ControlAckRequest::from_u8(a).ok_or(CodecError::BadDiscriminant {
+                    what: "ack request",
+                    value: a as u64,
+                })?)
+            } else {
+                None
+            };
+            E2apPdu::RicControlRequest(RicControlRequest {
+                req_id,
+                ran_function,
+                call_process_id,
+                header,
+                message,
+                ack_request,
+            })
+        }
+        MsgType::RicControlAcknowledge => E2apPdu::RicControlAcknowledge(RicControlAcknowledge {
+            req_id: get_req_id(r)?,
+            ran_function: get_ran_func(r)?,
+            call_process_id: get_opt_bytes(r)?,
+            outcome: get_opt_bytes(r)?,
+        }),
+        MsgType::RicControlFailure => E2apPdu::RicControlFailure(RicControlFailure {
+            req_id: get_req_id(r)?,
+            ran_function: get_ran_func(r)?,
+            call_process_id: get_opt_bytes(r)?,
+            cause: get_cause(r)?,
+            outcome: get_opt_bytes(r)?,
+        }),
+    })
+}
+
+/// Extracts the routing header.  PER has no random access, so this is a
+/// full [`decode`] — deliberately so: this asymmetry versus the FB codec's
+/// O(1) peek is what the paper's Fig. 8b measures.
+pub fn peek(buf: &[u8]) -> Result<PduHeader> {
+    decode(buf).map(|pdu| pdu.header())
+}

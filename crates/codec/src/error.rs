@@ -1,0 +1,55 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding E2AP/E2SM payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of input bytes/bits.
+    Truncated {
+        /// What was being read when the input ended.
+        what: &'static str,
+    },
+    /// A value fell outside its constrained range.
+    OutOfRange {
+        /// Field description.
+        what: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// A choice/enum discriminant was not recognized.
+    BadDiscriminant {
+        /// Field description.
+        what: &'static str,
+        /// Offending discriminant.
+        value: u64,
+    },
+    /// Structural corruption (bad magic, impossible offset, ...).
+    Malformed {
+        /// Description of the inconsistency.
+        what: &'static str,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { what } => write!(f, "truncated input while reading {what}"),
+            CodecError::OutOfRange { what, value } => {
+                write!(f, "value {value} out of range for {what}")
+            }
+            CodecError::BadDiscriminant { what, value } => {
+                write!(f, "unknown discriminant {value} for {what}")
+            }
+            CodecError::Malformed { what } => write!(f, "malformed message: {what}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Codec result alias.
+pub type Result<T> = std::result::Result<T, CodecError>;

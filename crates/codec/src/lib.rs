@@ -1,0 +1,511 @@
+//! Pluggable codecs for E2AP and E2SM payloads.
+//!
+//! The FlexRIC paper (§4.3) separates the E2 protocol into orthogonal
+//! abstractions and keeps the encoding exchangeable behind an intermediate
+//! representation.  This crate provides three from-scratch codecs:
+//!
+//! * [`per`] / [`e2ap_per`] — an ASN.1-aligned-PER-style bit-packed codec
+//!   (compact, but every access requires a full decode),
+//! * [`fb`] / [`e2ap_fb`] — a FlatBuffers-style zero-copy codec (a few tens
+//!   of bytes larger per message, but fields are readable straight from the
+//!   wire bytes),
+//! * [`pb`] — a Protobuf-style varint codec used by the FlexRAN baseline.
+//!
+//! [`E2apCodec`] is the configuration point: agents and controllers agree on
+//! an E2AP encoding per connection, and service models independently choose
+//! their own (the paper's E2AP×E2SM combinations of Fig. 7).
+
+pub mod e2ap_fb;
+pub mod e2ap_per;
+pub mod error;
+pub mod fb;
+pub mod pb;
+pub mod per;
+
+pub use error::{CodecError, Result};
+
+use flexric_e2ap::{E2apPdu, PduHeader};
+
+/// Which encoding an E2AP connection uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum E2apCodec {
+    /// ASN.1-aligned-PER style (the O-RAN default).
+    #[default]
+    Asn1Per,
+    /// FlatBuffers style (the FlexRIC alternative).
+    Flatb,
+}
+
+impl E2apCodec {
+    /// All codecs, for sweeps.
+    pub const ALL: [E2apCodec; 2] = [E2apCodec::Asn1Per, E2apCodec::Flatb];
+
+    /// Short label used in benchmark output (matches the paper's figures).
+    pub fn label(&self) -> &'static str {
+        match self {
+            E2apCodec::Asn1Per => "ASN",
+            E2apCodec::Flatb => "FB",
+        }
+    }
+
+    /// Encodes a PDU.
+    pub fn encode(&self, pdu: &E2apPdu) -> Vec<u8> {
+        match self {
+            E2apCodec::Asn1Per => e2ap_per::encode(pdu),
+            E2apCodec::Flatb => e2ap_fb::encode(pdu),
+        }
+    }
+
+    /// Decodes a PDU into the owned IR.
+    pub fn decode(&self, buf: &[u8]) -> Result<E2apPdu> {
+        match self {
+            E2apCodec::Asn1Per => e2ap_per::decode(buf),
+            E2apCodec::Flatb => e2ap_fb::decode(buf),
+        }
+    }
+
+    /// Extracts the routing header.
+    ///
+    /// For [`E2apCodec::Flatb`] this is O(1) over the raw bytes; for
+    /// [`E2apCodec::Asn1Per`] it is a full decode — the structural asymmetry
+    /// the paper's Fig. 8b measures.
+    pub fn peek(&self, buf: &[u8]) -> Result<PduHeader> {
+        match self {
+            E2apCodec::Asn1Per => e2ap_per::peek(buf),
+            E2apCodec::Flatb => e2ap_fb::peek(buf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use flexric_e2ap::*;
+
+    /// One instance of every message type, with all optionals populated.
+    pub(crate) fn sample_pdus() -> Vec<E2apPdu> {
+        let plmn = Plmn::new(208, 95, 2);
+        let node = GlobalE2NodeId::new(plmn, E2NodeType::GnbDu, 0xBEEF);
+        let cause = Cause::Ric(RicCause::ActionNotSupported);
+        let fn_item = RanFunctionItem {
+            id: RanFunctionId::new(142),
+            definition: Bytes::from_static(b"\x01\x02def"),
+            revision: 3,
+            oid: "flexric.sm.mac_stats".into(),
+        };
+        let comp = E2NodeComponentConfig {
+            interface: InterfaceType::F1,
+            component_id: "du0".into(),
+            request_part: Bytes::from_static(b"req"),
+            response_part: Bytes::from_static(b"resp"),
+        };
+        let tnl = TnlInfo { address: "10.0.0.1".into(), port: 36421, usage: TnlUsage::Both };
+        let req_id = RicRequestId::new(17, 4);
+        let rf = RanFunctionId::new(142);
+
+        vec![
+            E2apPdu::E2SetupRequest(E2SetupRequest {
+                transaction_id: 9,
+                global_node: node,
+                ran_functions: vec![fn_item.clone(), fn_item.clone()],
+                component_configs: vec![comp.clone()],
+            }),
+            E2apPdu::E2SetupResponse(E2SetupResponse {
+                transaction_id: 9,
+                global_ric: GlobalRicId::new(plmn, 0x1234),
+                accepted: vec![rf],
+                rejected: vec![(RanFunctionId::new(7), cause)],
+            }),
+            E2apPdu::E2SetupFailure(E2SetupFailure {
+                transaction_id: 9,
+                cause,
+                time_to_wait_ms: Some(5000),
+            }),
+            E2apPdu::ResetRequest(ResetRequest { transaction_id: 2, cause }),
+            E2apPdu::ResetResponse(ResetResponse { transaction_id: 2 }),
+            E2apPdu::ErrorIndication(ErrorIndication {
+                req_id: Some(req_id),
+                ran_function: Some(rf),
+                cause: Some(cause),
+            }),
+            E2apPdu::E2NodeConfigUpdate(E2NodeConfigUpdate {
+                transaction_id: 3,
+                additions: vec![comp.clone()],
+                updates: vec![],
+                removals: vec![(InterfaceType::E1, "cuup0".into())],
+            }),
+            E2apPdu::E2NodeConfigUpdateAck(E2NodeConfigUpdateAck {
+                transaction_id: 3,
+                accepted: vec![(InterfaceType::F1, "du0".into())],
+                rejected: vec![(InterfaceType::E1, "cuup0".into(), cause)],
+            }),
+            E2apPdu::E2NodeConfigUpdateFailure(E2NodeConfigUpdateFailure {
+                transaction_id: 3,
+                cause,
+                time_to_wait_ms: None,
+            }),
+            E2apPdu::E2ConnectionUpdate(E2ConnectionUpdate {
+                transaction_id: 4,
+                add: vec![tnl.clone()],
+                remove: vec![],
+                modify: vec![tnl.clone()],
+            }),
+            E2apPdu::E2ConnectionUpdateAck(E2ConnectionUpdateAck {
+                transaction_id: 4,
+                setup: vec![tnl.clone()],
+                failed: vec![(tnl.clone(), cause)],
+            }),
+            E2apPdu::E2ConnectionUpdateFailure(E2ConnectionUpdateFailure {
+                transaction_id: 4,
+                cause,
+                time_to_wait_ms: Some(100),
+            }),
+            E2apPdu::RicServiceUpdate(RicServiceUpdate {
+                transaction_id: 5,
+                added: vec![fn_item.clone()],
+                modified: vec![],
+                removed: vec![RanFunctionId::new(3)],
+            }),
+            E2apPdu::RicServiceUpdateAck(RicServiceUpdateAck {
+                transaction_id: 5,
+                accepted: vec![rf],
+                rejected: vec![],
+            }),
+            E2apPdu::RicServiceUpdateFailure(RicServiceUpdateFailure {
+                transaction_id: 5,
+                cause,
+                time_to_wait_ms: None,
+            }),
+            E2apPdu::RicServiceQuery(RicServiceQuery { transaction_id: 6, accepted: vec![rf] }),
+            E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
+                req_id,
+                ran_function: rf,
+                event_trigger: Bytes::from_static(b"\x00\x01trigger"),
+                actions: vec![
+                    RicActionToBeSetup {
+                        id: RicActionId(1),
+                        action_type: RicActionType::Report,
+                        definition: Some(Bytes::from_static(b"adef")),
+                        subsequent: None,
+                    },
+                    RicActionToBeSetup {
+                        id: RicActionId(2),
+                        action_type: RicActionType::Insert,
+                        definition: None,
+                        subsequent: Some(RicSubsequentAction {
+                            kind: SubsequentActionType::Wait,
+                            wait_ms: 50,
+                        }),
+                    },
+                ],
+            }),
+            E2apPdu::RicSubscriptionResponse(RicSubscriptionResponse {
+                req_id,
+                ran_function: rf,
+                admitted: vec![RicActionId(1)],
+                not_admitted: vec![(RicActionId(2), cause)],
+            }),
+            E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                req_id,
+                ran_function: rf,
+                cause,
+            }),
+            E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
+                req_id,
+                ran_function: rf,
+            }),
+            E2apPdu::RicSubscriptionDeleteResponse(RicSubscriptionDeleteResponse {
+                req_id,
+                ran_function: rf,
+            }),
+            E2apPdu::RicSubscriptionDeleteFailure(RicSubscriptionDeleteFailure {
+                req_id,
+                ran_function: rf,
+                cause,
+            }),
+            E2apPdu::RicIndication(RicIndication {
+                req_id,
+                ran_function: rf,
+                action: RicActionId(1),
+                sn: Some(4242),
+                ind_type: RicIndicationType::Report,
+                header: Bytes::from_static(b"ind-hdr"),
+                message: Bytes::from_static(b"ind-msg-payload"),
+                call_process_id: Some(Bytes::from_static(b"cp")),
+            }),
+            E2apPdu::RicControlRequest(RicControlRequest {
+                req_id,
+                ran_function: rf,
+                call_process_id: None,
+                header: Bytes::from_static(b"ctl-hdr"),
+                message: Bytes::from_static(b"ctl-msg"),
+                ack_request: Some(ControlAckRequest::Ack),
+            }),
+            E2apPdu::RicControlAcknowledge(RicControlAcknowledge {
+                req_id,
+                ran_function: rf,
+                call_process_id: Some(Bytes::from_static(b"cp")),
+                outcome: Some(Bytes::from_static(b"ok")),
+            }),
+            E2apPdu::RicControlFailure(RicControlFailure {
+                req_id,
+                ran_function: rf,
+                call_process_id: None,
+                cause,
+                outcome: None,
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message_both_codecs() {
+        let pdus = sample_pdus();
+        assert_eq!(pdus.len(), 26, "one sample per message type");
+        for codec in E2apCodec::ALL {
+            for pdu in &pdus {
+                let buf = codec.encode(pdu);
+                let back = codec.decode(&buf).unwrap_or_else(|e| {
+                    panic!("{:?} decode of {:?} failed: {e}", codec, pdu.msg_type())
+                });
+                assert_eq!(&back, pdu, "{:?} roundtrip of {:?}", codec, pdu.msg_type());
+            }
+        }
+    }
+
+    #[test]
+    fn peek_matches_header_both_codecs() {
+        for codec in E2apCodec::ALL {
+            for pdu in sample_pdus() {
+                let buf = codec.encode(&pdu);
+                let h = codec.peek(&buf).unwrap();
+                assert_eq!(h, pdu.header(), "{:?} peek of {:?}", codec, pdu.msg_type());
+            }
+        }
+    }
+
+    #[test]
+    fn per_is_smaller_than_fb() {
+        // The paper: ASN.1 compresses better; FB adds 30-40 B per message.
+        for pdu in sample_pdus() {
+            let per = E2apCodec::Asn1Per.encode(&pdu);
+            let fb = E2apCodec::Flatb.encode(&pdu);
+            assert!(
+                per.len() < fb.len(),
+                "{:?}: per={} fb={}",
+                pdu.msg_type(),
+                per.len(),
+                fb.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_optionals_roundtrip() {
+        let pdu = E2apPdu::ErrorIndication(ErrorIndication::default());
+        for codec in E2apCodec::ALL {
+            let buf = codec.encode(&pdu);
+            assert_eq!(codec.decode(&buf).unwrap(), pdu);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        for codec in E2apCodec::ALL {
+            assert!(codec.decode(&[]).is_err());
+            assert!(codec.decode(&[0xFF; 3]).is_err());
+        }
+    }
+
+    #[test]
+    fn fb_indication_payload_zero_copy() {
+        let pdu = sample_pdus()
+            .into_iter()
+            .find(|p| p.msg_type() == MsgType::RicIndication)
+            .unwrap();
+        let buf = E2apCodec::Flatb.encode(&pdu);
+        let (hdr, msg) = e2ap_fb::indication_payload(&buf).unwrap();
+        assert_eq!(hdr, b"ind-hdr");
+        assert_eq!(msg, b"ind-msg-payload");
+        // Non-indications are rejected.
+        let other = E2apCodec::Flatb.encode(&E2apPdu::ResetResponse(ResetResponse {
+            transaction_id: 0,
+        }));
+        assert!(e2ap_fb::indication_payload(&other).is_err());
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let big = vec![0xA5u8; 100_000];
+        let pdu = E2apPdu::RicIndication(RicIndication {
+            req_id: RicRequestId::new(1, 1),
+            ran_function: RanFunctionId::new(1),
+            action: RicActionId(0),
+            sn: None,
+            ind_type: RicIndicationType::Report,
+            header: Bytes::new(),
+            message: Bytes::from(big),
+            call_process_id: None,
+        });
+        for codec in E2apCodec::ALL {
+            let buf = codec.encode(&pdu);
+            assert_eq!(codec.decode(&buf).unwrap(), pdu);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use bytes::Bytes;
+    use flexric_e2ap::*;
+    use proptest::prelude::*;
+
+    fn arb_cause() -> impl Strategy<Value = Cause> {
+        (0u8..5, 0u8..16).prop_filter_map("valid cause", |(g, v)| Cause::from_parts(g, v))
+    }
+
+    fn arb_bytes() -> impl Strategy<Value = Bytes> {
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(Bytes::from)
+    }
+
+    fn arb_req_id() -> impl Strategy<Value = RicRequestId> {
+        (any::<u16>(), any::<u16>()).prop_map(|(r, i)| RicRequestId::new(r, i))
+    }
+
+    fn arb_indication() -> impl Strategy<Value = E2apPdu> {
+        (
+            arb_req_id(),
+            0u16..=4095,
+            any::<u8>(),
+            proptest::option::of(any::<u32>()),
+            any::<bool>(),
+            arb_bytes(),
+            arb_bytes(),
+            proptest::option::of(arb_bytes()),
+        )
+            .prop_map(|(req_id, rf, action, sn, report, header, message, cpid)| {
+                E2apPdu::RicIndication(RicIndication {
+                    req_id,
+                    ran_function: RanFunctionId::new(rf),
+                    action: RicActionId(action),
+                    sn,
+                    ind_type: if report {
+                        RicIndicationType::Report
+                    } else {
+                        RicIndicationType::Insert
+                    },
+                    header,
+                    message,
+                    call_process_id: cpid,
+                })
+            })
+    }
+
+    fn arb_control() -> impl Strategy<Value = E2apPdu> {
+        (
+            arb_req_id(),
+            0u16..=4095,
+            proptest::option::of(arb_bytes()),
+            arb_bytes(),
+            arb_bytes(),
+            proptest::option::of(0u8..3),
+        )
+            .prop_map(|(req_id, rf, cpid, header, message, ack)| {
+                E2apPdu::RicControlRequest(RicControlRequest {
+                    req_id,
+                    ran_function: RanFunctionId::new(rf),
+                    call_process_id: cpid,
+                    header,
+                    message,
+                    ack_request: ack.map(|a| ControlAckRequest::from_u8(a).unwrap()),
+                })
+            })
+    }
+
+    fn arb_setup() -> impl Strategy<Value = E2apPdu> {
+        (
+            any::<u8>(),
+            (0u16..1000, 0u16..1000, 2u8..4, 0u8..7, any::<u64>()),
+            proptest::collection::vec(
+                (0u16..=4095, arb_bytes(), any::<u16>(), "[a-z.]{0,32}"),
+                0..8,
+            ),
+        )
+            .prop_map(|(txid, (mcc, mnc, digits, nt, nid), fns)| {
+                E2apPdu::E2SetupRequest(E2SetupRequest {
+                    transaction_id: txid,
+                    global_node: GlobalE2NodeId::new(
+                        Plmn::new(mcc, mnc, digits),
+                        E2NodeType::from_u8(nt).unwrap(),
+                        nid,
+                    ),
+                    ran_functions: fns
+                        .into_iter()
+                        .map(|(id, definition, revision, oid)| RanFunctionItem {
+                            id: RanFunctionId::new(id),
+                            definition,
+                            revision,
+                            oid,
+                        })
+                        .collect(),
+                    component_configs: vec![],
+                })
+            })
+    }
+
+    fn arb_failure() -> impl Strategy<Value = E2apPdu> {
+        (arb_req_id(), 0u16..=4095, arb_cause()).prop_map(|(req_id, rf, cause)| {
+            E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                req_id,
+                ran_function: RanFunctionId::new(rf),
+                cause,
+            })
+        })
+    }
+
+    fn arb_pdu() -> impl Strategy<Value = E2apPdu> {
+        prop_oneof![arb_indication(), arb_control(), arb_setup(), arb_failure()]
+    }
+
+    proptest! {
+        #[test]
+        fn per_roundtrip(pdu in arb_pdu()) {
+            let buf = E2apCodec::Asn1Per.encode(&pdu);
+            prop_assert_eq!(E2apCodec::Asn1Per.decode(&buf).unwrap(), pdu);
+        }
+
+        #[test]
+        fn fb_roundtrip(pdu in arb_pdu()) {
+            let buf = E2apCodec::Flatb.encode(&pdu);
+            prop_assert_eq!(E2apCodec::Flatb.decode(&buf).unwrap(), pdu);
+        }
+
+        #[test]
+        fn peek_agrees_with_decode(pdu in arb_pdu()) {
+            for codec in E2apCodec::ALL {
+                let buf = codec.encode(&pdu);
+                let h = codec.peek(&buf).unwrap();
+                prop_assert_eq!(h, pdu.header());
+            }
+        }
+
+        #[test]
+        fn decoders_never_panic_on_fuzz(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            for codec in E2apCodec::ALL {
+                let _ = codec.decode(&bytes);
+                let _ = codec.peek(&bytes);
+            }
+        }
+
+        #[test]
+        fn truncation_never_panics(pdu in arb_pdu(), frac in 0.0f64..1.0) {
+            for codec in E2apCodec::ALL {
+                let buf = codec.encode(&pdu);
+                let cut = ((buf.len() as f64) * frac) as usize;
+                let _ = codec.decode(&buf[..cut]);
+                let _ = codec.peek(&buf[..cut]);
+            }
+        }
+    }
+}

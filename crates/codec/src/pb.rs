@@ -1,0 +1,311 @@
+//! Protobuf-style varint/TLV encoding primitives.
+//!
+//! FlexRAN — the paper's first baseline — encodes its custom south-bound
+//! protocol with Protocol Buffers.  This module is a from-scratch
+//! implementation of the protobuf wire format subset FlexRAN-style messages
+//! need: varint scalars (wire type 0), length-delimited fields (wire type
+//! 2), and 64-bit fixed fields (wire type 1).  Like real protobuf it is
+//! compact (no double encapsulation in the FlexRAN protocol) but requires a
+//! full sequential decode, which places FlexRAN's RTT between the FB and
+//! ASN.1 variants in the paper's Fig. 7a.
+
+use crate::error::{CodecError, Result};
+
+/// Wire types of the protobuf format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireType {
+    /// Base-128 varint.
+    Varint = 0,
+    /// Fixed 64-bit little-endian.
+    Fixed64 = 1,
+    /// Length-delimited bytes.
+    Len = 2,
+}
+
+impl WireType {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(WireType::Varint),
+            1 => Ok(WireType::Fixed64),
+            2 => Ok(WireType::Len),
+            other => Err(CodecError::BadDiscriminant { what: "pb wire type", value: other as u64 }),
+        }
+    }
+}
+
+/// Writer producing protobuf-style output.
+#[derive(Debug, Default)]
+pub struct PbWriter {
+    buf: Vec<u8>,
+}
+
+impl PbWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        PbWriter { buf: Vec::with_capacity(64) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn put_key(&mut self, field: u32, wt: WireType) {
+        self.put_varint(((field as u64) << 3) | wt as u64);
+    }
+
+    /// Writes a varint field.
+    pub fn uint(&mut self, field: u32, v: u64) -> &mut Self {
+        self.put_key(field, WireType::Varint);
+        self.put_varint(v);
+        self
+    }
+
+    /// Writes a fixed 64-bit field.
+    pub fn fixed64(&mut self, field: u32, v: u64) -> &mut Self {
+        self.put_key(field, WireType::Fixed64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a length-delimited bytes field.
+    pub fn bytes(&mut self, field: u32, data: &[u8]) -> &mut Self {
+        self.put_key(field, WireType::Len);
+        self.put_varint(data.len() as u64);
+        self.buf.extend_from_slice(data);
+        self
+    }
+
+    /// Writes a length-delimited string field.
+    pub fn string(&mut self, field: u32, s: &str) -> &mut Self {
+        self.bytes(field, s.as_bytes())
+    }
+
+    /// Writes an embedded message field from an already-encoded child.
+    pub fn message(&mut self, field: u32, child: &PbWriter) -> &mut Self {
+        self.bytes(field, &child.buf)
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// One decoded field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PbValue<'a> {
+    /// Varint value.
+    Uint(u64),
+    /// Fixed 64-bit value.
+    Fixed64(u64),
+    /// Length-delimited bytes.
+    Bytes(&'a [u8]),
+}
+
+impl<'a> PbValue<'a> {
+    /// The value as an unsigned integer, for varint/fixed64 fields.
+    pub fn as_uint(&self) -> Result<u64> {
+        match self {
+            PbValue::Uint(v) | PbValue::Fixed64(v) => Ok(*v),
+            PbValue::Bytes(_) => Err(CodecError::Malformed { what: "pb expected scalar" }),
+        }
+    }
+
+    /// The value as bytes, for length-delimited fields.
+    pub fn as_bytes(&self) -> Result<&'a [u8]> {
+        match self {
+            PbValue::Bytes(b) => Ok(b),
+            _ => Err(CodecError::Malformed { what: "pb expected bytes" }),
+        }
+    }
+
+    /// The value as a UTF-8 string.
+    pub fn as_str(&self) -> Result<&'a str> {
+        std::str::from_utf8(self.as_bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+/// Sequential reader over protobuf-style input.
+#[derive(Debug)]
+pub struct PbReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PbReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PbReader { buf, pos: 0 }
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn get_varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .buf
+                .get(self.pos)
+                .ok_or(CodecError::Truncated { what: "pb varint" })?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(CodecError::Malformed { what: "pb varint overflow" });
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads the next `(field number, value)` pair, or `None` at end.
+    pub fn next_field(&mut self) -> Result<Option<(u32, PbValue<'a>)>> {
+        if self.is_done() {
+            return Ok(None);
+        }
+        let key = self.get_varint()?;
+        let field = (key >> 3) as u32;
+        let wt = WireType::from_u8((key & 0x7) as u8)?;
+        let value = match wt {
+            WireType::Varint => PbValue::Uint(self.get_varint()?),
+            WireType::Fixed64 => {
+                let sl = self
+                    .buf
+                    .get(self.pos..self.pos + 8)
+                    .ok_or(CodecError::Truncated { what: "pb fixed64" })?;
+                self.pos += 8;
+                let mut a = [0u8; 8];
+                a.copy_from_slice(sl);
+                PbValue::Fixed64(u64::from_le_bytes(a))
+            }
+            WireType::Len => {
+                let len = self.get_varint()? as usize;
+                let sl = self
+                    .buf
+                    .get(self.pos..self.pos + len)
+                    .ok_or(CodecError::Truncated { what: "pb bytes" })?;
+                self.pos += len;
+                PbValue::Bytes(sl)
+            }
+        };
+        Ok(Some((field, value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut w = PbWriter::new();
+        for (i, v) in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX].iter().enumerate() {
+            w.uint(i as u32 + 1, *v);
+        }
+        let buf = w.finish();
+        let mut r = PbReader::new(&buf);
+        for (i, v) in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX].iter().enumerate() {
+            let (f, val) = r.next_field().unwrap().unwrap();
+            assert_eq!(f, i as u32 + 1);
+            assert_eq!(val.as_uint().unwrap(), *v);
+        }
+        assert!(r.next_field().unwrap().is_none());
+    }
+
+    #[test]
+    fn bytes_and_string_roundtrip() {
+        let mut w = PbWriter::new();
+        w.bytes(1, b"\x00payload\xFF").string(2, "caf\u{e9}");
+        let buf = w.finish();
+        let mut r = PbReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!((f, v.as_bytes().unwrap()), (1, &b"\x00payload\xFF"[..]));
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!((f, v.as_str().unwrap()), (2, "caf\u{e9}"));
+    }
+
+    #[test]
+    fn nested_messages() {
+        let mut inner = PbWriter::new();
+        inner.uint(1, 42).string(2, "ue");
+        let mut outer = PbWriter::new();
+        outer.uint(1, 7).message(2, &inner);
+        let buf = outer.finish();
+
+        let mut r = PbReader::new(&buf);
+        assert_eq!(r.next_field().unwrap().unwrap().1.as_uint().unwrap(), 7);
+        let (_, v) = r.next_field().unwrap().unwrap();
+        let mut ir = PbReader::new(v.as_bytes().unwrap());
+        assert_eq!(ir.next_field().unwrap().unwrap().1.as_uint().unwrap(), 42);
+        assert_eq!(ir.next_field().unwrap().unwrap().1.as_str().unwrap(), "ue");
+        assert!(ir.next_field().unwrap().is_none());
+    }
+
+    #[test]
+    fn fixed64_roundtrip() {
+        let mut w = PbWriter::new();
+        w.fixed64(3, 0xDEAD_BEEF_CAFE_F00D);
+        let buf = w.finish();
+        let mut r = PbReader::new(&buf);
+        let (f, v) = r.next_field().unwrap().unwrap();
+        assert_eq!(f, 3);
+        assert_eq!(v.as_uint().unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        // Key says "bytes of length 10" but only 2 bytes follow.
+        let mut w = PbWriter::new();
+        w.bytes(1, &[0u8; 10]);
+        let buf = w.finish();
+        let mut r = PbReader::new(&buf[..4]);
+        assert!(r.next_field().is_err());
+        // Unterminated varint.
+        let mut r = PbReader::new(&[0x80]);
+        assert!(r.next_field().is_err());
+        // Varint longer than 64 bits.
+        let mut r = PbReader::new(&[0xFF; 11]);
+        assert!(r.next_field().is_err());
+    }
+
+    #[test]
+    fn unknown_wire_type_rejected() {
+        // Field 1, wire type 5 (not supported).
+        let mut r = PbReader::new(&[0x0D]);
+        assert!(matches!(r.next_field(), Err(CodecError::BadDiscriminant { .. })));
+    }
+
+    #[test]
+    fn type_confusion_rejected() {
+        let mut w = PbWriter::new();
+        w.uint(1, 5);
+        let buf = w.finish();
+        let mut r = PbReader::new(&buf);
+        let (_, v) = r.next_field().unwrap().unwrap();
+        assert!(v.as_bytes().is_err());
+    }
+}

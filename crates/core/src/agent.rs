@@ -1,0 +1,885 @@
+//! The FlexRIC agent library (paper §4.1).
+//!
+//! Extends a base station with E2 agent functionality.  The agent owns the
+//! connections to one or several controllers, performs the E2 setup
+//! handshake, and dispatches functional procedures to registered
+//! [`RanFunction`]s through the generic RAN-function API: callbacks for
+//! subscription requests, subscription deletes, and control messages
+//! (paper §4.1.1), plus a tick callback that drives periodic report
+//! subscriptions.
+//!
+//! ## Multi-controller support (§4.1.2)
+//!
+//! The agent can be connected to additional controllers at runtime (via
+//! [`AgentHandle::add_controller`] or an inbound E2 Connection Update).
+//! RAN functions see the *controller origin* of every message, and the
+//! UE-to-controller association decides which UEs a RAN function may expose
+//! to which controller: every UE is associated with the first controller;
+//! additional controllers see only explicitly associated UEs.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+
+use bytes::Bytes;
+use tokio::sync::{mpsc, oneshot};
+
+use flexric_codec::E2apCodec;
+use flexric_e2ap::*;
+use flexric_sm::{ReportTrigger, SmCodec, SmPayload};
+use flexric_transport::{connect, RecvHalf, SendHalf, TransportAddr, WireMsg};
+
+/// Index of a controller connection at this agent (0 = first controller).
+pub type CtrlId = usize;
+
+/// Configuration of an agent.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Identity advertised in E2 setup.
+    pub node: GlobalE2NodeId,
+    /// E2AP encoding used on all connections.
+    pub codec: E2apCodec,
+    /// Controllers to connect to at startup; the first is the default
+    /// controller that sees all UEs.
+    pub controllers: Vec<TransportAddr>,
+    /// Internal tick period in milliseconds; `None` means the embedder
+    /// drives time explicitly through [`AgentHandle::tick`] (virtual-time
+    /// simulations).
+    pub tick_ms: Option<u64>,
+}
+
+impl AgentConfig {
+    /// A single-controller agent with 1 ms internal ticks.
+    pub fn new(node: GlobalE2NodeId, controller: TransportAddr) -> Self {
+        AgentConfig {
+            node,
+            codec: E2apCodec::default(),
+            controllers: vec![controller],
+            tick_ms: Some(1),
+        }
+    }
+}
+
+/// An admitted subscription, as tracked by the agent and handed to RAN
+/// functions for indication sending.
+#[derive(Debug, Clone)]
+pub struct SubscriptionInfo {
+    /// Which controller requested it.
+    pub ctrl: CtrlId,
+    /// The subscription's request id.
+    pub req_id: RicRequestId,
+    /// The RAN function it addresses.
+    pub ran_function: RanFunctionId,
+    /// The admitted action id.
+    pub action: RicActionId,
+    /// The raw event trigger definition.
+    pub trigger: Bytes,
+}
+
+/// Context handed to every [`RanFunction`] callback.
+pub struct AgentCtx<'a> {
+    /// Current time in milliseconds.
+    pub now_ms: u64,
+    outbox: &'a mut Vec<(CtrlId, E2apPdu)>,
+    assoc: &'a UeAssoc,
+}
+
+impl AgentCtx<'_> {
+    /// Queues an arbitrary PDU toward a controller.
+    pub fn send(&mut self, ctrl: CtrlId, pdu: E2apPdu) {
+        self.outbox.push((ctrl, pdu));
+    }
+
+    /// Queues a report indication for a subscription.
+    pub fn send_indication(
+        &mut self,
+        sub: &SubscriptionInfo,
+        sn: Option<u32>,
+        header: Bytes,
+        message: Bytes,
+    ) {
+        self.send(
+            sub.ctrl,
+            E2apPdu::RicIndication(RicIndication {
+                req_id: sub.req_id,
+                ran_function: sub.ran_function,
+                action: sub.action,
+                sn,
+                ind_type: RicIndicationType::Report,
+                header,
+                message,
+                call_process_id: None,
+            }),
+        );
+    }
+
+    /// Whether `rnti` is exposed to `ctrl` under the current
+    /// UE-to-controller association.
+    pub fn ue_exposed(&self, ctrl: CtrlId, rnti: u16) -> bool {
+        self.assoc.exposed(ctrl, rnti)
+    }
+}
+
+/// The generic RAN-function API: custom SM-specific logic implements this
+/// trait and registers with the agent.
+pub trait RanFunction: Send {
+    /// The function id advertised at E2 setup.
+    fn id(&self) -> RanFunctionId;
+    /// The service model OID advertised at E2 setup.
+    fn oid(&self) -> String;
+    /// The SM-encoded RAN function definition.
+    fn definition(&self) -> Bytes;
+    /// Definition revision.
+    fn revision(&self) -> u16 {
+        1
+    }
+
+    /// A controller requests a subscription.  Return the admitted actions
+    /// (commonly all of them) or a cause for rejection.  The function is
+    /// responsible for SLA admission control (paper §4.1.2).
+    fn on_subscription(
+        &mut self,
+        ctx: &mut AgentCtx,
+        sub: &SubscriptionInfo,
+        req: &RicSubscriptionRequest,
+    ) -> Result<(), Cause>;
+
+    /// A controller deletes a subscription.
+    fn on_subscription_delete(&mut self, ctx: &mut AgentCtx, ctrl: CtrlId, req_id: RicRequestId);
+
+    /// A controller sends a control message.  Return the control outcome
+    /// bytes (if any) or a cause for failure.
+    fn on_control(
+        &mut self,
+        ctx: &mut AgentCtx,
+        ctrl: CtrlId,
+        req: &RicControlRequest,
+    ) -> Result<Option<Bytes>, Cause>;
+
+    /// Called on every agent tick; periodic report functions emit their
+    /// indications here.
+    fn on_tick(&mut self, _ctx: &mut AgentCtx) {}
+}
+
+/// Helper managing the periodic report subscriptions of a RAN function:
+/// decodes [`ReportTrigger`]s, tracks due times, answers deletes.
+#[derive(Debug, Default)]
+pub struct PeriodicSubs {
+    subs: Vec<(SubscriptionInfo, ReportTrigger, u64)>,
+}
+
+impl PeriodicSubs {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether no subscription is active.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Admits a subscription whose event trigger is a [`ReportTrigger`]
+    /// encoded with `sm_codec`.
+    pub fn admit(&mut self, sub: &SubscriptionInfo, sm_codec: SmCodec, now_ms: u64) -> Result<(), Cause> {
+        let trigger = ReportTrigger::decode(sm_codec, &sub.trigger)
+            .map_err(|_| Cause::Ric(RicCause::UnsupportedEventTrigger))?;
+        if self.subs.iter().any(|(s, _, _)| s.ctrl == sub.ctrl && s.req_id == sub.req_id) {
+            return Err(Cause::Ric(RicCause::DuplicateAction));
+        }
+        self.subs.push((sub.clone(), trigger, now_ms));
+        Ok(())
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn remove(&mut self, ctrl: CtrlId, req_id: RicRequestId) -> bool {
+        let before = self.subs.len();
+        self.subs.retain(|(s, _, _)| !(s.ctrl == ctrl && s.req_id == req_id));
+        self.subs.len() != before
+    }
+
+    /// Removes all subscriptions of a controller (reset / disconnect).
+    pub fn remove_ctrl(&mut self, ctrl: CtrlId) {
+        self.subs.retain(|(s, _, _)| s.ctrl != ctrl);
+    }
+
+    /// Calls `f` for every subscription due at `now_ms` and re-arms it.
+    pub fn for_due(&mut self, now_ms: u64, mut f: impl FnMut(&SubscriptionInfo, &ReportTrigger)) {
+        for (sub, trigger, next_due) in &mut self.subs {
+            if now_ms >= *next_due {
+                f(sub, trigger);
+                let period = trigger.period_ms.max(1) as u64;
+                *next_due = now_ms + period;
+            }
+        }
+    }
+}
+
+/// UE-to-controller association table (paper §4.1.2).
+#[derive(Debug, Default)]
+pub struct UeAssoc {
+    extra: HashMap<u16, HashSet<CtrlId>>,
+}
+
+impl UeAssoc {
+    /// Whether `rnti` is exposed to `ctrl`: the first controller sees all
+    /// UEs; additional controllers only explicitly associated ones.
+    pub fn exposed(&self, ctrl: CtrlId, rnti: u16) -> bool {
+        ctrl == 0 || self.extra.get(&rnti).is_some_and(|s| s.contains(&ctrl))
+    }
+
+    /// Associates a UE with a controller.
+    pub fn associate(&mut self, rnti: u16, ctrl: CtrlId) {
+        self.extra.entry(rnti).or_default().insert(ctrl);
+    }
+
+    /// Removes an association.
+    pub fn disassociate(&mut self, rnti: u16, ctrl: CtrlId) {
+        if let Some(s) = self.extra.get_mut(&rnti) {
+            s.remove(&ctrl);
+            if s.is_empty() {
+                self.extra.remove(&rnti);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+enum Cmd {
+    Tick(u64),
+    AssociateUe(u16, CtrlId),
+    DisassociateUe(u16, CtrlId),
+    AddController(TransportAddr, oneshot::Sender<io::Result<CtrlId>>),
+    Stats(oneshot::Sender<AgentStats>),
+    Stop,
+}
+
+/// Counters exposed by [`AgentHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Messages received from controllers.
+    pub rx_msgs: u64,
+    /// Messages sent to controllers.
+    pub tx_msgs: u64,
+    /// Bytes sent to controllers (encoded E2AP).
+    pub tx_bytes: u64,
+    /// Active subscriptions across all functions.
+    pub active_subs: u64,
+    /// Connected controllers.
+    pub controllers: u64,
+}
+
+/// Handle to a running agent.
+#[derive(Debug, Clone)]
+pub struct AgentHandle {
+    cmd: mpsc::UnboundedSender<Cmd>,
+}
+
+impl AgentHandle {
+    /// Advances agent time (virtual-time mode, or extra ticks).
+    pub fn tick(&self, now_ms: u64) {
+        let _ = self.cmd.send(Cmd::Tick(now_ms));
+    }
+
+    /// Exposes `rnti` to an additional controller.
+    pub fn associate_ue(&self, rnti: u16, ctrl: CtrlId) {
+        let _ = self.cmd.send(Cmd::AssociateUe(rnti, ctrl));
+    }
+
+    /// Stops exposing `rnti` to a controller.
+    pub fn disassociate_ue(&self, rnti: u16, ctrl: CtrlId) {
+        let _ = self.cmd.send(Cmd::DisassociateUe(rnti, ctrl));
+    }
+
+    /// Connects to an additional controller, returning its [`CtrlId`].
+    pub async fn add_controller(&self, addr: TransportAddr) -> io::Result<CtrlId> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd
+            .send(Cmd::AddController(addr, tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "agent stopped"))?;
+        rx.await.map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "agent stopped"))?
+    }
+
+    /// Snapshot of the agent's counters.
+    pub async fn stats(&self) -> io::Result<AgentStats> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd
+            .send(Cmd::Stats(tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "agent stopped"))?;
+        rx.await.map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "agent stopped"))
+    }
+
+    /// Stops the agent.
+    pub fn stop(&self) {
+        let _ = self.cmd.send(Cmd::Stop);
+    }
+}
+
+enum LoopEvent {
+    Inbound(CtrlId, WireMsg),
+    ConnClosed(CtrlId),
+    Cmd(Cmd),
+}
+
+struct CtrlConn {
+    tx: mpsc::UnboundedSender<Bytes>,
+    alive: bool,
+}
+
+/// The agent runtime: owns the RAN functions and the controller
+/// connections; single logical event loop, like the paper's
+/// single-threaded implementation.
+pub struct Agent {
+    cfg: AgentConfig,
+    functions: Vec<Box<dyn RanFunction>>,
+    sub_index: HashMap<(CtrlId, RicRequestId), usize>,
+    conns: Vec<CtrlConn>,
+    assoc: UeAssoc,
+    outbox: Vec<(CtrlId, E2apPdu)>,
+    stats: AgentStats,
+    now_ms: u64,
+    evt_tx: mpsc::UnboundedSender<LoopEvent>,
+    next_txid: u8,
+    pending_ctrls: Vec<TransportAddr>,
+}
+
+impl Agent {
+    /// Connects to all configured controllers, performs the E2 setup
+    /// handshake with each, and spawns the agent event loop.
+    pub async fn spawn(
+        cfg: AgentConfig,
+        functions: Vec<Box<dyn RanFunction>>,
+    ) -> io::Result<AgentHandle> {
+        let (evt_tx, evt_rx) = mpsc::unbounded_channel();
+        let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+        let mut agent = Agent {
+            cfg: cfg.clone(),
+            functions,
+            sub_index: HashMap::new(),
+            conns: Vec::new(),
+            assoc: UeAssoc::default(),
+            outbox: Vec::new(),
+            stats: AgentStats::default(),
+            now_ms: 0,
+            evt_tx,
+            next_txid: 0,
+            pending_ctrls: Vec::new(),
+        };
+        for addr in &cfg.controllers {
+            agent.connect_controller(addr).await?;
+        }
+        tokio::spawn(agent.run(evt_rx, cmd_rx));
+        Ok(AgentHandle { cmd: cmd_tx })
+    }
+
+    fn fn_items(&self) -> Vec<RanFunctionItem> {
+        self.functions
+            .iter()
+            .map(|f| RanFunctionItem {
+                id: f.id(),
+                definition: f.definition(),
+                revision: f.revision(),
+                oid: f.oid(),
+            })
+            .collect()
+    }
+
+    async fn connect_controller(&mut self, addr: &TransportAddr) -> io::Result<CtrlId> {
+        let mut transport = connect(addr).await?;
+        let txid = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1);
+        let setup = E2apPdu::E2SetupRequest(E2SetupRequest {
+            transaction_id: txid,
+            global_node: self.cfg.node,
+            ran_functions: self.fn_items(),
+            component_configs: vec![],
+        });
+        let buf = Bytes::from(self.cfg.codec.encode(&setup));
+        transport.send(WireMsg::e2ap(buf)).await?;
+        let reply = transport
+            .recv()
+            .await?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionReset, "closed during setup"))?;
+        match self.cfg.codec.decode(&reply.payload) {
+            Ok(E2apPdu::E2SetupResponse(_)) => {}
+            Ok(E2apPdu::E2SetupFailure(f)) => {
+                return Err(io::Error::other(format!("E2 setup rejected: {:?}", f.cause)));
+            }
+            Ok(other) => {
+                return Err(io::Error::other(format!(
+                    "unexpected setup reply: {:?}",
+                    other.msg_type()
+                )));
+            }
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+
+        let ctrl_id = self.conns.len();
+        let (out_tx, mut out_rx) = mpsc::unbounded_channel::<Bytes>();
+        let (mut send_half, mut recv_half): (SendHalf, RecvHalf) = transport.split();
+        // Writer task.
+        tokio::spawn(async move {
+            let mut batch = Vec::with_capacity(8);
+            while let Some(buf) = out_rx.recv().await {
+                batch.push(WireMsg::e2ap(buf));
+                // Coalesce everything already queued into one flush.
+                while batch.len() < 64 {
+                    match out_rx.try_recv() {
+                        Ok(buf) => batch.push(WireMsg::e2ap(buf)),
+                        Err(_) => break,
+                    }
+                }
+                if send_half.send_batch(std::mem::take(&mut batch)).await.is_err() {
+                    break;
+                }
+            }
+        });
+        // Reader task.
+        let evt = self.evt_tx.clone();
+        tokio::spawn(async move {
+            loop {
+                match recv_half.recv().await {
+                    Ok(Some(msg)) => {
+                        if evt.send(LoopEvent::Inbound(ctrl_id, msg)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = evt.send(LoopEvent::ConnClosed(ctrl_id));
+                        break;
+                    }
+                }
+            }
+        });
+        self.conns.push(CtrlConn { tx: out_tx, alive: true });
+        self.stats.controllers += 1;
+        Ok(ctrl_id)
+    }
+
+    async fn run(
+        mut self,
+        mut evt_rx: mpsc::UnboundedReceiver<LoopEvent>,
+        mut cmd_rx: mpsc::UnboundedReceiver<Cmd>,
+    ) {
+        let mut ticker = self.cfg.tick_ms.map(|ms| {
+            let mut iv =
+                tokio::time::interval(std::time::Duration::from_millis(ms.max(1)));
+            iv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+            iv
+        });
+        loop {
+            let event = if let Some(iv) = ticker.as_mut() {
+                tokio::select! {
+                    biased;
+                    Some(cmd) = cmd_rx.recv() => LoopEvent::Cmd(cmd),
+                    Some(ev) = evt_rx.recv() => ev,
+                    _ = iv.tick() => LoopEvent::Cmd(Cmd::Tick(crate::mono_ms())),
+                    else => break,
+                }
+            } else {
+                tokio::select! {
+                    biased;
+                    Some(cmd) = cmd_rx.recv() => LoopEvent::Cmd(cmd),
+                    Some(ev) = evt_rx.recv() => ev,
+                    else => break,
+                }
+            };
+            match event {
+                LoopEvent::Inbound(ctrl, msg) => {
+                    self.stats.rx_msgs += 1;
+                    self.handle_inbound(ctrl, &msg.payload);
+                }
+                LoopEvent::ConnClosed(ctrl) => {
+                    if let Some(c) = self.conns.get_mut(ctrl) {
+                        c.alive = false;
+                        self.stats.controllers = self.stats.controllers.saturating_sub(1);
+                    }
+                    self.drop_ctrl_subs(ctrl);
+                }
+                LoopEvent::Cmd(Cmd::Tick(now)) => {
+                    self.now_ms = now;
+                    self.tick();
+                }
+                LoopEvent::Cmd(Cmd::AssociateUe(rnti, ctrl)) => self.assoc.associate(rnti, ctrl),
+                LoopEvent::Cmd(Cmd::DisassociateUe(rnti, ctrl)) => {
+                    self.assoc.disassociate(rnti, ctrl)
+                }
+                LoopEvent::Cmd(Cmd::AddController(addr, reply)) => {
+                    let res = self.connect_controller(&addr).await;
+                    let _ = reply.send(res);
+                }
+                LoopEvent::Cmd(Cmd::Stats(reply)) => {
+                    let mut s = self.stats;
+                    s.active_subs = self.sub_index.len() as u64;
+                    let _ = reply.send(s);
+                }
+                LoopEvent::Cmd(Cmd::Stop) => break,
+            }
+            // Connect to controllers queued by an E2 Connection Update.
+            while let Some(addr) = self.pending_ctrls.pop() {
+                let _ = self.connect_controller(&addr).await;
+            }
+            self.flush();
+        }
+    }
+
+    fn drop_ctrl_subs(&mut self, ctrl: CtrlId) {
+        let dropped: Vec<(CtrlId, RicRequestId)> =
+            self.sub_index.keys().filter(|(c, _)| *c == ctrl).copied().collect();
+        for key in dropped {
+            if let Some(fidx) = self.sub_index.remove(&key) {
+                let mut ctx =
+                    AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
+                self.functions[fidx].on_subscription_delete(&mut ctx, key.0, key.1);
+            }
+        }
+        // Messages queued toward a dead controller are discarded at flush.
+    }
+
+    fn tick(&mut self) {
+        let mut ctx =
+            AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
+        for f in &mut self.functions {
+            f.on_tick(&mut ctx);
+        }
+    }
+
+    fn find_fn(&self, id: RanFunctionId) -> Option<usize> {
+        self.functions.iter().position(|f| f.id() == id)
+    }
+
+    fn handle_inbound(&mut self, ctrl: CtrlId, raw: &[u8]) {
+        let pdu = match self.cfg.codec.decode(raw) {
+            Ok(p) => p,
+            Err(_) => {
+                self.outbox.push((
+                    ctrl,
+                    E2apPdu::ErrorIndication(ErrorIndication {
+                        req_id: None,
+                        ran_function: None,
+                        cause: Some(Cause::Protocol(ProtocolCause::TransferSyntaxError)),
+                    }),
+                ));
+                return;
+            }
+        };
+        match pdu {
+            E2apPdu::RicSubscriptionRequest(req) => self.handle_subscription(ctrl, req),
+            E2apPdu::RicSubscriptionDeleteRequest(req) => {
+                self.handle_subscription_delete(ctrl, req)
+            }
+            E2apPdu::RicControlRequest(req) => self.handle_control(ctrl, req),
+            E2apPdu::E2ConnectionUpdate(upd) => {
+                // New controller connections cannot complete synchronously
+                // inside this dispatcher; the addresses are queued as
+                // pending and the event loop connects on its next turn
+                // (same path as AgentHandle::add_controller).
+                let ack = E2apPdu::E2ConnectionUpdateAck(E2ConnectionUpdateAck {
+                    transaction_id: upd.transaction_id,
+                    setup: upd.add.clone(),
+                    failed: vec![],
+                });
+                self.outbox.push((ctrl, ack));
+                for tnl in upd.add {
+                    let addr = if let Some(name) = tnl.address.strip_prefix("mem:") {
+                        TransportAddr::Mem(name.to_owned())
+                    } else {
+                        match format!("{}:{}", tnl.address, tnl.port).parse() {
+                            Ok(a) => TransportAddr::Tcp(a),
+                            Err(_) => continue,
+                        }
+                    };
+                    self.pending_ctrls.push(addr);
+                }
+            }
+            E2apPdu::ResetRequest(req) => {
+                let subs: Vec<(CtrlId, RicRequestId)> =
+                    self.sub_index.keys().filter(|(c, _)| *c == ctrl).copied().collect();
+                for key in subs {
+                    if let Some(fidx) = self.sub_index.remove(&key) {
+                        let mut ctx = AgentCtx {
+                            now_ms: self.now_ms,
+                            outbox: &mut self.outbox,
+                            assoc: &self.assoc,
+                        };
+                        self.functions[fidx].on_subscription_delete(&mut ctx, key.0, key.1);
+                    }
+                }
+                self.outbox.push((
+                    ctrl,
+                    E2apPdu::ResetResponse(ResetResponse { transaction_id: req.transaction_id }),
+                ));
+            }
+            E2apPdu::RicServiceQuery(q) => {
+                let known: HashSet<RanFunctionId> = q.accepted.iter().copied().collect();
+                let missing: Vec<RanFunctionItem> = self
+                    .fn_items()
+                    .into_iter()
+                    .filter(|f| !known.contains(&f.id))
+                    .collect();
+                if !missing.is_empty() {
+                    self.outbox.push((
+                        ctrl,
+                        E2apPdu::RicServiceUpdate(RicServiceUpdate {
+                            transaction_id: q.transaction_id,
+                            added: missing,
+                            modified: vec![],
+                            removed: vec![],
+                        }),
+                    ));
+                }
+            }
+            E2apPdu::ErrorIndication(_)
+            | E2apPdu::E2SetupResponse(_)
+            | E2apPdu::RicServiceUpdateAck(_)
+            | E2apPdu::E2ConnectionUpdateAck(_)
+            | E2apPdu::ResetResponse(_) => {}
+            other => {
+                self.outbox.push((
+                    ctrl,
+                    E2apPdu::ErrorIndication(ErrorIndication {
+                        req_id: other.ric_request_id(),
+                        ran_function: other.ran_function_id(),
+                        cause: Some(Cause::Protocol(
+                            ProtocolCause::MessageNotCompatibleWithReceiverState,
+                        )),
+                    }),
+                ));
+            }
+        }
+    }
+
+    fn handle_subscription(&mut self, ctrl: CtrlId, req: RicSubscriptionRequest) {
+        let Some(fidx) = self.find_fn(req.ran_function) else {
+            self.outbox.push((
+                ctrl,
+                E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                    req_id: req.req_id,
+                    ran_function: req.ran_function,
+                    cause: Cause::Ric(RicCause::RanFunctionIdInvalid),
+                }),
+            ));
+            return;
+        };
+        if self.sub_index.contains_key(&(ctrl, req.req_id)) {
+            self.outbox.push((
+                ctrl,
+                E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                    req_id: req.req_id,
+                    ran_function: req.ran_function,
+                    cause: Cause::Ric(RicCause::DuplicateAction),
+                }),
+            ));
+            return;
+        }
+        let action = req.actions.first().map(|a| a.id).unwrap_or_default();
+        let sub = SubscriptionInfo {
+            ctrl,
+            req_id: req.req_id,
+            ran_function: req.ran_function,
+            action,
+            trigger: req.event_trigger.clone(),
+        };
+        let mut ctx =
+            AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
+        match self.functions[fidx].on_subscription(&mut ctx, &sub, &req) {
+            Ok(()) => {
+                self.sub_index.insert((ctrl, req.req_id), fidx);
+                self.outbox.push((
+                    ctrl,
+                    E2apPdu::RicSubscriptionResponse(RicSubscriptionResponse {
+                        req_id: req.req_id,
+                        ran_function: req.ran_function,
+                        admitted: req.actions.iter().map(|a| a.id).collect(),
+                        not_admitted: vec![],
+                    }),
+                ));
+            }
+            Err(cause) => {
+                self.outbox.push((
+                    ctrl,
+                    E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                        req_id: req.req_id,
+                        ran_function: req.ran_function,
+                        cause,
+                    }),
+                ));
+            }
+        }
+    }
+
+    fn handle_subscription_delete(&mut self, ctrl: CtrlId, req: RicSubscriptionDeleteRequest) {
+        match self.sub_index.remove(&(ctrl, req.req_id)) {
+            Some(fidx) => {
+                let mut ctx =
+                    AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
+                self.functions[fidx].on_subscription_delete(&mut ctx, ctrl, req.req_id);
+                self.outbox.push((
+                    ctrl,
+                    E2apPdu::RicSubscriptionDeleteResponse(RicSubscriptionDeleteResponse {
+                        req_id: req.req_id,
+                        ran_function: req.ran_function,
+                    }),
+                ));
+            }
+            None => {
+                self.outbox.push((
+                    ctrl,
+                    E2apPdu::RicSubscriptionDeleteFailure(RicSubscriptionDeleteFailure {
+                        req_id: req.req_id,
+                        ran_function: req.ran_function,
+                        cause: Cause::Ric(RicCause::RequestIdUnknown),
+                    }),
+                ));
+            }
+        }
+    }
+
+    fn handle_control(&mut self, ctrl: CtrlId, req: RicControlRequest) {
+        let Some(fidx) = self.find_fn(req.ran_function) else {
+            self.outbox.push((
+                ctrl,
+                E2apPdu::RicControlFailure(RicControlFailure {
+                    req_id: req.req_id,
+                    ran_function: req.ran_function,
+                    call_process_id: req.call_process_id.clone(),
+                    cause: Cause::Ric(RicCause::RanFunctionIdInvalid),
+                    outcome: None,
+                }),
+            ));
+            return;
+        };
+        let mut ctx =
+            AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
+        let result = self.functions[fidx].on_control(&mut ctx, ctrl, &req);
+        match result {
+            Ok(outcome) => {
+                if matches!(req.ack_request, Some(ControlAckRequest::Ack)) || outcome.is_some() {
+                    self.outbox.push((
+                        ctrl,
+                        E2apPdu::RicControlAcknowledge(RicControlAcknowledge {
+                            req_id: req.req_id,
+                            ran_function: req.ran_function,
+                            call_process_id: req.call_process_id,
+                            outcome,
+                        }),
+                    ));
+                }
+            }
+            Err(cause) => {
+                if !matches!(req.ack_request, Some(ControlAckRequest::NoAck)) {
+                    self.outbox.push((
+                        ctrl,
+                        E2apPdu::RicControlFailure(RicControlFailure {
+                            req_id: req.req_id,
+                            ran_function: req.ran_function,
+                            call_process_id: req.call_process_id,
+                            cause,
+                            outcome: None,
+                        }),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for (ctrl, pdu) in self.outbox.drain(..) {
+            let Some(conn) = self.conns.get(ctrl) else { continue };
+            if !conn.alive {
+                continue;
+            }
+            let buf = Bytes::from(self.cfg.codec.encode(&pdu));
+            self.stats.tx_msgs += 1;
+            self.stats.tx_bytes += buf.len() as u64;
+            let _ = conn.tx.send(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ue_assoc_defaults_to_first_controller() {
+        let mut assoc = UeAssoc::default();
+        assert!(assoc.exposed(0, 0x4601));
+        assert!(!assoc.exposed(1, 0x4601));
+        assoc.associate(0x4601, 1);
+        assert!(assoc.exposed(1, 0x4601));
+        assert!(!assoc.exposed(2, 0x4601));
+        assoc.disassociate(0x4601, 1);
+        assert!(!assoc.exposed(1, 0x4601));
+        assert!(assoc.exposed(0, 0x4601), "first controller always sees UEs");
+    }
+
+    #[test]
+    fn periodic_subs_admit_and_fire() {
+        let mut subs = PeriodicSubs::new();
+        let trigger = ReportTrigger::every_ms(10).encode(SmCodec::Flatb);
+        let sub = SubscriptionInfo {
+            ctrl: 0,
+            req_id: RicRequestId::new(1, 1),
+            ran_function: RanFunctionId::new(142),
+            action: RicActionId(0),
+            trigger: Bytes::from(trigger),
+        };
+        subs.admit(&sub, SmCodec::Flatb, 0).unwrap();
+        assert_eq!(subs.len(), 1);
+        // Duplicate rejected.
+        assert_eq!(subs.admit(&sub, SmCodec::Flatb, 0), Err(Cause::Ric(RicCause::DuplicateAction)));
+        // Fires at 0, re-arms for 10.
+        let mut fired = 0;
+        subs.for_due(0, |_, _| fired += 1);
+        assert_eq!(fired, 1);
+        subs.for_due(5, |_, _| fired += 1);
+        assert_eq!(fired, 1, "not due yet");
+        subs.for_due(10, |_, _| fired += 1);
+        assert_eq!(fired, 2);
+        assert!(subs.remove(0, RicRequestId::new(1, 1)));
+        assert!(!subs.remove(0, RicRequestId::new(1, 1)));
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn periodic_subs_reject_bad_trigger() {
+        let mut subs = PeriodicSubs::new();
+        let sub = SubscriptionInfo {
+            ctrl: 0,
+            req_id: RicRequestId::new(1, 2),
+            ran_function: RanFunctionId::new(142),
+            action: RicActionId(0),
+            trigger: Bytes::from_static(b"\xFF\xFF"),
+        };
+        assert_eq!(
+            subs.admit(&sub, SmCodec::Flatb, 0),
+            Err(Cause::Ric(RicCause::UnsupportedEventTrigger))
+        );
+    }
+
+    #[test]
+    fn periodic_subs_remove_ctrl() {
+        let mut subs = PeriodicSubs::new();
+        let trigger = Bytes::from(ReportTrigger::every_ms(1).encode(SmCodec::Asn1Per));
+        for ctrl in 0..3 {
+            let sub = SubscriptionInfo {
+                ctrl,
+                req_id: RicRequestId::new(1, ctrl as u16),
+                ran_function: RanFunctionId::new(142),
+                action: RicActionId(0),
+                trigger: trigger.clone(),
+            };
+            subs.admit(&sub, SmCodec::Asn1Per, 0).unwrap();
+        }
+        subs.remove_ctrl(1);
+        assert_eq!(subs.len(), 2);
+    }
+}

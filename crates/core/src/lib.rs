@@ -1,0 +1,55 @@
+//! # FlexRIC-rs — the SDK
+//!
+//! A from-scratch Rust reproduction of the FlexRIC SDK (Schmidt, Irazabal,
+//! Nikaein — *FlexRIC: An SDK for Next-Generation SD-RANs*, CoNEXT 2021):
+//! an event-driven software development kit to build specialized
+//! software-defined RAN controllers.
+//!
+//! The SDK consists of two libraries (paper §3):
+//!
+//! * the **agent library** ([`agent`]) — extends a base station with E2
+//!   agent functionality: connection management toward one *or several*
+//!   controllers, a generic RAN-function API with subscription /
+//!   subscription-delete / control callbacks, and a UE-to-controller
+//!   association for multi-service deployments;
+//! * the **server library** ([`server`]) — multiplexes agent connections
+//!   and dispatches E2AP messages to controller-internal applications
+//!   (iApps) through an event-driven callback system; it maintains a RAN
+//!   database that merges disaggregated CU/DU agents into RAN entities and
+//!   tracks subscriptions so indications reach the right iApp.
+//!
+//! Both libraries speak through the E2AP intermediate representation of
+//! `flexric-e2ap`, with the encoding ([`flexric_codec::E2apCodec`]) and the
+//! transport (`flexric-transport`) selected per connection — the paper's
+//! "zero-overhead principle": nothing is imposed beyond what the use case
+//! needs.
+//!
+//! ## Quick start
+//!
+//! See `examples/quickstart.rs` at the repository root: it starts a
+//! controller with a monitoring iApp, attaches an agent exposing the MAC
+//! statistics service model, subscribes, and prints live statistics.
+
+pub mod agent;
+pub mod server;
+
+pub use agent::{Agent, AgentConfig, AgentCtx, AgentHandle, RanFunction, SubscriptionInfo};
+pub use server::{
+    AgentId, AgentInfo, IApp, IndicationRef, RanDb, RanEntity, Server, ServerApi, ServerConfig,
+    ServerEvent, ServerHandle,
+};
+
+/// Current time source used by both libraries when running in real time:
+/// milliseconds of a monotonic clock anchored at process start.
+pub fn mono_ms() -> u64 {
+    mono_ns() / 1_000_000
+}
+
+/// Nanoseconds of a monotonic clock anchored at process start, for RTT
+/// measurements.
+pub fn mono_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}

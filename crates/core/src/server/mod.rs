@@ -1,0 +1,808 @@
+//! The FlexRIC server library (paper §4.2.2).
+//!
+//! "The FlexRIC server library's objective is to multiplex agent
+//! connections and dispatch E2AP messages. […] The server library is
+//! designed as an event-driven/callback-driven system, following the
+//! ultra-lean design principle to impose minimal overhead.  Thus, it
+//! invokes iApps only when there are new messages, unlike systems like
+//! FlexRAN that use polling."
+//!
+//! The server library itself implements no service model and never
+//! requests information by itself; iApps trigger all SM-related
+//! communication and the server multiplexes messages between agents and
+//! iApps.
+//!
+//! ## The FB fast path
+//!
+//! When the connection codec is FlatBuffers-style, inbound indications are
+//! dispatched to iApps as raw bytes plus a peeked header
+//! ([`IndicationRef::Raw`]): the subscription lookup needs only the O(1)
+//! header peek, and a monitoring iApp can slice the SM payload out of the
+//! raw bytes without ever building the IR.  With the ASN.1-PER-style codec
+//! the lookup already requires a full decode ([`IndicationRef::Decoded`]).
+//! This asymmetry is the mechanism behind the ~4× controller CPU difference
+//! of the paper's Fig. 8b.
+
+mod randb;
+
+pub use randb::{AgentId, AgentInfo, RanDb, RanEntity};
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::io;
+
+use bytes::Bytes;
+use tokio::sync::{broadcast, mpsc, oneshot};
+
+use flexric_codec::{CodecError, E2apCodec};
+use flexric_e2ap::*;
+use flexric_transport::{listen, Listener, SendHalf, TransportAddr, WireMsg};
+
+/// Configuration of a controller built on the server library.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Identity advertised in E2 setup responses.
+    pub ric_id: GlobalRicId,
+    /// Addresses to accept agents on.
+    pub listen: Vec<TransportAddr>,
+    /// E2AP encoding used on all connections.
+    pub codec: E2apCodec,
+    /// Internal tick period in milliseconds; `None` means the embedder
+    /// drives time explicitly through [`ServerHandle::tick`].
+    pub tick_ms: Option<u64>,
+}
+
+impl ServerConfig {
+    /// A controller listening on one address, 100 ms internal ticks.
+    pub fn new(ric_id: GlobalRicId, listen_addr: TransportAddr) -> Self {
+        ServerConfig {
+            ric_id,
+            listen: vec![listen_addr],
+            codec: E2apCodec::default(),
+            tick_ms: Some(100),
+        }
+    }
+}
+
+/// A received indication, decoded lazily depending on the codec.
+#[derive(Debug)]
+pub enum IndicationRef<'a> {
+    /// FB path: raw bytes + peeked header, no decode performed.
+    Raw {
+        /// The encoded E2AP PDU.
+        raw: &'a [u8],
+        /// The peeked routing header.
+        hdr: PduHeader,
+    },
+    /// PER path: the decode already happened during dispatch.
+    Decoded(&'a RicIndication),
+}
+
+impl IndicationRef<'_> {
+    /// The routing header.
+    pub fn header(&self) -> PduHeader {
+        match self {
+            IndicationRef::Raw { hdr, .. } => *hdr,
+            IndicationRef::Decoded(ind) => PduHeader {
+                msg_type: MsgType::RicIndication,
+                req_id: Some(ind.req_id),
+                ran_function: Some(ind.ran_function),
+            },
+        }
+    }
+
+    /// The subscription's request id.
+    pub fn req_id(&self) -> RicRequestId {
+        self.header().req_id.unwrap_or_default()
+    }
+
+    /// The SM payload `(indication header, indication message)` as borrowed
+    /// slices — on the FB path this is a zero-copy slice into the raw
+    /// bytes; on the PER path it borrows the decoded PDU.
+    pub fn sm_payload(&self) -> Result<(&[u8], &[u8]), CodecError> {
+        match self {
+            IndicationRef::Raw { raw, .. } => flexric_codec::e2ap_fb::indication_payload(raw),
+            IndicationRef::Decoded(ind) => Ok((&ind.header, &ind.message)),
+        }
+    }
+
+    /// Fully decodes into an owned indication (allocates on the FB path).
+    pub fn to_owned_indication(&self) -> Result<RicIndication, CodecError> {
+        match self {
+            IndicationRef::Raw { raw, .. } => match flexric_codec::e2ap_fb::decode(raw)? {
+                E2apPdu::RicIndication(ind) => Ok(ind),
+                _ => Err(CodecError::Malformed { what: "not an indication" }),
+            },
+            IndicationRef::Decoded(ind) => Ok((*ind).clone()),
+        }
+    }
+}
+
+/// Outcome of a subscription request, delivered to the requesting iApp.
+#[derive(Debug, Clone)]
+pub enum SubOutcome {
+    /// The agent admitted the subscription.
+    Admitted(RicSubscriptionResponse),
+    /// The agent rejected it.
+    Failed(RicSubscriptionFailure),
+}
+
+/// Outcome of a control request, delivered to the requesting iApp.
+#[derive(Debug, Clone)]
+pub enum CtrlOutcome {
+    /// Acknowledged (possibly with an SM outcome payload).
+    Ack(RicControlAcknowledge),
+    /// Failed.
+    Failed(RicControlFailure),
+}
+
+/// A controller-internal application: the unit of controller
+/// specialization (paper §4.2.1).
+pub trait IApp: Send {
+    /// Unique name, used for northbound routing.
+    fn name(&self) -> &str;
+
+    /// Called once when the server starts.
+    fn on_start(&mut self, _api: &mut ServerApi) {}
+    /// A new agent completed E2 setup.
+    fn on_agent_connected(&mut self, _api: &mut ServerApi, _agent: &AgentInfo) {}
+    /// An agent disconnected.
+    fn on_agent_disconnected(&mut self, _api: &mut ServerApi, _agent: AgentId) {}
+    /// A RAN entity became complete (monolithic node, or CU+DU merged).
+    fn on_ran_formed(&mut self, _api: &mut ServerApi, _ran: &RanEntity) {}
+    /// Outcome of a subscription this iApp requested.
+    fn on_subscription_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, _out: &SubOutcome) {
+    }
+    /// An indication for a subscription this iApp owns.
+    fn on_indication(&mut self, _api: &mut ServerApi, _agent: AgentId, _ind: &IndicationRef) {}
+    /// Outcome of a control request this iApp sent.
+    fn on_control_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, _out: &CtrlOutcome) {}
+    /// Periodic tick.
+    fn on_tick(&mut self, _api: &mut ServerApi, _now_ms: u64) {}
+    /// A message from the northbound (or another iApp).
+    fn on_custom(&mut self, _api: &mut ServerApi, _msg: Box<dyn Any + Send>) {}
+}
+
+/// Events published to external observers (examples, tests, northbound).
+#[derive(Debug, Clone)]
+pub enum ServerEvent {
+    /// An agent completed E2 setup.
+    AgentConnected(AgentInfo),
+    /// An agent disconnected.
+    AgentDisconnected(AgentId),
+    /// A RAN entity became complete.
+    RanFormed(RanEntity),
+}
+
+struct ConnState {
+    tx: mpsc::UnboundedSender<Bytes>,
+    alive: bool,
+}
+
+struct SubEntry {
+    iapp: usize,
+}
+
+/// Shared server state handed to iApps through [`ServerApi`].
+struct ServerCore {
+    codec: E2apCodec,
+    ric_id: GlobalRicId,
+    randb: RanDb,
+    subs: HashMap<(AgentId, RicRequestId), SubEntry>,
+    ctrl_reqs: HashMap<(AgentId, RicRequestId), usize>,
+    conns: HashMap<AgentId, ConnState>,
+    outbox: Vec<(AgentId, E2apPdu)>,
+    custom_queue: Vec<(String, Box<dyn Any + Send>)>,
+    events_tx: broadcast::Sender<ServerEvent>,
+    next_instance: u16,
+    now_ms: u64,
+    rx_msgs: u64,
+    tx_msgs: u64,
+    rx_bytes: u64,
+    tx_bytes: u64,
+}
+
+impl ServerCore {
+    fn next_req_id(&mut self, iapp: usize) -> RicRequestId {
+        self.next_instance = self.next_instance.wrapping_add(1);
+        RicRequestId::new(iapp as u16 + 1, self.next_instance)
+    }
+}
+
+/// API surface iApps use to act on the network.
+pub struct ServerApi<'a> {
+    core: &'a mut ServerCore,
+    iapp: usize,
+}
+
+impl ServerApi<'_> {
+    /// Current time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.core.now_ms
+    }
+
+    /// The RAN database.
+    pub fn randb(&self) -> &RanDb {
+        &self.core.randb
+    }
+
+    /// The E2AP codec of this controller.
+    pub fn codec(&self) -> E2apCodec {
+        self.core.codec
+    }
+
+    /// Requests a subscription at `agent` for `ran_function`; indications
+    /// will be delivered to this iApp.  Returns the assigned request id.
+    pub fn subscribe(
+        &mut self,
+        agent: AgentId,
+        ran_function: RanFunctionId,
+        event_trigger: Bytes,
+        actions: Vec<RicActionToBeSetup>,
+    ) -> RicRequestId {
+        let req_id = self.core.next_req_id(self.iapp);
+        self.core.subs.insert((agent, req_id), SubEntry { iapp: self.iapp });
+        self.core.outbox.push((
+            agent,
+            E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
+                req_id,
+                ran_function,
+                event_trigger,
+                actions,
+            }),
+        ));
+        req_id
+    }
+
+    /// Requests a report subscription with a single report action.
+    pub fn subscribe_report(
+        &mut self,
+        agent: AgentId,
+        ran_function: RanFunctionId,
+        event_trigger: Bytes,
+    ) -> RicRequestId {
+        self.subscribe(
+            agent,
+            ran_function,
+            event_trigger,
+            vec![RicActionToBeSetup {
+                id: RicActionId(0),
+                action_type: RicActionType::Report,
+                definition: None,
+                subsequent: None,
+            }],
+        )
+    }
+
+    /// Deletes a subscription.
+    pub fn unsubscribe(&mut self, agent: AgentId, req_id: RicRequestId) {
+        if let Some(entry) = self.core.subs.get(&(agent, req_id)) {
+            if entry.iapp != self.iapp {
+                return; // not this iApp's subscription
+            }
+        }
+        if let Some(sub) = self.core.subs.remove(&(agent, req_id)) {
+            let ran_function = RanFunctionId::new(0); // resolved below
+            let _ = sub;
+            let _ = ran_function;
+        }
+        // The delete request needs the RAN function id; agents in this
+        // implementation resolve deletes by request id, so 0 is accepted.
+        self.core.outbox.push((
+            agent,
+            E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
+                req_id,
+                ran_function: RanFunctionId::new(0),
+            }),
+        ));
+    }
+
+    /// Sends a control request; the outcome is delivered to this iApp.
+    pub fn control(
+        &mut self,
+        agent: AgentId,
+        ran_function: RanFunctionId,
+        header: Bytes,
+        message: Bytes,
+        ack: Option<ControlAckRequest>,
+    ) -> RicRequestId {
+        let req_id = self.core.next_req_id(self.iapp);
+        self.core.ctrl_reqs.insert((agent, req_id), self.iapp);
+        self.core.outbox.push((
+            agent,
+            E2apPdu::RicControlRequest(RicControlRequest {
+                req_id,
+                ran_function,
+                call_process_id: None,
+                header,
+                message,
+                ack_request: ack,
+            }),
+        ));
+        req_id
+    }
+
+    /// Sends an arbitrary PDU to an agent (relay/advanced use).
+    pub fn send_pdu(&mut self, agent: AgentId, pdu: E2apPdu) {
+        self.core.outbox.push((agent, pdu));
+    }
+
+    /// Registers an externally chosen request id so indications and
+    /// subscription outcomes for it are routed to this iApp (used by
+    /// relaying controllers that forward subscriptions verbatim).
+    pub fn claim_request_id(&mut self, agent: AgentId, req_id: RicRequestId) {
+        self.core.subs.insert((agent, req_id), SubEntry { iapp: self.iapp });
+    }
+
+    /// Registers an externally chosen request id so control outcomes for
+    /// it are routed to this iApp (relaying controllers forwarding control
+    /// requests verbatim).
+    pub fn claim_control_id(&mut self, agent: AgentId, req_id: RicRequestId) {
+        self.core.ctrl_reqs.insert((agent, req_id), self.iapp);
+    }
+
+    /// Sends a custom message to another iApp (dispatched after the current
+    /// callback returns).
+    pub fn send_custom(&mut self, iapp_name: &str, msg: Box<dyn Any + Send>) {
+        self.core.custom_queue.push((iapp_name.to_owned(), msg));
+    }
+
+    /// Publishes a server event to external observers.
+    pub fn publish(&mut self, event: ServerEvent) {
+        let _ = self.core.events_tx.send(event);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+enum Cmd {
+    Tick(u64),
+    ToIApp(String, Box<dyn Any + Send>),
+    Agents(oneshot::Sender<Vec<AgentInfo>>),
+    Stats(oneshot::Sender<ServerStats>),
+    Stop,
+}
+
+/// Counters exposed by [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Messages received from agents.
+    pub rx_msgs: u64,
+    /// Messages sent to agents.
+    pub tx_msgs: u64,
+    /// Connected agents.
+    pub agents: u64,
+    /// Active subscriptions.
+    pub subs: u64,
+    /// Bytes sent to agents (encoded E2AP).
+    pub tx_bytes: u64,
+    /// Bytes received from agents.
+    pub rx_bytes: u64,
+}
+
+/// Handle to a running controller.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    cmd: mpsc::UnboundedSender<Cmd>,
+    events_tx: broadcast::Sender<ServerEvent>,
+    /// Addresses the controller is listening on (ephemeral ports resolved).
+    pub addrs: Vec<TransportAddr>,
+}
+
+impl ServerHandle {
+    /// Advances controller time (virtual-time mode, or extra ticks).
+    pub fn tick(&self, now_ms: u64) {
+        let _ = self.cmd.send(Cmd::Tick(now_ms));
+    }
+
+    /// Sends a message to a named iApp (northbound ingress).
+    pub fn to_iapp(&self, name: &str, msg: Box<dyn Any + Send>) {
+        let _ = self.cmd.send(Cmd::ToIApp(name.to_owned(), msg));
+    }
+
+    /// Subscribes to server events.
+    pub fn events(&self) -> broadcast::Receiver<ServerEvent> {
+        self.events_tx.subscribe()
+    }
+
+    /// Snapshot of connected agents.
+    pub async fn agents(&self) -> io::Result<Vec<AgentInfo>> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd
+            .send(Cmd::Agents(tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+        rx.await.map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))
+    }
+
+    /// Snapshot of the controller's counters.
+    pub async fn stats(&self) -> io::Result<ServerStats> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd
+            .send(Cmd::Stats(tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+        rx.await.map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))
+    }
+
+    /// Stops the controller.
+    pub fn stop(&self) {
+        let _ = self.cmd.send(Cmd::Stop);
+    }
+}
+
+enum LoopEvent {
+    NewAgent(E2SetupRequest, flexric_transport::Transport),
+    Inbound(AgentId, WireMsg),
+    Closed(AgentId),
+    Cmd(Cmd),
+}
+
+/// The controller runtime.
+pub struct Server;
+
+impl Server {
+    /// Binds the listeners and spawns the controller event loop with the
+    /// given iApps.
+    pub async fn spawn(
+        cfg: ServerConfig,
+        iapps: Vec<Box<dyn IApp>>,
+    ) -> io::Result<ServerHandle> {
+        let (evt_tx, evt_rx) = mpsc::unbounded_channel();
+        let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+        let (events_tx, _) = broadcast::channel(1024);
+
+        let mut bound = Vec::new();
+        let mut listeners: Vec<Listener> = Vec::new();
+        for addr in &cfg.listen {
+            let l = listen(addr).await?;
+            bound.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        // Accept tasks: perform the setup *read* off the event loop, then
+        // hand the transport plus the parsed request to the loop.
+        for mut l in listeners {
+            let evt = evt_tx.clone();
+            let codec = cfg.codec;
+            tokio::spawn(async move {
+                loop {
+                    let Ok(mut transport) = l.accept().await else { break };
+                    let evt = evt.clone();
+                    tokio::spawn(async move {
+                        let Ok(Some(first)) = transport.recv().await else { return };
+                        match codec.decode(&first.payload) {
+                            Ok(E2apPdu::E2SetupRequest(req)) => {
+                                let _ = evt.send(LoopEvent::NewAgent(req, transport));
+                            }
+                            _ => {
+                                // Protocol violation: close the connection.
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        let core = ServerCore {
+            codec: cfg.codec,
+            ric_id: cfg.ric_id,
+            randb: RanDb::new(),
+            subs: HashMap::new(),
+            ctrl_reqs: HashMap::new(),
+            conns: HashMap::new(),
+            outbox: Vec::new(),
+            custom_queue: Vec::new(),
+            events_tx: events_tx.clone(),
+            next_instance: 0,
+            now_ms: 0,
+            rx_msgs: 0,
+            tx_msgs: 0,
+            rx_bytes: 0,
+            tx_bytes: 0,
+        };
+        let runtime = ServerRuntime { core, iapps, next_agent: 0, evt_tx: evt_tx.clone() };
+        tokio::spawn(runtime.run(cfg.tick_ms, evt_rx, cmd_rx));
+        Ok(ServerHandle { cmd: cmd_tx, events_tx, addrs: bound })
+    }
+}
+
+struct ServerRuntime {
+    core: ServerCore,
+    iapps: Vec<Box<dyn IApp>>,
+    next_agent: AgentId,
+    evt_tx: mpsc::UnboundedSender<LoopEvent>,
+}
+
+impl ServerRuntime {
+    async fn run(
+        mut self,
+        tick_ms: Option<u64>,
+        mut evt_rx: mpsc::UnboundedReceiver<LoopEvent>,
+        mut cmd_rx: mpsc::UnboundedReceiver<Cmd>,
+    ) {
+        self.for_all(|iapp, api| iapp.on_start(api));
+        self.flush();
+        let mut ticker = tick_ms.map(|ms| {
+            let mut iv = tokio::time::interval(std::time::Duration::from_millis(ms.max(1)));
+            iv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+            iv
+        });
+        loop {
+            let event = if let Some(iv) = ticker.as_mut() {
+                tokio::select! {
+                    biased;
+                    Some(cmd) = cmd_rx.recv() => LoopEvent::Cmd(cmd),
+                    Some(ev) = evt_rx.recv() => ev,
+                    _ = iv.tick() => LoopEvent::Cmd(Cmd::Tick(crate::mono_ms())),
+                    else => break,
+                }
+            } else {
+                tokio::select! {
+                    biased;
+                    Some(cmd) = cmd_rx.recv() => LoopEvent::Cmd(cmd),
+                    Some(ev) = evt_rx.recv() => ev,
+                    else => break,
+                }
+            };
+            match event {
+                LoopEvent::NewAgent(req, transport) => self.handle_new_agent(req, transport),
+                LoopEvent::Inbound(agent, msg) => {
+                    self.core.rx_msgs += 1;
+                    self.core.rx_bytes += msg.payload.len() as u64;
+                    self.handle_inbound(agent, &msg.payload);
+                }
+                LoopEvent::Closed(agent) => self.handle_closed(agent),
+                LoopEvent::Cmd(Cmd::Tick(now)) => {
+                    self.core.now_ms = now;
+                    self.for_all(|iapp, api| iapp.on_tick(api, now));
+                }
+                LoopEvent::Cmd(Cmd::ToIApp(name, msg)) => self.dispatch_custom(name, msg),
+                LoopEvent::Cmd(Cmd::Agents(reply)) => {
+                    let _ = reply.send(self.core.randb.agents().cloned().collect());
+                }
+                LoopEvent::Cmd(Cmd::Stats(reply)) => {
+                    let _ = reply.send(ServerStats {
+                        rx_msgs: self.core.rx_msgs,
+                        tx_msgs: self.core.tx_msgs,
+                        agents: self.core.randb.agent_count() as u64,
+                        subs: self.core.subs.len() as u64,
+                        tx_bytes: self.core.tx_bytes,
+                        rx_bytes: self.core.rx_bytes,
+                    });
+                }
+                LoopEvent::Cmd(Cmd::Stop) => break,
+            }
+            self.flush();
+        }
+    }
+
+    /// Runs a callback over all iApps with a fresh API view each.
+    fn for_all(&mut self, mut f: impl FnMut(&mut Box<dyn IApp>, &mut ServerApi)) {
+        for idx in 0..self.iapps.len() {
+            // Split borrow: iApps vector vs core.
+            let (iapps, core) = (&mut self.iapps, &mut self.core);
+            let mut api = ServerApi { core, iapp: idx };
+            f(&mut iapps[idx], &mut api);
+        }
+        self.drain_custom();
+    }
+
+    /// Runs a callback on one iApp.
+    fn for_one(&mut self, idx: usize, f: impl FnOnce(&mut Box<dyn IApp>, &mut ServerApi)) {
+        if idx >= self.iapps.len() {
+            return;
+        }
+        let (iapps, core) = (&mut self.iapps, &mut self.core);
+        let mut api = ServerApi { core, iapp: idx };
+        f(&mut iapps[idx], &mut api);
+        self.drain_custom();
+    }
+
+    fn drain_custom(&mut self) {
+        // Custom messages queued by iApps during callbacks, delivered
+        // breadth-first; bounded to avoid infinite ping-pong.
+        let mut depth = 0;
+        while !self.core.custom_queue.is_empty() && depth < 64 {
+            depth += 1;
+            let queue = std::mem::take(&mut self.core.custom_queue);
+            for (name, msg) in queue {
+                if let Some(idx) = self.iapps.iter().position(|i| i.name() == name) {
+                    let (iapps, core) = (&mut self.iapps, &mut self.core);
+                    let mut api = ServerApi { core, iapp: idx };
+                    iapps[idx].on_custom(&mut api, msg);
+                }
+            }
+        }
+    }
+
+    fn dispatch_custom(&mut self, name: String, msg: Box<dyn Any + Send>) {
+        self.core.custom_queue.push((name, msg));
+        self.drain_custom();
+    }
+
+    fn handle_new_agent(&mut self, req: E2SetupRequest, transport: flexric_transport::Transport) {
+        let agent_id = self.next_agent;
+        self.next_agent += 1;
+        let peer = transport.peer();
+        let (out_tx, mut out_rx) = mpsc::unbounded_channel::<Bytes>();
+        let (mut send_half, mut recv_half): (SendHalf, _) = transport.split();
+        tokio::spawn(async move {
+            let mut batch = Vec::with_capacity(8);
+            while let Some(buf) = out_rx.recv().await {
+                batch.push(WireMsg::e2ap(buf));
+                // Coalesce everything already queued into one flush.
+                while batch.len() < 64 {
+                    match out_rx.try_recv() {
+                        Ok(buf) => batch.push(WireMsg::e2ap(buf)),
+                        Err(_) => break,
+                    }
+                }
+                if send_half.send_batch(std::mem::take(&mut batch)).await.is_err() {
+                    break;
+                }
+            }
+        });
+        let evt = self.evt_tx.clone();
+        tokio::spawn(async move {
+            loop {
+                match recv_half.recv().await {
+                    Ok(Some(msg)) => {
+                        if evt.send(LoopEvent::Inbound(agent_id, msg)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = evt.send(LoopEvent::Closed(agent_id));
+                        break;
+                    }
+                }
+            }
+        });
+        self.core.conns.insert(agent_id, ConnState { tx: out_tx, alive: true });
+
+        let info = AgentInfo {
+            id: agent_id,
+            node: req.global_node,
+            functions: req.ran_functions.clone(),
+            peer,
+        };
+        let accepted = req.ran_functions.iter().map(|f| f.id).collect();
+        self.core.outbox.push((
+            agent_id,
+            E2apPdu::E2SetupResponse(E2SetupResponse {
+                transaction_id: req.transaction_id,
+                global_ric: self.core.ric_id,
+                accepted,
+                rejected: vec![],
+            }),
+        ));
+        let formed = self.core.randb.add_agent(info.clone());
+        let _ = self.core.events_tx.send(ServerEvent::AgentConnected(info.clone()));
+        self.for_all(|iapp, api| iapp.on_agent_connected(api, &info));
+        if let Some(entity) = formed {
+            let _ = self.core.events_tx.send(ServerEvent::RanFormed(entity.clone()));
+            self.for_all(|iapp, api| iapp.on_ran_formed(api, &entity));
+        }
+    }
+
+    fn handle_closed(&mut self, agent: AgentId) {
+        if let Some(conn) = self.core.conns.get_mut(&agent) {
+            conn.alive = false;
+        }
+        self.core.subs.retain(|(a, _), _| *a != agent);
+        self.core.ctrl_reqs.retain(|(a, _), _| *a != agent);
+        if self.core.randb.remove_agent(agent).is_some() {
+            let _ = self.core.events_tx.send(ServerEvent::AgentDisconnected(agent));
+            self.for_all(|iapp, api| iapp.on_agent_disconnected(api, agent));
+        }
+        self.core.conns.remove(&agent);
+    }
+
+    fn handle_inbound(&mut self, agent: AgentId, raw: &[u8]) {
+        // FB fast path: peek is O(1); only indications stay undecoded.
+        if self.core.codec == E2apCodec::Flatb {
+            let Ok(hdr) = self.core.codec.peek(raw) else { return };
+            if hdr.msg_type == MsgType::RicIndication {
+                let req_id = hdr.req_id.unwrap_or_default();
+                if let Some(entry) = self.core.subs.get(&(agent, req_id)) {
+                    let idx = entry.iapp;
+                    let ind = IndicationRef::Raw { raw, hdr };
+                    self.for_one(idx, |iapp, api| iapp.on_indication(api, agent, &ind));
+                }
+                return;
+            }
+        }
+        let Ok(pdu) = self.core.codec.decode(raw) else { return };
+        match pdu {
+            E2apPdu::RicIndication(ind) => {
+                if let Some(entry) = self.core.subs.get(&(agent, ind.req_id)) {
+                    let idx = entry.iapp;
+                    let ind_ref = IndicationRef::Decoded(&ind);
+                    self.for_one(idx, |iapp, api| iapp.on_indication(api, agent, &ind_ref));
+                }
+            }
+            E2apPdu::RicSubscriptionResponse(resp) => {
+                if let Some(entry) = self.core.subs.get(&(agent, resp.req_id)) {
+                    let idx = entry.iapp;
+                    let out = SubOutcome::Admitted(resp);
+                    self.for_one(idx, |iapp, api| iapp.on_subscription_outcome(api, agent, &out));
+                }
+            }
+            E2apPdu::RicSubscriptionFailure(fail) => {
+                if let Some(entry) = self.core.subs.remove(&(agent, fail.req_id)) {
+                    let idx = entry.iapp;
+                    let out = SubOutcome::Failed(fail);
+                    self.for_one(idx, |iapp, api| iapp.on_subscription_outcome(api, agent, &out));
+                }
+            }
+            E2apPdu::RicSubscriptionDeleteResponse(resp) => {
+                self.core.subs.remove(&(agent, resp.req_id));
+            }
+            E2apPdu::RicSubscriptionDeleteFailure(fail) => {
+                self.core.subs.remove(&(agent, fail.req_id));
+            }
+            E2apPdu::RicControlAcknowledge(ack) => {
+                if let Some(idx) = self.core.ctrl_reqs.remove(&(agent, ack.req_id)) {
+                    let out = CtrlOutcome::Ack(ack);
+                    self.for_one(idx, |iapp, api| iapp.on_control_outcome(api, agent, &out));
+                }
+            }
+            E2apPdu::RicControlFailure(fail) => {
+                if let Some(idx) = self.core.ctrl_reqs.remove(&(agent, fail.req_id)) {
+                    let out = CtrlOutcome::Failed(fail);
+                    self.for_one(idx, |iapp, api| iapp.on_control_outcome(api, agent, &out));
+                }
+            }
+            E2apPdu::RicServiceUpdate(upd) => {
+                // Update the RANDB view of the agent's functions and ack.
+                let accepted: Vec<RanFunctionId> = upd.added.iter().map(|f| f.id).collect();
+                if let Some(info) = self.core.randb.agent(agent).cloned() {
+                    let mut info = info;
+                    for f in upd.added {
+                        if !info.functions.iter().any(|x| x.id == f.id) {
+                            info.functions.push(f);
+                        }
+                    }
+                    for f in upd.modified {
+                        if let Some(x) = info.functions.iter_mut().find(|x| x.id == f.id) {
+                            *x = f;
+                        }
+                    }
+                    info.functions.retain(|x| !upd.removed.contains(&x.id));
+                    self.core.randb.add_agent(info);
+                }
+                self.core.outbox.push((
+                    agent,
+                    E2apPdu::RicServiceUpdateAck(RicServiceUpdateAck {
+                        transaction_id: upd.transaction_id,
+                        accepted,
+                        rejected: vec![],
+                    }),
+                ));
+            }
+            E2apPdu::ErrorIndication(_) | E2apPdu::ResetResponse(_) => {}
+            E2apPdu::ResetRequest(req) => {
+                self.core.subs.retain(|(a, _), _| *a != agent);
+                self.core.outbox.push((
+                    agent,
+                    E2apPdu::ResetResponse(ResetResponse { transaction_id: req.transaction_id }),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    fn flush(&mut self) {
+        let outbox = std::mem::take(&mut self.core.outbox);
+        for (agent, pdu) in outbox {
+            let Some(conn) = self.core.conns.get(&agent) else { continue };
+            if !conn.alive {
+                continue;
+            }
+            let buf = Bytes::from(self.core.codec.encode(&pdu));
+            self.core.tx_msgs += 1;
+            self.core.tx_bytes += buf.len() as u64;
+            let _ = conn.tx.send(buf);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The RAN database (RANDB): what the controller knows about the network.
+//!
+//! "The RAN management functionality stores information in the RAN database
+//! allowing to query information about the composition of the RAN network
+//! […] and handles disaggregated deployments by merging agents that belong
+//! to the same base station (e.g., CU agent and DU agent) into the same RAN
+//! entity" (paper §4.2.2).
+
+use std::collections::HashMap;
+
+use flexric_e2ap::{E2NodeType, GlobalE2NodeId, Plmn, RanFunctionId, RanFunctionItem};
+
+/// Identifier of a connected agent at the server.
+pub type AgentId = usize;
+
+/// What the server knows about one connected agent.
+#[derive(Debug, Clone)]
+pub struct AgentInfo {
+    /// The agent's id at this server.
+    pub id: AgentId,
+    /// The agent's global E2 node identity.
+    pub node: GlobalE2NodeId,
+    /// RAN functions the agent advertised.
+    pub functions: Vec<RanFunctionItem>,
+    /// Transport peer description.
+    pub peer: String,
+}
+
+impl AgentInfo {
+    /// Finds an advertised function by OID.
+    pub fn function_by_oid(&self, oid: &str) -> Option<&RanFunctionItem> {
+        self.functions.iter().find(|f| f.oid == oid)
+    }
+
+    /// Finds an advertised function by id.
+    pub fn function(&self, id: RanFunctionId) -> Option<&RanFunctionItem> {
+        self.functions.iter().find(|f| f.id == id)
+    }
+}
+
+/// A RAN entity: one logical base station, possibly assembled from several
+/// agents (CU + DU).
+#[derive(Debug, Clone)]
+pub struct RanEntity {
+    /// Merge key: `(plmn, node id)` with the node type erased.
+    pub key: (Plmn, u64),
+    /// Agents belonging to this entity.
+    pub agents: Vec<AgentId>,
+    /// Whether the entity is complete: a monolithic node, or both CU and
+    /// DU parts present.
+    pub complete: bool,
+}
+
+/// The RAN database.
+#[derive(Debug, Default)]
+pub struct RanDb {
+    agents: HashMap<AgentId, AgentInfo>,
+    entities: HashMap<(Plmn, u64), RanEntity>,
+}
+
+impl RanDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a connected agent.  Returns the agent's RAN entity if
+    /// this connection *completed* it (CU+DU both present, or a monolithic
+    /// node) — the "complete RAN formed" event of the paper.
+    pub fn add_agent(&mut self, info: AgentInfo) -> Option<RanEntity> {
+        let key = info.node.ran_entity_key();
+        let node_type = info.node.node_type;
+        let id = info.id;
+        self.agents.insert(id, info);
+        let entity = self.entities.entry(key).or_insert(RanEntity {
+            key,
+            agents: Vec::new(),
+            complete: false,
+        });
+        if !entity.agents.contains(&id) {
+            entity.agents.push(id);
+        }
+        let was_complete = entity.complete;
+        entity.complete = if node_type.is_split() {
+            let types: Vec<E2NodeType> = entity
+                .agents
+                .iter()
+                .filter_map(|a| self.agents.get(a))
+                .map(|a| a.node.node_type)
+                .collect();
+            let has_cu =
+                types.iter().any(|t| matches!(t, E2NodeType::GnbCu | E2NodeType::EnbCu));
+            let has_du =
+                types.iter().any(|t| matches!(t, E2NodeType::GnbDu | E2NodeType::EnbDu));
+            has_cu && has_du
+        } else {
+            true
+        };
+        if entity.complete && !was_complete {
+            Some(entity.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Removes an agent (disconnect); its entity loses completeness if it
+    /// depended on this agent.
+    pub fn remove_agent(&mut self, id: AgentId) -> Option<AgentInfo> {
+        let info = self.agents.remove(&id)?;
+        let key = info.node.ran_entity_key();
+        if let Some(entity) = self.entities.get_mut(&key) {
+            entity.agents.retain(|a| *a != id);
+            if entity.agents.is_empty() {
+                self.entities.remove(&key);
+            } else {
+                entity.complete = false;
+            }
+        }
+        Some(info)
+    }
+
+    /// Looks up an agent.
+    pub fn agent(&self, id: AgentId) -> Option<&AgentInfo> {
+        self.agents.get(&id)
+    }
+
+    /// All connected agents.
+    pub fn agents(&self) -> impl Iterator<Item = &AgentInfo> {
+        self.agents.values()
+    }
+
+    /// Number of connected agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// All RAN entities.
+    pub fn entities(&self) -> impl Iterator<Item = &RanEntity> {
+        self.entities.values()
+    }
+
+    /// Finds agents advertising a function with the given OID.
+    pub fn agents_with_oid<'a>(&'a self, oid: &'a str) -> impl Iterator<Item = &'a AgentInfo> {
+        self.agents.values().filter(move |a| a.function_by_oid(oid).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexric_e2ap::E2NodeType;
+
+    fn info(id: AgentId, node_type: E2NodeType, node_id: u64) -> AgentInfo {
+        AgentInfo {
+            id,
+            node: GlobalE2NodeId::new(Plmn::TEST, node_type, node_id),
+            functions: vec![RanFunctionItem {
+                id: RanFunctionId::new(142),
+                definition: bytes::Bytes::new(),
+                revision: 1,
+                oid: "flexric.sm.mac_stats".into(),
+            }],
+            peer: "test".into(),
+        }
+    }
+
+    #[test]
+    fn monolithic_agent_completes_immediately() {
+        let mut db = RanDb::new();
+        let formed = db.add_agent(info(0, E2NodeType::Gnb, 1));
+        assert!(formed.is_some());
+        assert!(formed.unwrap().complete);
+        assert_eq!(db.agent_count(), 1);
+    }
+
+    #[test]
+    fn cu_du_merge_into_one_entity() {
+        let mut db = RanDb::new();
+        assert!(db.add_agent(info(0, E2NodeType::GnbCu, 7)).is_none(), "CU alone incomplete");
+        let formed = db.add_agent(info(1, E2NodeType::GnbDu, 7));
+        assert!(formed.is_some(), "CU+DU complete");
+        let entity = formed.unwrap();
+        assert_eq!(entity.agents.len(), 2);
+        assert_eq!(db.entities().count(), 1);
+    }
+
+    #[test]
+    fn different_node_ids_stay_separate() {
+        let mut db = RanDb::new();
+        db.add_agent(info(0, E2NodeType::GnbCu, 7));
+        assert!(db.add_agent(info(1, E2NodeType::GnbDu, 8)).is_none());
+        assert_eq!(db.entities().count(), 2);
+    }
+
+    #[test]
+    fn two_dus_without_cu_incomplete() {
+        let mut db = RanDb::new();
+        assert!(db.add_agent(info(0, E2NodeType::GnbDu, 7)).is_none());
+        assert!(db.add_agent(info(1, E2NodeType::GnbDu, 7)).is_none());
+    }
+
+    #[test]
+    fn removal_breaks_completeness() {
+        let mut db = RanDb::new();
+        db.add_agent(info(0, E2NodeType::GnbCu, 7));
+        db.add_agent(info(1, E2NodeType::GnbDu, 7));
+        let removed = db.remove_agent(1).unwrap();
+        assert_eq!(removed.id, 1);
+        let entity = db.entities().next().unwrap();
+        assert!(!entity.complete);
+        // Removing the last agent removes the entity.
+        db.remove_agent(0);
+        assert_eq!(db.entities().count(), 0);
+        assert!(db.remove_agent(0).is_none());
+    }
+
+    #[test]
+    fn re_adding_completes_again() {
+        let mut db = RanDb::new();
+        db.add_agent(info(0, E2NodeType::GnbCu, 7));
+        db.add_agent(info(1, E2NodeType::GnbDu, 7));
+        db.remove_agent(1);
+        let formed = db.add_agent(info(2, E2NodeType::GnbDu, 7));
+        assert!(formed.is_some(), "entity re-completes with replacement DU");
+    }
+
+    #[test]
+    fn oid_lookup() {
+        let mut db = RanDb::new();
+        db.add_agent(info(0, E2NodeType::Gnb, 1));
+        assert_eq!(db.agents_with_oid("flexric.sm.mac_stats").count(), 1);
+        assert_eq!(db.agents_with_oid("flexric.sm.tc_ctrl").count(), 0);
+        let a = db.agent(0).unwrap();
+        assert!(a.function(RanFunctionId::new(142)).is_some());
+        assert!(a.function(RanFunctionId::new(1)).is_none());
+    }
+}

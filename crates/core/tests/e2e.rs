@@ -1,0 +1,421 @@
+//! End-to-end tests of the SDK: agent ↔ server over the in-memory and TCP
+//! transports, covering setup, subscription, indication, control,
+//! multi-controller operation, and CU/DU merging.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use flexric::agent::{Agent, AgentConfig, AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
+use flexric::server::{
+    AgentId, AgentInfo, IApp, IndicationRef, Server, ServerApi, ServerConfig, ServerEvent,
+    SubOutcome,
+};
+use flexric_codec::E2apCodec;
+use flexric_e2ap::*;
+use flexric_sm::{hw::HwPing, ReportTrigger, SmCodec, SmPayload};
+use flexric_transport::TransportAddr;
+
+fn node(node_type: E2NodeType, id: u64) -> GlobalE2NodeId {
+    GlobalE2NodeId::new(Plmn::TEST, node_type, id)
+}
+
+fn ric() -> GlobalRicId {
+    GlobalRicId::new(Plmn::TEST, 1)
+}
+
+// ---------------------------------------------------------------------------
+// Test RAN function: periodic counter reports + echo control
+// ---------------------------------------------------------------------------
+
+struct CounterFn {
+    subs: PeriodicSubs,
+    sm_codec: SmCodec,
+    counter: u32,
+    ctrl_log: Arc<Mutex<Vec<(CtrlId, Vec<u8>)>>>,
+}
+
+impl CounterFn {
+    fn new(sm_codec: SmCodec) -> Self {
+        CounterFn {
+            subs: PeriodicSubs::new(),
+            sm_codec,
+            counter: 0,
+            ctrl_log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl RanFunction for CounterFn {
+    fn id(&self) -> RanFunctionId {
+        RanFunctionId::new(7)
+    }
+    fn oid(&self) -> String {
+        "test.counter".into()
+    }
+    fn definition(&self) -> Bytes {
+        Bytes::from_static(b"counter-def")
+    }
+    fn on_subscription(
+        &mut self,
+        ctx: &mut AgentCtx,
+        sub: &SubscriptionInfo,
+        _req: &RicSubscriptionRequest,
+    ) -> Result<(), Cause> {
+        self.subs.admit(sub, self.sm_codec, ctx.now_ms)
+    }
+    fn on_subscription_delete(&mut self, _ctx: &mut AgentCtx, ctrl: CtrlId, req_id: RicRequestId) {
+        self.subs.remove(ctrl, req_id);
+    }
+    fn on_control(
+        &mut self,
+        _ctx: &mut AgentCtx,
+        ctrl: CtrlId,
+        req: &RicControlRequest,
+    ) -> Result<Option<Bytes>, Cause> {
+        if req.message.as_ref() == b"fail" {
+            return Err(Cause::Ric(RicCause::ControlMessageInvalid));
+        }
+        self.ctrl_log.lock().push((ctrl, req.message.to_vec()));
+        Ok(Some(Bytes::from(format!("echo:{}", String::from_utf8_lossy(&req.message)))))
+    }
+    fn on_tick(&mut self, ctx: &mut AgentCtx) {
+        let counter = &mut self.counter;
+        let now = ctx.now_ms;
+        let mut due: Vec<SubscriptionInfo> = Vec::new();
+        self.subs.for_due(now, |sub, _| due.push(sub.clone()));
+        for sub in due {
+            *counter += 1;
+            let ping = HwPing { seq: *counter, tstamp_ns: now * 1_000_000, payload: Bytes::new() };
+            let msg = Bytes::from(ping.encode(self.sm_codec));
+            ctx.send_indication(&sub, Some(*counter), Bytes::new(), msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test iApp: subscribes on connect, records everything
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Recorded {
+    connected: Vec<GlobalE2NodeId>,
+    formed: Vec<(Plmn, u64)>,
+    admitted: u64,
+    failed: u64,
+    indications: Vec<(AgentId, u32)>,
+    ctrl_acks: Vec<String>,
+    ctrl_fails: u64,
+    disconnects: u64,
+}
+
+struct TestApp {
+    sm_codec: SmCodec,
+    period_ms: u32,
+    state: Arc<Mutex<Recorded>>,
+    ind_count: Arc<AtomicU64>,
+}
+
+enum AppCmd {
+    SendControl(AgentId, Vec<u8>),
+}
+
+impl IApp for TestApp {
+    fn name(&self) -> &str {
+        "test-app"
+    }
+
+    fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
+        self.state.lock().connected.push(agent.node);
+        if agent.function_by_oid("test.counter").is_some() {
+            let trigger =
+                Bytes::from(ReportTrigger::every_ms(self.period_ms).encode(self.sm_codec));
+            api.subscribe_report(agent.id, RanFunctionId::new(7), trigger);
+        }
+    }
+
+    fn on_agent_disconnected(&mut self, _api: &mut ServerApi, _agent: AgentId) {
+        self.state.lock().disconnects += 1;
+    }
+
+    fn on_ran_formed(&mut self, _api: &mut ServerApi, ran: &flexric::server::RanEntity) {
+        self.state.lock().formed.push(ran.key);
+    }
+
+    fn on_subscription_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, out: &SubOutcome) {
+        match out {
+            SubOutcome::Admitted(_) => self.state.lock().admitted += 1,
+            SubOutcome::Failed(_) => self.state.lock().failed += 1,
+        }
+    }
+
+    fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
+        let (_, msg) = ind.sm_payload().expect("payload");
+        let ping = HwPing::decode(self.sm_codec, msg).expect("hw decode");
+        self.state.lock().indications.push((agent, ping.seq));
+        self.ind_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_control_outcome(
+        &mut self,
+        _api: &mut ServerApi,
+        _agent: AgentId,
+        out: &flexric::server::CtrlOutcome,
+    ) {
+        match out {
+            flexric::server::CtrlOutcome::Ack(ack) => {
+                let s = ack.outcome.as_ref().map(|o| String::from_utf8_lossy(o).to_string());
+                self.state.lock().ctrl_acks.push(s.unwrap_or_default());
+            }
+            flexric::server::CtrlOutcome::Failed(_) => self.state.lock().ctrl_fails += 1,
+        }
+    }
+
+    fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn Any + Send>) {
+        if let Ok(cmd) = msg.downcast::<AppCmd>() {
+            match *cmd {
+                AppCmd::SendControl(agent, payload) => {
+                    api.control(
+                        agent,
+                        RanFunctionId::new(7),
+                        Bytes::new(),
+                        Bytes::from(payload),
+                        Some(ControlAckRequest::Ack),
+                    );
+                }
+            }
+        }
+    }
+}
+
+async fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..500 {
+        if cond() {
+            return;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    panic!("timeout waiting for {what}");
+}
+
+async fn run_full_flow(codec: E2apCodec, sm_codec: SmCodec, addr: TransportAddr) {
+    let state = Arc::new(Mutex::new(Recorded::default()));
+    let ind_count = Arc::new(AtomicU64::new(0));
+    let app = TestApp { sm_codec, period_ms: 1, state: state.clone(), ind_count: ind_count.clone() };
+
+    let mut cfg = ServerConfig::new(ric(), addr);
+    cfg.codec = codec;
+    cfg.tick_ms = Some(5);
+    let server = Server::spawn(cfg, vec![Box::new(app)]).await.expect("server");
+    let server_addr = server.addrs[0].clone();
+
+    let counter = CounterFn::new(sm_codec);
+    let ctrl_log = counter.ctrl_log.clone();
+    let mut acfg = AgentConfig::new(node(E2NodeType::Gnb, 1), server_addr);
+    acfg.codec = codec;
+    acfg.tick_ms = Some(1);
+    let agent = Agent::spawn(acfg, vec![Box::new(counter)]).await.expect("agent");
+
+    // Subscription admitted and indications flowing.
+    wait_until(|| state.lock().admitted == 1, "subscription admitted").await;
+    wait_until(|| ind_count.load(Ordering::Relaxed) >= 20, "20 indications").await;
+    {
+        let st = state.lock();
+        assert_eq!(st.connected, vec![node(E2NodeType::Gnb, 1)]);
+        assert_eq!(st.formed, vec![(Plmn::TEST, 1)]);
+        assert_eq!(st.failed, 0);
+        // Sequence numbers are monotonically increasing per agent.
+        let seqs: Vec<u32> = st.indications.iter().map(|(_, s)| *s).collect();
+        assert!(seqs.windows(2).all(|w| w[1] > w[0]), "monotonic seqs: {seqs:?}");
+    }
+
+    // Control round-trip through the iApp.
+    server.to_iapp("test-app", Box::new(AppCmd::SendControl(0, b"hello".to_vec())));
+    wait_until(|| state.lock().ctrl_acks.len() == 1, "control ack").await;
+    assert_eq!(state.lock().ctrl_acks[0], "echo:hello");
+    assert_eq!(ctrl_log.lock().len(), 1);
+
+    // Failing control produces a failure outcome.
+    server.to_iapp("test-app", Box::new(AppCmd::SendControl(0, b"fail".to_vec())));
+    wait_until(|| state.lock().ctrl_fails == 1, "control failure").await;
+
+    // Agent stats are sane.
+    let astats = agent.stats().await.unwrap();
+    assert!(astats.tx_msgs > 20);
+    assert_eq!(astats.active_subs, 1);
+    assert_eq!(astats.controllers, 1);
+
+    // Server stats are sane.
+    let sstats = server.stats().await.unwrap();
+    assert!(sstats.rx_msgs > 20);
+    assert_eq!(sstats.agents, 1);
+    assert_eq!(sstats.subs, 1);
+
+    // Teardown: stopping the agent disconnects it at the server.
+    agent.stop();
+    wait_until(|| state.lock().disconnects == 1, "disconnect").await;
+    server.stop();
+}
+
+#[tokio::test]
+async fn full_flow_mem_fb() {
+    run_full_flow(E2apCodec::Flatb, SmCodec::Flatb, TransportAddr::Mem("e2e-fb".into())).await;
+}
+
+#[tokio::test]
+async fn full_flow_mem_asn() {
+    run_full_flow(E2apCodec::Asn1Per, SmCodec::Asn1Per, TransportAddr::Mem("e2e-asn".into()))
+        .await;
+}
+
+#[tokio::test]
+async fn full_flow_tcp_mixed_encodings() {
+    // E2AP in FB, SM in ASN.1 — one of the paper's "mixed" combinations.
+    run_full_flow(
+        E2apCodec::Flatb,
+        SmCodec::Asn1Per,
+        TransportAddr::parse("127.0.0.1:0").unwrap(),
+    )
+    .await;
+}
+
+#[tokio::test]
+async fn cu_du_merge_forms_ran() {
+    let state = Arc::new(Mutex::new(Recorded::default()));
+    let app = TestApp {
+        sm_codec: SmCodec::Flatb,
+        period_ms: 1000,
+        state: state.clone(),
+        ind_count: Arc::new(AtomicU64::new(0)),
+    };
+    let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("e2e-cudu".into()));
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(app)]).await.unwrap();
+    let addr = server.addrs[0].clone();
+
+    let mut events = server.events();
+
+    let mut acfg = AgentConfig::new(node(E2NodeType::GnbCu, 9), addr.clone());
+    acfg.tick_ms = None;
+    let _cu = Agent::spawn(acfg, vec![Box::new(CounterFn::new(SmCodec::Flatb))]).await.unwrap();
+    wait_until(|| state.lock().connected.len() == 1, "CU connected").await;
+    assert!(state.lock().formed.is_empty(), "CU alone does not form a RAN");
+
+    let mut acfg = AgentConfig::new(node(E2NodeType::GnbDu, 9), addr);
+    acfg.tick_ms = None;
+    let _du = Agent::spawn(acfg, vec![Box::new(CounterFn::new(SmCodec::Flatb))]).await.unwrap();
+    wait_until(|| state.lock().formed.len() == 1, "RAN formed").await;
+    assert_eq!(state.lock().formed[0], (Plmn::TEST, 9));
+
+    // The broadcast event stream saw the same story.
+    let mut saw_formed = false;
+    while let Ok(ev) = events.try_recv() {
+        if matches!(ev, ServerEvent::RanFormed(_)) {
+            saw_formed = true;
+        }
+    }
+    assert!(saw_formed, "RanFormed published on event stream");
+    server.stop();
+}
+
+#[tokio::test]
+async fn multi_controller_agent_serves_both() {
+    // Two controllers; the agent connects to both and serves independent
+    // subscriptions (paper §4.1.2).
+    let mk_server = |name: &str| {
+        let state = Arc::new(Mutex::new(Recorded::default()));
+        let ind_count = Arc::new(AtomicU64::new(0));
+        let app = TestApp {
+            sm_codec: SmCodec::Flatb,
+            period_ms: 1,
+            state: state.clone(),
+            ind_count: ind_count.clone(),
+        };
+        let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem(name.into()));
+        cfg.tick_ms = Some(5);
+        (cfg, app, state, ind_count)
+    };
+    let (cfg1, app1, _state1, count1) = mk_server("e2e-mc-1");
+    let (cfg2, app2, _state2, count2) = mk_server("e2e-mc-2");
+    let s1 = Server::spawn(cfg1, vec![Box::new(app1)]).await.unwrap();
+    let s2 = Server::spawn(cfg2, vec![Box::new(app2)]).await.unwrap();
+
+    let mut acfg = AgentConfig::new(node(E2NodeType::Gnb, 3), s1.addrs[0].clone());
+    acfg.tick_ms = Some(1);
+    let agent = Agent::spawn(acfg, vec![Box::new(CounterFn::new(SmCodec::Flatb))]).await.unwrap();
+
+    let ctrl2 = agent.add_controller(s2.addrs[0].clone()).await.unwrap();
+    assert_eq!(ctrl2, 1);
+
+    wait_until(|| count1.load(Ordering::Relaxed) >= 10, "ctrl 1 indications").await;
+    wait_until(|| count2.load(Ordering::Relaxed) >= 10, "ctrl 2 indications").await;
+
+    let stats = agent.stats().await.unwrap();
+    assert_eq!(stats.controllers, 2);
+    assert_eq!(stats.active_subs, 2);
+
+    agent.stop();
+    s1.stop();
+    s2.stop();
+}
+
+#[tokio::test]
+async fn subscription_to_unknown_function_fails() {
+    struct FailApp {
+        state: Arc<Mutex<Recorded>>,
+    }
+    impl IApp for FailApp {
+        fn name(&self) -> &str {
+            "fail-app"
+        }
+        fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
+            self.state.lock().connected.push(agent.node);
+            // Function 999 does not exist at the agent.
+            api.subscribe_report(agent.id, RanFunctionId::new(999), Bytes::new());
+        }
+        fn on_subscription_outcome(
+            &mut self,
+            _api: &mut ServerApi,
+            _agent: AgentId,
+            out: &SubOutcome,
+        ) {
+            match out {
+                SubOutcome::Admitted(_) => self.state.lock().admitted += 1,
+                SubOutcome::Failed(f) => {
+                    assert_eq!(
+                        f.cause,
+                        Cause::Ric(RicCause::RanFunctionIdInvalid),
+                        "expected invalid function cause"
+                    );
+                    self.state.lock().failed += 1;
+                }
+            }
+        }
+    }
+    let state = Arc::new(Mutex::new(Recorded::default()));
+    let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("e2e-subfail".into()));
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(FailApp { state: state.clone() })])
+        .await
+        .unwrap();
+    let mut acfg = AgentConfig::new(node(E2NodeType::Gnb, 4), server.addrs[0].clone());
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, vec![Box::new(CounterFn::new(SmCodec::Flatb))]).await.unwrap();
+    wait_until(|| state.lock().failed == 1, "subscription failure").await;
+    assert_eq!(state.lock().admitted, 0);
+    agent.stop();
+    server.stop();
+}
+
+#[tokio::test]
+async fn agent_rejects_connect_to_dead_controller() {
+    let acfg = AgentConfig::new(
+        node(E2NodeType::Gnb, 5),
+        TransportAddr::Mem("nobody-listening-here".into()),
+    );
+    assert!(Agent::spawn(acfg, vec![]).await.is_err());
+}

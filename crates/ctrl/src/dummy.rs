@@ -1,0 +1,185 @@
+//! Dummy test agents: "dummy test agents (not connected to any base
+//! station) that export the same statistics as from a real base station,
+//! each agent emulating a connection of 32 UEs with a unique default
+//! bearer" (paper §5.3).  Used by the controller-scaling experiments
+//! (Figs. 8b, 9b).
+
+use bytes::Bytes;
+
+use flexric::agent::{AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
+use flexric_e2ap::{Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest};
+use flexric_sm::{
+    mac::{MacStatsInd, MacUeStats},
+    oid,
+    pdcp::{PdcpBearerStats, PdcpStatsInd},
+    rf,
+    rlc::{RlcBearerStats, RlcStatsInd},
+    RanFuncDef, SmCodec, SmPayload,
+};
+
+/// Which statistics a dummy function fabricates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DummyKind {
+    /// MAC statistics (excluding HARQ, as in the paper).
+    Mac,
+    /// RLC statistics.
+    Rlc,
+    /// PDCP statistics.
+    Pdcp,
+}
+
+/// A RAN function fabricating statistics for `ue_count` UEs.
+pub struct DummyStatsFn {
+    kind: DummyKind,
+    ue_count: u16,
+    sm_codec: SmCodec,
+    subs: PeriodicSubs,
+    counter: u64,
+}
+
+impl DummyStatsFn {
+    /// Creates a dummy function of the given kind.
+    pub fn new(kind: DummyKind, ue_count: u16, sm_codec: SmCodec) -> Self {
+        DummyStatsFn { kind, ue_count, sm_codec, subs: PeriodicSubs::new(), counter: 0 }
+    }
+
+    fn payload(&mut self, now_ms: u64) -> Bytes {
+        self.counter += 1;
+        let c = self.counter;
+        match self.kind {
+            DummyKind::Mac => {
+                let ues = (0..self.ue_count)
+                    .map(|i| MacUeStats {
+                        rnti: 0x4601 + i,
+                        cqi: 15,
+                        mcs: 20,
+                        prbs_dl: 3 + (c as u32 + i as u32) % 5,
+                        prbs_ul: 1,
+                        tbs_dl_bytes: 1_500 + c % 512,
+                        tbs_ul_bytes: 300,
+                        dl_aggr_bytes: c * 1_500,
+                        ul_aggr_bytes: c * 300,
+                        bsr: (c % 4_000) as u32,
+                        dl_backlog_bytes: c % 90_000,
+                        slice_id: (i % 2) as u32,
+                        plmn_mcc: 1,
+                        plmn_mnc: 1,
+                    })
+                    .collect();
+                Bytes::from(
+                    MacStatsInd { tstamp_ms: now_ms, cell_prbs: 106, ues }.encode(self.sm_codec),
+                )
+            }
+            DummyKind::Rlc => {
+                let bearers = (0..self.ue_count)
+                    .map(|i| RlcBearerStats {
+                        rnti: 0x4601 + i,
+                        drb_id: 1,
+                        tx_pdus: c,
+                        tx_bytes: c * 1_400,
+                        retx_pdus: c / 100,
+                        dropped_pdus: 0,
+                        buffer_bytes: c % 250_000,
+                        buffer_pkts: (c % 170) as u32,
+                        sojourn_us_avg: 1_000 + c % 9_000,
+                        sojourn_us_max: 2_000 + c % 20_000,
+                    })
+                    .collect();
+                Bytes::from(RlcStatsInd { tstamp_ms: now_ms, bearers }.encode(self.sm_codec))
+            }
+            DummyKind::Pdcp => {
+                let bearers = (0..self.ue_count)
+                    .map(|i| PdcpBearerStats {
+                        rnti: 0x4601 + i,
+                        drb_id: 1,
+                        tx_pdus: c,
+                        tx_bytes: c * 1_400,
+                        rx_pdus: c / 2,
+                        rx_bytes: c * 200,
+                        tx_aggr_bytes: c * 1_400,
+                        rx_aggr_bytes: c * 200,
+                        rx_discards: 0,
+                    })
+                    .collect();
+                Bytes::from(PdcpStatsInd { tstamp_ms: now_ms, bearers }.encode(self.sm_codec))
+            }
+        }
+    }
+}
+
+impl RanFunction for DummyStatsFn {
+    fn id(&self) -> RanFunctionId {
+        RanFunctionId::new(match self.kind {
+            DummyKind::Mac => rf::MAC_STATS,
+            DummyKind::Rlc => rf::RLC_STATS,
+            DummyKind::Pdcp => rf::PDCP_STATS,
+        })
+    }
+    fn oid(&self) -> String {
+        match self.kind {
+            DummyKind::Mac => oid::MAC_STATS.to_owned(),
+            DummyKind::Rlc => oid::RLC_STATS.to_owned(),
+            DummyKind::Pdcp => oid::PDCP_STATS.to_owned(),
+        }
+    }
+    fn definition(&self) -> Bytes {
+        Bytes::from(
+            RanFuncDef::simple("DUMMY-STATS", "synthetic statistics for scaling tests")
+                .encode(self.sm_codec),
+        )
+    }
+    fn on_subscription(
+        &mut self,
+        ctx: &mut AgentCtx,
+        sub: &SubscriptionInfo,
+        _req: &RicSubscriptionRequest,
+    ) -> Result<(), Cause> {
+        self.subs.admit(sub, self.sm_codec, ctx.now_ms)
+    }
+    fn on_subscription_delete(&mut self, _ctx: &mut AgentCtx, ctrl: CtrlId, req_id: RicRequestId) {
+        self.subs.remove(ctrl, req_id);
+    }
+    fn on_control(
+        &mut self,
+        _ctx: &mut AgentCtx,
+        _ctrl: CtrlId,
+        _req: &RicControlRequest,
+    ) -> Result<Option<Bytes>, Cause> {
+        Err(Cause::Ric(RicCause::ActionNotSupported))
+    }
+    fn on_tick(&mut self, ctx: &mut AgentCtx) {
+        if self.subs.is_empty() {
+            return;
+        }
+        let mut due: Vec<SubscriptionInfo> = Vec::new();
+        self.subs.for_due(ctx.now_ms, |sub, _| due.push(sub.clone()));
+        if due.is_empty() {
+            return;
+        }
+        let msg = self.payload(ctx.now_ms);
+        for sub in due {
+            ctx.send_indication(&sub, None, Bytes::new(), msg.clone());
+        }
+    }
+}
+
+/// The full dummy bundle: MAC + RLC + PDCP with 32 UEs (the paper's
+/// configuration).
+pub fn dummy_bundle(
+    ue_count: u16,
+    sm_codec: SmCodec,
+) -> Vec<Box<dyn flexric::agent::RanFunction>> {
+    vec![
+        Box::new(DummyStatsFn::new(DummyKind::Mac, ue_count, sm_codec)),
+        Box::new(DummyStatsFn::new(DummyKind::Rlc, ue_count, sm_codec)),
+        Box::new(DummyStatsFn::new(DummyKind::Pdcp, ue_count, sm_codec)),
+    ]
+}
+
+/// Only the MAC dummy (the Fig. 9b monitoring workload).
+pub fn dummy_mac_only(
+    ue_count: u16,
+    sm_codec: SmCodec,
+) -> Vec<Box<dyn flexric::agent::RanFunction>> {
+    vec![Box::new(DummyStatsFn::new(DummyKind::Mac, ue_count, sm_codec))]
+}

@@ -1,0 +1,646 @@
+//! FlexRAN baseline emulation (paper §2, §5).
+//!
+//! FlexRAN (Foukas et al., CoNEXT'16) was the first real-time SD-RAN
+//! platform.  Architecturally it differs from FlexRIC in the three ways the
+//! paper measures:
+//!
+//! 1. **Protobuf encoding** — a single-layer custom protocol (no double
+//!    E2AP/E2SM encapsulation), placing its wire size below and its
+//!    decode cost between the FB and ASN.1 variants (Fig. 7);
+//! 2. **Polling** — "FlexRAN adds overhead by requiring applications to
+//!    poll for new messages": applications scan the RIB every millisecond
+//!    instead of being invoked on arrival (Fig. 8a CPU);
+//! 3. **RIB organization** — statistics are retained as decoded protobuf
+//!    object trees per UE (string-keyed maps, per-message allocations),
+//!    the "less efficiently organized internal data structure" behind the
+//!    ~3× memory footprint of Fig. 8a.
+//!
+//! The emulation implements that architecture from scratch with the
+//! [`flexric_codec::pb`] wire format.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tokio::sync::mpsc;
+
+use flexric_codec::pb::{PbReader, PbWriter};
+use flexric_sm::mac::{MacStatsInd, MacUeStats};
+use flexric_transport::{connect, listen, Transport, TransportAddr, WireMsg};
+
+/// FlexRAN-protocol message types (the `ppid` of the framing layer).
+pub mod msg_type {
+    /// Agent hello (BS id).
+    pub const HELLO: u32 = 1;
+    /// Controller enables statistics at a given period.
+    pub const STATS_REQUEST: u32 = 2;
+    /// Full statistics report.
+    pub const STATS_REPORT: u32 = 3;
+    /// Echo request (RTT measurement).
+    pub const ECHO_REQUEST: u32 = 4;
+    /// Echo reply.
+    pub const ECHO_REPLY: u32 = 5;
+    /// RLC statistics report.
+    pub const STATS_REPORT_RLC: u32 = 6;
+    /// PDCP statistics report.
+    pub const STATS_REPORT_PDCP: u32 = 7;
+}
+
+/// Encodes a MAC statistics snapshot in the FlexRAN protobuf-style format.
+pub fn encode_stats_pb(ind: &MacStatsInd) -> Vec<u8> {
+    let mut w = PbWriter::new();
+    w.uint(1, ind.tstamp_ms);
+    w.uint(2, ind.cell_prbs as u64);
+    for ue in &ind.ues {
+        let mut uw = PbWriter::new();
+        uw.uint(1, ue.rnti as u64)
+            .uint(2, ue.cqi as u64)
+            .uint(3, ue.mcs as u64)
+            .uint(4, ue.prbs_dl as u64)
+            .uint(5, ue.prbs_ul as u64)
+            .uint(6, ue.tbs_dl_bytes)
+            .uint(7, ue.tbs_ul_bytes)
+            .uint(8, ue.dl_aggr_bytes)
+            .uint(9, ue.ul_aggr_bytes)
+            .uint(10, ue.bsr as u64)
+            .uint(11, ue.dl_backlog_bytes)
+            .uint(12, ue.slice_id as u64)
+            .uint(13, ue.plmn_mcc as u64)
+            .uint(14, ue.plmn_mnc as u64);
+        w.message(3, &uw);
+    }
+    w.finish()
+}
+
+/// Decodes a FlexRAN protobuf-style statistics report.
+pub fn decode_stats_pb(buf: &[u8]) -> flexric_codec::Result<MacStatsInd> {
+    let mut r = PbReader::new(buf);
+    let mut ind = MacStatsInd::default();
+    while let Some((field, value)) = r.next_field()? {
+        match field {
+            1 => ind.tstamp_ms = value.as_uint()?,
+            2 => ind.cell_prbs = value.as_uint()? as u32,
+            3 => {
+                let mut ue = MacUeStats::default();
+                let mut ur = PbReader::new(value.as_bytes()?);
+                while let Some((f, v)) = ur.next_field()? {
+                    let u = v.as_uint()?;
+                    match f {
+                        1 => ue.rnti = u as u16,
+                        2 => ue.cqi = u as u8,
+                        3 => ue.mcs = u as u8,
+                        4 => ue.prbs_dl = u as u32,
+                        5 => ue.prbs_ul = u as u32,
+                        6 => ue.tbs_dl_bytes = u,
+                        7 => ue.tbs_ul_bytes = u,
+                        8 => ue.dl_aggr_bytes = u,
+                        9 => ue.ul_aggr_bytes = u,
+                        10 => ue.bsr = u as u32,
+                        11 => ue.dl_backlog_bytes = u,
+                        12 => ue.slice_id = u as u32,
+                        13 => ue.plmn_mcc = u as u16,
+                        14 => ue.plmn_mnc = u as u16,
+                        _ => {}
+                    }
+                }
+                ind.ues.push(ue);
+            }
+            _ => {}
+        }
+    }
+    Ok(ind)
+}
+
+/// Encodes an RLC statistics snapshot in the protobuf-style format.
+pub fn encode_rlc_pb(ind: &flexric_sm::rlc::RlcStatsInd) -> Vec<u8> {
+    let mut w = PbWriter::new();
+    w.uint(1, ind.tstamp_ms);
+    for b in &ind.bearers {
+        let mut bw = PbWriter::new();
+        bw.uint(1, b.rnti as u64)
+            .uint(2, b.drb_id as u64)
+            .uint(3, b.tx_pdus)
+            .uint(4, b.tx_bytes)
+            .uint(5, b.retx_pdus)
+            .uint(6, b.dropped_pdus)
+            .uint(7, b.buffer_bytes)
+            .uint(8, b.buffer_pkts as u64)
+            .uint(9, b.sojourn_us_avg)
+            .uint(10, b.sojourn_us_max);
+        w.message(2, &bw);
+    }
+    w.finish()
+}
+
+/// Decodes an RLC statistics report.
+pub fn decode_rlc_pb(buf: &[u8]) -> flexric_codec::Result<flexric_sm::rlc::RlcStatsInd> {
+    let mut r = PbReader::new(buf);
+    let mut ind = flexric_sm::rlc::RlcStatsInd::default();
+    while let Some((field, value)) = r.next_field()? {
+        match field {
+            1 => ind.tstamp_ms = value.as_uint()?,
+            2 => {
+                let mut b = flexric_sm::rlc::RlcBearerStats::default();
+                let mut br = PbReader::new(value.as_bytes()?);
+                while let Some((f, v)) = br.next_field()? {
+                    let u = v.as_uint()?;
+                    match f {
+                        1 => b.rnti = u as u16,
+                        2 => b.drb_id = u as u8,
+                        3 => b.tx_pdus = u,
+                        4 => b.tx_bytes = u,
+                        5 => b.retx_pdus = u,
+                        6 => b.dropped_pdus = u,
+                        7 => b.buffer_bytes = u,
+                        8 => b.buffer_pkts = u as u32,
+                        9 => b.sojourn_us_avg = u,
+                        10 => b.sojourn_us_max = u,
+                        _ => {}
+                    }
+                }
+                ind.bearers.push(b);
+            }
+            _ => {}
+        }
+    }
+    Ok(ind)
+}
+
+/// Encodes a PDCP statistics snapshot in the protobuf-style format.
+pub fn encode_pdcp_pb(ind: &flexric_sm::pdcp::PdcpStatsInd) -> Vec<u8> {
+    let mut w = PbWriter::new();
+    w.uint(1, ind.tstamp_ms);
+    for b in &ind.bearers {
+        let mut bw = PbWriter::new();
+        bw.uint(1, b.rnti as u64)
+            .uint(2, b.drb_id as u64)
+            .uint(3, b.tx_pdus)
+            .uint(4, b.tx_bytes)
+            .uint(5, b.rx_pdus)
+            .uint(6, b.rx_bytes)
+            .uint(7, b.tx_aggr_bytes)
+            .uint(8, b.rx_aggr_bytes)
+            .uint(9, b.rx_discards);
+        w.message(2, &bw);
+    }
+    w.finish()
+}
+
+/// Decodes a PDCP statistics report.
+pub fn decode_pdcp_pb(buf: &[u8]) -> flexric_codec::Result<flexric_sm::pdcp::PdcpStatsInd> {
+    let mut r = PbReader::new(buf);
+    let mut ind = flexric_sm::pdcp::PdcpStatsInd::default();
+    while let Some((field, value)) = r.next_field()? {
+        match field {
+            1 => ind.tstamp_ms = value.as_uint()?,
+            2 => {
+                let mut b = flexric_sm::pdcp::PdcpBearerStats::default();
+                let mut br = PbReader::new(value.as_bytes()?);
+                while let Some((f, v)) = br.next_field()? {
+                    let u = v.as_uint()?;
+                    match f {
+                        1 => b.rnti = u as u16,
+                        2 => b.drb_id = u as u8,
+                        3 => b.tx_pdus = u,
+                        4 => b.tx_bytes = u,
+                        5 => b.rx_pdus = u,
+                        6 => b.rx_bytes = u,
+                        7 => b.tx_aggr_bytes = u,
+                        8 => b.rx_aggr_bytes = u,
+                        9 => b.rx_discards = u,
+                        _ => {}
+                    }
+                }
+                ind.bearers.push(b);
+            }
+            _ => {}
+        }
+    }
+    Ok(ind)
+}
+
+/// The FlexRAN-style RIB: decoded protobuf object trees retained per base
+/// station and UE, with string-keyed attribute maps — deliberately the
+/// allocation-heavy organization the paper measures.
+#[derive(Debug, Default)]
+pub struct Rib {
+    /// Per-BS, per-UE attribute maps.
+    pub bs: HashMap<u64, HashMap<u16, HashMap<String, u64>>>,
+    /// History ring of raw reports (FlexRAN keeps recent reports for its
+    /// northbound).
+    pub history: std::collections::VecDeque<Vec<u8>>,
+    /// Updates applied.
+    pub updates: u64,
+}
+
+impl Rib {
+    /// History ring depth.
+    pub const HISTORY: usize = 8192;
+
+    /// Ingests one decoded report (plus its raw bytes for the history).
+    pub fn ingest(&mut self, bs_id: u64, raw: &[u8], ind: &MacStatsInd) {
+        let bs = self.bs.entry(bs_id).or_default();
+        for ue in &ind.ues {
+            let attrs = bs.entry(ue.rnti).or_default();
+            attrs.insert("cqi".to_owned(), ue.cqi as u64);
+            attrs.insert("mcs".to_owned(), ue.mcs as u64);
+            attrs.insert("prbs_dl".to_owned(), ue.prbs_dl as u64);
+            attrs.insert("tbs_dl_bytes".to_owned(), ue.tbs_dl_bytes);
+            attrs.insert("dl_aggr_bytes".to_owned(), ue.dl_aggr_bytes);
+            attrs.insert("bsr".to_owned(), ue.bsr as u64);
+            attrs.insert("backlog".to_owned(), ue.dl_backlog_bytes);
+            attrs.insert("slice".to_owned(), ue.slice_id as u64);
+        }
+        self.history.push_back(raw.to_vec());
+        if self.history.len() > Self::HISTORY {
+            self.history.pop_front();
+        }
+        self.updates += 1;
+    }
+}
+
+/// Counters of a running FlexRAN-style controller.
+#[derive(Debug, Default)]
+pub struct FlexranCounters {
+    /// Reports received.
+    pub reports: AtomicU64,
+    /// Echo replies received.
+    pub echos: AtomicU64,
+    /// Polls performed by the application task.
+    pub polls: AtomicU64,
+    /// Wire bytes received.
+    pub rx_bytes: AtomicU64,
+}
+
+/// Handle to a running FlexRAN-style controller.
+pub struct FlexranController {
+    /// Address agents connect to.
+    pub addr: TransportAddr,
+    /// The RIB.
+    pub rib: Arc<Mutex<Rib>>,
+    /// Counters.
+    pub counters: Arc<FlexranCounters>,
+    stop: Arc<AtomicBool>,
+}
+
+impl FlexranController {
+    /// Binds the south-bound listener and starts the controller: a
+    /// connection handler per agent plus the 1 ms polling application.
+    pub async fn spawn(addr: &TransportAddr, stats_period_ms: u32) -> io::Result<Self> {
+        let mut listener = listen(addr).await?;
+        let bound = listener.local_addr()?;
+        let rib = Arc::new(Mutex::new(Rib::default()));
+        let counters = Arc::new(FlexranCounters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Accept loop.
+        {
+            let rib = rib.clone();
+            let counters = counters.clone();
+            tokio::spawn(async move {
+                let mut next_bs = 0u64;
+                loop {
+                    let Ok(conn) = listener.accept().await else { break };
+                    let bs_id = next_bs;
+                    next_bs += 1;
+                    let rib = rib.clone();
+                    let counters = counters.clone();
+                    tokio::spawn(async move {
+                        let _ = serve_agent(conn, bs_id, stats_period_ms, rib, counters).await;
+                    });
+                }
+            });
+        }
+
+        // The polling application: scans the RIB every millisecond —
+        // FlexRAN's documented overhead pattern.
+        {
+            let rib = rib.clone();
+            let counters = counters.clone();
+            let stop = stop.clone();
+            tokio::spawn(async move {
+                let mut iv = tokio::time::interval(std::time::Duration::from_millis(1));
+                iv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+                let mut last_update = 0u64;
+                loop {
+                    iv.tick().await;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let table = rib.lock();
+                    // Poll: walk every UE of every BS looking for news.
+                    let mut sum = 0u64;
+                    for bs in table.bs.values() {
+                        for attrs in bs.values() {
+                            sum = sum.wrapping_add(*attrs.get("tbs_dl_bytes").unwrap_or(&0));
+                        }
+                    }
+                    std::hint::black_box(sum);
+                    let _changed = table.updates != last_update;
+                    last_update = table.updates;
+                    counters.polls.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        Ok(FlexranController { addr: bound, rib, counters, stop })
+    }
+
+    /// Stops the polling application.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+async fn serve_agent(
+    conn: Transport,
+    bs_id: u64,
+    stats_period_ms: u32,
+    rib: Arc<Mutex<Rib>>,
+    counters: Arc<FlexranCounters>,
+) -> io::Result<()> {
+    let (mut tx, mut rx) = conn.split();
+    // Ask for statistics immediately (FlexRAN's stats request config).
+    let mut req = PbWriter::new();
+    req.uint(1, stats_period_ms as u64);
+    tx.send(WireMsg { stream: 0, ppid: msg_type::STATS_REQUEST, payload: req.finish().into() })
+        .await?;
+    while let Some(msg) = rx.recv().await? {
+        counters.rx_bytes.fetch_add(msg.payload.len() as u64, Ordering::Relaxed);
+        match msg.ppid {
+            msg_type::STATS_REPORT => {
+                counters.reports.fetch_add(1, Ordering::Relaxed);
+                if let Ok(ind) = decode_stats_pb(&msg.payload) {
+                    rib.lock().ingest(bs_id, &msg.payload, &ind);
+                }
+            }
+            msg_type::STATS_REPORT_RLC => {
+                counters.reports.fetch_add(1, Ordering::Relaxed);
+                if let Ok(ind) = decode_rlc_pb(&msg.payload) {
+                    let mut table = rib.lock();
+                    let bs = table.bs.entry(bs_id).or_default();
+                    for b in &ind.bearers {
+                        let attrs = bs.entry(b.rnti).or_default();
+                        attrs.insert("rlc_buffer".to_owned(), b.buffer_bytes);
+                        attrs.insert("rlc_sojourn".to_owned(), b.sojourn_us_avg);
+                        attrs.insert("rlc_tx_bytes".to_owned(), b.tx_bytes);
+                    }
+                    table.history.push_back(msg.payload.to_vec());
+                    if table.history.len() > Rib::HISTORY {
+                        table.history.pop_front();
+                    }
+                    table.updates += 1;
+                }
+            }
+            msg_type::STATS_REPORT_PDCP => {
+                counters.reports.fetch_add(1, Ordering::Relaxed);
+                if let Ok(ind) = decode_pdcp_pb(&msg.payload) {
+                    let mut table = rib.lock();
+                    let bs = table.bs.entry(bs_id).or_default();
+                    for b in &ind.bearers {
+                        let attrs = bs.entry(b.rnti).or_default();
+                        attrs.insert("pdcp_tx_bytes".to_owned(), b.tx_bytes);
+                        attrs.insert("pdcp_tx_aggr".to_owned(), b.tx_aggr_bytes);
+                    }
+                    table.history.push_back(msg.payload.to_vec());
+                    if table.history.len() > Rib::HISTORY {
+                        table.history.pop_front();
+                    }
+                    table.updates += 1;
+                }
+            }
+            msg_type::ECHO_REQUEST => {
+                tx.send(WireMsg {
+                    stream: msg.stream,
+                    ppid: msg_type::ECHO_REPLY,
+                    payload: msg.payload,
+                })
+                .await?;
+            }
+            msg_type::HELLO => {}
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Commands accepted by a running FlexRAN-style agent.
+pub enum FlexranAgentCmd {
+    /// Advance time; due statistics are pushed.
+    Tick(u64),
+    /// Send an echo request with the given payload.
+    Echo(Bytes),
+    /// Stop.
+    Stop,
+}
+
+/// One full statistics snapshot pushed by the agent.
+#[derive(Debug, Default, Clone)]
+pub struct FlexranSnapshot {
+    /// MAC statistics.
+    pub mac: MacStatsInd,
+    /// RLC statistics (empty = not sent).
+    pub rlc: flexric_sm::rlc::RlcStatsInd,
+    /// PDCP statistics (empty = not sent).
+    pub pdcp: flexric_sm::pdcp::PdcpStatsInd,
+}
+
+/// Handle to a running FlexRAN-style agent.
+pub struct FlexranAgent {
+    cmd: mpsc::UnboundedSender<FlexranAgentCmd>,
+    /// Echo replies observed `(payload, receive mono ns)`.
+    pub echo_rx: Arc<Mutex<Vec<(Bytes, u64)>>>,
+    /// Bytes sent on the wire.
+    pub tx_bytes: Arc<AtomicU64>,
+}
+
+impl FlexranAgent {
+    /// Connects to the controller; statistics snapshots come from
+    /// `snapshot` on each due tick.
+    pub async fn spawn(
+        addr: &TransportAddr,
+        mut snapshot: impl FnMut(u64) -> FlexranSnapshot + Send + 'static,
+    ) -> io::Result<Self> {
+        let conn = connect(addr).await?;
+        let (tx_half, mut rx_half) = conn.split();
+        let (cmd_tx, mut cmd_rx) = mpsc::unbounded_channel();
+        let echo_rx = Arc::new(Mutex::new(Vec::new()));
+        let tx_bytes = Arc::new(AtomicU64::new(0));
+
+        let echo_rx2 = echo_rx.clone();
+        let tx_bytes2 = tx_bytes.clone();
+        tokio::spawn(async move {
+            let mut tx = tx_half;
+            let mut hello = PbWriter::new();
+            hello.uint(1, 1);
+            let _ = tx
+                .send(WireMsg { stream: 0, ppid: msg_type::HELLO, payload: hello.finish().into() })
+                .await;
+            let mut period_ms: Option<u64> = None;
+            let mut next_due = 0u64;
+            loop {
+                tokio::select! {
+                    cmd = cmd_rx.recv() => match cmd {
+                        Some(FlexranAgentCmd::Tick(now)) => {
+                            if let Some(p) = period_ms {
+                                if now >= next_due {
+                                    next_due = now + p;
+                                    let snap = snapshot(now);
+                                    let mut parts: Vec<(u32, Bytes)> =
+                                        vec![(msg_type::STATS_REPORT, encode_stats_pb(&snap.mac).into())];
+                                    if !snap.rlc.bearers.is_empty() {
+                                        parts.push((msg_type::STATS_REPORT_RLC, encode_rlc_pb(&snap.rlc).into()));
+                                    }
+                                    if !snap.pdcp.bearers.is_empty() {
+                                        parts.push((msg_type::STATS_REPORT_PDCP, encode_pdcp_pb(&snap.pdcp).into()));
+                                    }
+                                    let mut failed = false;
+                                    for (ppid, payload) in parts {
+                                        tx_bytes2.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                                        if tx.send(WireMsg { stream: 0, ppid, payload }).await.is_err() {
+                                            failed = true;
+                                            break;
+                                        }
+                                    }
+                                    if failed {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Some(FlexranAgentCmd::Echo(payload)) => {
+                            tx_bytes2.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                            if tx.send(WireMsg { stream: 0, ppid: msg_type::ECHO_REQUEST, payload }).await.is_err() {
+                                break;
+                            }
+                        }
+                        Some(FlexranAgentCmd::Stop) | None => break,
+                    },
+                    inbound = rx_half.recv() => match inbound {
+                        Ok(Some(msg)) => match msg.ppid {
+                            msg_type::STATS_REQUEST => {
+                                let mut r = PbReader::new(&msg.payload);
+                                if let Ok(Some((1, v))) = r.next_field() {
+                                    if let Ok(p) = v.as_uint() {
+                                        period_ms = Some(p.max(1));
+                                    }
+                                }
+                            }
+                            msg_type::ECHO_REPLY => {
+                                echo_rx2.lock().push((msg.payload, now_ns()));
+                            }
+                            _ => {}
+                        },
+                        Ok(None) | Err(_) => break,
+                    },
+                }
+            }
+        });
+        Ok(FlexranAgent { cmd: cmd_tx, echo_rx, tx_bytes })
+    }
+
+    /// Advances agent time.
+    pub fn tick(&self, now_ms: u64) {
+        let _ = self.cmd.send(FlexranAgentCmd::Tick(now_ms));
+    }
+
+    /// Sends an echo request.
+    pub fn echo(&self, payload: Bytes) {
+        let _ = self.cmd.send(FlexranAgentCmd::Echo(payload));
+    }
+
+    /// Stops the agent.
+    pub fn stop(&self) {
+        let _ = self.cmd.send(FlexranAgentCmd::Stop);
+    }
+}
+
+fn now_ns() -> u64 {
+    flexric::mono_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample(ues: u16) -> MacStatsInd {
+        MacStatsInd {
+            tstamp_ms: 42,
+            cell_prbs: 25,
+            ues: (0..ues)
+                .map(|i| MacUeStats {
+                    rnti: 0x4601 + i,
+                    cqi: 15,
+                    mcs: 28,
+                    tbs_dl_bytes: 2_000,
+                    ..Default::default()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn pb_stats_roundtrip() {
+        let ind = sample(32);
+        let buf = encode_stats_pb(&ind);
+        let back = decode_stats_pb(&buf).unwrap();
+        assert_eq!(back.tstamp_ms, 42);
+        assert_eq!(back.ues.len(), 32);
+        assert_eq!(back.ues[0].rnti, 0x4601);
+        assert_eq!(back.ues[0].tbs_dl_bytes, 2_000);
+    }
+
+    #[test]
+    fn pb_is_compact() {
+        // FlexRAN's single-layer protobuf is the smallest wire format in
+        // the paper's Fig. 7b.
+        let ind = sample(32);
+        let pb = encode_stats_pb(&ind);
+        let fb = flexric_sm::SmPayload::encode(&ind, flexric_sm::SmCodec::Flatb);
+        assert!(pb.len() < fb.len(), "pb={} fb={}", pb.len(), fb.len());
+    }
+
+    #[tokio::test]
+    async fn controller_ingests_reports_and_echo() {
+        let ctrl =
+            FlexranController::spawn(&TransportAddr::Mem("fxr-test".into()), 1).await.unwrap();
+        let agent = FlexranAgent::spawn(&ctrl.addr, |now| {
+            let mut s = sample(4);
+            s.tstamp_ms = now;
+            FlexranSnapshot { mac: s, ..Default::default() }
+        })
+        .await
+        .unwrap();
+        // Drive ticks until reports land.
+        for t in 0..50u64 {
+            agent.tick(t);
+            tokio::time::sleep(Duration::from_millis(1)).await;
+            if ctrl.counters.reports.load(Ordering::Relaxed) >= 10 {
+                break;
+            }
+        }
+        assert!(ctrl.counters.reports.load(Ordering::Relaxed) >= 10);
+        {
+            let rib = ctrl.rib.lock();
+            let bs = rib.bs.get(&0).expect("bs 0 present");
+            assert_eq!(bs.len(), 4, "four UEs in RIB");
+            assert!(rib.updates >= 10);
+        }
+        // Echo round-trip.
+        agent.echo(Bytes::from(vec![0u8; 100]));
+        for _ in 0..100 {
+            if !agent.echo_rx.lock().is_empty() {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(2)).await;
+        }
+        assert_eq!(agent.echo_rx.lock().len(), 1);
+        assert_eq!(agent.echo_rx.lock()[0].0.len(), 100);
+        ctrl.stop();
+        agent.stop();
+    }
+}

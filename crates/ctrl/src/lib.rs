@@ -1,0 +1,35 @@
+//! Controller specializations and baselines of the FlexRIC reproduction.
+//!
+//! On top of the SDK (`flexric` core crate) this crate provides:
+//!
+//! * [`ranfun`] — the "bundle of pre-defined RAN functions" of paper §3:
+//!   MAC/RLC/PDCP statistics, slice control, traffic control, RRC events
+//!   and hello-world, all bridging to the `flexric-ransim` substrate;
+//! * [`monitoring`] — the statistics controller of §5.3 (stats iApp with
+//!   an in-memory store);
+//! * [`slicing`] — the RAT-unaware slicing controller of §6.1.2 (SC SM +
+//!   REST northbound);
+//! * [`traffic`] — the flow-based traffic controller of §6.1.1 (TC SM +
+//!   broker/REST northbound + the bufferbloat-fighting xApp);
+//! * [`recursive`] — the network-virtualization controller of §6.2
+//!   (agent-library northbound, Appendix-B NVS virtualization,
+//!   MAC-statistics partitioning);
+//! * [`relay`] — a relaying controller emulating the two-hop path of the
+//!   O-RAN architecture for the Fig. 9a comparison;
+//! * [`flexran_emu`] — the FlexRAN baseline (§2): polling controller with
+//!   a Protobuf-style single-layer protocol;
+//! * [`oran_emu`] — the O-RAN RIC baseline (§5.4): E2 termination with
+//!   decode/re-encode, an RMR-style broker hop, and a double-decoding
+//!   xApp pipeline;
+//! * [`dummy`] — dummy test agents "not connected to any base station"
+//!   exporting synthetic statistics (§5.3's scaling experiments).
+
+pub mod dummy;
+pub mod flexran_emu;
+pub mod monitoring;
+pub mod oran_emu;
+pub mod ranfun;
+pub mod recursive;
+pub mod relay;
+pub mod slicing;
+pub mod traffic;

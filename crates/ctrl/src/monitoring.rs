@@ -1,0 +1,191 @@
+//! The monitoring controller specialization: a statistics iApp "that saves
+//! incoming messages to an in-memory data structure, similar to FlexRAN"
+//! (paper §5.3).  This is the controller measured in Figs. 8 and 9b.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use flexric::server::{AgentId, AgentInfo, IApp, IndicationRef, ServerApi};
+use flexric_e2ap::RanFunctionId;
+use flexric_sm::{
+    mac::MacStatsInd, oid, pdcp::PdcpStatsInd, rf, rlc::RlcStatsInd, ReportTrigger, SmCodec,
+    SmPayload,
+};
+
+/// The in-memory statistics store.
+///
+/// Unlike FlexRAN's RIB (decoded object trees), the FlexRIC store keeps
+/// the *encoded* SM payloads and decodes on access — with the FB encoding
+/// the write path is a reference-counted byte copy and reads are lazy,
+/// which is the "more efficiently organized internal data structure" of
+/// the paper's §5.3.
+#[derive(Debug, Default)]
+pub struct StatsDb {
+    sm_codec: SmCodec,
+    /// Latest raw MAC payload per agent.
+    pub raw_mac: std::collections::HashMap<AgentId, bytes::Bytes>,
+    /// Latest raw RLC payload per agent.
+    pub raw_rlc: std::collections::HashMap<AgentId, bytes::Bytes>,
+    /// Latest raw PDCP payload per agent.
+    pub raw_pdcp: std::collections::HashMap<AgentId, bytes::Bytes>,
+}
+
+impl StatsDb {
+    /// Decodes the latest MAC snapshot of an agent.
+    pub fn mac(&self, agent: AgentId) -> Option<MacStatsInd> {
+        MacStatsInd::decode(self.sm_codec, self.raw_mac.get(&agent)?).ok()
+    }
+
+    /// Decodes the latest RLC snapshot of an agent.
+    pub fn rlc(&self, agent: AgentId) -> Option<RlcStatsInd> {
+        RlcStatsInd::decode(self.sm_codec, self.raw_rlc.get(&agent)?).ok()
+    }
+
+    /// Decodes the latest PDCP snapshot of an agent.
+    pub fn pdcp(&self, agent: AgentId) -> Option<PdcpStatsInd> {
+        PdcpStatsInd::decode(self.sm_codec, self.raw_pdcp.get(&agent)?).ok()
+    }
+
+    /// Agents with any stored statistics.
+    pub fn agents(&self) -> Vec<AgentId> {
+        let mut ids: Vec<AgentId> = self.raw_mac.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Counters for throughput accounting in the scaling experiments.
+#[derive(Debug, Default)]
+pub struct MonitorCounters {
+    /// Indications processed.
+    pub indications: AtomicU64,
+    /// Wire bytes of processed indications.
+    pub bytes: AtomicU64,
+}
+
+/// Configuration of the monitoring iApp.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Reporting period requested from agents.
+    pub period_ms: u32,
+    /// SM encoding used by the agents.
+    pub sm_codec: SmCodec,
+    /// Subscribe to MAC statistics.
+    pub mac: bool,
+    /// Subscribe to RLC statistics.
+    pub rlc: bool,
+    /// Subscribe to PDCP statistics.
+    pub pdcp: bool,
+    /// Decode payloads into the store.  Disabled for pure-throughput
+    /// scaling runs where only the dispatch cost is being measured.
+    pub store: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            period_ms: 1,
+            sm_codec: SmCodec::Flatb,
+            mac: true,
+            rlc: true,
+            pdcp: true,
+            store: true,
+        }
+    }
+}
+
+/// The statistics iApp.
+pub struct MonitorApp {
+    cfg: MonitorConfig,
+    db: Arc<Mutex<StatsDb>>,
+    counters: Arc<MonitorCounters>,
+    /// Which SM each of our request ids belongs to.
+    req_kind: std::collections::HashMap<(AgentId, flexric_e2ap::RicRequestId), u16>,
+}
+
+impl MonitorApp {
+    /// Creates the iApp; the returned handles read the store and counters.
+    pub fn new(cfg: MonitorConfig) -> (Self, Arc<Mutex<StatsDb>>, Arc<MonitorCounters>) {
+        let db = Arc::new(Mutex::new(StatsDb { sm_codec: cfg.sm_codec, ..Default::default() }));
+        let counters = Arc::new(MonitorCounters::default());
+        (
+            MonitorApp {
+                cfg,
+                db: db.clone(),
+                counters: counters.clone(),
+                req_kind: std::collections::HashMap::new(),
+            },
+            db,
+            counters,
+        )
+    }
+}
+
+impl IApp for MonitorApp {
+    fn name(&self) -> &str {
+        "monitor"
+    }
+
+    fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
+        let trigger = Bytes::from(ReportTrigger::every_ms(self.cfg.period_ms).encode(self.cfg.sm_codec));
+        let mut want = Vec::new();
+        if self.cfg.mac {
+            want.push((oid::MAC_STATS, rf::MAC_STATS));
+        }
+        if self.cfg.rlc {
+            want.push((oid::RLC_STATS, rf::RLC_STATS));
+        }
+        if self.cfg.pdcp {
+            want.push((oid::PDCP_STATS, rf::PDCP_STATS));
+        }
+        for (oid, default_rf) in want {
+            // Prefer the advertised function id; fall back to the
+            // well-known id for agents with terse definitions.
+            let rf_id = agent
+                .function_by_oid(oid)
+                .map(|f| f.id)
+                .unwrap_or(RanFunctionId::new(default_rf));
+            if agent.function(rf_id).is_none() {
+                continue;
+            }
+            let req = api.subscribe_report(agent.id, rf_id, trigger.clone());
+            self.req_kind.insert((agent.id, req), rf_id.0);
+        }
+    }
+
+    fn on_agent_disconnected(&mut self, _api: &mut ServerApi, agent: AgentId) {
+        self.req_kind.retain(|(a, _), _| *a != agent);
+        let mut db = self.db.lock();
+        db.raw_mac.remove(&agent);
+        db.raw_rlc.remove(&agent);
+        db.raw_pdcp.remove(&agent);
+    }
+
+    fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
+        self.counters.indications.fetch_add(1, Ordering::Relaxed);
+        let Ok((_, msg)) = ind.sm_payload() else { return };
+        self.counters.bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        if !self.cfg.store {
+            return;
+        }
+        let kind = self.req_kind.get(&(agent, ind.req_id())).copied();
+        // Write path: store the encoded payload; decoding happens lazily
+        // on read.  `Bytes::copy_from_slice` is the only copy.
+        let raw = bytes::Bytes::copy_from_slice(msg);
+        match kind {
+            Some(k) if k == rf::MAC_STATS => {
+                self.db.lock().raw_mac.insert(agent, raw);
+            }
+            Some(k) if k == rf::RLC_STATS => {
+                self.db.lock().raw_rlc.insert(agent, raw);
+            }
+            Some(k) if k == rf::PDCP_STATS => {
+                self.db.lock().raw_pdcp.insert(agent, raw);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The RAT-unaware slicing controller (paper §6.1.2, Table 4).
+//!
+//! Components, mirroring the paper's Table 4: the xApp is any HTTP client
+//! (`curl` in the paper); the communication interface is REST (GET/POST);
+//! the iApps are an internal DB for RAN statistics and an SC SM manager
+//! relaying REST commands; the support is the server library.
+//!
+//! The xApp is oblivious of the RAT: the same REST calls drive 4G and 5G
+//! cells, which is what lets the recursive experiment (§6.2) reuse this
+//! controller over an LTE deployment.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use tokio::sync::oneshot;
+
+use flexric::server::{AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle};
+use flexric_e2ap::{ControlAckRequest, RicRequestId};
+use flexric_sm::slice::{SliceAlgo, SliceConf, SliceCtrl, SliceParams, SliceStatsInd, UeSchedAlgo};
+use flexric_sm::{oid, ReportTrigger, SmCodec, SmPayload};
+use flexric_xapp::http::{HttpServer, Request, Response, Router};
+
+// ---------------------------------------------------------------------------
+// REST DTOs
+// ---------------------------------------------------------------------------
+
+/// JSON form of slice parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum SliceParamsDto {
+    /// NVS capacity slice.
+    NvsCapacity {
+        /// Share in percent (0–100).
+        share_pct: f64,
+    },
+    /// NVS rate slice.
+    NvsRate {
+        /// Reserved rate, Mbit/s.
+        rate_mbps: f64,
+        /// Reference rate, Mbit/s.
+        ref_mbps: f64,
+    },
+    /// Static PRB range.
+    StaticRb {
+        /// First PRB.
+        lo: u16,
+        /// Last PRB.
+        hi: u16,
+    },
+}
+
+impl SliceParamsDto {
+    /// Converts to the SM representation.
+    pub fn to_sm(&self) -> SliceParams {
+        match self {
+            SliceParamsDto::NvsCapacity { share_pct } => SliceParams::NvsCapacity {
+                share_milli: (share_pct * 10.0).round().clamp(0.0, 1000.0) as u32,
+            },
+            SliceParamsDto::NvsRate { rate_mbps, ref_mbps } => SliceParams::NvsRate {
+                rate_kbps: (rate_mbps * 1000.0).round().max(0.0) as u32,
+                ref_kbps: (ref_mbps * 1000.0).round().max(0.0) as u32,
+            },
+            SliceParamsDto::StaticRb { lo, hi } => SliceParams::StaticRb { lo: *lo, hi: *hi },
+        }
+    }
+
+    /// Converts from the SM representation.
+    pub fn from_sm(p: &SliceParams) -> Self {
+        match p {
+            SliceParams::NvsCapacity { share_milli } => {
+                SliceParamsDto::NvsCapacity { share_pct: *share_milli as f64 / 10.0 }
+            }
+            SliceParams::NvsRate { rate_kbps, ref_kbps } => SliceParamsDto::NvsRate {
+                rate_mbps: *rate_kbps as f64 / 1000.0,
+                ref_mbps: *ref_kbps as f64 / 1000.0,
+            },
+            SliceParams::StaticRb { lo, hi } => SliceParamsDto::StaticRb { lo: *lo, hi: *hi },
+        }
+    }
+}
+
+/// JSON form of one slice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceDto {
+    /// Slice id.
+    pub id: u32,
+    /// Label.
+    #[serde(default)]
+    pub label: String,
+    /// Parameters.
+    pub params: SliceParamsDto,
+    /// UE scheduler (`"rr"`, `"pf"`, `"mt"`).
+    #[serde(default = "default_sched")]
+    pub sched: String,
+}
+
+fn default_sched() -> String {
+    "pf".to_owned()
+}
+
+impl SliceDto {
+    /// Converts to the SM representation.
+    pub fn to_sm(&self) -> SliceConf {
+        SliceConf {
+            id: self.id,
+            label: self.label.clone(),
+            params: self.params.to_sm(),
+            ue_sched: match self.sched.as_str() {
+                "rr" => UeSchedAlgo::RoundRobin,
+                "mt" => UeSchedAlgo::MaxThroughput,
+                _ => UeSchedAlgo::PropFair,
+            },
+        }
+    }
+}
+
+/// POST /slice/algo body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct AlgoReq {
+    /// Target agent.
+    pub agent: AgentId,
+    /// `"none"`, `"static"`, `"nvs"` or `"nvs_nosharing"`.
+    pub algo: String,
+}
+
+/// POST /slice/conf body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ConfReq {
+    /// Target agent.
+    pub agent: AgentId,
+    /// Slices to add/modify.
+    pub slices: Vec<SliceDto>,
+}
+
+/// POST /slice/assoc body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct AssocReq {
+    /// Target agent.
+    pub agent: AgentId,
+    /// `(rnti, slice id)` pairs.
+    pub assoc: Vec<(u16, u32)>,
+}
+
+/// POST /slice/del body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DelReq {
+    /// Target agent.
+    pub agent: AgentId,
+    /// Slice ids to delete.
+    pub ids: Vec<u32>,
+}
+
+/// Outcome of a relayed control command.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CtrlReply {
+    /// Whether the agent acknowledged.
+    pub ok: bool,
+    /// Failure detail, if any.
+    #[serde(default)]
+    pub detail: String,
+}
+
+// ---------------------------------------------------------------------------
+// The SC SM manager iApp
+// ---------------------------------------------------------------------------
+
+/// Custom message: relay a slice-control command and reply when the agent
+/// acknowledges.
+pub struct ApplySliceCtrl {
+    /// Target agent.
+    pub agent: AgentId,
+    /// The command.
+    pub ctrl: SliceCtrl,
+    /// Reply channel.
+    pub reply: oneshot::Sender<CtrlReply>,
+}
+
+/// The SC SM manager iApp: subscribes to slice statistics on every agent
+/// exposing the SC SM and relays commands from the REST northbound.
+pub struct SliceApp {
+    sm_codec: SmCodec,
+    stats_period_ms: u32,
+    latest: Arc<Mutex<HashMap<AgentId, SliceStatsInd>>>,
+    pending: HashMap<(AgentId, RicRequestId), oneshot::Sender<CtrlReply>>,
+}
+
+impl SliceApp {
+    /// Creates the iApp; the returned handle reads the latest stats.
+    pub fn new(
+        sm_codec: SmCodec,
+        stats_period_ms: u32,
+    ) -> (Self, Arc<Mutex<HashMap<AgentId, SliceStatsInd>>>) {
+        let latest = Arc::new(Mutex::new(HashMap::new()));
+        (
+            SliceApp { sm_codec, stats_period_ms, latest: latest.clone(), pending: HashMap::new() },
+            latest,
+        )
+    }
+}
+
+impl IApp for SliceApp {
+    fn name(&self) -> &str {
+        "slice"
+    }
+
+    fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
+        if let Some(f) = agent.function_by_oid(oid::SLICE_CTRL) {
+            let trigger =
+                Bytes::from(ReportTrigger::every_ms(self.stats_period_ms).encode(self.sm_codec));
+            api.subscribe_report(agent.id, f.id, trigger);
+        }
+    }
+
+    fn on_agent_disconnected(&mut self, _api: &mut ServerApi, agent: AgentId) {
+        self.latest.lock().remove(&agent);
+        self.pending.retain(|(a, _), _| *a != agent);
+    }
+
+    fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
+        let Ok((_, msg)) = ind.sm_payload() else { return };
+        if let Ok(stats) = SliceStatsInd::decode(self.sm_codec, msg) {
+            self.latest.lock().insert(agent, stats);
+        }
+    }
+
+    fn on_control_outcome(&mut self, _api: &mut ServerApi, agent: AgentId, out: &CtrlOutcome) {
+        let (req_id, reply) = match out {
+            CtrlOutcome::Ack(ack) => (ack.req_id, CtrlReply { ok: true, detail: String::new() }),
+            CtrlOutcome::Failed(f) => (
+                f.req_id,
+                CtrlReply { ok: false, detail: format!("{:?}", f.cause) },
+            ),
+        };
+        if let Some(tx) = self.pending.remove(&(agent, req_id)) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn Any + Send>) {
+        let Ok(cmd) = msg.downcast::<ApplySliceCtrl>() else { return };
+        let ApplySliceCtrl { agent, ctrl, reply } = *cmd;
+        let Some(rf_id) = api
+            .randb()
+            .agent(agent)
+            .and_then(|a| a.function_by_oid(oid::SLICE_CTRL))
+            .map(|f| f.id)
+        else {
+            let _ = reply
+                .send(CtrlReply { ok: false, detail: format!("agent {agent} has no SC SM") });
+            return;
+        };
+        let msg = Bytes::from(ctrl.encode(self.sm_codec));
+        let req_id =
+            api.control(agent, rf_id, Bytes::new(), msg, Some(ControlAckRequest::Ack));
+        self.pending.insert((agent, req_id), reply);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// REST northbound
+// ---------------------------------------------------------------------------
+
+async fn relay(server: &ServerHandle, agent: AgentId, ctrl: SliceCtrl) -> Response {
+    let (tx, rx) = oneshot::channel();
+    server.to_iapp("slice", Box::new(ApplySliceCtrl { agent, ctrl, reply: tx }));
+    match tokio::time::timeout(std::time::Duration::from_secs(5), rx).await {
+        Ok(Ok(reply)) if reply.ok => Response::json(&reply),
+        Ok(Ok(reply)) => Response { status: 400, ..Response::json(&reply) },
+        _ => Response::error(500, "control relay timed out"),
+    }
+}
+
+/// Builds the REST router of the slicing controller and binds it.
+///
+/// Routes:
+/// * `GET  /slices` — latest slice statistics per agent,
+/// * `GET  /agents` — connected agents,
+/// * `POST /slice/algo` — select the slice algorithm ([`AlgoReq`]),
+/// * `POST /slice/conf` — add/modify slices ([`ConfReq`]),
+/// * `POST /slice/assoc` — associate UEs ([`AssocReq`]),
+/// * `POST /slice/del` — delete slices ([`DelReq`]).
+pub async fn spawn_rest(
+    listen: &str,
+    server: ServerHandle,
+    latest: Arc<Mutex<HashMap<AgentId, SliceStatsInd>>>,
+) -> std::io::Result<HttpServer> {
+    let s1 = server.clone();
+    let s2 = server.clone();
+    let s3 = server.clone();
+    let s4 = server.clone();
+    let s5 = server.clone();
+    let router = Router::new()
+        .route("GET", "/slices", move |_req| {
+            let latest = latest.clone();
+            async move {
+                #[derive(Serialize)]
+                struct Entry {
+                    agent: AgentId,
+                    algo: String,
+                    slices: Vec<serde_json::Value>,
+                    ue_assoc: Vec<(u16, u32)>,
+                }
+                let table = latest.lock();
+                let entries: Vec<Entry> = table
+                    .iter()
+                    .map(|(agent, st)| Entry {
+                        agent: *agent,
+                        algo: format!("{:?}", st.algo),
+                        slices: st
+                            .slices
+                            .iter()
+                            .map(|s| {
+                                serde_json::json!({
+                                    "id": s.conf.id,
+                                    "label": s.conf.label,
+                                    "params": SliceParamsDto::from_sm(&s.conf.params),
+                                    "alloc_prbs": s.alloc_prbs,
+                                    "thr_kbps": s.thr_kbps,
+                                    "num_ues": s.num_ues,
+                                })
+                            })
+                            .collect(),
+                        ue_assoc: st.ue_assoc.clone(),
+                    })
+                    .collect();
+                Response::json(&entries)
+            }
+        })
+        .route("GET", "/agents", move |_req| {
+            let server = s5.clone();
+            async move {
+                match server.agents().await {
+                    Ok(agents) => {
+                        let list: Vec<serde_json::Value> = agents
+                            .iter()
+                            .map(|a| {
+                                serde_json::json!({
+                                    "id": a.id,
+                                    "node": a.node.to_string(),
+                                    "functions": a.functions.iter()
+                                        .map(|f| f.oid.clone()).collect::<Vec<_>>(),
+                                })
+                            })
+                            .collect();
+                        Response::json(&list)
+                    }
+                    Err(_) => Response::error(500, "server gone"),
+                }
+            }
+        })
+        .route("POST", "/slice/algo", move |req: Request| {
+            let server = s1.clone();
+            async move {
+                let Ok(body) = req.json::<AlgoReq>() else {
+                    return Response::error(400, "bad body");
+                };
+                let algo = match body.algo.as_str() {
+                    "none" => SliceAlgo::None,
+                    "static" => SliceAlgo::Static,
+                    "nvs" => SliceAlgo::Nvs,
+                    "nvs_nosharing" => SliceAlgo::NvsNoSharing,
+                    other => return Response::error(400, format!("unknown algo {other}")),
+                };
+                relay(&server, body.agent, SliceCtrl::SetAlgo { algo }).await
+            }
+        })
+        .route("POST", "/slice/conf", move |req: Request| {
+            let server = s2.clone();
+            async move {
+                let Ok(body) = req.json::<ConfReq>() else {
+                    return Response::error(400, "bad body");
+                };
+                let slices = body.slices.iter().map(|s| s.to_sm()).collect();
+                relay(&server, body.agent, SliceCtrl::AddModSlices { slices }).await
+            }
+        })
+        .route("POST", "/slice/assoc", move |req: Request| {
+            let server = s3.clone();
+            async move {
+                let Ok(body) = req.json::<AssocReq>() else {
+                    return Response::error(400, "bad body");
+                };
+                relay(&server, body.agent, SliceCtrl::AssocUeSlice { assoc: body.assoc }).await
+            }
+        })
+        .route("POST", "/slice/del", move |req: Request| {
+            let server = s4.clone();
+            async move {
+                let Ok(body) = req.json::<DelReq>() else {
+                    return Response::error(400, "bad body");
+                };
+                relay(&server, body.agent, SliceCtrl::DelSlices { ids: body.ids }).await
+            }
+        });
+    HttpServer::spawn(listen, router).await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dto_conversion_roundtrip() {
+        let dto = SliceDto {
+            id: 3,
+            label: "op-a".into(),
+            params: SliceParamsDto::NvsCapacity { share_pct: 66.0 },
+            sched: "rr".into(),
+        };
+        let sm = dto.to_sm();
+        assert_eq!(sm.id, 3);
+        assert_eq!(sm.params, SliceParams::NvsCapacity { share_milli: 660 });
+        assert_eq!(sm.ue_sched, UeSchedAlgo::RoundRobin);
+
+        let back = SliceParamsDto::from_sm(&sm.params);
+        match back {
+            SliceParamsDto::NvsCapacity { share_pct } => assert!((share_pct - 66.0).abs() < 1e-9),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn rate_dto_conversion() {
+        let dto = SliceParamsDto::NvsRate { rate_mbps: 5.0, ref_mbps: 50.0 };
+        assert_eq!(dto.to_sm(), SliceParams::NvsRate { rate_kbps: 5_000, ref_kbps: 50_000 });
+        let stat = SliceParamsDto::StaticRb { lo: 0, hi: 24 };
+        assert_eq!(stat.to_sm(), SliceParams::StaticRb { lo: 0, hi: 24 });
+    }
+
+    #[test]
+    fn share_clamped() {
+        let dto = SliceParamsDto::NvsCapacity { share_pct: 250.0 };
+        assert_eq!(dto.to_sm(), SliceParams::NvsCapacity { share_milli: 1000 });
+    }
+}

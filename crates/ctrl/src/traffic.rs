@@ -1,0 +1,514 @@
+//! The flow-based traffic controller (paper §6.1.1, Table 3).
+//!
+//! Components, mirroring the paper's Table 3: the xApp is a custom program
+//! speaking the broker protocol (libhiredis in the paper) and REST
+//! (libcurl); the communication interface is the message broker for
+//! statistics push plus REST POST for commands; the iApps are an RLC/TC
+//! statistics forwarder and a TC SM manager relaying commands.
+//!
+//! [`BloatGuardXapp`] is the paper's example xApp: it watches the sojourn
+//! time of the low-latency flow's bearer and, once it exceeds a limit,
+//! performs the three actions of §6.1.1 — create a second FIFO queue,
+//! install a 5-tuple filter segregating the low-latency flow, and load the
+//! 5G-BDP pacer (the scheduler stays round-robin).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use tokio::sync::oneshot;
+
+use flexric::server::{AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle};
+use flexric_e2ap::{ControlAckRequest, RicRequestId};
+use flexric_sm::tc::{FiveTupleRule, PacerConf, QueueKind, TcCtrl, TcStatsInd};
+use flexric_sm::{oid, rlc::RlcStatsInd, ReportTrigger, SmCodec, SmPayload};
+use flexric_xapp::broker::BrokerClient;
+use flexric_xapp::http::{HttpClient, HttpServer, Request, Response, Router};
+
+use crate::ranfun::BearerAddr;
+use crate::slicing::CtrlReply;
+
+/// Broker channel carrying RLC statistics (JSON).
+pub const CHAN_RLC: &str = "stats.rlc";
+/// Broker channel carrying TC statistics (JSON).
+pub const CHAN_TC: &str = "stats.tc";
+
+/// JSON form of an RLC bearer snapshot pushed on the broker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RlcStatsDto {
+    /// Source agent.
+    pub agent: AgentId,
+    /// Snapshot time (ms).
+    pub tstamp_ms: u64,
+    /// UE.
+    pub rnti: u16,
+    /// Bearer.
+    pub drb: u8,
+    /// Buffer occupancy in bytes.
+    pub buffer_bytes: u64,
+    /// Average sojourn (µs).
+    pub sojourn_us_avg: u64,
+    /// Maximum sojourn (µs).
+    pub sojourn_us_max: u64,
+    /// Drops in the window.
+    pub dropped_pdus: u64,
+}
+
+/// JSON form of a TC snapshot pushed on the broker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcStatsDto {
+    /// Source agent.
+    pub agent: AgentId,
+    /// Snapshot time (ms).
+    pub tstamp_ms: u64,
+    /// UE.
+    pub rnti: u16,
+    /// Bearer.
+    pub drb: u8,
+    /// Per-queue `(id, backlog bytes, avg sojourn µs, drops)`.
+    pub queues: Vec<(u32, u64, u64, u64)>,
+    /// Pacer release rate (kbit/s).
+    pub pacer_rate_kbps: u64,
+}
+
+// ---------------------------------------------------------------------------
+// iApp 1: statistics forwarder (RLC + TC → broker)
+// ---------------------------------------------------------------------------
+
+/// Forwards RLC and TC statistics to the message broker, as the paper's
+/// "RLC, TC stats forwarder (Redis)" iApp.
+pub struct StatsForwarderApp {
+    sm_codec: SmCodec,
+    period_ms: u32,
+    broker_addr: String,
+    publisher: Arc<tokio::sync::Mutex<Option<BrokerClient>>>,
+    /// (agent, req) → is_tc
+    req_kind: HashMap<(AgentId, RicRequestId), bool>,
+    /// Bearers to watch with the TC SM, configured by the experiment.
+    tc_watch: Vec<BearerAddr>,
+}
+
+impl StatsForwarderApp {
+    /// Creates the forwarder; `tc_watch` lists bearers whose TC stats to
+    /// subscribe to.
+    pub fn new(
+        sm_codec: SmCodec,
+        period_ms: u32,
+        broker_addr: String,
+        tc_watch: Vec<BearerAddr>,
+    ) -> Self {
+        StatsForwarderApp {
+            sm_codec,
+            period_ms,
+            broker_addr,
+            publisher: Arc::new(tokio::sync::Mutex::new(None)),
+            req_kind: HashMap::new(),
+            tc_watch,
+        }
+    }
+
+    fn publish(&self, channel: &'static str, payload: Vec<u8>) {
+        let publisher = self.publisher.clone();
+        let addr = self.broker_addr.clone();
+        tokio::spawn(async move {
+            let mut guard = publisher.lock().await;
+            if guard.is_none() {
+                *guard = BrokerClient::connect(&addr).await.ok();
+            }
+            if let Some(client) = guard.as_mut() {
+                if client.publish(channel, &payload).await.is_err() {
+                    *guard = None; // reconnect next time
+                }
+            }
+        });
+    }
+}
+
+impl IApp for StatsForwarderApp {
+    fn name(&self) -> &str {
+        "stats-forwarder"
+    }
+
+    fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
+        let trigger = Bytes::from(ReportTrigger::every_ms(self.period_ms).encode(self.sm_codec));
+        if let Some(f) = agent.function_by_oid(oid::RLC_STATS) {
+            let req = api.subscribe_report(agent.id, f.id, trigger.clone());
+            self.req_kind.insert((agent.id, req), false);
+        }
+        if let Some(f) = agent.function_by_oid(oid::TC_CTRL) {
+            for bearer in &self.tc_watch {
+                let req = api.subscribe(
+                    agent.id,
+                    f.id,
+                    trigger.clone(),
+                    vec![flexric_e2ap::RicActionToBeSetup {
+                        id: flexric_e2ap::RicActionId(0),
+                        action_type: flexric_e2ap::RicActionType::Report,
+                        definition: Some(bearer.encode()),
+                        subsequent: None,
+                    }],
+                );
+                self.req_kind.insert((agent.id, req), true);
+            }
+        }
+    }
+
+    fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
+        let Ok((_, msg)) = ind.sm_payload() else { return };
+        let is_tc = self.req_kind.get(&(agent, ind.req_id())).copied();
+        match is_tc {
+            Some(false) => {
+                if let Ok(stats) = RlcStatsInd::decode(self.sm_codec, msg) {
+                    for b in &stats.bearers {
+                        let dto = RlcStatsDto {
+                            agent,
+                            tstamp_ms: stats.tstamp_ms,
+                            rnti: b.rnti,
+                            drb: b.drb_id,
+                            buffer_bytes: b.buffer_bytes,
+                            sojourn_us_avg: b.sojourn_us_avg,
+                            sojourn_us_max: b.sojourn_us_max,
+                            dropped_pdus: b.dropped_pdus,
+                        };
+                        if let Ok(json) = serde_json::to_vec(&dto) {
+                            self.publish(CHAN_RLC, json);
+                        }
+                    }
+                }
+            }
+            Some(true) => {
+                if let Ok(stats) = TcStatsInd::decode(self.sm_codec, msg) {
+                    let dto = TcStatsDto {
+                        agent,
+                        tstamp_ms: stats.tstamp_ms,
+                        rnti: stats.rnti,
+                        drb: stats.drb_id,
+                        queues: stats
+                            .queues
+                            .iter()
+                            .map(|q| (q.id, q.backlog_bytes, q.sojourn_us_avg, q.drops))
+                            .collect(),
+                        pacer_rate_kbps: stats.pacer_rate_kbps,
+                    };
+                    if let Ok(json) = serde_json::to_vec(&dto) {
+                        self.publish(CHAN_TC, json);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// iApp 2: TC SM manager (REST command relay)
+// ---------------------------------------------------------------------------
+
+/// Custom message: relay a TC command to a bearer.
+pub struct ApplyTcCtrl {
+    /// Target agent.
+    pub agent: AgentId,
+    /// Target bearer.
+    pub bearer: BearerAddr,
+    /// The command.
+    pub ctrl: TcCtrl,
+    /// Reply channel.
+    pub reply: oneshot::Sender<CtrlReply>,
+}
+
+/// Relays TC SM commands arriving over REST into control requests.
+pub struct TcManagerApp {
+    sm_codec: SmCodec,
+    pending: HashMap<(AgentId, RicRequestId), oneshot::Sender<CtrlReply>>,
+}
+
+impl TcManagerApp {
+    /// Creates the manager.
+    pub fn new(sm_codec: SmCodec) -> Self {
+        TcManagerApp { sm_codec, pending: HashMap::new() }
+    }
+}
+
+impl IApp for TcManagerApp {
+    fn name(&self) -> &str {
+        "tc-manager"
+    }
+
+    fn on_control_outcome(&mut self, _api: &mut ServerApi, agent: AgentId, out: &CtrlOutcome) {
+        let (req_id, reply) = match out {
+            CtrlOutcome::Ack(ack) => (ack.req_id, CtrlReply { ok: true, detail: String::new() }),
+            CtrlOutcome::Failed(f) => {
+                (f.req_id, CtrlReply { ok: false, detail: format!("{:?}", f.cause) })
+            }
+        };
+        if let Some(tx) = self.pending.remove(&(agent, req_id)) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn Any + Send>) {
+        let Ok(cmd) = msg.downcast::<ApplyTcCtrl>() else { return };
+        let ApplyTcCtrl { agent, bearer, ctrl, reply } = *cmd;
+        let Some(rf_id) = api
+            .randb()
+            .agent(agent)
+            .and_then(|a| a.function_by_oid(oid::TC_CTRL))
+            .map(|f| f.id)
+        else {
+            let _ =
+                reply.send(CtrlReply { ok: false, detail: format!("agent {agent} has no TC SM") });
+            return;
+        };
+        let msg = Bytes::from(ctrl.encode(self.sm_codec));
+        let req_id =
+            api.control(agent, rf_id, bearer.encode(), msg, Some(ControlAckRequest::Ack));
+        self.pending.insert((agent, req_id), reply);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// REST northbound
+// ---------------------------------------------------------------------------
+
+/// POST /tc/cmd body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TcCmdReq {
+    /// Target agent.
+    pub agent: AgentId,
+    /// Target UE.
+    pub rnti: u16,
+    /// Target bearer.
+    pub drb: u8,
+    /// The command.
+    pub cmd: TcCmdDto,
+}
+
+/// JSON form of TC commands.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum TcCmdDto {
+    /// Add a FIFO queue.
+    AddQueue {
+        /// Queue id.
+        id: u32,
+        /// Capacity in bytes (0 = unbounded).
+        #[serde(default)]
+        cap_bytes: u32,
+    },
+    /// Delete a queue.
+    DelQueue {
+        /// Queue id.
+        id: u32,
+    },
+    /// Add a 5-tuple rule.
+    AddRule {
+        /// Rule id.
+        id: u32,
+        /// Target queue.
+        queue: u32,
+        /// Destination port match.
+        #[serde(default)]
+        dst_port: Option<u16>,
+        /// Protocol match.
+        #[serde(default)]
+        proto: Option<u8>,
+        /// Source IP match.
+        #[serde(default)]
+        src_ip: Option<u32>,
+        /// Destination IP match.
+        #[serde(default)]
+        dst_ip: Option<u32>,
+        /// Source port match.
+        #[serde(default)]
+        src_port: Option<u16>,
+    },
+    /// Delete a rule.
+    DelRule {
+        /// Rule id.
+        id: u32,
+    },
+    /// Load the 5G-BDP pacer.
+    SetBdpPacer {
+        /// Target RLC sojourn (µs).
+        target_delay_us: u32,
+    },
+    /// Remove the pacer (transparent mode).
+    ClearPacer,
+}
+
+impl TcCmdDto {
+    /// Converts to the SM representation.
+    pub fn to_sm(&self) -> TcCtrl {
+        match self {
+            TcCmdDto::AddQueue { id, cap_bytes } => {
+                TcCtrl::AddQueue { id: *id, kind: QueueKind::Fifo { cap_bytes: *cap_bytes } }
+            }
+            TcCmdDto::DelQueue { id } => TcCtrl::DelQueue { id: *id },
+            TcCmdDto::AddRule { id, queue, dst_port, proto, src_ip, dst_ip, src_port } => {
+                TcCtrl::AddRule {
+                    rule: FiveTupleRule {
+                        id: *id,
+                        src_ip: *src_ip,
+                        dst_ip: *dst_ip,
+                        src_port: *src_port,
+                        dst_port: *dst_port,
+                        proto: *proto,
+                    },
+                    queue: *queue,
+                    precedence: *id,
+                }
+            }
+            TcCmdDto::DelRule { id } => TcCtrl::DelRule { rule_id: *id },
+            TcCmdDto::SetBdpPacer { target_delay_us } => {
+                TcCtrl::SetPacer { pacer: PacerConf::Bdp { target_delay_us: *target_delay_us } }
+            }
+            TcCmdDto::ClearPacer => TcCtrl::SetPacer { pacer: PacerConf::None },
+        }
+    }
+}
+
+/// Binds the TC controller's REST northbound (`POST /tc/cmd`).
+pub async fn spawn_rest(listen: &str, server: ServerHandle) -> std::io::Result<HttpServer> {
+    let router = Router::new().route("POST", "/tc/cmd", move |req: Request| {
+        let server = server.clone();
+        async move {
+            let Ok(body) = req.json::<TcCmdReq>() else {
+                return Response::error(400, "bad body");
+            };
+            let (tx, rx) = oneshot::channel();
+            server.to_iapp(
+                "tc-manager",
+                Box::new(ApplyTcCtrl {
+                    agent: body.agent,
+                    bearer: BearerAddr { rnti: body.rnti, drb: body.drb },
+                    ctrl: body.cmd.to_sm(),
+                    reply: tx,
+                }),
+            );
+            match tokio::time::timeout(std::time::Duration::from_secs(5), rx).await {
+                Ok(Ok(reply)) if reply.ok => Response::json(&reply),
+                Ok(Ok(reply)) => Response { status: 400, ..Response::json(&reply) },
+                _ => Response::error(500, "control relay timed out"),
+            }
+        }
+    });
+    HttpServer::spawn(listen, router).await
+}
+
+// ---------------------------------------------------------------------------
+// The example xApp
+// ---------------------------------------------------------------------------
+
+/// Configuration of the bufferbloat-guard xApp.
+#[derive(Debug, Clone)]
+pub struct BloatGuardConfig {
+    /// Broker address to subscribe to.
+    pub broker_addr: String,
+    /// REST address of the TC controller.
+    pub rest_addr: String,
+    /// Sojourn limit (µs) above which the xApp intervenes.
+    pub sojourn_limit_us: u64,
+    /// The low-latency flow to protect: destination port.
+    pub protect_dst_port: u16,
+    /// The low-latency flow's protocol.
+    pub protect_proto: u8,
+    /// BDP pacer target (µs).
+    pub pacer_target_us: u32,
+}
+
+/// Runs the xApp until it has intervened once; returns the bearer it
+/// reconfigured.  The logic is exactly the paper's: on sustained sojourn
+/// above the limit, create queue 1, install the 5-tuple filter for the
+/// low-latency flow, and load the 5G-BDP pacer.
+pub async fn run_bloat_guard(cfg: BloatGuardConfig) -> std::io::Result<(AgentId, u16, u8)> {
+    let mut sub = BrokerClient::connect(&cfg.broker_addr).await?;
+    sub.subscribe(CHAN_RLC).await?;
+    loop {
+        let Some((_chan, msg)) = sub.recv().await else {
+            return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "broker closed"));
+        };
+        let Ok(dto) = serde_json::from_slice::<RlcStatsDto>(&msg) else { continue };
+        if dto.sojourn_us_avg < cfg.sojourn_limit_us {
+            continue;
+        }
+        // Intervene: the three actions of §6.1.1.
+        let cmds = [
+            TcCmdDto::AddQueue { id: 1, cap_bytes: 0 },
+            TcCmdDto::AddRule {
+                id: 1,
+                queue: 1,
+                dst_port: Some(cfg.protect_dst_port),
+                proto: Some(cfg.protect_proto),
+                src_ip: None,
+                dst_ip: None,
+                src_port: None,
+            },
+            TcCmdDto::SetBdpPacer { target_delay_us: cfg.pacer_target_us },
+        ];
+        for cmd in cmds {
+            let body = TcCmdReq { agent: dto.agent, rnti: dto.rnti, drb: dto.drb, cmd };
+            let (status, resp) =
+                HttpClient::post_json(&cfg.rest_addr, "/tc/cmd", &body).await?;
+            if status != 200 {
+                return Err(std::io::Error::other(format!(
+                    "tc command rejected: {status} {}",
+                    String::from_utf8_lossy(&resp)
+                )));
+            }
+        }
+        return Ok((dto.agent, dto.rnti, dto.drb));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tc_cmd_dto_conversion() {
+        assert_eq!(
+            TcCmdDto::AddQueue { id: 1, cap_bytes: 0 }.to_sm(),
+            TcCtrl::AddQueue { id: 1, kind: QueueKind::Fifo { cap_bytes: 0 } }
+        );
+        assert_eq!(
+            TcCmdDto::SetBdpPacer { target_delay_us: 10_000 }.to_sm(),
+            TcCtrl::SetPacer { pacer: PacerConf::Bdp { target_delay_us: 10_000 } }
+        );
+        assert_eq!(TcCmdDto::ClearPacer.to_sm(), TcCtrl::SetPacer { pacer: PacerConf::None });
+        let rule = TcCmdDto::AddRule {
+            id: 7,
+            queue: 1,
+            dst_port: Some(5004),
+            proto: Some(17),
+            src_ip: None,
+            dst_ip: None,
+            src_port: None,
+        }
+        .to_sm();
+        match rule {
+            TcCtrl::AddRule { rule, queue, .. } => {
+                assert_eq!(queue, 1);
+                assert_eq!(rule.dst_port, Some(5004));
+                assert_eq!(rule.proto, Some(17));
+                assert_eq!(rule.src_ip, None);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn dto_json_shapes() {
+        let req: TcCmdReq = serde_json::from_str(
+            r#"{"agent":0,"rnti":17921,"drb":1,
+                "cmd":{"op":"add_rule","id":1,"queue":1,"dst_port":5004,"proto":17}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.rnti, 17921);
+        match req.cmd {
+            TcCmdDto::AddRule { queue, .. } => assert_eq!(queue, 1),
+            _ => panic!("wrong op"),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! E2AP cause values: every failure message carries a structured reason.
+
+/// RIC-request-related causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RicCause {
+    /// The addressed RAN function id is not registered at the E2 node.
+    RanFunctionIdInvalid = 0,
+    /// The action requested is not supported by the RAN function.
+    ActionNotSupported = 1,
+    /// More actions than the function can serve concurrently.
+    ExcessiveActions = 2,
+    /// A subscription with the same request id already exists.
+    DuplicateAction = 3,
+    /// The event trigger could not be parsed by the service model.
+    UnsupportedEventTrigger = 4,
+    /// Function-level admission control rejected the request (e.g. the SLA
+    /// budget of a slicing subscription is exhausted, paper §4.1.2).
+    FunctionResourceLimit = 5,
+    /// The request referenced an unknown subscription.
+    RequestIdUnknown = 6,
+    /// Inconsistency between action type and subsequent-action presence.
+    InconsistentActionSubsequentActionSequence = 7,
+    /// A control message failed validation inside the service model.
+    ControlMessageInvalid = 8,
+    /// A call process id was not recognized.
+    CallProcessIdInvalid = 9,
+    /// Catch-all.
+    Unspecified = 10,
+}
+
+/// RIC-service-related causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RicServiceCause {
+    /// The RAN function definition could not be parsed.
+    FunctionNotRequired = 0,
+    /// Too many RAN functions for this RIC.
+    ExcessiveFunctions = 1,
+    /// RIC cannot serve the function revision.
+    RicResourceLimit = 2,
+}
+
+/// Transport-layer causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TransportCause {
+    /// Catch-all.
+    Unspecified = 0,
+    /// The transport resource ran out (e.g. stream exhaustion).
+    TransportResourceUnavailable = 1,
+}
+
+/// Protocol-level causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ProtocolCause {
+    /// Transfer syntax (encoding) error.
+    TransferSyntaxError = 0,
+    /// Abstract syntax error, reject.
+    AbstractSyntaxErrorReject = 1,
+    /// Abstract syntax error, ignore and notify.
+    AbstractSyntaxErrorIgnoreAndNotify = 2,
+    /// Message not compatible with receiver state.
+    MessageNotCompatibleWithReceiverState = 3,
+    /// Semantic error.
+    SemanticError = 4,
+    /// Falsely constructed message.
+    AbstractSyntaxErrorFalselyConstructedMessage = 5,
+    /// Catch-all.
+    Unspecified = 6,
+}
+
+/// Miscellaneous causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MiscCause {
+    /// Control processing overload.
+    ControlProcessingOverload = 0,
+    /// Hardware failure.
+    HardwareFailure = 1,
+    /// Operator intervention.
+    OmIntervention = 2,
+    /// Catch-all.
+    Unspecified = 3,
+}
+
+/// An E2AP cause: a choice over the five cause groups of the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cause {
+    /// RIC request group.
+    Ric(RicCause),
+    /// RIC service group.
+    RicService(RicServiceCause),
+    /// Transport group.
+    Transport(TransportCause),
+    /// Protocol group.
+    Protocol(ProtocolCause),
+    /// Miscellaneous group.
+    Misc(MiscCause),
+}
+
+impl Cause {
+    /// Group discriminant used by codecs (choice index).
+    pub fn group(&self) -> u8 {
+        match self {
+            Cause::Ric(_) => 0,
+            Cause::RicService(_) => 1,
+            Cause::Transport(_) => 2,
+            Cause::Protocol(_) => 3,
+            Cause::Misc(_) => 4,
+        }
+    }
+
+    /// Value discriminant within the group.
+    pub fn value(&self) -> u8 {
+        match self {
+            Cause::Ric(c) => *c as u8,
+            Cause::RicService(c) => *c as u8,
+            Cause::Transport(c) => *c as u8,
+            Cause::Protocol(c) => *c as u8,
+            Cause::Misc(c) => *c as u8,
+        }
+    }
+
+    /// Reconstructs a cause from its `(group, value)` discriminants.
+    pub fn from_parts(group: u8, value: u8) -> Option<Cause> {
+        Some(match group {
+            0 => Cause::Ric(match value {
+                0 => RicCause::RanFunctionIdInvalid,
+                1 => RicCause::ActionNotSupported,
+                2 => RicCause::ExcessiveActions,
+                3 => RicCause::DuplicateAction,
+                4 => RicCause::UnsupportedEventTrigger,
+                5 => RicCause::FunctionResourceLimit,
+                6 => RicCause::RequestIdUnknown,
+                7 => RicCause::InconsistentActionSubsequentActionSequence,
+                8 => RicCause::ControlMessageInvalid,
+                9 => RicCause::CallProcessIdInvalid,
+                10 => RicCause::Unspecified,
+                _ => return None,
+            }),
+            1 => Cause::RicService(match value {
+                0 => RicServiceCause::FunctionNotRequired,
+                1 => RicServiceCause::ExcessiveFunctions,
+                2 => RicServiceCause::RicResourceLimit,
+                _ => return None,
+            }),
+            2 => Cause::Transport(match value {
+                0 => TransportCause::Unspecified,
+                1 => TransportCause::TransportResourceUnavailable,
+                _ => return None,
+            }),
+            3 => Cause::Protocol(match value {
+                0 => ProtocolCause::TransferSyntaxError,
+                1 => ProtocolCause::AbstractSyntaxErrorReject,
+                2 => ProtocolCause::AbstractSyntaxErrorIgnoreAndNotify,
+                3 => ProtocolCause::MessageNotCompatibleWithReceiverState,
+                4 => ProtocolCause::SemanticError,
+                5 => ProtocolCause::AbstractSyntaxErrorFalselyConstructedMessage,
+                6 => ProtocolCause::Unspecified,
+                _ => return None,
+            }),
+            4 => Cause::Misc(match value {
+                0 => MiscCause::ControlProcessingOverload,
+                1 => MiscCause::HardwareFailure,
+                2 => MiscCause::OmIntervention,
+                3 => MiscCause::Unspecified,
+                _ => return None,
+            }),
+            _ => return None,
+        })
+    }
+
+    /// Every cause value, used by exhaustive codec round-trip tests.
+    pub fn all() -> Vec<Cause> {
+        let mut out = Vec::new();
+        for g in 0..5u8 {
+            for v in 0..16u8 {
+                if let Some(c) = Cause::from_parts(g, v) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Cause {
+    fn default() -> Self {
+        Cause::Misc(MiscCause::Unspecified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_roundtrip_all() {
+        let all = Cause::all();
+        assert!(all.len() >= 25, "expected full cause coverage, got {}", all.len());
+        for c in all {
+            assert_eq!(Cause::from_parts(c.group(), c.value()), Some(c));
+        }
+    }
+
+    #[test]
+    fn invalid_parts_rejected() {
+        assert_eq!(Cause::from_parts(5, 0), None);
+        assert_eq!(Cause::from_parts(0, 99), None);
+        assert_eq!(Cause::from_parts(1, 3), None);
+        assert_eq!(Cause::from_parts(2, 2), None);
+        assert_eq!(Cause::from_parts(3, 7), None);
+        assert_eq!(Cause::from_parts(4, 4), None);
+    }
+
+    #[test]
+    fn groups_are_distinct() {
+        assert_ne!(Cause::Ric(RicCause::Unspecified), Cause::Misc(MiscCause::Unspecified));
+        assert_eq!(Cause::default().group(), 4);
+    }
+}

@@ -1,0 +1,301 @@
+//! Identifier types shared by all E2AP procedures.
+
+use std::fmt;
+
+/// A Public Land Mobile Network identifier (MCC + MNC).
+///
+/// A PLMN identifies an operator; the recursive virtualization controller of
+/// the paper (§6.2) partitions UEs between tenant controllers by PLMN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Plmn {
+    /// Mobile Country Code, `0..=999`.
+    pub mcc: u16,
+    /// Mobile Network Code, `0..=999`.
+    pub mnc: u16,
+    /// Number of MNC digits (2 or 3); part of the 3GPP encoding.
+    pub mnc_digits: u8,
+}
+
+impl Plmn {
+    /// Creates a PLMN, clamping fields into their 3GPP ranges.
+    pub fn new(mcc: u16, mnc: u16, mnc_digits: u8) -> Self {
+        Plmn {
+            mcc: mcc.min(999),
+            mnc: mnc.min(999),
+            mnc_digits: if mnc_digits >= 3 { 3 } else { 2 },
+        }
+    }
+
+    /// The test PLMN used throughout the examples (001/01).
+    pub const TEST: Plmn = Plmn { mcc: 1, mnc: 1, mnc_digits: 2 };
+}
+
+impl fmt::Display for Plmn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mnc_digits == 3 {
+            write!(f, "{:03}.{:03}", self.mcc, self.mnc)
+        } else {
+            write!(f, "{:03}.{:02}", self.mcc, self.mnc)
+        }
+    }
+}
+
+/// The kind of E2 node behind an agent.
+///
+/// E2 nodes can be monolithic base stations or parts of a disaggregated
+/// deployment (CU/DU).  The server library's RAN management merges CU and DU
+/// agents carrying the same `(plmn, node_id)` into a single RAN entity
+/// (paper §4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum E2NodeType {
+    /// Monolithic 4G eNodeB.
+    Enb = 0,
+    /// Monolithic 5G gNodeB.
+    Gnb = 1,
+    /// 5G Centralized Unit.
+    GnbCu = 2,
+    /// 5G Distributed Unit.
+    GnbDu = 3,
+    /// 4G Centralized Unit.
+    EnbCu = 4,
+    /// 4G Distributed Unit.
+    EnbDu = 5,
+    /// ng-eNB (4G base station connected to a 5G core).
+    NgEnb = 6,
+}
+
+impl E2NodeType {
+    /// All node types, in discriminant order.
+    pub const ALL: [E2NodeType; 7] = [
+        E2NodeType::Enb,
+        E2NodeType::Gnb,
+        E2NodeType::GnbCu,
+        E2NodeType::GnbDu,
+        E2NodeType::EnbCu,
+        E2NodeType::EnbDu,
+        E2NodeType::NgEnb,
+    ];
+
+    /// Decodes a discriminant produced by [`E2NodeType as u8`].
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// Whether this node type is part of a disaggregated base station.
+    pub fn is_split(self) -> bool {
+        matches!(
+            self,
+            E2NodeType::GnbCu | E2NodeType::GnbDu | E2NodeType::EnbCu | E2NodeType::EnbDu
+        )
+    }
+}
+
+/// Globally unique identifier of an E2 node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalE2NodeId {
+    /// Operator owning the node.
+    pub plmn: Plmn,
+    /// Node kind (monolithic or CU/DU part).
+    pub node_type: E2NodeType,
+    /// gNB/eNB identity (up to 36 bits per 3GPP).
+    pub node_id: u64,
+}
+
+impl GlobalE2NodeId {
+    /// Creates a node id, masking `node_id` to its 36-bit 3GPP range.
+    pub fn new(plmn: Plmn, node_type: E2NodeType, node_id: u64) -> Self {
+        GlobalE2NodeId { plmn, node_type, node_id: node_id & ((1u64 << 36) - 1) }
+    }
+
+    /// The key under which CU/DU agents of the same base station merge into
+    /// one RAN entity: the id with the node type erased.
+    pub fn ran_entity_key(&self) -> (Plmn, u64) {
+        (self.plmn, self.node_id)
+    }
+}
+
+impl fmt::Display for GlobalE2NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{:?}/{}", self.plmn, self.node_type, self.node_id)
+    }
+}
+
+/// Globally unique identifier of a RIC (near-real-time controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalRicId {
+    /// Operator owning the RIC.
+    pub plmn: Plmn,
+    /// Near-RT RIC identity (20 bits per the E2AP spec).
+    pub ric_id: u32,
+}
+
+impl GlobalRicId {
+    /// Creates a RIC id, masking to the 20-bit spec range.
+    pub fn new(plmn: Plmn, ric_id: u32) -> Self {
+        GlobalRicId { plmn, ric_id: ric_id & 0xF_FFFF }
+    }
+}
+
+/// Identifier of a RAN function within an E2 node (`0..=4095`).
+///
+/// Each service model instance registered at an agent is a RAN function; the
+/// id is the routing key for all functional procedures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RanFunctionId(pub u16);
+
+impl RanFunctionId {
+    /// Maximum value allowed by the spec.
+    pub const MAX: u16 = 4095;
+
+    /// Creates a RAN function id, masking into the spec range.
+    pub fn new(v: u16) -> Self {
+        RanFunctionId(v & Self::MAX)
+    }
+}
+
+impl fmt::Display for RanFunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rf{}", self.0)
+    }
+}
+
+/// Identifier of a RIC request: ties subscription/control exchanges to the
+/// requesting application instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RicRequestId {
+    /// Identifies the requesting xApp/iApp (`0..=65535`).
+    pub requestor: u16,
+    /// Distinguishes parallel requests of one requestor (`0..=65535`).
+    pub instance: u16,
+}
+
+impl RicRequestId {
+    /// Convenience constructor.
+    pub fn new(requestor: u16, instance: u16) -> Self {
+        RicRequestId { requestor, instance }
+    }
+}
+
+impl fmt::Display for RicRequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}:{}", self.requestor, self.instance)
+    }
+}
+
+/// Identifier of an action within a subscription (`0..=255`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RicActionId(pub u8);
+
+/// A RIC style type: service models group their capabilities into "styles".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RicStyleType(pub i32);
+
+/// RAN interfaces an E2 node component can terminate (used by the E2 node
+/// configuration update procedure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum InterfaceType {
+    /// 5G core ↔ gNB.
+    Ng = 0,
+    /// gNB ↔ gNB.
+    Xn = 1,
+    /// CU-CP ↔ CU-UP.
+    E1 = 2,
+    /// CU ↔ DU.
+    F1 = 3,
+    /// ng-eNB internal split.
+    W1 = 4,
+    /// 4G core ↔ eNB.
+    S1 = 5,
+    /// eNB ↔ eNB.
+    X2 = 6,
+}
+
+impl InterfaceType {
+    /// All interface types, in discriminant order.
+    pub const ALL: [InterfaceType; 7] = [
+        InterfaceType::Ng,
+        InterfaceType::Xn,
+        InterfaceType::E1,
+        InterfaceType::F1,
+        InterfaceType::W1,
+        InterfaceType::S1,
+        InterfaceType::X2,
+    ];
+
+    /// Decodes a discriminant.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Self::ALL.get(v as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plmn_clamps_ranges() {
+        let p = Plmn::new(1500, 1200, 7);
+        assert_eq!(p.mcc, 999);
+        assert_eq!(p.mnc, 999);
+        assert_eq!(p.mnc_digits, 3);
+        let p2 = Plmn::new(208, 95, 2);
+        assert_eq!(p2.mnc_digits, 2);
+    }
+
+    #[test]
+    fn plmn_display_respects_digits() {
+        assert_eq!(Plmn::new(208, 95, 2).to_string(), "208.95");
+        assert_eq!(Plmn::new(208, 95, 3).to_string(), "208.095");
+    }
+
+    #[test]
+    fn node_id_masked_to_36_bits() {
+        let id = GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, u64::MAX);
+        assert_eq!(id.node_id, (1u64 << 36) - 1);
+    }
+
+    #[test]
+    fn cu_du_share_ran_entity_key() {
+        let cu = GlobalE2NodeId::new(Plmn::TEST, E2NodeType::GnbCu, 7);
+        let du = GlobalE2NodeId::new(Plmn::TEST, E2NodeType::GnbDu, 7);
+        assert_eq!(cu.ran_entity_key(), du.ran_entity_key());
+        let other = GlobalE2NodeId::new(Plmn::TEST, E2NodeType::GnbDu, 8);
+        assert_ne!(cu.ran_entity_key(), other.ran_entity_key());
+    }
+
+    #[test]
+    fn node_type_roundtrip() {
+        for t in E2NodeType::ALL {
+            assert_eq!(E2NodeType::from_u8(t as u8), Some(t));
+        }
+        assert_eq!(E2NodeType::from_u8(200), None);
+    }
+
+    #[test]
+    fn split_detection() {
+        assert!(E2NodeType::GnbCu.is_split());
+        assert!(E2NodeType::EnbDu.is_split());
+        assert!(!E2NodeType::Gnb.is_split());
+        assert!(!E2NodeType::NgEnb.is_split());
+    }
+
+    #[test]
+    fn interface_type_roundtrip() {
+        for t in InterfaceType::ALL {
+            assert_eq!(InterfaceType::from_u8(t as u8), Some(t));
+        }
+        assert_eq!(InterfaceType::from_u8(7), None);
+    }
+
+    #[test]
+    fn ric_id_masked_to_20_bits() {
+        assert_eq!(GlobalRicId::new(Plmn::TEST, u32::MAX).ric_id, 0xF_FFFF);
+    }
+
+    #[test]
+    fn ran_function_id_masked() {
+        assert_eq!(RanFunctionId::new(u16::MAX).0, 4095);
+    }
+}

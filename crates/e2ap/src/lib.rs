@@ -1,0 +1,40 @@
+//! Encoding-independent intermediate representation (IR) of the O-RAN E2
+//! Application Protocol (E2AP).
+//!
+//! The FlexRIC paper identifies four orthogonal abstractions in the E2
+//! specification: the transport protocol, the encoding of E2AP, the encoding
+//! of the service models (E2SM), and the semantics of E2AP itself.  This
+//! crate models the *semantics* only: every E2AP procedure is represented as
+//! a plain Rust type, "without loss of information and independent of any
+//! particular encoding/decoding algorithm" (§4.3 of the paper).  Codecs
+//! (ASN.1-PER-style, FlatBuffers-style) live in `flexric-codec`; transports
+//! live in `flexric-transport`.
+//!
+//! Service-model payloads are deliberately carried as opaque [`bytes::Bytes`]
+//! — E2 mandates a double encoding where the "inner" E2SM payload is encoded
+//! first and then encapsulated by the "outer" E2AP encoding.  Keeping the
+//! inner payload opaque at this layer is what makes the E2AP×E2SM encoding
+//! combinations of the paper's Fig. 7 a pure configuration choice.
+//!
+//! # Message coverage
+//!
+//! All 25 E2AP procedure messages of E2AP v1 relevant to the paper are
+//! modelled (the paper implements "the most common 20 out of 26" in ASN.1 and
+//! 12 in FlatBuffers; this crate's IR covers the full set so both codecs can
+//! cover all of them):
+//!
+//! * **Global procedures** — E2 Setup, Reset, Error Indication, E2 Node
+//!   Configuration Update, E2 Connection Update, RIC Service Update/Query.
+//! * **Functional procedures** — RIC Subscription (+ Delete), RIC
+//!   Indication, RIC Control.
+
+pub mod cause;
+pub mod ids;
+pub mod msg;
+
+pub use cause::{Cause, MiscCause, ProtocolCause, RicCause, RicServiceCause, TransportCause};
+pub use ids::{
+    E2NodeType, GlobalE2NodeId, GlobalRicId, InterfaceType, Plmn, RanFunctionId, RicActionId,
+    RicRequestId, RicStyleType,
+};
+pub use msg::*;

@@ -1,0 +1,89 @@
+//! Simplified PHY abstraction: how many MAC bytes fit into one PRB per TTI.
+//!
+//! The simulator does not model OFDM symbols; it only needs the *drain
+//! rate* that a given `(RAT, MCS, #PRBs)` combination sustains, because the
+//! experiments in the paper are shaped by that rate (slice throughputs in
+//! Figs. 13/15, the bottleneck rate behind the bufferbloat of Fig. 11).
+//! Spectral efficiencies follow 3GPP 36.213 Table 7.1.7.1-1 (LTE, 64QAM)
+//! and 38.214 Table 5.1.3.1-2 (NR, 256QAM), scaled by the resource elements
+//! of one PRB-ms minus control/reference-signal overhead.
+
+/// Radio access technology of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rat {
+    /// 4G / LTE.
+    Lte,
+    /// 5G / New Radio.
+    Nr,
+}
+
+/// Spectral efficiency (bits per resource element) for LTE MCS 0–28,
+/// 64-QAM table (3GPP 36.213 Table 7.1.7.1-1 / 7.1.7.2.1-1 condensed).
+const LTE_EFF: [f64; 29] = [
+    0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.59, 0.74, 0.88, 1.03, 1.18, 1.33, 1.48, 1.70, 1.91,
+    2.16, 2.41, 2.57, 2.73, 3.03, 3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55,
+];
+
+/// Spectral efficiency for NR MCS 0–27, 256-QAM table (38.214 Table
+/// 5.1.3.1-2 condensed).
+const NR_EFF: [f64; 28] = [
+    0.23, 0.38, 0.60, 0.88, 1.18, 1.48, 1.70, 1.91, 2.16, 2.41, 2.57, 2.73, 3.03, 3.32, 3.61,
+    3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55, 5.89, 6.23, 6.57, 6.91, 7.16, 7.41,
+];
+
+/// Usable resource elements in one PRB over one millisecond, after
+/// control-channel and reference-signal overhead.
+const RE_PER_PRB_MS: f64 = 120.0;
+
+/// MAC-layer bytes one PRB carries in one TTI at the given MCS.
+pub fn bytes_per_prb_tti(rat: Rat, mcs: u8) -> u32 {
+    let eff = match rat {
+        Rat::Lte => LTE_EFF[(mcs as usize).min(LTE_EFF.len() - 1)],
+        Rat::Nr => NR_EFF[(mcs as usize).min(NR_EFF.len() - 1)],
+    };
+    (eff * RE_PER_PRB_MS / 8.0) as u32
+}
+
+/// Cell throughput in kbit/s for a full allocation of `prbs` at `mcs`.
+pub fn cell_rate_kbps(rat: Rat, mcs: u8, prbs: u32) -> u64 {
+    bytes_per_prb_tti(rat, mcs) as u64 * prbs as u64 * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lte_25rb_mcs28_matches_5mhz_cell() {
+        // A 5 MHz LTE cell at MCS 28 peaks around 16-18 Mbit/s — the
+        // dashed "dedicated eNB" line of the paper's Fig. 15.
+        let kbps = cell_rate_kbps(Rat::Lte, 28, 25);
+        assert!((14_000..20_000).contains(&kbps), "LTE 25 RB = {kbps} kbps");
+    }
+
+    #[test]
+    fn nr_106rb_mcs20_matches_20mhz_cell() {
+        // The paper's Fig. 13 NR cell (106 RB, MCS 20) saturates around
+        // 60 Mbit/s (two UEs at ~30 Mbit/s each).
+        let kbps = cell_rate_kbps(Rat::Nr, 20, 106);
+        assert!((55_000..75_000).contains(&kbps), "NR 106 RB = {kbps} kbps");
+    }
+
+    #[test]
+    fn monotone_in_mcs() {
+        for rat in [Rat::Lte, Rat::Nr] {
+            let mut last = 0;
+            for mcs in 0..28 {
+                let b = bytes_per_prb_tti(rat, mcs);
+                assert!(b >= last, "{rat:?} mcs {mcs}");
+                last = b;
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_mcs_clamps() {
+        assert_eq!(bytes_per_prb_tti(Rat::Lte, 99), bytes_per_prb_tti(Rat::Lte, 28));
+        assert_eq!(bytes_per_prb_tti(Rat::Nr, 99), bytes_per_prb_tti(Rat::Nr, 27));
+    }
+}

@@ -1,0 +1,279 @@
+//! RLC bearer buffer: the bottleneck queue of the downlink path.
+//!
+//! "The RLC sublayer is provided with large buffers to absorb the brusque
+//! changes that the radio channel may suffer" (paper §6.1.1) — which is
+//! exactly what makes cellular links bufferbloat-prone.  This module
+//! models a per-DRB drop-tail byte-bounded FIFO with per-packet sojourn
+//! tracking, the quantity the RLC statistics SM reports and the TC xApp
+//! of Fig. 11 acts on.
+
+use std::collections::VecDeque;
+
+/// One packet travelling through the downlink path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Flow the packet belongs to.
+    pub flow: usize,
+    /// Sequence within the flow.
+    pub seq: u64,
+    /// Size in bytes.
+    pub bytes: u32,
+    /// When the flow emitted it (ms).
+    pub sent_ms: u64,
+    /// When it entered the current queue (ms); updated at each hop.
+    pub enq_ms: u64,
+    /// Classifier metadata: source IPv4.
+    pub src_ip: u32,
+    /// Classifier metadata: destination IPv4.
+    pub dst_ip: u32,
+    /// Classifier metadata: source port.
+    pub src_port: u16,
+    /// Classifier metadata: destination port.
+    pub dst_port: u16,
+    /// Classifier metadata: IP protocol.
+    pub proto: u8,
+}
+
+/// Running sojourn statistics over a reporting window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SojournWindow {
+    sum_us: u64,
+    count: u64,
+    max_us: u64,
+}
+
+impl SojournWindow {
+    /// Records a departure with the given sojourn.
+    pub fn record(&mut self, sojourn_ms: u64) {
+        let us = sojourn_ms * 1000;
+        self.sum_us += us;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Average sojourn in the window, microseconds.
+    pub fn avg_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_us / self.count
+        }
+    }
+
+    /// Maximum sojourn in the window, microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Resets the window (on snapshot).
+    pub fn reset(&mut self) {
+        *self = SojournWindow::default();
+    }
+}
+
+/// Cumulative and per-window counters of an RLC bearer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RlcCounters {
+    /// PDUs transmitted in the window.
+    pub tx_pdus: u64,
+    /// Bytes transmitted in the window.
+    pub tx_bytes: u64,
+    /// PDUs dropped at enqueue in the window.
+    pub dropped_pdus: u64,
+    /// Cumulative bytes transmitted.
+    pub tx_bytes_total: u64,
+}
+
+/// A drop-tail RLC bearer buffer.
+#[derive(Debug)]
+pub struct RlcBearer {
+    queue: VecDeque<Packet>,
+    backlog_bytes: u64,
+    /// Remaining bytes of the head packet (partial drains across TTIs).
+    head_remaining: u32,
+    /// Capacity in bytes; 0 = unbounded.
+    cap_bytes: u64,
+    /// Sojourn statistics of the current window.
+    pub sojourn: SojournWindow,
+    /// Counters of the current window.
+    pub counters: RlcCounters,
+    /// Exponentially averaged drain rate, bytes per ms (for pacers and
+    /// stats).
+    pub drain_rate_bpms: f64,
+}
+
+impl RlcBearer {
+    /// Creates a bearer with the given byte capacity (0 = unbounded).
+    pub fn new(cap_bytes: u64) -> Self {
+        RlcBearer {
+            queue: VecDeque::new(),
+            backlog_bytes: 0,
+            head_remaining: 0,
+            cap_bytes,
+            sojourn: SojournWindow::default(),
+            counters: RlcCounters::default(),
+            drain_rate_bpms: 0.0,
+        }
+    }
+
+    /// Current backlog in bytes.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.backlog_bytes
+    }
+
+    /// Current backlog in packets.
+    pub fn backlog_pkts(&self) -> u32 {
+        self.queue.len() as u32
+    }
+
+    /// Whether there is anything to transmit.
+    pub fn has_backlog(&self) -> bool {
+        self.backlog_bytes > 0
+    }
+
+    /// Enqueues a packet; returns `false` (and counts a drop) when the
+    /// buffer is full.
+    pub fn enqueue(&mut self, mut pkt: Packet, now_ms: u64) -> bool {
+        if self.cap_bytes > 0 && self.backlog_bytes + pkt.bytes as u64 > self.cap_bytes {
+            self.counters.dropped_pdus += 1;
+            return false;
+        }
+        pkt.enq_ms = now_ms;
+        if self.queue.is_empty() {
+            self.head_remaining = pkt.bytes;
+        }
+        self.backlog_bytes += pkt.bytes as u64;
+        self.queue.push_back(pkt);
+        true
+    }
+
+    /// Drains up to `budget` bytes; completed packets are returned with
+    /// their sojourn recorded.  Partial head-of-line transmission carries
+    /// over to the next TTI, as RLC segmentation would.
+    pub fn drain(&mut self, mut budget: u64, now_ms: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let mut drained = 0u64;
+        while budget > 0 {
+            if self.queue.is_empty() {
+                break;
+            }
+            let take = (self.head_remaining as u64).min(budget);
+            budget -= take;
+            drained += take;
+            self.head_remaining -= take as u32;
+            self.backlog_bytes -= take;
+            if self.head_remaining == 0 {
+                let pkt = self.queue.pop_front().expect("head exists");
+                self.sojourn.record(now_ms.saturating_sub(pkt.enq_ms));
+                self.counters.tx_pdus += 1;
+                self.counters.tx_bytes += pkt.bytes as u64;
+                self.counters.tx_bytes_total += pkt.bytes as u64;
+                out.push(pkt);
+                if let Some(next) = self.queue.front() {
+                    self.head_remaining = next.bytes;
+                }
+            } else {
+                debug_assert_eq!(budget, 0);
+            }
+        }
+        // EWMA over the drain opportunities actually used.
+        const ALPHA: f64 = 0.05;
+        self.drain_rate_bpms = (1.0 - ALPHA) * self.drain_rate_bpms + ALPHA * drained as f64;
+        out
+    }
+
+    /// Resets window counters (on statistics snapshot).
+    pub fn reset_window(&mut self) {
+        self.sojourn.reset();
+        let total = self.counters.tx_bytes_total;
+        self.counters = RlcCounters { tx_bytes_total: total, ..Default::default() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, bytes: u32, sent_ms: u64) -> Packet {
+        Packet {
+            flow: 0,
+            seq,
+            bytes,
+            sent_ms,
+            enq_ms: sent_ms,
+            src_ip: 0,
+            dst_ip: 0,
+            src_port: 0,
+            dst_port: 0,
+            proto: 6,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_sojourn() {
+        let mut b = RlcBearer::new(0);
+        b.enqueue(pkt(1, 100, 0), 0);
+        b.enqueue(pkt(2, 100, 0), 0);
+        assert_eq!(b.backlog_bytes(), 200);
+        let out = b.drain(150, 10);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 1);
+        assert_eq!(b.backlog_bytes(), 50);
+        // Partial head continues next drain.
+        let out = b.drain(1000, 20);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 2);
+        assert_eq!(b.backlog_bytes(), 0);
+        assert_eq!(b.sojourn.max_us(), 20_000);
+        assert_eq!(b.counters.tx_pdus, 2);
+        assert_eq!(b.counters.tx_bytes, 200);
+    }
+
+    #[test]
+    fn drop_tail_when_full() {
+        let mut b = RlcBearer::new(250);
+        assert!(b.enqueue(pkt(1, 100, 0), 0));
+        assert!(b.enqueue(pkt(2, 100, 0), 0));
+        assert!(!b.enqueue(pkt(3, 100, 0), 0), "third packet exceeds 250 B cap");
+        assert_eq!(b.counters.dropped_pdus, 1);
+        assert_eq!(b.backlog_pkts(), 2);
+        // Draining frees space again.
+        b.drain(100, 1);
+        assert!(b.enqueue(pkt(4, 100, 1), 1));
+    }
+
+    #[test]
+    fn zero_cap_is_unbounded() {
+        let mut b = RlcBearer::new(0);
+        for i in 0..10_000 {
+            assert!(b.enqueue(pkt(i, 1500, 0), 0));
+        }
+        assert_eq!(b.backlog_bytes(), 15_000_000);
+    }
+
+    #[test]
+    fn drain_rate_converges() {
+        let mut b = RlcBearer::new(0);
+        for t in 0..2000u64 {
+            b.enqueue(pkt(t, 1000, t), t);
+            b.drain(1000, t);
+        }
+        assert!(
+            (b.drain_rate_bpms - 1000.0).abs() < 50.0,
+            "drain rate {} ≉ 1000 B/ms",
+            b.drain_rate_bpms
+        );
+    }
+
+    #[test]
+    fn window_reset_keeps_totals() {
+        let mut b = RlcBearer::new(0);
+        b.enqueue(pkt(1, 500, 0), 0);
+        b.drain(500, 5);
+        assert_eq!(b.counters.tx_bytes_total, 500);
+        b.reset_window();
+        assert_eq!(b.counters.tx_pdus, 0);
+        assert_eq!(b.counters.tx_bytes_total, 500);
+        assert_eq!(b.sojourn.avg_us(), 0);
+    }
+}

@@ -1,0 +1,490 @@
+//! The simulation engine: cells + flows + the delivery/ACK pipeline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cell::{Cell, CellConfig, UeConfig};
+use crate::rlc::Packet;
+use crate::traffic::{Flow, FlowConfig};
+
+/// Latency parameters of the path outside the cell.
+#[derive(Debug, Clone, Copy)]
+pub struct PathConfig {
+    /// Air-interface + HARQ pipeline latency after the MAC drains a
+    /// packet (ms).
+    pub dl_latency_ms: u64,
+    /// Return-path latency (UE → server): uplink + core (ms).
+    pub ul_rtt_ms: u64,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig { dl_latency_ms: 4, ul_rtt_ms: 10 }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Pending {
+    /// Packet arrives at the UE.
+    Delivery(Packet),
+    /// ACK arrives back at the sender of `flow`.
+    Ack(usize),
+}
+
+// BinaryHeap needs Ord; order by time only.
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled(u64, u64, Pending);
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0, self.1).cmp(&(other.0, other.1))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The discrete-time (1 ms TTI) RAN simulation.
+pub struct Sim {
+    /// The cells.
+    pub cells: Vec<Cell>,
+    flows: Vec<Flow>,
+    path: PathConfig,
+    pending: BinaryHeap<Reverse<Scheduled>>,
+    seqno: u64,
+    now_ms: u64,
+}
+
+impl Sim {
+    /// Creates a simulation over the given cells.
+    pub fn new(cells: Vec<CellConfig>, path: PathConfig) -> Self {
+        Sim {
+            cells: cells.into_iter().map(Cell::new).collect(),
+            flows: Vec::new(),
+            path,
+            pending: BinaryHeap::new(),
+            seqno: 0,
+            now_ms: 0,
+        }
+    }
+
+    /// Current simulation time (ms).
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Attaches a UE to a cell.
+    pub fn attach_ue(&mut self, cell: usize, cfg: UeConfig) {
+        self.cells[cell].attach_ue(cfg);
+    }
+
+    /// Detaches a UE.
+    pub fn detach_ue(&mut self, cell: usize, rnti: u16) {
+        self.cells[cell].detach_ue(rnti);
+    }
+
+    /// Adds a flow; returns its id.
+    pub fn add_flow(&mut self, cfg: FlowConfig) -> usize {
+        self.flows.push(Flow::new(cfg));
+        self.flows.len() - 1
+    }
+
+    /// Pauses/resumes a flow (experiment control).
+    pub fn set_flow_active(&mut self, flow: usize, active: bool) {
+        self.flows[flow].active = active;
+    }
+
+    /// Read access to a flow (counters, RTT log).
+    pub fn flow(&self, flow: usize) -> &Flow {
+        &self.flows[flow]
+    }
+
+    /// Number of flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn schedule(&mut self, at_ms: u64, what: Pending) {
+        self.seqno += 1;
+        self.pending.push(Reverse(Scheduled(at_ms, self.seqno, what)));
+    }
+
+    /// Advances the simulation by one TTI (1 ms).
+    pub fn tick(&mut self) {
+        let now = self.now_ms;
+        // 1. Deliveries and ACKs due now.
+        while let Some(Reverse(Scheduled(t, _, _))) = self.pending.peek() {
+            if *t > now {
+                break;
+            }
+            let Reverse(Scheduled(_, _, what)) = self.pending.pop().expect("peeked");
+            match what {
+                Pending::Delivery(pkt) => {
+                    let flow_id = pkt.flow;
+                    if let Some(flow) = self.flows.get_mut(flow_id) {
+                        flow.on_delivered(&pkt, now, self.path.ul_rtt_ms);
+                        let is_tcp = matches!(
+                            flow.cfg.kind,
+                            crate::traffic::FlowKind::GreedyTcp { .. }
+                        );
+                        if is_tcp {
+                            self.schedule(now + self.path.ul_rtt_ms, Pending::Ack(flow_id));
+                        }
+                    }
+                }
+                Pending::Ack(flow_id) => {
+                    if let Some(flow) = self.flows.get_mut(flow_id) {
+                        flow.on_ack(now);
+                    }
+                }
+            }
+        }
+        // 2. Flow generation → cell ingress.
+        for fi in 0..self.flows.len() {
+            let pkts = self.flows[fi].generate(fi, now);
+            let (cell, rnti, drb) = {
+                let c = &self.flows[fi].cfg;
+                (c.cell, c.rnti, c.drb)
+            };
+            for pkt in pkts {
+                if !self.cells[cell].ingress(rnti, drb, pkt) {
+                    self.flows[fi].on_lost(now);
+                }
+            }
+        }
+        // 3. Cells schedule and drain; drained packets are in flight,
+        //    drop-tail losses are signalled back to their senders.
+        for ci in 0..self.cells.len() {
+            let (drained, dropped) = self.cells[ci].tick(now);
+            for pkt in drained {
+                self.schedule(now + self.path.dl_latency_ms, Pending::Delivery(pkt));
+            }
+            for pkt in dropped {
+                if let Some(flow) = self.flows.get_mut(pkt.flow) {
+                    flow.on_lost(now);
+                }
+            }
+        }
+        self.now_ms += 1;
+    }
+
+    /// Hands a UE over from one cell to another: the UE moves with its
+    /// bearers (and their queued packets); RRC HandoverOut/In events are
+    /// emitted at the source/target; the UE's flows follow it.
+    pub fn handover(&mut self, rnti: u16, from: usize, to: usize) -> Result<(), String> {
+        if from == to || from >= self.cells.len() || to >= self.cells.len() {
+            return Err("bad handover cells".to_owned());
+        }
+        let Some(ue) = self.cells[from].extract_ue(rnti) else {
+            return Err(format!("no UE {rnti:#x} in cell {from}"));
+        };
+        self.cells[to].insert_ue(ue);
+        for f in &mut self.flows {
+            if f.cfg.cell == from && f.cfg.rnti == rnti {
+                f.cfg.cell = to;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `n` TTIs.
+    pub fn run_ms(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::FlowKind;
+    use flexric_sm::slice::{SliceAlgo, SliceConf, SliceCtrl, SliceParams, UeSchedAlgo};
+    use flexric_sm::tc::{FiveTupleRule, PacerConf, QueueKind, TcCtrl};
+
+    fn one_cell_sim(prbs: u32, mcs: u8, ues: u16) -> Sim {
+        let mut sim = Sim::new(vec![CellConfig::nr("cell0", prbs)], PathConfig::default());
+        for i in 0..ues {
+            sim.attach_ue(0, UeConfig::new(0x4601 + i, mcs));
+        }
+        sim
+    }
+
+    fn greedy(cell: usize, rnti: u16, port: u16) -> FlowConfig {
+        FlowConfig {
+            cell,
+            rnti,
+            drb: 1,
+            kind: FlowKind::GreedyTcp { mss: 1500 },
+            tuple: (0x0A000001, 0x0A000002, 1000, port, 6),
+            start_ms: 0,
+            stop_ms: None,
+        }
+    }
+
+    #[test]
+    fn greedy_flow_saturates_cell() {
+        let mut sim = one_cell_sim(106, 20, 1);
+        let f = sim.add_flow(greedy(0, 0x4601, 80));
+        sim.run_ms(5_000);
+        let delivered = sim.flow(f).delivered_bytes;
+        let mbps = delivered as f64 * 8.0 / 5_000.0 / 1000.0;
+        // NR 106 RB MCS 20 ≈ 60 Mbps; TCP should reach most of it.
+        assert!(mbps > 40.0, "greedy TCP reached only {mbps:.1} Mbps");
+        assert!(mbps < 80.0, "throughput above link capacity: {mbps:.1} Mbps");
+    }
+
+    #[test]
+    fn two_ues_share_equally_without_slicing() {
+        let mut sim = one_cell_sim(106, 20, 2);
+        let f1 = sim.add_flow(greedy(0, 0x4601, 80));
+        let f2 = sim.add_flow(greedy(0, 0x4602, 81));
+        sim.run_ms(10_000);
+        let d1 = sim.flow(f1).delivered_bytes as f64;
+        let d2 = sim.flow(f2).delivered_bytes as f64;
+        let ratio = d1 / d2;
+        assert!((0.8..1.25).contains(&ratio), "equal sharing, ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn bufferbloat_emerges_with_cbr_and_tcp() {
+        // The Fig. 11 signature: once the greedy TCP flow starts, the
+        // VoIP packets' RTT jumps from ~base to hundreds of ms.
+        let mut sim = one_cell_sim(106, 20, 1);
+        let voip = sim.add_flow(FlowConfig {
+            cell: 0,
+            rnti: 0x4601,
+            drb: 1,
+            kind: FlowKind::Cbr { bytes: 172, interval_ms: 20 },
+            tuple: (0x0A000001, 0x0A000002, 1000, 5004, 17),
+            start_ms: 0,
+            stop_ms: None,
+        });
+        let _tcp = sim.add_flow(FlowConfig { start_ms: 5_000, ..greedy(0, 0x4601, 80) });
+        sim.run_ms(30_000);
+        let log = &sim.flow(voip).rtt_log;
+        let before: Vec<u64> =
+            log.iter().filter(|(t, _)| *t < 4_000).map(|(_, r)| *r / 1000).collect();
+        let after: Vec<u64> =
+            log.iter().filter(|(t, _)| *t > 15_000).map(|(_, r)| *r / 1000).collect();
+        let avg = |v: &[u64]| v.iter().sum::<u64>() / v.len().max(1) as u64;
+        let (b, a) = (avg(&before), avg(&after));
+        assert!(b < 40, "VoIP RTT before TCP should be near base: {b} ms");
+        assert!(a > 100, "bufferbloat should inflate VoIP RTT: {a} ms");
+    }
+
+    #[test]
+    fn tc_xapp_recipe_rescues_voip() {
+        // Apply the three actions of the paper's TC xApp (second queue,
+        // 5-tuple filter, BDP pacer with RR scheduler) and verify the VoIP
+        // RTT stays low despite the greedy flow.
+        let mut sim = one_cell_sim(106, 20, 1);
+        let voip = sim.add_flow(FlowConfig {
+            cell: 0,
+            rnti: 0x4601,
+            drb: 1,
+            kind: FlowKind::Cbr { bytes: 172, interval_ms: 20 },
+            tuple: (0x0A000001, 0x0A000002, 1000, 5004, 17),
+            start_ms: 0,
+            stop_ms: None,
+        });
+        let _tcp = sim.add_flow(FlowConfig { start_ms: 2_000, ..greedy(0, 0x4601, 80) });
+        for ctrl in [
+            TcCtrl::AddQueue { id: 1, kind: QueueKind::Fifo { cap_bytes: 0 } },
+            TcCtrl::AddRule {
+                rule: FiveTupleRule {
+                    id: 1,
+                    dst_port: Some(5004),
+                    proto: Some(17),
+                    ..Default::default()
+                },
+                queue: 1,
+                precedence: 0,
+            },
+            TcCtrl::SetPacer { pacer: PacerConf::Bdp { target_delay_us: 10_000 } },
+        ] {
+            sim.cells[0].apply_tc_ctrl(0x4601, 1, &ctrl).unwrap();
+        }
+        sim.run_ms(30_000);
+        let log = &sim.flow(voip).rtt_log;
+        let after: Vec<u64> =
+            log.iter().filter(|(t, _)| *t > 15_000).map(|(_, r)| *r / 1000).collect();
+        let avg = after.iter().sum::<u64>() / after.len().max(1) as u64;
+        assert!(avg < 80, "TC xApp keeps VoIP RTT low, got {avg} ms");
+    }
+
+    #[test]
+    fn nvs_isolation_between_slices() {
+        // Fig. 13a shape: two slices 50/50, one UE in slice 0 and two in
+        // slice 1 → the lone UE gets ≈50 % of cell throughput.
+        let mut sim = one_cell_sim(106, 20, 3);
+        let cell = &mut sim.cells[0];
+        cell.apply_slice_ctrl(&SliceCtrl::SetAlgo { algo: SliceAlgo::Nvs }).unwrap();
+        cell.apply_slice_ctrl(&SliceCtrl::AddModSlices {
+            slices: vec![
+                SliceConf {
+                    id: 0,
+                    label: "white".into(),
+                    params: SliceParams::NvsCapacity { share_milli: 500 },
+                    ue_sched: UeSchedAlgo::PropFair,
+                },
+                SliceConf {
+                    id: 1,
+                    label: "rest".into(),
+                    params: SliceParams::NvsCapacity { share_milli: 500 },
+                    ue_sched: UeSchedAlgo::PropFair,
+                },
+            ],
+        })
+        .unwrap();
+        cell.apply_slice_ctrl(&SliceCtrl::AssocUeSlice {
+            assoc: vec![(0x4601, 0), (0x4602, 1), (0x4603, 1)],
+        })
+        .unwrap();
+        let f1 = sim.add_flow(greedy(0, 0x4601, 80));
+        let f2 = sim.add_flow(greedy(0, 0x4602, 81));
+        let f3 = sim.add_flow(greedy(0, 0x4603, 82));
+        sim.run_ms(15_000);
+        let d1 = sim.flow(f1).delivered_bytes as f64;
+        let d2 = sim.flow(f2).delivered_bytes as f64;
+        let d3 = sim.flow(f3).delivered_bytes as f64;
+        let share1 = d1 / (d1 + d2 + d3);
+        assert!((share1 - 0.5).abs() < 0.07, "lone slice-0 UE got {share1:.3}, want ≈0.5");
+        let ratio23 = d2 / d3;
+        assert!((0.7..1.4).contains(&ratio23), "slice-1 UEs share equally: {ratio23:.2}");
+    }
+
+    #[test]
+    fn admission_control_rejected_via_ctrl() {
+        let mut sim = one_cell_sim(106, 20, 1);
+        let cell = &mut sim.cells[0];
+        cell.apply_slice_ctrl(&SliceCtrl::SetAlgo { algo: SliceAlgo::Nvs }).unwrap();
+        let over = SliceCtrl::AddModSlices {
+            slices: vec![SliceConf {
+                id: 0,
+                label: "too big".into(),
+                params: SliceParams::NvsCapacity { share_milli: 1100 },
+                ue_sched: UeSchedAlgo::RoundRobin,
+            }],
+        };
+        assert!(cell.apply_slice_ctrl(&over).is_err());
+        assert!(cell
+            .apply_slice_ctrl(&SliceCtrl::AssocUeSlice { assoc: vec![(0x9999, 0)] })
+            .is_err());
+    }
+
+    #[test]
+    fn rrc_events_on_attach_detach() {
+        let mut sim = one_cell_sim(25, 28, 2);
+        sim.detach_ue(0, 0x4601);
+        let events = sim.cells[0].take_rrc_events();
+        assert_eq!(events.len(), 3, "two attaches + one detach");
+        assert!(sim.cells[0].take_rrc_events().is_empty(), "events drained");
+    }
+
+    #[test]
+    fn drop_tail_losses_reach_the_sender() {
+        // Greedy TCP over a small RLC buffer must observe losses and back
+        // off (the Cubic sawtooth behind Fig. 11a).
+        let mut sim = Sim::new(vec![CellConfig::nr("c", 106)], PathConfig::default());
+        sim.attach_ue(0, UeConfig::new(0x4601, 20));
+        let f = sim.add_flow(greedy(0, 0x4601, 80));
+        sim.run_ms(20_000);
+        let flow = sim.flow(f);
+        assert!(flow.lost_pkts > 0, "drop-tail losses signalled to the flow");
+        let tcp = flow.tcp_state().unwrap();
+        assert!(tcp.losses > 0, "cubic registered the losses");
+        assert!(tcp.cwnd < crate::traffic::TCP_MAX_WND, "cwnd backed off");
+    }
+
+    #[test]
+    fn handover_moves_ue_traffic_and_events() {
+        let mut sim = Sim::new(
+            vec![CellConfig::lte("a", 25), CellConfig::lte("b", 25)],
+            PathConfig::default(),
+        );
+        sim.attach_ue(0, UeConfig::new(0x4601, 28));
+        let f = sim.add_flow(greedy(0, 0x4601, 80));
+        sim.run_ms(2_000);
+        let before = sim.flow(f).delivered_bytes;
+        assert!(before > 0);
+        let _ = sim.cells[0].take_rrc_events();
+        let _ = sim.cells[1].take_rrc_events();
+
+        sim.handover(0x4601, 0, 1).unwrap();
+        assert!(sim.cells[0].ues.is_empty());
+        assert_eq!(sim.cells[1].ues.len(), 1);
+        let out = sim.cells[0].take_rrc_events();
+        let inn = sim.cells[1].take_rrc_events();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, flexric_sm::rrc::RrcEventKind::HandoverOut);
+        assert_eq!(inn[0].kind, flexric_sm::rrc::RrcEventKind::HandoverIn);
+
+        // Traffic continues in the target cell.
+        sim.run_ms(2_000);
+        assert!(
+            sim.flow(f).delivered_bytes > before + 1_000_000,
+            "flow follows the UE to the target cell"
+        );
+        // Error paths.
+        assert!(sim.handover(0x4601, 1, 1).is_err(), "same cell");
+        assert!(sim.handover(0x4601, 0, 1).is_err(), "UE not in source");
+        assert!(sim.handover(0x4601, 1, 9).is_err(), "bad target");
+    }
+
+    #[test]
+    fn kpm_counters_accumulate() {
+        let mut sim = one_cell_sim(106, 20, 2);
+        let _f = sim.add_flow(greedy(0, 0x4601, 80));
+        sim.run_ms(500);
+        let a = sim.cells[0].kpm_counters();
+        sim.run_ms(500);
+        let b = sim.cells[0].kpm_counters();
+        let ue_a = a.iter().find(|c| c.rnti == 0x4601).unwrap();
+        let ue_b = b.iter().find(|c| c.rnti == 0x4601).unwrap();
+        assert!(ue_b.dl_bytes_total > ue_a.dl_bytes_total, "cumulative bytes grow");
+        assert!(ue_b.dl_prbs_total > ue_a.dl_prbs_total, "cumulative PRBs grow");
+        assert!(ue_b.pdcp_tx_aggr > 0);
+        // Idle UE's counters stay flat.
+        let idle_a = a.iter().find(|c| c.rnti == 0x4602).unwrap();
+        let idle_b = b.iter().find(|c| c.rnti == 0x4602).unwrap();
+        assert_eq!(idle_a.dl_bytes_total, idle_b.dl_bytes_total);
+    }
+
+    #[test]
+    fn stats_snapshots_populate() {
+        let mut sim = one_cell_sim(106, 20, 2);
+        let _f = sim.add_flow(greedy(0, 0x4601, 80));
+        sim.run_ms(200);
+        let mac = sim.cells[0].mac_stats();
+        assert_eq!(mac.ues.len(), 2);
+        assert_eq!(mac.cell_prbs, 106);
+        let busy = mac.ues.iter().find(|u| u.rnti == 0x4601).unwrap();
+        assert!(busy.tbs_dl_bytes > 0, "served UE has DL bytes");
+        assert!(busy.dl_aggr_bytes >= busy.tbs_dl_bytes);
+        let rlc = sim.cells[0].rlc_stats();
+        assert_eq!(rlc.bearers.len(), 2);
+        let pdcp = sim.cells[0].pdcp_stats();
+        assert!(pdcp.bearers.iter().any(|b| b.tx_pdus > 0));
+        let tc = sim.cells[0].tc_stats(0x4601, 1).unwrap();
+        assert_eq!(tc.rnti, 0x4601);
+        assert!(sim.cells[0].tc_stats(0x9999, 1).is_none());
+        let sl = sim.cells[0].slice_stats();
+        assert_eq!(sl.ue_assoc.len(), 2);
+    }
+
+    #[test]
+    fn mac_window_resets_on_snapshot() {
+        let mut sim = one_cell_sim(106, 20, 1);
+        let _f = sim.add_flow(greedy(0, 0x4601, 80));
+        sim.run_ms(100);
+        let first = sim.cells[0].mac_stats();
+        let second = sim.cells[0].mac_stats();
+        assert!(first.ues[0].tbs_dl_bytes > 0);
+        assert_eq!(second.ues[0].tbs_dl_bytes, 0, "window reset");
+        assert_eq!(second.ues[0].dl_aggr_bytes, first.ues[0].dl_aggr_bytes, "aggregate kept");
+    }
+}

@@ -1,0 +1,239 @@
+//! KPM service model — the paper's Appendix A.4 notes that E2SM-KPM
+//! ("Performance metrics […] defines various report types on periodic
+//! timer expires") is one of the two O-RAN-standardized service models.
+//! This module implements a simplified KPM v2: a controller subscribes
+//! with an action definition naming 3GPP-style measurements and a
+//! granularity period; the RAN function answers with measurement reports.
+
+use flexric_codec::error::{CodecError, Result};
+use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
+use flexric_codec::per::{BitReader, BitWriter};
+
+use crate::SmPayload;
+
+/// Well-known measurement names (3GPP TS 28.552 style).
+pub mod meas {
+    /// Per-UE downlink throughput (kbit/s).
+    pub const DRB_UE_THP_DL: &str = "DRB.UEThpDl";
+    /// Total downlink PRB usage in the period.
+    pub const RRU_PRB_TOT_DL: &str = "RRU.PrbTotDl";
+    /// Downlink RLC SDU delay (µs).
+    pub const DRB_RLC_SDU_DELAY_DL: &str = "DRB.RlcSduDelayDl";
+    /// Downlink PDCP SDU volume (bytes).
+    pub const DRB_PDCP_SDU_VOLUME_DL: &str = "DRB.PdcpSduVolumeDL";
+    /// Mean number of RRC-connected UEs.
+    pub const RRC_CONN_MEAN: &str = "RRC.ConnMean";
+}
+
+/// KPM action definition: which measurements to report, how often.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KpmActionDef {
+    /// Granularity period in milliseconds.
+    pub granularity_ms: u32,
+    /// Measurement names to collect.
+    pub measurements: Vec<String>,
+    /// Restrict to one UE (`None` = cell-level + all UEs).
+    pub ue_filter: Option<u16>,
+}
+
+impl KpmActionDef {
+    /// A cell-level definition over the given measurements.
+    pub fn cell(granularity_ms: u32, measurements: &[&str]) -> Self {
+        KpmActionDef {
+            granularity_ms,
+            measurements: measurements.iter().map(|m| (*m).to_owned()).collect(),
+            ue_filter: None,
+        }
+    }
+}
+
+impl SmPayload for KpmActionDef {
+    fn encode_per(&self, w: &mut BitWriter) {
+        w.put_uint(self.granularity_ms as u64);
+        w.put_length(self.measurements.len());
+        for m in &self.measurements {
+            w.put_utf8(m);
+        }
+        w.put_bit(self.ue_filter.is_some());
+        if let Some(u) = self.ue_filter {
+            w.put_bits(u as u64, 16);
+        }
+    }
+
+    fn decode_per(r: &mut BitReader) -> Result<Self> {
+        let granularity_ms = r.get_uint()? as u32;
+        let n = r.get_length()?;
+        if n > 1024 {
+            return Err(CodecError::Malformed { what: "too many measurements" });
+        }
+        let mut measurements = Vec::with_capacity(n.min(32));
+        for _ in 0..n {
+            measurements.push(r.get_utf8()?);
+        }
+        let ue_filter = if r.get_bit()? { Some(r.get_bits(16)? as u16) } else { None };
+        Ok(KpmActionDef { granularity_ms, measurements, ue_filter })
+    }
+
+    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+        let offs: Vec<u32> = self.measurements.iter().map(|m| b.string(m)).collect();
+        let v = b.vec_off(&offs);
+        let mut t = TableBuilder::new();
+        t.u32(0, self.granularity_ms).off(1, v);
+        if let Some(u) = self.ue_filter {
+            t.u16(2, u);
+        }
+        t.end(b)
+    }
+
+    fn decode_fb(t: &FbTable) -> Result<Self> {
+        let v = t.vector_or_empty(1)?;
+        let mut measurements = Vec::with_capacity(v.len());
+        for i in 0..v.len() {
+            measurements.push(
+                std::str::from_utf8(v.bytes_at(i)?)
+                    .map_err(|_| CodecError::BadUtf8)?
+                    .to_owned(),
+            );
+        }
+        Ok(KpmActionDef {
+            granularity_ms: t.req_u32(0, "granularity")?,
+            measurements,
+            ue_filter: t.u16(2)?,
+        })
+    }
+}
+
+/// One measurement record: a named value, optionally labelled with a UE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KpmRecord {
+    /// Measurement name.
+    pub name: String,
+    /// UE label (`None` = cell-level).
+    pub rnti: Option<u16>,
+    /// Integer value (unit depends on the measurement).
+    pub value: u64,
+}
+
+/// A KPM measurement report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KpmReport {
+    /// End of the granularity period, ms.
+    pub tstamp_ms: u64,
+    /// Granularity period, ms.
+    pub granularity_ms: u32,
+    /// The records.
+    pub records: Vec<KpmRecord>,
+}
+
+impl SmPayload for KpmReport {
+    fn encode_per(&self, w: &mut BitWriter) {
+        w.put_uint(self.tstamp_ms);
+        w.put_uint(self.granularity_ms as u64);
+        w.put_length(self.records.len());
+        for rec in &self.records {
+            w.put_utf8(&rec.name);
+            w.put_bit(rec.rnti.is_some());
+            if let Some(u) = rec.rnti {
+                w.put_bits(u as u64, 16);
+            }
+            w.put_uint(rec.value);
+        }
+    }
+
+    fn decode_per(r: &mut BitReader) -> Result<Self> {
+        let tstamp_ms = r.get_uint()?;
+        let granularity_ms = r.get_uint()? as u32;
+        let n = r.get_length()?;
+        if n > 65536 {
+            return Err(CodecError::Malformed { what: "too many records" });
+        }
+        let mut records = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            let name = r.get_utf8()?;
+            let rnti = if r.get_bit()? { Some(r.get_bits(16)? as u16) } else { None };
+            let value = r.get_uint()?;
+            records.push(KpmRecord { name, rnti, value });
+        }
+        Ok(KpmReport { tstamp_ms, granularity_ms, records })
+    }
+
+    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+        let offs: Vec<u32> = self
+            .records
+            .iter()
+            .map(|rec| {
+                let name = b.string(&rec.name);
+                let mut t = TableBuilder::new();
+                t.off(0, name).u64(2, rec.value);
+                if let Some(u) = rec.rnti {
+                    t.u16(1, u);
+                }
+                t.end(b)
+            })
+            .collect();
+        let v = b.vec_off(&offs);
+        let mut t = TableBuilder::new();
+        t.u64(0, self.tstamp_ms).u32(1, self.granularity_ms).off(2, v);
+        t.end(b)
+    }
+
+    fn decode_fb(t: &FbTable) -> Result<Self> {
+        let v = t.vector_or_empty(2)?;
+        let mut records = Vec::with_capacity(v.len());
+        for i in 0..v.len() {
+            let rt = v.table_at(i)?;
+            records.push(KpmRecord {
+                name: rt
+                    .string(0)?
+                    .ok_or(CodecError::Malformed { what: "record name" })?
+                    .to_owned(),
+                rnti: rt.u16(1)?,
+                value: rt.req_u64(2, "record value")?,
+            });
+        }
+        Ok(KpmReport {
+            tstamp_ms: t.req_u64(0, "tstamp")?,
+            granularity_ms: t.req_u32(1, "granularity")?,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::*;
+
+    #[test]
+    fn action_def_roundtrip() {
+        roundtrip_both(&KpmActionDef::cell(
+            1000,
+            &[meas::DRB_UE_THP_DL, meas::RRU_PRB_TOT_DL],
+        ));
+        roundtrip_both(&KpmActionDef {
+            granularity_ms: 10,
+            measurements: vec![],
+            ue_filter: Some(0x4601),
+        });
+        garbage_rejected::<KpmActionDef>();
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        roundtrip_both(&KpmReport::default());
+        roundtrip_both(&KpmReport {
+            tstamp_ms: 5_000,
+            granularity_ms: 1_000,
+            records: vec![
+                KpmRecord { name: meas::RRU_PRB_TOT_DL.into(), rnti: None, value: 106_000 },
+                KpmRecord {
+                    name: meas::DRB_UE_THP_DL.into(),
+                    rnti: Some(0x4601),
+                    value: 30_000,
+                },
+                KpmRecord { name: meas::RRC_CONN_MEAN.into(), rnti: None, value: 3 },
+            ],
+        });
+        garbage_rejected::<KpmReport>();
+    }
+}

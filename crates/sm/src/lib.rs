@@ -1,0 +1,165 @@
+//! E2 service models (E2SM) of the FlexRIC reproduction.
+//!
+//! Service models are "specifications in their own right" (paper Appendix
+//! A.3): each defines the payloads exchanged between an xApp/iApp and a RAN
+//! function — event triggers, action definitions, indication headers and
+//! messages, control headers/messages and outcomes.  This crate provides
+//! the SM set the paper introduces:
+//!
+//! * monitoring SMs — [`mac`], [`rlc`], [`pdcp`] statistics (§4.1, §5.1),
+//! * the slice control SM — [`slice`] (SC SM, §6.1.2),
+//! * the traffic control SM — [`tc`] (TC SM, §6.1.1),
+//! * RRC UE-event notifications — [`rrc`] (used for UE-to-slice discovery),
+//! * the hello-world SM — [`hw`] (the ping SM of §5.2's RTT experiments).
+//!
+//! Every SM payload can be encoded with either the ASN.1-PER-style or the
+//! FlatBuffers-style codec ([`SmCodec`]), independently of the E2AP
+//! encoding — giving the four E2AP×E2SM combinations of the paper's Fig. 7.
+
+pub mod funcdef;
+pub mod hw;
+pub mod kpm;
+pub mod mac;
+pub mod pdcp;
+pub mod rlc;
+pub mod rrc;
+pub mod slice;
+pub mod tc;
+pub mod trigger;
+
+pub use funcdef::RanFuncDef;
+pub use trigger::ReportTrigger;
+
+use flexric_codec::error::Result;
+use flexric_codec::fb::{FbBuilder, FbView};
+use flexric_codec::per::{BitReader, BitWriter};
+
+/// Which encoding an SM payload uses, independent of the E2AP encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SmCodec {
+    /// ASN.1-aligned-PER style.
+    #[default]
+    Asn1Per,
+    /// FlatBuffers style.
+    Flatb,
+}
+
+impl SmCodec {
+    /// All codecs, for sweeps.
+    pub const ALL: [SmCodec; 2] = [SmCodec::Asn1Per, SmCodec::Flatb];
+
+    /// Short label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SmCodec::Asn1Per => "ASN",
+            SmCodec::Flatb => "FB",
+        }
+    }
+}
+
+/// Implemented by every SM payload: dual-codec encode/decode.
+pub trait SmPayload: Sized {
+    /// Encodes into the PER-style writer.
+    fn encode_per(&self, w: &mut BitWriter);
+    /// Decodes from the PER-style reader.
+    fn decode_per(r: &mut BitReader) -> Result<Self>;
+    /// Encodes into an FB-style message, returning the root table offset.
+    fn encode_fb(&self, b: &mut FbBuilder) -> u32;
+    /// Decodes from the root table of an FB-style message.
+    fn decode_fb(t: &flexric_codec::fb::FbTable) -> Result<Self>;
+
+    /// Encodes with the chosen codec.
+    fn encode(&self, codec: SmCodec) -> Vec<u8> {
+        match codec {
+            SmCodec::Asn1Per => {
+                let mut w = BitWriter::with_capacity(1024);
+                self.encode_per(&mut w);
+                w.finish()
+            }
+            SmCodec::Flatb => {
+                let mut b = FbBuilder::with_capacity(2048);
+                let root = self.encode_fb(&mut b);
+                b.finish(root)
+            }
+        }
+    }
+
+    /// Decodes with the chosen codec.
+    fn decode(codec: SmCodec, buf: &[u8]) -> Result<Self> {
+        match codec {
+            SmCodec::Asn1Per => {
+                let mut r = BitReader::new(buf);
+                Self::decode_per(&mut r)
+            }
+            SmCodec::Flatb => {
+                let view = FbView::parse(buf)?;
+                Self::decode_fb(&view.root()?)
+            }
+        }
+    }
+}
+
+/// Well-known RAN function ids of the bundled service models.
+pub mod rf {
+    /// Hello-world SM (ping), cf. O-RAN's E2SM-HW.
+    pub const HW: u16 = 2;
+    /// MAC statistics SM.
+    pub const MAC_STATS: u16 = 142;
+    /// RLC statistics SM.
+    pub const RLC_STATS: u16 = 143;
+    /// PDCP statistics SM.
+    pub const PDCP_STATS: u16 = 144;
+    /// Slice control SM (SC SM).
+    pub const SLICE_CTRL: u16 = 145;
+    /// Traffic control SM (TC SM).
+    pub const TC_CTRL: u16 = 146;
+    /// RRC UE-event SM.
+    pub const RRC_EVENT: u16 = 147;
+    /// KPM (performance metrics) SM, cf. O-RAN E2SM-KPM.
+    pub const KPM: u16 = 148;
+}
+
+/// Object identifiers (OIDs) of the bundled service models, used in the
+/// `RanFunctionItem.oid` field so controllers can match functions by name.
+pub mod oid {
+    /// Hello-world SM.
+    pub const HW: &str = "flexric.sm.hw";
+    /// MAC statistics SM.
+    pub const MAC_STATS: &str = "flexric.sm.mac_stats";
+    /// RLC statistics SM.
+    pub const RLC_STATS: &str = "flexric.sm.rlc_stats";
+    /// PDCP statistics SM.
+    pub const PDCP_STATS: &str = "flexric.sm.pdcp_stats";
+    /// Slice control SM.
+    pub const SLICE_CTRL: &str = "flexric.sm.slice_ctrl";
+    /// Traffic control SM.
+    pub const TC_CTRL: &str = "flexric.sm.tc_ctrl";
+    /// RRC UE-event SM.
+    pub const RRC_EVENT: &str = "flexric.sm.rrc_event";
+    /// KPM SM.
+    pub const KPM: &str = "flexric.sm.kpm";
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use std::fmt::Debug;
+
+    /// Round-trips `msg` through both codecs and asserts equality.
+    pub fn roundtrip_both<T: SmPayload + PartialEq + Debug>(msg: &T) {
+        for codec in SmCodec::ALL {
+            let buf = msg.encode(codec);
+            let back = T::decode(codec, &buf)
+                .unwrap_or_else(|e| panic!("{codec:?} decode failed: {e}"));
+            assert_eq!(&back, msg, "{codec:?} roundtrip");
+        }
+    }
+
+    /// Asserts decoding garbage fails rather than panicking.
+    pub fn garbage_rejected<T: SmPayload + Debug>() {
+        for codec in SmCodec::ALL {
+            assert!(T::decode(codec, &[]).is_err(), "{codec:?} empty");
+            let _ = T::decode(codec, &[0xFF; 7]);
+        }
+    }
+}

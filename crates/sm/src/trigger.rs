@@ -1,0 +1,96 @@
+//! Event trigger definitions shared by the monitoring service models.
+
+use flexric_codec::error::{CodecError, Result};
+use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
+use flexric_codec::per::{BitReader, BitWriter};
+
+use crate::SmPayload;
+
+/// Periodic report trigger: "send an indication every `period_ms`".
+///
+/// This is the trigger every statistics subscription in the paper uses
+/// (1 ms in the hot-path experiments, 10 ms in the 100-agent scaling run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportTrigger {
+    /// Reporting period in milliseconds (0 = every opportunity).
+    pub period_ms: u32,
+    /// Restrict the report to these RNTIs; empty = all UEs.
+    ///
+    /// "An active E2 subscription addresses all (or an indicated subset) of
+    /// UEs" (paper §4.1.2).
+    pub rnti_filter_lo: u16,
+    /// Upper bound of the RNTI filter range (inclusive); `lo=1, hi=0`
+    /// encodes "no filter".
+    pub rnti_filter_hi: u16,
+}
+
+impl ReportTrigger {
+    /// A trigger with the given period and no UE filter.
+    pub fn every_ms(period_ms: u32) -> Self {
+        ReportTrigger { period_ms, rnti_filter_lo: 1, rnti_filter_hi: 0 }
+    }
+
+    /// Whether this trigger filters UEs at all.
+    pub fn has_filter(&self) -> bool {
+        self.rnti_filter_lo <= self.rnti_filter_hi
+    }
+
+    /// Whether `rnti` passes the filter.
+    pub fn matches(&self, rnti: u16) -> bool {
+        !self.has_filter() || (self.rnti_filter_lo..=self.rnti_filter_hi).contains(&rnti)
+    }
+}
+
+impl SmPayload for ReportTrigger {
+    fn encode_per(&self, w: &mut BitWriter) {
+        w.put_uint(self.period_ms as u64);
+        w.put_bits(self.rnti_filter_lo as u64, 16);
+        w.put_bits(self.rnti_filter_hi as u64, 16);
+    }
+
+    fn decode_per(r: &mut BitReader) -> Result<Self> {
+        Ok(ReportTrigger {
+            period_ms: r.get_uint()? as u32,
+            rnti_filter_lo: r.get_bits(16)? as u16,
+            rnti_filter_hi: r.get_bits(16)? as u16,
+        })
+    }
+
+    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+        let mut t = TableBuilder::new();
+        t.u32(0, self.period_ms).u16(1, self.rnti_filter_lo).u16(2, self.rnti_filter_hi);
+        t.end(b)
+    }
+
+    fn decode_fb(t: &FbTable) -> Result<Self> {
+        Ok(ReportTrigger {
+            period_ms: t.u32(0)?.ok_or(CodecError::Malformed { what: "trigger period" })?,
+            rnti_filter_lo: t.u16(1)?.unwrap_or(1),
+            rnti_filter_hi: t.u16(2)?.unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::*;
+
+    #[test]
+    fn roundtrip() {
+        roundtrip_both(&ReportTrigger::every_ms(1));
+        roundtrip_both(&ReportTrigger { period_ms: 10, rnti_filter_lo: 5, rnti_filter_hi: 20 });
+        garbage_rejected::<ReportTrigger>();
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let all = ReportTrigger::every_ms(1);
+        assert!(!all.has_filter());
+        assert!(all.matches(0) && all.matches(u16::MAX));
+        let some = ReportTrigger { period_ms: 1, rnti_filter_lo: 10, rnti_filter_hi: 12 };
+        assert!(some.has_filter());
+        assert!(some.matches(10) && some.matches(12));
+        assert!(!some.matches(9) && !some.matches(13));
+    }
+}

@@ -1,0 +1,183 @@
+//! Fault injection wrapper, in the spirit of smoltcp's `--drop-chance` /
+//! `--corrupt-chance` example options: deterministic, seedable packet loss
+//! and corruption on the send path, used by robustness tests.
+
+use std::io;
+
+use crate::{SendHalf, WireMsg};
+
+/// Configuration for the fault injector.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability (0..=1) of silently dropping a message.
+    pub drop_chance: f64,
+    /// Probability (0..=1) of flipping one byte of the payload.
+    pub corrupt_chance: f64,
+    /// Drop messages whose payload exceeds this size (None = no limit).
+    pub size_limit: Option<usize>,
+    /// PRNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0, size_limit: None, seed: 0x5EED }
+    }
+}
+
+/// Statistics of what the injector did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages passed through unmodified.
+    pub passed: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages corrupted.
+    pub corrupted: u64,
+}
+
+/// A send half that randomly drops/corrupts messages.
+#[derive(Debug)]
+pub struct FaultySender {
+    inner: SendHalf,
+    cfg: FaultConfig,
+    rng_state: u64,
+    stats: FaultStats,
+}
+
+impl FaultySender {
+    /// Wraps `inner` with fault injection per `cfg`.
+    pub fn new(inner: SendHalf, cfg: FaultConfig) -> Self {
+        FaultySender { inner, cfg, rng_state: cfg.seed.max(1), stats: FaultStats::default() }
+    }
+
+    /// xorshift64* — deterministic, seedable, dependency-free.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Sends `msg`, possibly dropping or corrupting it.
+    pub async fn send(&mut self, mut msg: WireMsg) -> io::Result<()> {
+        if let Some(limit) = self.cfg.size_limit {
+            if msg.payload.len() > limit {
+                self.stats.dropped += 1;
+                return Ok(());
+            }
+        }
+        if self.next_f64() < self.cfg.drop_chance {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        if !msg.payload.is_empty() && self.next_f64() < self.cfg.corrupt_chance {
+            let idx = (self.next_u64() as usize) % msg.payload.len();
+            let mut owned = msg.payload.to_vec();
+            owned[idx] ^= 0xFF;
+            msg.payload = owned.into();
+            self.stats.corrupted += 1;
+        } else {
+            self.stats.passed += 1;
+        }
+        self.inner.send(msg).await
+    }
+
+    /// What the injector has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connect, listen, TransportAddr};
+    use bytes::Bytes;
+
+    #[tokio::test]
+    async fn drop_all_delivers_nothing() {
+        let mut l = listen(&TransportAddr::Mem("fault-drop".into())).await.unwrap();
+        let conn = connect(&TransportAddr::Mem("fault-drop".into())).await.unwrap();
+        let (tx, _rx) = conn.split();
+        let mut faulty = FaultySender::new(
+            tx,
+            FaultConfig { drop_chance: 1.0, ..FaultConfig::default() },
+        );
+        for _ in 0..50 {
+            faulty.send(WireMsg::e2ap(Bytes::from_static(b"x"))).await.unwrap();
+        }
+        assert_eq!(faulty.stats().dropped, 50);
+        assert_eq!(faulty.stats().passed, 0);
+        let mut server = l.accept().await.unwrap();
+        drop(faulty);
+        assert!(server.recv().await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn corrupt_always_flips_a_byte() {
+        let mut l = listen(&TransportAddr::Mem("fault-corrupt".into())).await.unwrap();
+        let conn = connect(&TransportAddr::Mem("fault-corrupt".into())).await.unwrap();
+        let (tx, _rx) = conn.split();
+        let mut faulty = FaultySender::new(
+            tx,
+            FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() },
+        );
+        let orig = Bytes::from_static(b"payload-bytes");
+        faulty.send(WireMsg::e2ap(orig.clone())).await.unwrap();
+        assert_eq!(faulty.stats().corrupted, 1);
+        let mut server = l.accept().await.unwrap();
+        let got = server.recv().await.unwrap().unwrap();
+        assert_eq!(got.payload.len(), orig.len());
+        assert_ne!(got.payload, orig);
+        // Exactly one byte differs.
+        let diffs = got.payload.iter().zip(orig.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[tokio::test]
+    async fn deterministic_for_fixed_seed() {
+        async fn run(seed: u64) -> FaultStats {
+            let name = format!("fault-det-{seed}");
+            let _l = listen(&TransportAddr::Mem(name.clone())).await.unwrap();
+            let conn = connect(&TransportAddr::Mem(name)).await.unwrap();
+            let (tx, _rx) = conn.split();
+            let mut faulty = FaultySender::new(
+                tx,
+                FaultConfig { drop_chance: 0.3, corrupt_chance: 0.2, seed, size_limit: None },
+            );
+            for i in 0..200u32 {
+                faulty
+                    .send(WireMsg { stream: 0, ppid: i, payload: Bytes::from_static(b"abc") })
+                    .await
+                    .unwrap();
+            }
+            faulty.stats()
+        }
+        let a = run(42).await;
+        let b = run(42).await;
+        assert_eq!(a, b);
+        assert!(a.dropped > 30 && a.dropped < 90, "drop rate plausible: {a:?}");
+    }
+
+    #[tokio::test]
+    async fn size_limit_drops_large() {
+        let _l = listen(&TransportAddr::Mem("fault-size".into())).await.unwrap();
+        let conn = connect(&TransportAddr::Mem("fault-size".into())).await.unwrap();
+        let (tx, _rx) = conn.split();
+        let mut faulty = FaultySender::new(
+            tx,
+            FaultConfig { size_limit: Some(100), ..FaultConfig::default() },
+        );
+        faulty.send(WireMsg::e2ap(Bytes::from(vec![0; 101]))).await.unwrap();
+        faulty.send(WireMsg::e2ap(Bytes::from(vec![0; 100]))).await.unwrap();
+        assert_eq!(faulty.stats().dropped, 1);
+        assert_eq!(faulty.stats().passed, 1);
+    }
+}

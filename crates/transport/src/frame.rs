@@ -1,0 +1,72 @@
+//! SCTP-like frame header used by the TCP transport.
+//!
+//! Each message is prefixed with a fixed 10-byte header:
+//!
+//! ```text
+//! 0       4       6         10
+//! +-------+-------+---------+----------------+
+//! | len   | strm  | ppid    |  payload …     |
+//! | u32BE | u16BE | u32BE   |  (len bytes)   |
+//! +-------+-------+---------+----------------+
+//! ```
+//!
+//! `len` counts payload bytes only.  This mirrors what an SCTP DATA chunk
+//! carries (stream id + PPID + user data) so the E2 layers above see SCTP
+//! semantics: message boundaries, ordering, reliability.
+
+use bytes::{Bytes, BytesMut};
+
+/// Size of the frame header in bytes.
+pub const HEADER_LEN: usize = 10;
+
+/// Maximum payload accepted, to bound allocations on corrupted input.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Serializes a frame header.
+pub fn encode_header(len: u32, stream: u16, ppid: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&len.to_be_bytes());
+    h[4..6].copy_from_slice(&stream.to_be_bytes());
+    h[6..10].copy_from_slice(&ppid.to_be_bytes());
+    h
+}
+
+/// Parses a frame header into `(payload len, stream, ppid)`.
+pub fn decode_header(h: &[u8; HEADER_LEN]) -> (u32, u16, u32) {
+    let len = u32::from_be_bytes([h[0], h[1], h[2], h[3]]);
+    let stream = u16::from_be_bytes([h[4], h[5]]);
+    let ppid = u32::from_be_bytes([h[6], h[7], h[8], h[9]]);
+    (len, stream, ppid)
+}
+
+/// Serializes a full frame (header + payload) into one buffer, so the
+/// writer can issue a single `write_all` per message.
+pub fn encode_frame(stream: u16, ppid: u32, payload: &Bytes) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&encode_header(payload.len() as u32, stream, ppid));
+    buf.extend_from_slice(payload);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        for (len, stream, ppid) in [(0u32, 0u16, 0u32), (1500, 7, 70), (u32::MAX, u16::MAX, u32::MAX)]
+        {
+            let h = encode_header(len, stream, ppid);
+            assert_eq!(decode_header(&h), (len, stream, ppid));
+        }
+    }
+
+    #[test]
+    fn frame_layout() {
+        let payload = Bytes::from_static(b"abc");
+        let f = encode_frame(2, 70, &payload);
+        assert_eq!(f.len(), HEADER_LEN + 3);
+        assert_eq!(&f[0..4], &3u32.to_be_bytes());
+        assert_eq!(&f[HEADER_LEN..], b"abc");
+    }
+}

@@ -1,0 +1,163 @@
+//! In-process transport: same interface as the TCP transport, but over
+//! unbounded channels through a global name registry.
+//!
+//! Used for deterministic tests and for single-process experiments where
+//! network jitter would obscure the quantity being measured.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use tokio::sync::mpsc;
+
+use crate::WireMsg;
+
+type Registry = Mutex<HashMap<String, mpsc::UnboundedSender<MemConn>>>;
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static CONN_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// A connected in-process transport.
+#[derive(Debug)]
+pub struct MemConn {
+    tx: MemSendHalf,
+    rx: MemRecvHalf,
+    peer: String,
+}
+
+impl MemConn {
+    fn pair(name: &str) -> (MemConn, MemConn) {
+        let id = CONN_IDS.fetch_add(1, Ordering::Relaxed);
+        let (a_tx, b_rx) = mpsc::unbounded_channel();
+        let (b_tx, a_rx) = mpsc::unbounded_channel();
+        let a = MemConn {
+            tx: MemSendHalf { tx: a_tx },
+            rx: MemRecvHalf { rx: a_rx },
+            peer: format!("mem:{name}#{id}"),
+        };
+        let b = MemConn {
+            tx: MemSendHalf { tx: b_tx },
+            rx: MemRecvHalf { rx: b_rx },
+            peer: format!("mem:{name}#{id}-client"),
+        };
+        (a, b)
+    }
+
+    /// Sends one message.
+    pub fn send(&mut self, msg: WireMsg) -> io::Result<()> {
+        self.tx.send(msg)
+    }
+
+    /// Receives the next message; `None` once the peer is gone.
+    pub async fn recv(&mut self) -> io::Result<Option<WireMsg>> {
+        self.rx.recv().await
+    }
+
+    /// Splits into owned halves.
+    pub fn split(self) -> (MemSendHalf, MemRecvHalf) {
+        (self.tx, self.rx)
+    }
+
+    /// Peer description, for logs.
+    pub fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// Owned send half.
+#[derive(Debug)]
+pub struct MemSendHalf {
+    tx: mpsc::UnboundedSender<WireMsg>,
+}
+
+impl MemSendHalf {
+    /// Sends one message.
+    pub fn send(&mut self, msg: WireMsg) -> io::Result<()> {
+        self.tx
+            .send(msg)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+    }
+}
+
+/// Owned receive half.
+#[derive(Debug)]
+pub struct MemRecvHalf {
+    rx: mpsc::UnboundedReceiver<WireMsg>,
+}
+
+impl MemRecvHalf {
+    /// Receives the next message; `None` once the peer is gone.
+    pub async fn recv(&mut self) -> io::Result<Option<WireMsg>> {
+        Ok(self.rx.recv().await)
+    }
+}
+
+/// A named in-process listener.
+#[derive(Debug)]
+pub struct MemListener {
+    name: String,
+    rx: mpsc::UnboundedReceiver<MemConn>,
+}
+
+impl MemListener {
+    /// Registers `name` in the global registry.
+    pub fn bind(name: &str) -> io::Result<Self> {
+        let mut reg = registry().lock();
+        // A stale entry whose listener has been dropped can be replaced.
+        if let Some(tx) = reg.get(name) {
+            if !tx.is_closed() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("mem endpoint {name} already bound"),
+                ));
+            }
+        }
+        let (tx, rx) = mpsc::unbounded_channel();
+        reg.insert(name.to_owned(), tx);
+        Ok(MemListener { name: name.to_owned(), rx })
+    }
+
+    /// Accepts the next inbound connection.
+    pub async fn accept(&mut self) -> io::Result<MemConn> {
+        self.rx
+            .recv()
+            .await
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "listener closed"))
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for MemListener {
+    fn drop(&mut self) {
+        let mut reg = registry().lock();
+        // Only remove our own (now-closed) entry; a racing re-bind may have
+        // replaced it already.
+        if reg.get(&self.name).is_some_and(|tx| tx.is_closed()) {
+            reg.remove(&self.name);
+        }
+    }
+}
+
+/// Connects to the listener registered under `name`.
+pub async fn connect(name: &str) -> io::Result<MemConn> {
+    let tx = {
+        let reg = registry().lock();
+        reg.get(name).cloned().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, format!("no mem endpoint {name}"))
+        })?
+    };
+    let (server_side, client_side) = MemConn::pair(name);
+    tx.send(server_side)
+        .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener gone"))?;
+    Ok(client_side)
+}

@@ -1,0 +1,112 @@
+//! SCTP-like framed transport over TCP.
+
+use std::io;
+
+use bytes::{Bytes, BytesMut};
+use tokio::io::{AsyncReadExt, AsyncWriteExt, BufWriter};
+use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
+use tokio::net::TcpStream;
+
+use crate::frame::{self, HEADER_LEN, MAX_PAYLOAD};
+use crate::WireMsg;
+
+/// A connected framed-TCP transport.
+#[derive(Debug)]
+pub struct TcpConn {
+    tx: TcpSendHalf,
+    rx: TcpRecvHalf,
+    peer: String,
+}
+
+impl TcpConn {
+    /// Wraps a connected `TcpStream`.
+    pub fn new(stream: TcpStream) -> Self {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_owned());
+        let (rd, wr) = stream.into_split();
+        TcpConn {
+            tx: TcpSendHalf { wr: BufWriter::new(wr) },
+            rx: TcpRecvHalf { rd },
+            peer,
+        }
+    }
+
+    /// Sends one message.
+    pub async fn send(&mut self, msg: WireMsg) -> io::Result<()> {
+        self.tx.send(msg).await
+    }
+
+    /// Receives the next message; `None` on orderly shutdown.
+    pub async fn recv(&mut self) -> io::Result<Option<WireMsg>> {
+        self.rx.recv().await
+    }
+
+    /// Splits into owned halves.
+    pub fn split(self) -> (TcpSendHalf, TcpRecvHalf) {
+        (self.tx, self.rx)
+    }
+
+    /// Peer address, for logs.
+    pub fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// Owned send half.
+#[derive(Debug)]
+pub struct TcpSendHalf {
+    wr: BufWriter<OwnedWriteHalf>,
+}
+
+impl TcpSendHalf {
+    /// Sends one message (header + payload, flushed).
+    pub async fn send(&mut self, msg: WireMsg) -> io::Result<()> {
+        let buf = frame::encode_frame(msg.stream, msg.ppid, &msg.payload);
+        self.wr.write_all(&buf).await?;
+        // Flush per message: E2 traffic is latency sensitive and messages
+        // are the unit of exchange; Nagle is already disabled.
+        self.wr.flush().await
+    }
+
+    /// Sends a batch of messages with a single flush — used by writer
+    /// tasks when several indications are queued in the same tick.
+    pub async fn send_batch(&mut self, msgs: &[WireMsg]) -> io::Result<()> {
+        for msg in msgs {
+            let buf = frame::encode_frame(msg.stream, msg.ppid, &msg.payload);
+            self.wr.write_all(&buf).await?;
+        }
+        self.wr.flush().await
+    }
+}
+
+/// Owned receive half.
+#[derive(Debug)]
+pub struct TcpRecvHalf {
+    rd: OwnedReadHalf,
+}
+
+impl TcpRecvHalf {
+    /// Receives the next message; `None` on orderly shutdown at a frame
+    /// boundary, an error on mid-frame truncation or oversized frames.
+    pub async fn recv(&mut self) -> io::Result<Option<WireMsg>> {
+        let mut header = [0u8; HEADER_LEN];
+        // First byte distinguishes orderly EOF from truncation.
+        match self.rd.read(&mut header[..1]).await? {
+            0 => return Ok(None),
+            _ => {}
+        }
+        self.rd.read_exact(&mut header[1..]).await?;
+        let (len, stream, ppid) = frame::decode_header(&header);
+        if len as usize > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds maximum"),
+            ));
+        }
+        let mut payload = BytesMut::zeroed(len as usize);
+        self.rd.read_exact(&mut payload).await?;
+        Ok(Some(WireMsg { stream, ppid, payload: Bytes::from(payload) }))
+    }
+}

@@ -1,0 +1,289 @@
+//! Redis-style pub/sub message broker.
+//!
+//! The paper's TC controller "used Redis as a message broker used by an
+//! iApp to forward messages to the xApp" (§6.1.1, Table 3).  This is a
+//! from-scratch substitute with the same interaction pattern: clients
+//! subscribe to channels; publishers fan messages out to all subscribers
+//! of a channel.
+//!
+//! ## Wire protocol (length-framed over TCP)
+//!
+//! ```text
+//! frame   := len:u32BE kind:u8 payload
+//! kind 1  := SUBSCRIBE   payload = channel (utf-8)
+//! kind 2  := PUBLISH     payload = chan_len:u16BE channel message-bytes
+//! kind 3  := MESSAGE     payload = chan_len:u16BE channel message-bytes
+//! ```
+
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+const KIND_SUBSCRIBE: u8 = 1;
+const KIND_PUBLISH: u8 = 2;
+const KIND_MESSAGE: u8 = 3;
+const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+async fn write_frame<W: AsyncWriteExt + Unpin>(
+    wr: &mut W,
+    kind: u8,
+    payload: &[u8],
+) -> io::Result<()> {
+    let len = payload.len() as u32 + 1;
+    wr.write_all(&len.to_be_bytes()).await?;
+    wr.write_all(&[kind]).await?;
+    wr.write_all(payload).await?;
+    wr.flush().await
+}
+
+async fn read_frame<R: AsyncReadExt + Unpin>(rd: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    match rd.read(&mut len_buf[..1]).await? {
+        0 => return Ok(None),
+        _ => {}
+    }
+    rd.read_exact(&mut len_buf[1..]).await?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+    }
+    let mut payload = vec![0u8; len];
+    rd.read_exact(&mut payload).await?;
+    let kind = payload.remove(0);
+    Ok(Some((kind, payload)))
+}
+
+fn chan_msg(payload: &[u8]) -> io::Result<(String, Bytes)> {
+    if payload.len() < 2 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "short publish"));
+    }
+    let chan_len = u16::from_be_bytes([payload[0], payload[1]]) as usize;
+    if payload.len() < 2 + chan_len {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad channel length"));
+    }
+    let channel = String::from_utf8(payload[2..2 + chan_len].to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad channel utf8"))?;
+    Ok((channel, Bytes::copy_from_slice(&payload[2 + chan_len..])))
+}
+
+fn encode_chan_msg(channel: &str, msg: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(2 + channel.len() + msg.len());
+    payload.extend_from_slice(&(channel.len() as u16).to_be_bytes());
+    payload.extend_from_slice(channel.as_bytes());
+    payload.extend_from_slice(msg);
+    payload
+}
+
+type Subscribers = Arc<Mutex<HashMap<String, Vec<mpsc::UnboundedSender<(String, Bytes)>>>>>;
+
+/// A running broker.
+pub struct Broker {
+    /// The bound address.
+    pub addr: SocketAddr,
+}
+
+impl Broker {
+    /// Binds and serves; runs until the process exits.
+    pub async fn spawn(addr: &str) -> io::Result<Broker> {
+        let listener = TcpListener::bind(addr).await?;
+        let addr = listener.local_addr()?;
+        let subs: Subscribers = Arc::new(Mutex::new(HashMap::new()));
+        tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else { break };
+                let subs = subs.clone();
+                tokio::spawn(async move {
+                    let _ = serve_client(stream, subs).await;
+                });
+            }
+        });
+        Ok(Broker { addr })
+    }
+}
+
+async fn serve_client(stream: TcpStream, subs: Subscribers) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let (mut rd, mut wr) = stream.into_split();
+    let (tx, mut rx) = mpsc::unbounded_channel::<(String, Bytes)>();
+    // Writer side: forward matched messages to this client.
+    let writer = tokio::spawn(async move {
+        while let Some((channel, msg)) = rx.recv().await {
+            let payload = encode_chan_msg(&channel, &msg);
+            if write_frame(&mut wr, KIND_MESSAGE, &payload).await.is_err() {
+                break;
+            }
+        }
+    });
+    // Reader side: handle SUBSCRIBE/PUBLISH.
+    while let Some((kind, payload)) = read_frame(&mut rd).await? {
+        match kind {
+            KIND_SUBSCRIBE => {
+                let channel = String::from_utf8(payload)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad channel"))?;
+                subs.lock().entry(channel).or_default().push(tx.clone());
+            }
+            KIND_PUBLISH => {
+                let (channel, msg) = chan_msg(&payload)?;
+                let mut table = subs.lock();
+                if let Some(list) = table.get_mut(&channel) {
+                    list.retain(|s| s.send((channel.clone(), msg.clone())).is_ok());
+                }
+            }
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "unknown frame kind")),
+        }
+    }
+    drop(tx);
+    let _ = writer.await;
+    Ok(())
+}
+
+/// A broker client: publish and/or subscribe.
+pub struct BrokerClient {
+    wr: tokio::net::tcp::OwnedWriteHalf,
+    rx: mpsc::UnboundedReceiver<(String, Bytes)>,
+}
+
+impl BrokerClient {
+    /// Connects to a broker.
+    pub async fn connect(addr: &str) -> io::Result<BrokerClient> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        let (mut rd, wr) = stream.into_split();
+        let (tx, rx) = mpsc::unbounded_channel();
+        tokio::spawn(async move {
+            while let Ok(Some((kind, payload))) = read_frame(&mut rd).await {
+                if kind == KIND_MESSAGE {
+                    if let Ok((channel, msg)) = chan_msg(&payload) {
+                        if tx.send((channel, msg)).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        Ok(BrokerClient { wr, rx })
+    }
+
+    /// Subscribes to a channel.
+    pub async fn subscribe(&mut self, channel: &str) -> io::Result<()> {
+        write_frame(&mut self.wr, KIND_SUBSCRIBE, channel.as_bytes()).await
+    }
+
+    /// Publishes a message to a channel.
+    pub async fn publish(&mut self, channel: &str, msg: &[u8]) -> io::Result<()> {
+        let payload = encode_chan_msg(channel, msg);
+        write_frame(&mut self.wr, KIND_PUBLISH, &payload).await
+    }
+
+    /// Receives the next message on any subscribed channel.
+    pub async fn recv(&mut self) -> Option<(String, Bytes)> {
+        self.rx.recv().await
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<(String, Bytes)> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[tokio::test]
+    async fn pubsub_roundtrip() {
+        let broker = Broker::spawn("127.0.0.1:0").await.unwrap();
+        let addr = broker.addr.to_string();
+        let mut sub = BrokerClient::connect(&addr).await.unwrap();
+        sub.subscribe("rlc-stats").await.unwrap();
+        tokio::time::sleep(Duration::from_millis(20)).await; // sub registered
+        let mut publ = BrokerClient::connect(&addr).await.unwrap();
+        publ.publish("rlc-stats", b"{\"sojourn\": 42}").await.unwrap();
+        let (chan, msg) = tokio::time::timeout(Duration::from_secs(2), sub.recv())
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(chan, "rlc-stats");
+        assert_eq!(&msg[..], b"{\"sojourn\": 42}");
+    }
+
+    #[tokio::test]
+    async fn fanout_to_multiple_subscribers() {
+        let broker = Broker::spawn("127.0.0.1:0").await.unwrap();
+        let addr = broker.addr.to_string();
+        let mut subs = Vec::new();
+        for _ in 0..5 {
+            let mut c = BrokerClient::connect(&addr).await.unwrap();
+            c.subscribe("chan").await.unwrap();
+            subs.push(c);
+        }
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        let mut publ = BrokerClient::connect(&addr).await.unwrap();
+        publ.publish("chan", b"x").await.unwrap();
+        for c in &mut subs {
+            let (_, msg) =
+                tokio::time::timeout(Duration::from_secs(2), c.recv()).await.unwrap().unwrap();
+            assert_eq!(&msg[..], b"x");
+        }
+    }
+
+    #[tokio::test]
+    async fn channel_isolation() {
+        let broker = Broker::spawn("127.0.0.1:0").await.unwrap();
+        let addr = broker.addr.to_string();
+        let mut a = BrokerClient::connect(&addr).await.unwrap();
+        a.subscribe("a").await.unwrap();
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        let mut publ = BrokerClient::connect(&addr).await.unwrap();
+        publ.publish("b", b"not for a").await.unwrap();
+        publ.publish("a", b"for a").await.unwrap();
+        let (chan, msg) =
+            tokio::time::timeout(Duration::from_secs(2), a.recv()).await.unwrap().unwrap();
+        assert_eq!(chan, "a");
+        assert_eq!(&msg[..], b"for a");
+        assert!(a.try_recv().is_none(), "channel b message not delivered");
+    }
+
+    #[tokio::test]
+    async fn publish_without_subscribers_is_fine() {
+        let broker = Broker::spawn("127.0.0.1:0").await.unwrap();
+        let addr = broker.addr.to_string();
+        let mut publ = BrokerClient::connect(&addr).await.unwrap();
+        publ.publish("void", b"shout").await.unwrap();
+        // Broker still alive.
+        let mut sub = BrokerClient::connect(&addr).await.unwrap();
+        sub.subscribe("void").await.unwrap();
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        publ.publish("void", b"heard").await.unwrap();
+        let (_, msg) =
+            tokio::time::timeout(Duration::from_secs(2), sub.recv()).await.unwrap().unwrap();
+        assert_eq!(&msg[..], b"heard");
+    }
+
+    #[tokio::test]
+    async fn dead_subscriber_pruned() {
+        let broker = Broker::spawn("127.0.0.1:0").await.unwrap();
+        let addr = broker.addr.to_string();
+        {
+            let mut dead = BrokerClient::connect(&addr).await.unwrap();
+            dead.subscribe("chan").await.unwrap();
+            tokio::time::sleep(Duration::from_millis(20)).await;
+        } // dropped
+        let mut sub = BrokerClient::connect(&addr).await.unwrap();
+        sub.subscribe("chan").await.unwrap();
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        let mut publ = BrokerClient::connect(&addr).await.unwrap();
+        publ.publish("chan", b"still works").await.unwrap();
+        let (_, msg) =
+            tokio::time::timeout(Duration::from_secs(2), sub.recv()).await.unwrap().unwrap();
+        assert_eq!(&msg[..], b"still works");
+    }
+}

@@ -1,0 +1,366 @@
+//! Minimal HTTP/1.1 server and client — the REST northbound.
+//!
+//! Supports exactly what the controller specializations need: `GET` and
+//! `POST` with optional JSON bodies, `Content-Length` framing, one request
+//! per roundtrip with keep-alive.  No TLS, no chunked encoding, no
+//! multipart — the zero-overhead principle applied to the northbound.
+
+use std::collections::HashMap;
+use std::future::Future;
+use std::io;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::sync::Arc;
+
+use tokio::io::{AsyncBufReadExt, AsyncReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+
+/// An HTTP request as seen by a handler.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET` / `POST` / ….
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Body bytes (often JSON).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Parses the body as JSON.
+    pub fn json<T: serde::de::DeserializeOwned>(&self) -> Result<T, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+}
+
+/// An HTTP response from a handler.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Content type.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json<T: serde::Serialize>(value: &T) -> Response {
+        Response {
+            status: 200,
+            body: serde_json::to_vec(value).unwrap_or_default(),
+            content_type: "application/json",
+        }
+    }
+
+    /// 200 with a plain-text body.
+    pub fn text(s: impl Into<String>) -> Response {
+        Response { status: 200, body: s.into().into_bytes(), content_type: "text/plain" }
+    }
+
+    /// An error status with a plain-text body.
+    pub fn error(status: u16, msg: impl Into<String>) -> Response {
+        Response { status, body: msg.into().into_bytes(), content_type: "text/plain" }
+    }
+
+    fn status_line(&self) -> &'static str {
+        match self.status {
+            200 => "200 OK",
+            201 => "201 Created",
+            204 => "204 No Content",
+            400 => "400 Bad Request",
+            404 => "404 Not Found",
+            405 => "405 Method Not Allowed",
+            _ => "500 Internal Server Error",
+        }
+    }
+}
+
+/// Boxed async handler.
+pub type Handler = Arc<
+    dyn Fn(Request) -> Pin<Box<dyn Future<Output = Response> + Send>> + Send + Sync,
+>;
+
+/// A tiny route table: exact `(method, path)` matches.
+#[derive(Default, Clone)]
+pub struct Router {
+    routes: HashMap<(String, String), Handler>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a handler for `(method, path)`.
+    pub fn route<F, Fut>(mut self, method: &str, path: &str, f: F) -> Self
+    where
+        F: Fn(Request) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Response> + Send + 'static,
+    {
+        let h: Handler = Arc::new(move |req| Box::pin(f(req)));
+        self.routes.insert((method.to_uppercase(), path.to_owned()), h);
+        self
+    }
+
+    fn lookup(&self, method: &str, path: &str) -> Option<Handler> {
+        self.routes.get(&(method.to_uppercase(), path.to_owned())).cloned()
+    }
+}
+
+/// A running HTTP server.
+pub struct HttpServer {
+    /// The bound address (ephemeral port resolved).
+    pub addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Binds `addr` and serves `router` until the process exits.
+    pub async fn spawn(addr: &str, router: Router) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr).await?;
+        let addr = listener.local_addr()?;
+        let router = Arc::new(router);
+        tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else { break };
+                let router = router.clone();
+                tokio::spawn(async move {
+                    let _ = serve_conn(stream, router).await;
+                });
+            }
+        });
+        Ok(HttpServer { addr })
+    }
+}
+
+async fn serve_conn(stream: TcpStream, router: Arc<Router>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let (rd, mut wr) = stream.into_split();
+    let mut rd = BufReader::new(rd);
+    loop {
+        let Some(req) = read_request(&mut rd).await? else { return Ok(()) };
+        let resp = match router.lookup(&req.method, &req.path) {
+            Some(h) => h(req).await,
+            None => Response::error(404, "not found"),
+        };
+        let head = format!(
+            "HTTP/1.1 {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            resp.status_line(),
+            resp.content_type,
+            resp.body.len()
+        );
+        wr.write_all(head.as_bytes()).await?;
+        wr.write_all(&resp.body).await?;
+        wr.flush().await?;
+    }
+}
+
+async fn read_request<R: AsyncBufReadExt + Unpin>(rd: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if rd.read_line(&mut line).await? == 0 {
+        return Ok(None); // clean close
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let target = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || target.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad request line"));
+    }
+    let (path, query) = parse_target(&target);
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if rd.read_line(&mut h).await? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "headers truncated"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+                if content_length > 16 * 1024 * 1024 {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    rd.read_exact(&mut body).await?;
+    Ok(Some(Request { method, path, query, body }))
+}
+
+fn parse_target(target: &str) -> (String, HashMap<String, String>) {
+    match target.split_once('?') {
+        None => (target.to_owned(), HashMap::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter_map(|kv| kv.split_once('=').map(|(k, v)| (k.to_owned(), v.to_owned())))
+                .collect();
+            (path.to_owned(), query)
+        }
+    }
+}
+
+/// Minimal HTTP client: one request per call, fresh connection.
+pub struct HttpClient;
+
+impl HttpClient {
+    /// Issues a request; returns `(status, body)`.
+    pub async fn request(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<(u16, Vec<u8>)> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        let (rd, mut wr) = stream.into_split();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        );
+        wr.write_all(head.as_bytes()).await?;
+        wr.write_all(body).await?;
+        wr.flush().await?;
+
+        let mut rd = BufReader::new(rd);
+        let mut status_line = String::new();
+        rd.read_line(&mut status_line).await?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = None;
+        loop {
+            let mut h = String::new();
+            if rd.read_line(&mut h).await? == 0 {
+                break;
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let mut body = Vec::new();
+        match content_length {
+            Some(n) => {
+                body.resize(n, 0);
+                rd.read_exact(&mut body).await?;
+            }
+            None => {
+                rd.read_to_end(&mut body).await?;
+            }
+        }
+        Ok((status, body))
+    }
+
+    /// GET returning `(status, body)`.
+    pub async fn get(addr: &str, path: &str) -> io::Result<(u16, Vec<u8>)> {
+        Self::request(addr, "GET", path, &[]).await
+    }
+
+    /// POST with a JSON body.
+    pub async fn post_json<T: serde::Serialize>(
+        addr: &str,
+        path: &str,
+        value: &T,
+    ) -> io::Result<(u16, Vec<u8>)> {
+        let body = serde_json::to_vec(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        Self::request(addr, "POST", path, &body).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    async fn test_server() -> HttpServer {
+        let router = Router::new()
+            .route("GET", "/ping", |_req| async { Response::text("pong") })
+            .route("POST", "/echo", |req: Request| async move {
+                Response { status: 200, body: req.body, content_type: "application/json" }
+            })
+            .route("GET", "/query", |req: Request| async move {
+                Response::text(req.query.get("key").cloned().unwrap_or_default())
+            });
+        HttpServer::spawn("127.0.0.1:0", router).await.unwrap()
+    }
+
+    #[tokio::test]
+    async fn get_roundtrip() {
+        let srv = test_server().await;
+        let addr = srv.addr.to_string();
+        let (status, body) = HttpClient::get(&addr, "/ping").await.unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"pong");
+    }
+
+    #[tokio::test]
+    async fn post_json_roundtrip() {
+        let srv = test_server().await;
+        let addr = srv.addr.to_string();
+        let payload = json!({"slice": 1, "share": 0.66});
+        let (status, body) = HttpClient::post_json(&addr, "/echo", &payload).await.unwrap();
+        assert_eq!(status, 200);
+        let back: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[tokio::test]
+    async fn query_params_parsed() {
+        let srv = test_server().await;
+        let addr = srv.addr.to_string();
+        let (status, body) = HttpClient::get(&addr, "/query?key=value&x=1").await.unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"value");
+    }
+
+    #[tokio::test]
+    async fn unknown_route_404() {
+        let srv = test_server().await;
+        let addr = srv.addr.to_string();
+        let (status, _) = HttpClient::get(&addr, "/nope").await.unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[tokio::test]
+    async fn wrong_method_404() {
+        let srv = test_server().await;
+        let addr = srv.addr.to_string();
+        let (status, _) = HttpClient::request(&addr, "POST", "/ping", b"").await.unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[tokio::test]
+    async fn concurrent_requests() {
+        let srv = test_server().await;
+        let addr = srv.addr.to_string();
+        let mut handles = Vec::new();
+        for _ in 0..32 {
+            let addr = addr.clone();
+            handles.push(tokio::spawn(async move {
+                HttpClient::get(&addr, "/ping").await.unwrap().0
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.await.unwrap(), 200);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Northbound plumbing for FlexRIC controllers.
+//!
+//! The paper's controller specializations expose their services to xApps
+//! through "a custom protocol, such as a simple REST interface (e.g.,
+//! FlexRAN), the RMR library (e.g., O-RAN RIC), a message broker (e.g.
+//! Redis), or E2AP itself" (§4.2.1).  This crate provides the first two
+//! from scratch:
+//!
+//! * [`http`] — a minimal HTTP/1.1 server and client (GET/POST with JSON
+//!   bodies), the REST northbound of the slicing and TC controllers;
+//! * [`broker`] — a Redis-style pub/sub broker (SUBSCRIBE/PUBLISH over a
+//!   length-framed TCP protocol), the stats-push channel of the TC
+//!   controller.
+//!
+//! The recursive controller's northbound is the agent library itself and
+//! lives in `flexric-ctrl`.
+
+pub mod broker;
+pub mod http;

@@ -1,0 +1,9 @@
+//! FlexRIC-rs umbrella crate: re-exports the full workspace.
+pub use flexric as sdk;
+pub use flexric_codec as codec;
+pub use flexric_ctrl as ctrl;
+pub use flexric_e2ap as e2ap;
+pub use flexric_ransim as ransim;
+pub use flexric_sm as sm;
+pub use flexric_transport as transport;
+pub use flexric_xapp as xapp;

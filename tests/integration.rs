@@ -1,0 +1,695 @@
+//! Cross-crate integration tests: full FlexRIC stacks assembled from the
+//! public APIs of every workspace crate.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use flexric::agent::{Agent, AgentConfig};
+use flexric::server::{Server, ServerConfig};
+use flexric_codec::E2apCodec;
+use flexric_ctrl::monitoring::{MonitorApp, MonitorConfig};
+use flexric_ctrl::ranfun::{full_bundle, stats_bundle, SimBs};
+use flexric_e2ap::{E2NodeType, GlobalE2NodeId, GlobalRicId, Plmn};
+use flexric_ransim::{CellConfig, FlowConfig, FlowKind, PathConfig, Sim, UeConfig};
+use flexric_sm::SmCodec;
+use flexric_transport::TransportAddr;
+
+fn test_sim(ues: u16) -> Arc<Mutex<Sim>> {
+    let mut sim = Sim::new(vec![CellConfig::nr("cell0", 106)], PathConfig::default());
+    for i in 0..ues {
+        sim.attach_ue(0, UeConfig::new(0x4601 + i, 20));
+        sim.add_flow(FlowConfig {
+            cell: 0,
+            rnti: 0x4601 + i,
+            drb: 1,
+            kind: FlowKind::GreedyTcp { mss: 1500 },
+            tuple: (0x0A00_0001, 0x0A00_0100 + i as u32, 1000, 80, 6),
+            start_ms: 0,
+            stop_ms: None,
+        });
+    }
+    Arc::new(Mutex::new(sim))
+}
+
+/// Drives `ms` of virtual time through sim + agent.
+async fn drive(sim: &Arc<Mutex<Sim>>, agent: &flexric::agent::AgentHandle, ms: u64) {
+    for chunk in 0..(ms / 50).max(1) {
+        let _ = chunk;
+        for _ in 0..50 {
+            let now = {
+                let mut s = sim.lock();
+                s.tick();
+                s.now_ms()
+            };
+            agent.tick(now);
+        }
+        tokio::task::yield_now().await;
+    }
+    // Allow in-flight indications to land.
+    tokio::time::sleep(Duration::from_millis(100)).await;
+}
+
+#[tokio::test]
+async fn monitoring_pipeline_end_to_end() {
+    // Controller + simulated BS over the in-memory transport; statistics
+    // must arrive decoded and fresh in the controller's store.
+    let (monitor, db, counters) = MonitorApp::new(MonitorConfig::default());
+    let mut cfg = ServerConfig::new(
+        GlobalRicId::new(Plmn::TEST, 1),
+        TransportAddr::Mem("it-monitor".into()),
+    );
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(monitor)]).await.unwrap();
+
+    let sim = test_sim(3);
+    let bs = SimBs::new(sim.clone(), 0);
+    let mut acfg = AgentConfig::new(
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
+        TransportAddr::Mem("it-monitor".into()),
+    );
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, stats_bundle(&bs, SmCodec::Flatb)).await.unwrap();
+
+    drive(&sim, &agent, 2_000).await;
+
+    let inds = counters.indications.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(inds > 3_000, "3 SMs × ~2000 ticks: got {inds}");
+    let table = db.lock();
+    let mac = table.mac(0).expect("mac stats stored");
+    assert_eq!(mac.ues.len(), 3);
+    assert!(mac.ues.iter().any(|u| u.dl_aggr_bytes > 1_000_000), "traffic flowed");
+    let rlc = table.rlc(0).expect("rlc stats stored");
+    assert_eq!(rlc.bearers.len(), 3);
+    let pdcp = table.pdcp(0).expect("pdcp stats stored");
+    assert_eq!(pdcp.bearers.len(), 3);
+    agent.stop();
+    server.stop();
+}
+
+#[tokio::test]
+async fn monitoring_pipeline_asn1_variant() {
+    // The same pipeline over the ASN.1-PER codec end to end.
+    let (monitor, db, _) = MonitorApp::new(MonitorConfig {
+        sm_codec: SmCodec::Asn1Per,
+        ..Default::default()
+    });
+    let mut cfg = ServerConfig::new(
+        GlobalRicId::new(Plmn::TEST, 1),
+        TransportAddr::Mem("it-monitor-asn".into()),
+    );
+    cfg.codec = E2apCodec::Asn1Per;
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(monitor)]).await.unwrap();
+
+    let sim = test_sim(2);
+    let bs = SimBs::new(sim.clone(), 0);
+    let mut acfg = AgentConfig::new(
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
+        TransportAddr::Mem("it-monitor-asn".into()),
+    );
+    acfg.codec = E2apCodec::Asn1Per;
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, stats_bundle(&bs, SmCodec::Asn1Per)).await.unwrap();
+
+    drive(&sim, &agent, 500).await;
+    assert!(db.lock().mac(0).is_some(), "ASN.1 path delivers stats");
+    agent.stop();
+    server.stop();
+}
+
+#[tokio::test]
+async fn slicing_control_loop_via_rest() {
+    use flexric_ctrl::slicing::{spawn_rest, SliceApp};
+    use flexric_xapp::http::HttpClient;
+    use serde_json::json;
+
+    let (slice_app, latest) = SliceApp::new(SmCodec::Flatb, 100);
+    let mut cfg = ServerConfig::new(
+        GlobalRicId::new(Plmn::TEST, 1),
+        TransportAddr::Mem("it-slicing".into()),
+    );
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(slice_app)]).await.unwrap();
+    let rest = spawn_rest("127.0.0.1:0", server.clone(), latest).await.unwrap();
+    let rest_addr = rest.addr.to_string();
+
+    let sim = test_sim(2);
+    let bs = SimBs::new(sim.clone(), 0);
+    let mut acfg = AgentConfig::new(
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
+        TransportAddr::Mem("it-slicing".into()),
+    );
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, full_bundle(&bs, SmCodec::Flatb)).await.unwrap();
+    // Background virtual-time driver so REST control round-trips complete
+    // while we await them.
+    let driver = {
+        let sim = sim.clone();
+        let agent = agent.clone();
+        tokio::spawn(async move {
+            loop {
+                for _ in 0..20 {
+                    let now = {
+                        let mut s = sim.lock();
+                        s.tick();
+                        s.now_ms()
+                    };
+                    agent.tick(now);
+                }
+                tokio::time::sleep(Duration::from_millis(2)).await;
+            }
+        })
+    };
+    tokio::time::sleep(Duration::from_millis(200)).await;
+
+    // Configure slices over REST.
+    let (status, body) = HttpClient::post_json(
+        &rest_addr,
+        "/slice/algo",
+        &json!({"agent": 0, "algo": "nvs"}),
+    )
+    .await
+    .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let (status, _) = HttpClient::post_json(
+        &rest_addr,
+        "/slice/conf",
+        &json!({"agent": 0, "slices": [
+            {"id": 0, "label": "a", "params": {"type": "nvs_capacity", "share_pct": 70.0}},
+            {"id": 1, "label": "b", "params": {"type": "nvs_capacity", "share_pct": 30.0}},
+        ]}),
+    )
+    .await
+    .unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = HttpClient::post_json(
+        &rest_addr,
+        "/slice/assoc",
+        &json!({"agent": 0, "assoc": [[0x4601, 0], [0x4602, 1]]}),
+    )
+    .await
+    .unwrap();
+    assert_eq!(status, 200);
+
+    // Over-commit must be rejected with a 400.
+    let (status, _) = HttpClient::post_json(
+        &rest_addr,
+        "/slice/conf",
+        &json!({"agent": 0, "slices": [
+            {"id": 2, "label": "c", "params": {"type": "nvs_capacity", "share_pct": 10.0}},
+        ]}),
+    )
+    .await
+    .unwrap();
+    assert_eq!(status, 400, "admission control surfaces as HTTP 400");
+
+    // The slice configuration is observable in the simulator.
+    {
+        let s = sim.lock();
+        assert!(s.cells[0].sched.index_of(0).is_some());
+        assert!(s.cells[0].sched.index_of(1).is_some());
+        assert!(s.cells[0].sched.index_of(2).is_none());
+        let ue1 = s.cells[0].ues.iter().find(|u| u.cfg.rnti == 0x4601).unwrap();
+        assert_eq!(ue1.slice, 0);
+    }
+    // And the stats flow back up over GET /slices eventually.
+    let mut saw = false;
+    for _ in 0..50 {
+        let (status, body) = HttpClient::get(&rest_addr, "/slices").await.unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        if v.as_array().is_some_and(|a| !a.is_empty()) {
+            saw = true;
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(50)).await;
+    }
+    assert!(saw, "slice stats visible over REST");
+    driver.abort();
+    agent.stop();
+    server.stop();
+}
+
+#[tokio::test]
+async fn tc_xapp_full_loop_fixes_bufferbloat() {
+    use flexric_ctrl::ranfun::BearerAddr;
+    use flexric_ctrl::traffic::{
+        run_bloat_guard, spawn_rest, BloatGuardConfig, StatsForwarderApp, TcManagerApp,
+    };
+    use flexric_xapp::broker::Broker;
+
+    let broker = Broker::spawn("127.0.0.1:0").await.unwrap();
+    let broker_addr = broker.addr.to_string();
+    let sm = SmCodec::Flatb;
+    let fwd = StatsForwarderApp::new(
+        sm,
+        50,
+        broker_addr.clone(),
+        vec![BearerAddr { rnti: 0x4601, drb: 1 }],
+    );
+    let mgr = TcManagerApp::new(sm);
+    let mut cfg = ServerConfig::new(
+        GlobalRicId::new(Plmn::TEST, 1),
+        TransportAddr::Mem("it-tc".into()),
+    );
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(fwd), Box::new(mgr)]).await.unwrap();
+    let rest = spawn_rest("127.0.0.1:0", server.clone()).await.unwrap();
+
+    // Sim: VoIP + greedy TCP on one bearer.
+    let mut sim = Sim::new(vec![CellConfig::nr("cell0", 106)], PathConfig::default());
+    sim.attach_ue(0, UeConfig::new(0x4601, 20));
+    let _voip = sim.add_flow(FlowConfig {
+        cell: 0,
+        rnti: 0x4601,
+        drb: 1,
+        kind: FlowKind::Cbr { bytes: 172, interval_ms: 20 },
+        tuple: (1, 2, 1000, 5004, 17),
+        start_ms: 0,
+        stop_ms: None,
+    });
+    sim.add_flow(FlowConfig {
+        cell: 0,
+        rnti: 0x4601,
+        drb: 1,
+        kind: FlowKind::GreedyTcp { mss: 1500 },
+        tuple: (1, 2, 1000, 80, 6),
+        start_ms: 500,
+        stop_ms: None,
+    });
+    let sim = Arc::new(Mutex::new(sim));
+    let bs = SimBs::new(sim.clone(), 0);
+    let mut acfg = AgentConfig::new(
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
+        TransportAddr::Mem("it-tc".into()),
+    );
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, full_bundle(&bs, sm)).await.unwrap();
+
+    let guard = tokio::spawn(run_bloat_guard(BloatGuardConfig {
+        broker_addr,
+        rest_addr: rest.addr.to_string(),
+        sojourn_limit_us: 15_000,
+        protect_dst_port: 5004,
+        protect_proto: 17,
+        pacer_target_us: 10_000,
+    }));
+
+    // Drive until the xApp has intervened (bounded).
+    let driver_sim = sim.clone();
+    let driver_agent = agent.clone();
+    let mut intervened = false;
+    for _ in 0..400 {
+        for _ in 0..50 {
+            let now = {
+                let mut s = driver_sim.lock();
+                s.tick();
+                s.now_ms()
+            };
+            driver_agent.tick(now);
+        }
+        tokio::time::sleep(Duration::from_millis(2)).await;
+        if guard.is_finished() {
+            intervened = true;
+            break;
+        }
+    }
+    assert!(intervened, "xApp intervened through broker + REST");
+    // The TC layer of the bearer now has a second queue and a pacer.
+    {
+        let s = sim.lock();
+        let ue = s.cells[0].ues.iter().find(|u| u.cfg.rnti == 0x4601).unwrap();
+        let tc = &ue.bearers[0].tc;
+        assert!(matches!(
+            tc.pacer(),
+            flexric_sm::tc::PacerConf::Bdp { target_delay_us: 10_000 }
+        ));
+    }
+    agent.stop();
+    server.stop();
+}
+
+#[tokio::test]
+async fn recursive_virtualization_isolates_tenants() {
+    use flexric_ctrl::recursive::{TenantConf, VirtController};
+    use flexric_ctrl::slicing::{ApplySliceCtrl, SliceApp};
+    use flexric_sm::slice::{SliceConf, SliceCtrl, SliceParams, UeSchedAlgo};
+    use tokio::sync::oneshot;
+
+    // Tenant controllers.
+    let mk_tenant = |name: &str| {
+        let (app, latest) = SliceApp::new(SmCodec::Flatb, 200);
+        let mut cfg = ServerConfig::new(
+            GlobalRicId::new(Plmn::TEST, 7),
+            TransportAddr::Mem(name.to_owned()),
+        );
+        cfg.tick_ms = None;
+        (cfg, app, latest)
+    };
+    let (cfg_a, app_a, latest_a) = mk_tenant("it-virt-a");
+    let (cfg_b, app_b, _latest_b) = mk_tenant("it-virt-b");
+    let ctrl_a = Server::spawn(cfg_a, vec![Box::new(app_a)]).await.unwrap();
+    let _ctrl_b = Server::spawn(cfg_b, vec![Box::new(app_b)]).await.unwrap();
+
+    // Virtualization controller.
+    let mut south_cfg = ServerConfig::new(
+        GlobalRicId::new(Plmn::TEST, 20),
+        TransportAddr::Mem("it-virt-south".into()),
+    );
+    south_cfg.tick_ms = None;
+    let virt = VirtController::spawn(
+        south_cfg,
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Enb, 99),
+        vec![
+            TenantConf {
+                name: "a".into(),
+                plmn: (1, 1),
+                sla_milli: 500,
+                ctrl_addr: TransportAddr::Mem("it-virt-a".into()),
+            },
+            TenantConf {
+                name: "b".into(),
+                plmn: (2, 1),
+                sla_milli: 500,
+                ctrl_addr: TransportAddr::Mem("it-virt-b".into()),
+            },
+        ],
+        SmCodec::Flatb,
+        100,
+        None,
+    )
+    .await
+    .unwrap();
+
+    // Shared cell: 2 UEs per tenant.
+    let mut sim = Sim::new(vec![CellConfig::lte("shared", 50)], PathConfig::default());
+    for (i, (rnti, plmn)) in
+        [(0x11u16, (1u16, 1u16)), (0x12, (1, 1)), (0x21, (2, 1)), (0x22, (2, 1))]
+            .iter()
+            .enumerate()
+    {
+        sim.attach_ue(0, UeConfig { rnti: *rnti, mcs: 28, cqi: 15, plmn: *plmn, snssai: None });
+        sim.add_flow(FlowConfig {
+            cell: 0,
+            rnti: *rnti,
+            drb: 1,
+            kind: FlowKind::GreedyTcp { mss: 1500 },
+            tuple: (1, 100 + i as u32, 1000, 80, 6),
+            start_ms: 0,
+            stop_ms: None,
+        });
+    }
+    let sim = Arc::new(Mutex::new(sim));
+    let bs = SimBs::new(sim.clone(), 0);
+    let mut acfg = AgentConfig::new(
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Enb, 1),
+        TransportAddr::Mem("it-virt-south".into()),
+    );
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, full_bundle(&bs, SmCodec::Flatb)).await.unwrap();
+
+    // Virtual-time driver covering agent + virt north agent.
+    let run = |ms: u64| {
+        let sim = sim.clone();
+        let agent = agent.clone();
+        let north = virt.north.clone();
+        let south = virt.south.clone();
+        async move {
+            for _ in 0..(ms / 50) {
+                for _ in 0..50 {
+                    let now = {
+                        let mut s = sim.lock();
+                        s.tick();
+                        s.now_ms()
+                    };
+                    agent.tick(now);
+                    north.tick(now);
+                    south.tick(now);
+                }
+                tokio::time::sleep(Duration::from_millis(1)).await;
+            }
+        }
+    };
+    run(2_000).await;
+
+    // Tenant UEs were auto-associated to their tenant default slices, so
+    // throughput splits ~50/50 between operators.
+    let delivered = |i: usize| sim.lock().flow(i).delivered_bytes as f64;
+    let a = delivered(0) + delivered(1);
+    let b = delivered(2) + delivered(3);
+    let frac = a / (a + b);
+    assert!((0.4..0.6).contains(&frac), "SLA split ≈50/50, got {frac:.2}");
+
+    // Tenant A sub-slices within its virtual network.
+    let apply = |ctrl: SliceCtrl| {
+        let server = ctrl_a.clone();
+        async move {
+            let (tx, rx) = oneshot::channel();
+            server.to_iapp("slice", Box::new(ApplySliceCtrl { agent: 0, ctrl, reply: tx }));
+            tokio::time::timeout(Duration::from_secs(5), rx).await.unwrap().unwrap()
+        }
+    };
+    // A runs the driver concurrently so the control round-trip completes.
+    let driver = tokio::spawn(run(4_000));
+    let reply = apply(SliceCtrl::AddModSlices {
+        slices: vec![SliceConf {
+            id: 0,
+            label: "premium".into(),
+            params: SliceParams::NvsCapacity { share_milli: 800 },
+            ue_sched: UeSchedAlgo::PropFair,
+        }],
+    })
+    .await;
+    assert!(reply.ok, "virtual sub-slice accepted: {}", reply.detail);
+    // Over-commit of the virtual budget is rejected.
+    let reply = apply(SliceCtrl::AddModSlices {
+        slices: vec![SliceConf {
+            id: 1,
+            label: "too much".into(),
+            params: SliceParams::NvsCapacity { share_milli: 300 },
+            ue_sched: UeSchedAlgo::PropFair,
+        }],
+    })
+    .await;
+    assert!(!reply.ok, "virtual admission control rejects over-commit");
+    driver.await.unwrap();
+
+    // The tenant's slice stats (virtual view) arrived at its controller.
+    let seen = latest_a.lock().values().next().cloned();
+    if let Some(stats) = seen {
+        for s in &stats.slices {
+            assert!(s.conf.id <= 99, "tenant sees virtual ids, got {}", s.conf.id);
+        }
+    }
+    agent.stop();
+}
+
+#[tokio::test]
+async fn transport_fault_injection_does_not_wedge_the_stack() {
+    // Corrupted E2AP bytes must be ignored/answered with error
+    // indications, never crash the server.
+    use bytes::Bytes;
+    use flexric_transport::{connect, WireMsg};
+
+    let (monitor, _db, _) = MonitorApp::new(MonitorConfig::default());
+    let mut cfg = ServerConfig::new(
+        GlobalRicId::new(Plmn::TEST, 1),
+        TransportAddr::Mem("it-fault".into()),
+    );
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(monitor)]).await.unwrap();
+
+    // A raw connection spewing garbage never completes setup…
+    let mut garbage = connect(&TransportAddr::Mem("it-fault".into())).await.unwrap();
+    for i in 0..50u8 {
+        garbage.send(WireMsg::e2ap(Bytes::from(vec![i; 64]))).await.unwrap();
+    }
+    tokio::time::sleep(Duration::from_millis(100)).await;
+
+    // …while a well-behaved agent still connects fine afterwards.
+    let sim = test_sim(1);
+    let bs = SimBs::new(sim.clone(), 0);
+    let mut acfg = AgentConfig::new(
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
+        TransportAddr::Mem("it-fault".into()),
+    );
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, stats_bundle(&sim_bs(&sim), SmCodec::Flatb)).await;
+    assert!(agent.is_ok(), "server survives garbage and accepts agents");
+    let _ = bs;
+    server.stop();
+}
+
+fn sim_bs(sim: &Arc<Mutex<Sim>>) -> SimBs {
+    SimBs::new(sim.clone(), 0)
+}
+
+#[tokio::test]
+async fn kpm_subscription_and_handover_control() {
+    use bytes::Bytes;
+    use flexric::server::{CtrlOutcome, SubOutcome};
+    use flexric_e2ap::*;
+    use flexric_sm::kpm::{self, KpmActionDef, KpmReport};
+    use flexric_sm::rrc::RrcCtrl;
+    use flexric_sm::{SmPayload, ReportTrigger};
+
+    // A bespoke iApp: subscribes to KPM on connect, later triggers a
+    // handover through the RRC SM and records everything it sees.
+    #[derive(Default)]
+    struct SeenState {
+        reports: Vec<KpmReport>,
+        admitted: bool,
+        ho_acked: bool,
+    }
+    struct KpmApp {
+        seen: Arc<Mutex<SeenState>>,
+    }
+    enum Cmd {
+        Handover(u16, u32),
+    }
+    impl flexric::server::IApp for KpmApp {
+        fn name(&self) -> &str {
+            "kpm-app"
+        }
+        fn on_agent_connected(
+            &mut self,
+            api: &mut flexric::server::ServerApi,
+            agent: &flexric::server::AgentInfo,
+        ) {
+            let f = agent.function_by_oid(flexric_sm::oid::KPM).expect("kpm advertised");
+            let trigger = Bytes::from(ReportTrigger::every_ms(100).encode(SmCodec::Flatb));
+            let def = KpmActionDef::cell(
+                100,
+                &[kpm::meas::DRB_UE_THP_DL, kpm::meas::RRU_PRB_TOT_DL, kpm::meas::RRC_CONN_MEAN],
+            );
+            api.subscribe(
+                agent.id,
+                f.id,
+                trigger,
+                vec![RicActionToBeSetup {
+                    id: RicActionId(0),
+                    action_type: RicActionType::Report,
+                    definition: Some(Bytes::from(def.encode(SmCodec::Flatb))),
+                    subsequent: None,
+                }],
+            );
+        }
+        fn on_subscription_outcome(
+            &mut self,
+            _api: &mut flexric::server::ServerApi,
+            _agent: flexric::server::AgentId,
+            out: &SubOutcome,
+        ) {
+            if matches!(out, SubOutcome::Admitted(_)) {
+                self.seen.lock().admitted = true;
+            }
+        }
+        fn on_indication(
+            &mut self,
+            _api: &mut flexric::server::ServerApi,
+            _agent: flexric::server::AgentId,
+            ind: &flexric::server::IndicationRef,
+        ) {
+            let (_, msg) = ind.sm_payload().unwrap();
+            if let Ok(report) = KpmReport::decode(SmCodec::Flatb, msg) {
+                self.seen.lock().reports.push(report);
+            }
+        }
+        fn on_control_outcome(
+            &mut self,
+            _api: &mut flexric::server::ServerApi,
+            _agent: flexric::server::AgentId,
+            out: &CtrlOutcome,
+        ) {
+            if matches!(out, CtrlOutcome::Ack(_)) {
+                self.seen.lock().ho_acked = true;
+            }
+        }
+        fn on_custom(
+            &mut self,
+            api: &mut flexric::server::ServerApi,
+            msg: Box<dyn std::any::Any + Send>,
+        ) {
+            if let Ok(cmd) = msg.downcast::<Cmd>() {
+                let Cmd::Handover(rnti, target) = *cmd;
+                let rf_id = api
+                    .randb()
+                    .agents()
+                    .next()
+                    .and_then(|a| a.function_by_oid(flexric_sm::oid::RRC_EVENT))
+                    .map(|f| f.id)
+                    .expect("rrc fn");
+                let msg = Bytes::from(
+                    RrcCtrl::Handover { rnti, target_cell: target }.encode(SmCodec::Flatb),
+                );
+                api.control(0, rf_id, Bytes::new(), msg, Some(ControlAckRequest::Ack));
+            }
+        }
+    }
+
+    let seen = Arc::new(Mutex::new(SeenState::default()));
+    let mut cfg = ServerConfig::new(
+        GlobalRicId::new(Plmn::TEST, 1),
+        TransportAddr::Mem("it-kpm".into()),
+    );
+    cfg.tick_ms = None;
+    let server = Server::spawn(cfg, vec![Box::new(KpmApp { seen: seen.clone() })])
+        .await
+        .unwrap();
+
+    // Two-cell sim; the agent fronts cell 0.
+    let mut sim = Sim::new(
+        vec![CellConfig::nr("c0", 106), CellConfig::nr("c1", 106)],
+        PathConfig::default(),
+    );
+    sim.attach_ue(0, UeConfig::new(0x4601, 20));
+    sim.add_flow(FlowConfig {
+        cell: 0,
+        rnti: 0x4601,
+        drb: 1,
+        kind: FlowKind::GreedyTcp { mss: 1500 },
+        tuple: (1, 2, 1000, 80, 6),
+        start_ms: 0,
+        stop_ms: None,
+    });
+    let sim = Arc::new(Mutex::new(sim));
+    let bs = SimBs::new(sim.clone(), 0);
+    let mut acfg = AgentConfig::new(
+        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
+        TransportAddr::Mem("it-kpm".into()),
+    );
+    acfg.tick_ms = None;
+    let agent = Agent::spawn(acfg, full_bundle(&bs, SmCodec::Flatb)).await.unwrap();
+
+    drive(&sim, &agent, 1_000).await;
+    {
+        let st = seen.lock();
+        assert!(st.admitted, "KPM subscription admitted");
+        assert!(st.reports.len() >= 5, "KPM reports flowed: {}", st.reports.len());
+        let last = st.reports.last().unwrap();
+        assert_eq!(last.granularity_ms, 100);
+        let thp = last
+            .records
+            .iter()
+            .find(|r| r.name == kpm::meas::DRB_UE_THP_DL && r.rnti == Some(0x4601))
+            .expect("per-UE throughput record");
+        assert!(thp.value > 10_000, "UE throughput ≈ cell rate: {} kbps", thp.value);
+        let conn = last.records.iter().find(|r| r.name == kpm::meas::RRC_CONN_MEAN).unwrap();
+        assert_eq!(conn.value, 1);
+        assert!(last.records.iter().any(|r| r.name == kpm::meas::RRU_PRB_TOT_DL));
+    }
+
+    // Handover the UE to cell 1 through the RRC SM.
+    server.to_iapp("kpm-app", Box::new(Cmd::Handover(0x4601, 1)));
+    drive(&sim, &agent, 500).await;
+    assert!(seen.lock().ho_acked, "handover control acknowledged");
+    {
+        let s = sim.lock();
+        assert!(s.cells[0].ues.is_empty(), "UE left cell 0");
+        assert_eq!(s.cells[1].ues.len(), 1, "UE arrived in cell 1");
+    }
+    agent.stop();
+    server.stop();
+}
