@@ -1,13 +1,19 @@
 //! Codec micro-benchmarks: encode / decode / peek across the three wire
-//! formats — the per-message costs behind the paper's Figs. 7 and 8b.
+//! formats — the per-message costs behind the paper's Figs. 7 and 8b —
+//! plus old-vs-new comparisons for the zero-allocation encode path
+//! (word-level bit packing, `encode_into` buffer reuse, single-buffer
+//! framing, and encode-once 1→N indication fan-out).
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexric::scratch::{flush_outbox, EncodeScratch, Targets};
+use flexric_codec::per::{BitReader, BitWriter};
 use flexric_codec::E2apCodec;
 use flexric_ctrl::flexran_emu::{decode_stats_pb, encode_stats_pb};
 use flexric_e2ap::*;
 use flexric_sm::mac::{MacStatsInd, MacUeStats};
 use flexric_sm::{SmCodec, SmPayload};
+use flexric_transport::frame;
 
 fn mac_snapshot(ues: u16) -> MacStatsInd {
     MacStatsInd {
@@ -89,14 +95,154 @@ fn bench_sm(c: &mut Criterion) {
     }
     // FlexRAN's protobuf baseline on the same snapshot.
     let pb = encode_stats_pb(&ind);
-    group.bench_function("encode/PB", |b| {
-        b.iter(|| encode_stats_pb(std::hint::black_box(&ind)))
-    });
+    group.bench_function("encode/PB", |b| b.iter(|| encode_stats_pb(std::hint::black_box(&ind))));
     group.bench_function("decode/PB", |b| {
         b.iter(|| decode_stats_pb(std::hint::black_box(&pb)).unwrap())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_e2ap, bench_sm);
+/// Word-level vs bit-by-bit bit packing on raw PER primitives.
+fn bench_per_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_bits");
+    // A representative mix of field widths (presence bits, enums, lengths,
+    // 16/32/64-bit integers).
+    let ops: Vec<(u64, u32)> = (0..256)
+        .map(|i| {
+            let n = [1, 3, 5, 8, 13, 16, 24, 32, 48, 64][i % 10];
+            (0xDEAD_BEEF_CAFE_F00Du64.rotate_left(i as u32), n)
+        })
+        .collect();
+    group.bench_function("put_bits/word", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(2048);
+            for &(v, n) in std::hint::black_box(&ops) {
+                w.put_bits(v, n);
+            }
+            w.finish()
+        })
+    });
+    group.bench_function("put_bits/bitwise", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(2048);
+            for &(v, n) in std::hint::black_box(&ops) {
+                w.put_bits_bitwise(v, n);
+            }
+            w.finish()
+        })
+    });
+    let mut w = BitWriter::new();
+    for &(v, n) in &ops {
+        w.put_bits(v, n);
+    }
+    let buf = w.finish();
+    group.bench_function("get_bits/word", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(std::hint::black_box(&buf));
+            for &(_, n) in &ops {
+                r.get_bits(n).unwrap();
+            }
+        })
+    });
+    group.bench_function("get_bits/bitwise", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(std::hint::black_box(&buf));
+            for &(_, n) in &ops {
+                r.get_bits_bitwise(n).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Allocate-per-message `encode` vs scratch-reusing `encode_into`, and
+/// legacy framing vs the single-buffer frame path.
+fn bench_encode_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_path");
+    for payload_size in [100usize, 1500] {
+        let pdu = indication(Bytes::from(vec![0xA5u8; payload_size]));
+        for codec in E2apCodec::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode/{}", codec.label()), payload_size),
+                &pdu,
+                |b, pdu| b.iter(|| codec.encode(std::hint::black_box(pdu))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_into/{}", codec.label()), payload_size),
+                &pdu,
+                |b, pdu| {
+                    let mut scratch = BytesMut::with_capacity(4096);
+                    b.iter(|| {
+                        codec.encode_into(std::hint::black_box(pdu), &mut scratch);
+                        scratch.split().freeze()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode+frame/{}", codec.label()), payload_size),
+                &pdu,
+                |b, pdu| {
+                    b.iter(|| {
+                        let payload = Bytes::from(codec.encode(std::hint::black_box(pdu)));
+                        frame::encode_frame(0, 70, &payload)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_into+frame/{}", codec.label()), payload_size),
+                &pdu,
+                |b, pdu| {
+                    let mut scratch = BytesMut::with_capacity(4096);
+                    let mut framed = BytesMut::with_capacity(4096);
+                    b.iter(|| {
+                        codec.encode_into(std::hint::black_box(pdu), &mut scratch);
+                        let payload = scratch.split().freeze();
+                        frame::encode_frame_into(0, 70, &payload, &mut framed);
+                        framed.split().freeze()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// 1→N indication fan-out: N independent encodes (old path) vs one encode
+/// shared across N targets (new path).
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_8");
+    let pdu = indication(Bytes::from(mac_snapshot(32).encode(SmCodec::Flatb)));
+    const N: usize = 8;
+    for codec in E2apCodec::ALL {
+        group.bench_function(format!("per_target_encode/{}", codec.label()), |b| {
+            b.iter(|| {
+                let mut frames = Vec::with_capacity(N);
+                for _ in 0..N {
+                    frames.push(Bytes::from(codec.encode(std::hint::black_box(&pdu))));
+                }
+                frames
+            })
+        });
+        group.bench_function(format!("encode_once/{}", codec.label()), |b| {
+            let mut scratch = EncodeScratch::with_capacity(4096);
+            b.iter(|| {
+                let mut outbox =
+                    vec![(Targets::Many((0..N).collect()), std::hint::black_box(&pdu).clone())];
+                let mut frames = Vec::with_capacity(N);
+                flush_outbox(&mut scratch, codec, &mut outbox, |_, f| frames.push(f));
+                frames
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e2ap,
+    bench_sm,
+    bench_per_primitives,
+    bench_encode_paths,
+    bench_fanout
+);
 criterion_main!(benches);

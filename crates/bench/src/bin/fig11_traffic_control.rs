@@ -93,9 +93,7 @@ async fn run(secs: u64, with_xapp: bool) -> (Vec<Sample>, Vec<(u64, u64)>) {
             TransportAddr::Mem("fig11-ctrl".into()),
         );
         cfg.tick_ms = Some(10);
-        let server = Server::spawn(cfg, vec![Box::new(fwd), Box::new(mgr)])
-            .await
-            .expect("server");
+        let server = Server::spawn(cfg, vec![Box::new(fwd), Box::new(mgr)]).await.expect("server");
         let rest = spawn_rest("127.0.0.1:0", server.clone()).await.expect("rest");
         let rest_addr = rest.addr.to_string();
 
@@ -153,8 +151,7 @@ async fn run(secs: u64, with_xapp: bool) -> (Vec<Sample>, Vec<(u64, u64)>) {
         let (rlc_us, q0_us, q1_us) = {
             let mut s = sim.lock();
             let rlc = s.cells[0].rlc_stats();
-            let rlc_us =
-                rlc.bearers.first().map(|b| b.sojourn_us_avg).unwrap_or(0);
+            let rlc_us = rlc.bearers.first().map(|b| b.sojourn_us_avg).unwrap_or(0);
             let tc = s.cells[0].tc_stats(RNTI, 1);
             let (q0_us, q1_us) = tc
                 .map(|tc| {

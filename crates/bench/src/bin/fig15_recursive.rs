@@ -41,8 +41,7 @@ const MCS: u8 = 28;
 const OP_A: (u16, u16) = (1, 1);
 const OP_B: (u16, u16) = (2, 1);
 // UE 1, 2 belong to operator A; UE 3, 4 to operator B.
-const UES: [(u16, (u16, u16)); 4] =
-    [(0x11, OP_A), (0x12, OP_A), (0x21, OP_B), (0x22, OP_B)];
+const UES: [(u16, (u16, u16)); 4] = [(0x11, OP_A), (0x12, OP_A), (0x21, OP_B), (0x22, OP_B)];
 
 /// A tenant-facing slicing controller (the §6.1.2 controller, reused).
 struct TenantCtrl {
@@ -51,10 +50,8 @@ struct TenantCtrl {
 
 async fn spawn_tenant(name: &str) -> TenantCtrl {
     let (app, _latest) = SliceApp::new(SmCodec::Flatb, 1000);
-    let mut cfg = ServerConfig::new(
-        GlobalRicId::new(Plmn::TEST, 10),
-        TransportAddr::Mem(name.to_owned()),
-    );
+    let mut cfg =
+        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 10), TransportAddr::Mem(name.to_owned()));
     cfg.tick_ms = None;
     let server = Server::spawn(cfg, vec![Box::new(app)]).await.expect("tenant ctrl");
     TenantCtrl { server }

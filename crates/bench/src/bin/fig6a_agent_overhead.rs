@@ -92,11 +92,51 @@ async fn main() {
         "Normalized agent CPU overhead, radio deployment (BS process, Δ vs no agent)",
     );
     let scenarios = [
-        Scenario { label: "4G baseline", cell: "lte25", mcs: 28, cores: 8, variant: "none", ctrl_role: None, port: 0 },
-        Scenario { label: "4G FlexRIC", cell: "lte25", mcs: 28, cores: 8, variant: "flexric", ctrl_role: Some("monitor"), port: 39101 },
-        Scenario { label: "4G FlexRAN", cell: "lte25", mcs: 28, cores: 8, variant: "flexran", ctrl_role: Some("flexran-ctrl"), port: 39102 },
-        Scenario { label: "5G baseline", cell: "nr106", mcs: 20, cores: 16, variant: "none", ctrl_role: None, port: 0 },
-        Scenario { label: "5G FlexRIC", cell: "nr106", mcs: 20, cores: 16, variant: "flexric", ctrl_role: Some("monitor"), port: 39103 },
+        Scenario {
+            label: "4G baseline",
+            cell: "lte25",
+            mcs: 28,
+            cores: 8,
+            variant: "none",
+            ctrl_role: None,
+            port: 0,
+        },
+        Scenario {
+            label: "4G FlexRIC",
+            cell: "lte25",
+            mcs: 28,
+            cores: 8,
+            variant: "flexric",
+            ctrl_role: Some("monitor"),
+            port: 39101,
+        },
+        Scenario {
+            label: "4G FlexRAN",
+            cell: "lte25",
+            mcs: 28,
+            cores: 8,
+            variant: "flexran",
+            ctrl_role: Some("flexran-ctrl"),
+            port: 39102,
+        },
+        Scenario {
+            label: "5G baseline",
+            cell: "nr106",
+            mcs: 20,
+            cores: 16,
+            variant: "none",
+            ctrl_role: None,
+            port: 0,
+        },
+        Scenario {
+            label: "5G FlexRIC",
+            cell: "nr106",
+            mcs: 20,
+            cores: 16,
+            variant: "flexric",
+            ctrl_role: Some("monitor"),
+            port: 39103,
+        },
     ];
     let mut results = Vec::new();
     for s in &scenarios {
@@ -120,10 +160,7 @@ async fn main() {
             ]
         })
         .collect();
-    table::table(
-        &["scenario", "cores", "bs_cpu_norm_%", "baseline_%", "agent_overhead_%"],
-        &rows,
-    );
+    table::table(&["scenario", "cores", "bs_cpu_norm_%", "baseline_%", "agent_overhead_%"], &rows);
     println!();
     println!("Paper shape check: all agent overheads well below 1 % normalized;");
     println!("5G FlexRIC relative overhead smaller than 4G (larger cell budget).");

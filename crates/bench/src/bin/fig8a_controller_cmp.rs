@@ -13,12 +13,7 @@
 
 use flexric_bench::{metrics, roles, spawn_role, table, Args};
 
-async fn run_side(
-    flexran: bool,
-    agents: usize,
-    duration: u64,
-    port: u16,
-) -> (f64, u64, u64) {
+async fn run_side(flexran: bool, agents: usize, duration: u64, port: u16) -> (f64, u64, u64) {
     let ctrl_role = if flexran { "flexran-ctrl" } else { "monitor" };
     let agents_role = if flexran { "flexran-dummy-agents" } else { "dummy-agents" };
     let mut ctrl = spawn_role(&[

@@ -24,7 +24,12 @@ use flexric_e2ap::{E2NodeType, GlobalE2NodeId, GlobalRicId, Plmn};
 use flexric_sm::SmCodec;
 use flexric_transport::TransportAddr;
 
-async fn flexric_one_hop(codec: E2apCodec, sm: SmCodec, payload: usize, pings: usize) -> (f64, f64, f64) {
+async fn flexric_one_hop(
+    codec: E2apCodec,
+    sm: SmCodec,
+    payload: usize,
+    pings: usize,
+) -> (f64, f64, f64) {
     // FlexRIC's native deployment: the application is an iApp, one hop to
     // the agent — the architecture O-RAN precludes.
     let (ping_app, rtts) = PingApp::new(sm, payload, 1);
@@ -53,7 +58,12 @@ async fn flexric_one_hop(codec: E2apCodec, sm: SmCodec, payload: usize, pings: u
     (s.mean / 1000.0, s.p50 as f64 / 1000.0, s.p99 as f64 / 1000.0)
 }
 
-async fn flexric_two_hop(codec: E2apCodec, sm: SmCodec, payload: usize, pings: usize) -> (f64, f64, f64) {
+async fn flexric_two_hop(
+    codec: E2apCodec,
+    sm: SmCodec,
+    payload: usize,
+    pings: usize,
+) -> (f64, f64, f64) {
     let (ping_app, rtts) = PingApp::new(sm, payload, 1);
     let mut up_cfg = ServerConfig::new(
         GlobalRicId::new(Plmn::TEST, 1),
@@ -101,12 +111,10 @@ async fn flexric_two_hop(codec: E2apCodec, sm: SmCodec, payload: usize, pings: u
 async fn oran_two_hop(payload: usize, pings: usize) -> (f64, f64, f64) {
     let sm = SmCodec::Asn1Per;
     let xapp = OranXapp::spawn(TransportAddr::parse("127.0.0.1:0").unwrap(), sm).await.unwrap();
-    let south =
-        run_e2term(TransportAddr::parse("127.0.0.1:0").unwrap(), xapp.rmr_addr.clone())
-            .await
-            .unwrap();
-    let mut acfg =
-        AgentConfig::new(GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1), south);
+    let south = run_e2term(TransportAddr::parse("127.0.0.1:0").unwrap(), xapp.rmr_addr.clone())
+        .await
+        .unwrap();
+    let mut acfg = AgentConfig::new(GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1), south);
     acfg.codec = E2apCodec::Asn1Per;
     acfg.tick_ms = None;
     let agent = Agent::spawn(acfg, vec![Box::new(HwFn::new(sm))]).await.unwrap();
@@ -140,7 +148,10 @@ async fn main() {
     let args = Args::parse();
     let pings: usize = args.get_or("pings", 1000);
 
-    table::experiment("Fig. 9a", "Two-hop RTT: FlexRIC relay vs O-RAN RIC pipeline (localhost TCP)");
+    table::experiment(
+        "Fig. 9a",
+        "Two-hop RTT: FlexRIC relay vs O-RAN RIC pipeline (localhost TCP)",
+    );
     let mut rows = Vec::new();
     for payload in [100usize, 1500] {
         for (label, codec, sm) in [

@@ -24,15 +24,12 @@ async fn role_oran_ric(args: &Args) {
     let mb: usize = args.get_or("platform-mb", 12);
     let period: u32 = args.get_or("period", 1);
     let sm = flexric_sm::SmCodec::Asn1Per;
-    let xapp = flexric_ctrl::oran_emu::OranXapp::spawn(
-        TransportAddr::parse("127.0.0.1:0").unwrap(),
-        sm,
-    )
-    .await
-    .expect("xapp");
-    let _south = flexric_ctrl::oran_emu::run_e2term(listen, xapp.rmr_addr.clone())
-        .await
-        .expect("e2term");
+    let xapp =
+        flexric_ctrl::oran_emu::OranXapp::spawn(TransportAddr::parse("127.0.0.1:0").unwrap(), sm)
+            .await
+            .expect("xapp");
+    let _south =
+        flexric_ctrl::oran_emu::run_e2term(listen, xapp.rmr_addr.clone()).await.expect("e2term");
     let _platform = flexric_ctrl::oran_emu::spawn_platform(components, mb);
     // Subscribe to MAC stats of every agent surfaced by discovery polling.
     let mut subscribed = std::collections::HashSet::new();

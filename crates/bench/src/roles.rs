@@ -57,7 +57,8 @@ pub fn build_sim(args: &Args) -> Arc<Mutex<Sim>> {
         Some("lte50") => CellConfig::lte("cell0", 50),
         _ => CellConfig::nr("cell0", 106),
     };
-    let mcs: u8 = args.get_or("mcs", if matches!(args.get("cell"), Some("lte25")) { 28 } else { 20 });
+    let mcs: u8 =
+        args.get_or("mcs", if matches!(args.get("cell"), Some("lte25")) { 28 } else { 20 });
     let ues: u16 = args.get_or("ues", 3);
     let mut sim = Sim::new(vec![cell], PathConfig::default());
     for i in 0..ues {
@@ -92,10 +93,8 @@ pub async fn role_bs(args: &Args) {
     match variant.as_str() {
         "flexric" => {
             let addr = ctrl_addr.expect("--ctrl required for flexric variant");
-            let mut acfg = AgentConfig::new(
-                GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
-                addr,
-            );
+            let mut acfg =
+                AgentConfig::new(GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1), addr);
             acfg.codec = codec;
             acfg.tick_ms = None; // driven by the sim loop below
             let bs = SimBs::new(sim.clone(), 0);
@@ -189,11 +188,8 @@ pub async fn role_dummy_agents(args: &Args) {
         );
         acfg.codec = codec;
         acfg.tick_ms = Some(1);
-        let fns = if mac_only {
-            dummy_mac_only(ues, sm_codec)
-        } else {
-            dummy_bundle(ues, sm_codec)
-        };
+        let fns =
+            if mac_only { dummy_mac_only(ues, sm_codec) } else { dummy_bundle(ues, sm_codec) };
         let agent = Agent::spawn(acfg, fns).await.expect("dummy agent");
         handles.push(agent);
     }

@@ -17,11 +17,12 @@
 //! | 3    | RAN function id (u16, functional procedures) |
 //! | 4    | body table offset |
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use flexric_e2ap::*;
 
 use crate::error::{CodecError, Result};
 use crate::fb::{FbBuilder, FbTable, FbVector, FbView, TableBuilder};
+use crate::sink::ByteSink;
 
 // ---------------------------------------------------------------------------
 // Sub-structure helpers (encode)
@@ -31,14 +32,14 @@ fn enc_plmn(t: &mut TableBuilder, base: u16, p: &Plmn) {
     t.u16(base, p.mcc).u16(base + 1, p.mnc).u8(base + 2, p.mnc_digits);
 }
 
-fn enc_node_id(b: &mut FbBuilder, id: &GlobalE2NodeId) -> u32 {
+fn enc_node_id<B: ByteSink>(b: &mut FbBuilder<B>, id: &GlobalE2NodeId) -> u32 {
     let mut t = TableBuilder::new();
     enc_plmn(&mut t, 0, &id.plmn);
     t.u8(3, id.node_type as u8).u64(4, id.node_id);
     t.end(b)
 }
 
-fn enc_ric_id(b: &mut FbBuilder, id: &GlobalRicId) -> u32 {
+fn enc_ric_id<B: ByteSink>(b: &mut FbBuilder<B>, id: &GlobalRicId) -> u32 {
     let mut t = TableBuilder::new();
     enc_plmn(&mut t, 0, &id.plmn);
     t.u32(3, id.ric_id);
@@ -49,7 +50,7 @@ fn cause_u16(c: &Cause) -> u16 {
     ((c.group() as u16) << 8) | c.value() as u16
 }
 
-fn enc_fn_item(b: &mut FbBuilder, f: &RanFunctionItem) -> u32 {
+fn enc_fn_item<B: ByteSink>(b: &mut FbBuilder<B>, f: &RanFunctionItem) -> u32 {
     let def = b.blob(&f.definition);
     let oid = b.string(&f.oid);
     let mut t = TableBuilder::new();
@@ -57,7 +58,7 @@ fn enc_fn_item(b: &mut FbBuilder, f: &RanFunctionItem) -> u32 {
     t.end(b)
 }
 
-fn enc_component(b: &mut FbBuilder, c: &E2NodeComponentConfig) -> u32 {
+fn enc_component<B: ByteSink>(b: &mut FbBuilder<B>, c: &E2NodeComponentConfig) -> u32 {
     let id = b.string(&c.component_id);
     let req = b.blob(&c.request_part);
     let resp = b.blob(&c.response_part);
@@ -66,7 +67,11 @@ fn enc_component(b: &mut FbBuilder, c: &E2NodeComponentConfig) -> u32 {
     t.end(b)
 }
 
-fn enc_interface_id(b: &mut FbBuilder, (i, id): &(InterfaceType, String), cause: Option<&Cause>) -> u32 {
+fn enc_interface_id<B: ByteSink>(
+    b: &mut FbBuilder<B>,
+    (i, id): &(InterfaceType, String),
+    cause: Option<&Cause>,
+) -> u32 {
     let s = b.string(id);
     let mut t = TableBuilder::new();
     t.u8(0, *i as u8).off(1, s);
@@ -76,7 +81,7 @@ fn enc_interface_id(b: &mut FbBuilder, (i, id): &(InterfaceType, String), cause:
     t.end(b)
 }
 
-fn enc_tnl(b: &mut FbBuilder, tnl: &TnlInfo, cause: Option<&Cause>) -> u32 {
+fn enc_tnl<B: ByteSink>(b: &mut FbBuilder<B>, tnl: &TnlInfo, cause: Option<&Cause>) -> u32 {
     let addr = b.string(&tnl.address);
     let mut t = TableBuilder::new();
     t.off(0, addr).u16(1, tnl.port).u8(2, tnl.usage as u8);
@@ -86,7 +91,7 @@ fn enc_tnl(b: &mut FbBuilder, tnl: &TnlInfo, cause: Option<&Cause>) -> u32 {
     t.end(b)
 }
 
-fn enc_action(b: &mut FbBuilder, a: &RicActionToBeSetup) -> u32 {
+fn enc_action<B: ByteSink>(b: &mut FbBuilder<B>, a: &RicActionToBeSetup) -> u32 {
     let def = a.definition.as_ref().map(|d| b.blob(d));
     let mut t = TableBuilder::new();
     t.u8(0, a.id.0).u8(1, a.action_type as u8).opt_off(2, def);
@@ -96,23 +101,23 @@ fn enc_action(b: &mut FbBuilder, a: &RicActionToBeSetup) -> u32 {
     t.end(b)
 }
 
-fn enc_id_cause(b: &mut FbBuilder, id: u16, c: &Cause) -> u32 {
+fn enc_id_cause<B: ByteSink>(b: &mut FbBuilder<B>, id: u16, c: &Cause) -> u32 {
     let mut t = TableBuilder::new();
     t.u16(0, id).u16(1, cause_u16(c));
     t.end(b)
 }
 
-fn enc_fn_vec(b: &mut FbBuilder, items: &[RanFunctionItem]) -> u32 {
+fn enc_fn_vec<B: ByteSink>(b: &mut FbBuilder<B>, items: &[RanFunctionItem]) -> u32 {
     let offs: Vec<u32> = items.iter().map(|f| enc_fn_item(b, f)).collect();
     b.vec_off(&offs)
 }
 
-fn enc_component_vec(b: &mut FbBuilder, items: &[E2NodeComponentConfig]) -> u32 {
+fn enc_component_vec<B: ByteSink>(b: &mut FbBuilder<B>, items: &[E2NodeComponentConfig]) -> u32 {
     let offs: Vec<u32> = items.iter().map(|c| enc_component(b, c)).collect();
     b.vec_off(&offs)
 }
 
-fn enc_tnl_vec(b: &mut FbBuilder, items: &[TnlInfo]) -> u32 {
+fn enc_tnl_vec<B: ByteSink>(b: &mut FbBuilder<B>, items: &[TnlInfo]) -> u32 {
     let offs: Vec<u32> = items.iter().map(|t| enc_tnl(b, t, None)).collect();
     b.vec_off(&offs)
 }
@@ -239,7 +244,19 @@ fn dec_id_causes(v: &FbVector) -> Result<Vec<(RanFunctionId, Cause)>> {
 
 /// Encodes a PDU into FB-style bytes.
 pub fn encode(pdu: &E2apPdu) -> Vec<u8> {
-    let mut b = FbBuilder::with_capacity(128);
+    encode_root(pdu, FbBuilder::with_capacity(128))
+}
+
+/// Encodes a PDU into a reusable scratch buffer, appending after any
+/// existing content.  Byte-for-byte identical to [`encode`]; both
+/// delegate to the same generic body, and all FB offsets are relative to
+/// the message start so the appended region is self-contained.
+pub fn encode_into(pdu: &E2apPdu, out: &mut BytesMut) {
+    let b = FbBuilder::over(std::mem::take(out));
+    *out = encode_root(pdu, b);
+}
+
+fn encode_root<B: ByteSink>(pdu: &E2apPdu, mut b: FbBuilder<B>) -> B {
     let body = encode_body(&mut b, pdu);
     let mut root = TableBuilder::new();
     root.u8(0, pdu.msg_type() as u8);
@@ -251,10 +268,10 @@ pub fn encode(pdu: &E2apPdu) -> Vec<u8> {
     }
     root.off(4, body);
     let root = root.end(&mut b);
-    b.finish(root)
+    b.finish_buf(root)
 }
 
-fn encode_body(b: &mut FbBuilder, pdu: &E2apPdu) -> u32 {
+fn encode_body<B: ByteSink>(b: &mut FbBuilder<B>, pdu: &E2apPdu) -> u32 {
     match pdu {
         E2apPdu::E2SetupRequest(m) => {
             let node = enc_node_id(b, &m.global_node);
@@ -468,8 +485,8 @@ fn encode_body(b: &mut FbBuilder, pdu: &E2apPdu) -> u32 {
 
 fn root_header(root: &FbTable) -> Result<(MsgType, Option<RicRequestId>, Option<RanFunctionId>)> {
     let t = root.req_u8(0, "msg type")?;
-    let msg_type =
-        MsgType::from_u8(t).ok_or(CodecError::BadDiscriminant { what: "msg type", value: t as u64 })?;
+    let msg_type = MsgType::from_u8(t)
+        .ok_or(CodecError::BadDiscriminant { what: "msg type", value: t as u64 })?;
     let req_id = match (root.u16(1)?, root.u16(2)?) {
         (Some(r), Some(i)) => Some(RicRequestId::new(r, i)),
         _ => None,
@@ -615,17 +632,25 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
                 })?,
             })
         }
-        MsgType::RicSubscriptionFailure => E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
-            req_id: req()?,
-            ran_function: rf()?,
-            cause: dec_cause(body.req_u16(0, "cause")?)?,
-        }),
-        MsgType::RicSubscriptionDeleteRequest => E2apPdu::RicSubscriptionDeleteRequest(
-            RicSubscriptionDeleteRequest { req_id: req()?, ran_function: rf()? },
-        ),
-        MsgType::RicSubscriptionDeleteResponse => E2apPdu::RicSubscriptionDeleteResponse(
-            RicSubscriptionDeleteResponse { req_id: req()?, ran_function: rf()? },
-        ),
+        MsgType::RicSubscriptionFailure => {
+            E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                req_id: req()?,
+                ran_function: rf()?,
+                cause: dec_cause(body.req_u16(0, "cause")?)?,
+            })
+        }
+        MsgType::RicSubscriptionDeleteRequest => {
+            E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
+                req_id: req()?,
+                ran_function: rf()?,
+            })
+        }
+        MsgType::RicSubscriptionDeleteResponse => {
+            E2apPdu::RicSubscriptionDeleteResponse(RicSubscriptionDeleteResponse {
+                req_id: req()?,
+                ran_function: rf()?,
+            })
+        }
         MsgType::RicSubscriptionDeleteFailure => {
             E2apPdu::RicSubscriptionDeleteFailure(RicSubscriptionDeleteFailure {
                 req_id: req()?,
@@ -649,9 +674,12 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
         }
         MsgType::RicControlRequest => {
             let ack_request = match body.u8(3)? {
-                Some(a) => Some(ControlAckRequest::from_u8(a).ok_or(
-                    CodecError::BadDiscriminant { what: "ack request", value: a as u64 },
-                )?),
+                Some(a) => {
+                    Some(ControlAckRequest::from_u8(a).ok_or(CodecError::BadDiscriminant {
+                        what: "ack request",
+                        value: a as u64,
+                    })?)
+                }
                 None => None,
             };
             E2apPdu::RicControlRequest(RicControlRequest {

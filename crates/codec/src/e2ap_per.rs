@@ -5,11 +5,12 @@
 //! pass: no field can be located without decoding everything before it —
 //! the defining cost of PER that the paper's Figs. 7/8b measure.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use flexric_e2ap::*;
 
 use crate::error::{CodecError, Result};
 use crate::per::{BitReader, BitWriter};
+use crate::sink::ByteSink;
 
 const NODE_ID_MAX: u64 = (1 << 36) - 1;
 const RIC_ID_MAX: u64 = 0xF_FFFF;
@@ -18,7 +19,7 @@ const RIC_ID_MAX: u64 = 0xF_FFFF;
 // Field helpers
 // ---------------------------------------------------------------------------
 
-fn put_plmn(w: &mut BitWriter, p: &Plmn) {
+fn put_plmn<B: ByteSink>(w: &mut BitWriter<B>, p: &Plmn) {
     w.put_constrained(p.mcc as u64, 0, 999);
     w.put_constrained(p.mnc as u64, 0, 999);
     w.put_constrained(p.mnc_digits as u64, 2, 3);
@@ -31,7 +32,7 @@ fn get_plmn(r: &mut BitReader) -> Result<Plmn> {
     Ok(Plmn::new(mcc, mnc, digits))
 }
 
-fn put_node_id(w: &mut BitWriter, id: &GlobalE2NodeId) {
+fn put_node_id<B: ByteSink>(w: &mut BitWriter<B>, id: &GlobalE2NodeId) {
     put_plmn(w, &id.plmn);
     w.put_constrained(id.node_type as u64, 0, 6);
     w.put_constrained(id.node_id, 0, NODE_ID_MAX);
@@ -46,7 +47,7 @@ fn get_node_id(r: &mut BitReader) -> Result<GlobalE2NodeId> {
     Ok(GlobalE2NodeId::new(plmn, node_type, node_id))
 }
 
-fn put_ric_id(w: &mut BitWriter, id: &GlobalRicId) {
+fn put_ric_id<B: ByteSink>(w: &mut BitWriter<B>, id: &GlobalRicId) {
     put_plmn(w, &id.plmn);
     w.put_constrained(id.ric_id as u64, 0, RIC_ID_MAX);
 }
@@ -57,7 +58,7 @@ fn get_ric_id(r: &mut BitReader) -> Result<GlobalRicId> {
     Ok(GlobalRicId::new(plmn, ric_id))
 }
 
-fn put_req_id(w: &mut BitWriter, id: &RicRequestId) {
+fn put_req_id<B: ByteSink>(w: &mut BitWriter<B>, id: &RicRequestId) {
     w.put_bits(id.requestor as u64, 16);
     w.put_bits(id.instance as u64, 16);
 }
@@ -68,7 +69,7 @@ fn get_req_id(r: &mut BitReader) -> Result<RicRequestId> {
     Ok(RicRequestId::new(requestor, instance))
 }
 
-fn put_ran_func(w: &mut BitWriter, id: &RanFunctionId) {
+fn put_ran_func<B: ByteSink>(w: &mut BitWriter<B>, id: &RanFunctionId) {
     w.put_constrained(id.0 as u64, 0, RanFunctionId::MAX as u64);
 }
 
@@ -76,7 +77,7 @@ fn get_ran_func(r: &mut BitReader) -> Result<RanFunctionId> {
     Ok(RanFunctionId::new(r.get_constrained(0, RanFunctionId::MAX as u64)? as u16))
 }
 
-fn put_cause(w: &mut BitWriter, c: &Cause) {
+fn put_cause<B: ByteSink>(w: &mut BitWriter<B>, c: &Cause) {
     w.put_constrained(c.group() as u64, 0, 4);
     w.put_constrained(c.value() as u64, 0, 15);
 }
@@ -84,11 +85,13 @@ fn put_cause(w: &mut BitWriter, c: &Cause) {
 fn get_cause(r: &mut BitReader) -> Result<Cause> {
     let group = r.get_constrained(0, 4)? as u8;
     let value = r.get_constrained(0, 15)? as u8;
-    Cause::from_parts(group, value)
-        .ok_or(CodecError::BadDiscriminant { what: "cause", value: ((group as u64) << 8) | value as u64 })
+    Cause::from_parts(group, value).ok_or(CodecError::BadDiscriminant {
+        what: "cause",
+        value: ((group as u64) << 8) | value as u64,
+    })
 }
 
-fn put_opt_u32(w: &mut BitWriter, v: &Option<u32>) {
+fn put_opt_u32<B: ByteSink>(w: &mut BitWriter<B>, v: &Option<u32>) {
     w.put_bit(v.is_some());
     if let Some(v) = v {
         w.put_uint(*v as u64);
@@ -103,7 +106,7 @@ fn get_opt_u32(r: &mut BitReader) -> Result<Option<u32>> {
     }
 }
 
-fn put_opt_bytes(w: &mut BitWriter, v: &Option<Bytes>) {
+fn put_opt_bytes<B: ByteSink>(w: &mut BitWriter<B>, v: &Option<Bytes>) {
     w.put_bit(v.is_some());
     if let Some(v) = v {
         w.put_octets(v);
@@ -118,7 +121,7 @@ fn get_opt_bytes(r: &mut BitReader) -> Result<Option<Bytes>> {
     }
 }
 
-fn put_fn_item(w: &mut BitWriter, f: &RanFunctionItem) {
+fn put_fn_item<B: ByteSink>(w: &mut BitWriter<B>, f: &RanFunctionItem) {
     put_ran_func(w, &f.id);
     w.put_octets(&f.definition);
     w.put_bits(f.revision as u64, 16);
@@ -133,7 +136,7 @@ fn get_fn_item(r: &mut BitReader) -> Result<RanFunctionItem> {
     Ok(RanFunctionItem { id, definition, revision, oid })
 }
 
-fn put_component(w: &mut BitWriter, c: &E2NodeComponentConfig) {
+fn put_component<B: ByteSink>(w: &mut BitWriter<B>, c: &E2NodeComponentConfig) {
     w.put_constrained(c.interface as u64, 0, 6);
     w.put_utf8(&c.component_id);
     w.put_octets(&c.request_part);
@@ -150,7 +153,7 @@ fn get_component(r: &mut BitReader) -> Result<E2NodeComponentConfig> {
     Ok(E2NodeComponentConfig { interface, component_id, request_part, response_part })
 }
 
-fn put_interface_id(w: &mut BitWriter, (i, id): &(InterfaceType, String)) {
+fn put_interface_id<B: ByteSink>(w: &mut BitWriter<B>, (i, id): &(InterfaceType, String)) {
     w.put_constrained(*i as u64, 0, 6);
     w.put_utf8(id);
 }
@@ -162,7 +165,7 @@ fn get_interface_id(r: &mut BitReader) -> Result<(InterfaceType, String)> {
     Ok((interface, r.get_utf8()?))
 }
 
-fn put_tnl(w: &mut BitWriter, t: &TnlInfo) {
+fn put_tnl<B: ByteSink>(w: &mut BitWriter<B>, t: &TnlInfo) {
     w.put_utf8(&t.address);
     w.put_bits(t.port as u64, 16);
     w.put_constrained(t.usage as u64, 0, 2);
@@ -172,12 +175,12 @@ fn get_tnl(r: &mut BitReader) -> Result<TnlInfo> {
     let address = r.get_utf8()?;
     let port = r.get_bits(16)? as u16;
     let u = r.get_constrained(0, 2)? as u8;
-    let usage =
-        TnlUsage::from_u8(u).ok_or(CodecError::BadDiscriminant { what: "tnl usage", value: u as u64 })?;
+    let usage = TnlUsage::from_u8(u)
+        .ok_or(CodecError::BadDiscriminant { what: "tnl usage", value: u as u64 })?;
     Ok(TnlInfo { address, port, usage })
 }
 
-fn put_seq<T>(w: &mut BitWriter, items: &[T], f: impl Fn(&mut BitWriter, &T)) {
+fn put_seq<T, B: ByteSink>(w: &mut BitWriter<B>, items: &[T], f: impl Fn(&mut BitWriter<B>, &T)) {
     w.put_length(items.len());
     for item in items {
         f(w, item);
@@ -198,7 +201,7 @@ fn get_seq<T>(r: &mut BitReader, f: impl Fn(&mut BitReader) -> Result<T>) -> Res
     Ok(out)
 }
 
-fn put_action(w: &mut BitWriter, a: &RicActionToBeSetup) {
+fn put_action<B: ByteSink>(w: &mut BitWriter<B>, a: &RicActionToBeSetup) {
     w.put_bits(a.id.0 as u64, 8);
     w.put_constrained(a.action_type as u64, 0, 2);
     put_opt_bytes(w, &a.definition);
@@ -233,7 +236,22 @@ fn get_action(r: &mut BitReader) -> Result<RicActionToBeSetup> {
 
 /// Encodes a PDU into aligned-PER-style bytes.
 pub fn encode(pdu: &E2apPdu) -> Vec<u8> {
-    let mut w = BitWriter::with_capacity(64);
+    encode_pdu(pdu, BitWriter::with_capacity(64))
+}
+
+/// Encodes a PDU into a reusable scratch buffer, appending after any
+/// existing content (e.g. a reserved frame header).
+///
+/// Byte-for-byte identical to [`encode`]; both delegate to the same
+/// generic body.  Steady-state this allocates nothing: freeze the result
+/// with `split().freeze()` and the buffer's capacity is reclaimed once
+/// the frozen handles drop.
+pub fn encode_into(pdu: &E2apPdu, out: &mut BytesMut) {
+    let w = BitWriter::over(std::mem::take(out));
+    *out = encode_pdu(pdu, w);
+}
+
+fn encode_pdu<B: ByteSink>(pdu: &E2apPdu, mut w: BitWriter<B>) -> B {
     w.put_constrained(pdu.msg_type() as u64, 0, 25);
     match pdu {
         E2apPdu::E2SetupRequest(m) => {
@@ -406,7 +424,7 @@ pub fn encode(pdu: &E2apPdu) -> Vec<u8> {
             put_opt_bytes(&mut w, &m.outcome);
         }
     }
-    w.finish()
+    w.into_buf()
 }
 
 // ---------------------------------------------------------------------------
@@ -417,8 +435,8 @@ pub fn encode(pdu: &E2apPdu) -> Vec<u8> {
 pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
     let mut r = BitReader::new(buf);
     let t = r.get_constrained(0, 25)? as u8;
-    let msg_type =
-        MsgType::from_u8(t).ok_or(CodecError::BadDiscriminant { what: "msg type", value: t as u64 })?;
+    let msg_type = MsgType::from_u8(t)
+        .ok_or(CodecError::BadDiscriminant { what: "msg type", value: t as u64 })?;
     let r = &mut r;
     Ok(match msg_type {
         MsgType::E2SetupRequest => E2apPdu::E2SetupRequest(E2SetupRequest {
@@ -529,11 +547,13 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
                 })?,
             })
         }
-        MsgType::RicSubscriptionFailure => E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
-            req_id: get_req_id(r)?,
-            ran_function: get_ran_func(r)?,
-            cause: get_cause(r)?,
-        }),
+        MsgType::RicSubscriptionFailure => {
+            E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                req_id: get_req_id(r)?,
+                ran_function: get_ran_func(r)?,
+                cause: get_cause(r)?,
+            })
+        }
         MsgType::RicSubscriptionDeleteRequest => {
             E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
                 req_id: get_req_id(r)?,
@@ -581,15 +601,16 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
             let call_process_id = get_opt_bytes(r)?;
             let header = Bytes::copy_from_slice(r.get_octets()?);
             let message = Bytes::copy_from_slice(r.get_octets()?);
-            let ack_request = if r.get_bit()? {
-                let a = r.get_constrained(0, 2)? as u8;
-                Some(ControlAckRequest::from_u8(a).ok_or(CodecError::BadDiscriminant {
-                    what: "ack request",
-                    value: a as u64,
-                })?)
-            } else {
-                None
-            };
+            let ack_request =
+                if r.get_bit()? {
+                    let a = r.get_constrained(0, 2)? as u8;
+                    Some(ControlAckRequest::from_u8(a).ok_or(CodecError::BadDiscriminant {
+                        what: "ack request",
+                        value: a as u64,
+                    })?)
+                } else {
+                    None
+                };
             E2apPdu::RicControlRequest(RicControlRequest {
                 req_id,
                 ran_function,

@@ -24,6 +24,7 @@
 //! vtables; neither affects the read path semantics.
 
 use crate::error::{CodecError, Result};
+use crate::sink::ByteSink;
 
 /// Magic value identifying an FB-encoded message.
 pub const FB_MAGIC: u16 = 0x5246;
@@ -63,8 +64,12 @@ impl SlotVal {
 /// Out-of-line children (blobs, vectors, subtables) must be written before
 /// the table that references them, as with real FlatBuffers.
 #[derive(Debug)]
-pub struct FbBuilder {
-    buf: Vec<u8>,
+pub struct FbBuilder<B: ByteSink = Vec<u8>> {
+    buf: B,
+    /// Buffer length at construction: offsets are relative to this point,
+    /// so a message appended after existing content (e.g. into a reused
+    /// scratch buffer) is self-contained once split off.
+    base: usize,
 }
 
 impl Default for FbBuilder {
@@ -81,102 +86,120 @@ impl FbBuilder {
 
     /// Creates a builder with a payload capacity hint.
     pub fn with_capacity(cap: usize) -> Self {
-        let mut buf = Vec::with_capacity(FB_HEADER_LEN + cap);
-        buf.extend_from_slice(&FB_MAGIC.to_le_bytes());
-        buf.extend_from_slice(&FB_VERSION.to_le_bytes());
-        buf.extend_from_slice(&0u32.to_le_bytes()); // root patched in finish
-        FbBuilder { buf }
+        Self::over(Vec::with_capacity(FB_HEADER_LEN + cap))
     }
 
-    /// Writes a blob (byte string), returning its absolute offset.
+    /// Sets the root table and returns the finished message bytes.
+    pub fn finish(self, root: u32) -> Vec<u8> {
+        self.finish_buf(root)
+    }
+}
+
+impl<B: ByteSink> FbBuilder<B> {
+    /// Wraps an existing buffer, appending the message header after its
+    /// current contents.  Recover the buffer with [`Self::finish_buf`].
+    pub fn over(mut buf: B) -> Self {
+        let base = buf.len();
+        buf.put_slice(&FB_MAGIC.to_le_bytes());
+        buf.put_slice(&FB_VERSION.to_le_bytes());
+        buf.put_slice(&0u32.to_le_bytes()); // root patched in finish
+        FbBuilder { buf, base }
+    }
+
+    /// Current write position, relative to the message start.
+    fn pos(&self) -> u32 {
+        (self.buf.len() - self.base) as u32
+    }
+
+    /// Writes a blob (byte string), returning its message-relative offset.
     pub fn blob(&mut self, data: &[u8]) -> u32 {
-        let pos = self.buf.len() as u32;
-        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(data);
+        let pos = self.pos();
+        self.buf.put_slice(&(data.len() as u32).to_le_bytes());
+        self.buf.put_slice(data);
         pos
     }
 
-    /// Writes a UTF-8 string blob, returning its absolute offset.
+    /// Writes a UTF-8 string blob, returning its message-relative offset.
     pub fn string(&mut self, s: &str) -> u32 {
         self.blob(s.as_bytes())
     }
 
-    /// Writes a vector of absolute offsets (tables / blobs).
+    /// Writes a vector of message-relative offsets (tables / blobs).
     pub fn vec_off(&mut self, offs: &[u32]) -> u32 {
-        let pos = self.buf.len() as u32;
-        self.buf.extend_from_slice(&(offs.len() as u32).to_le_bytes());
+        let pos = self.pos();
+        self.buf.put_slice(&(offs.len() as u32).to_le_bytes());
         for o in offs {
-            self.buf.extend_from_slice(&o.to_le_bytes());
+            self.buf.put_slice(&o.to_le_bytes());
         }
         pos
     }
 
     /// Writes a vector of u16 scalars.
     pub fn vec_u16(&mut self, vals: &[u16]) -> u32 {
-        let pos = self.buf.len() as u32;
-        self.buf.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+        let pos = self.pos();
+        self.buf.put_slice(&(vals.len() as u32).to_le_bytes());
         for v in vals {
-            self.buf.extend_from_slice(&v.to_le_bytes());
+            self.buf.put_slice(&v.to_le_bytes());
         }
         pos
     }
 
     /// Writes a vector of u32 scalars.
     pub fn vec_u32(&mut self, vals: &[u32]) -> u32 {
-        let pos = self.buf.len() as u32;
-        self.buf.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+        let pos = self.pos();
+        self.buf.put_slice(&(vals.len() as u32).to_le_bytes());
         for v in vals {
-            self.buf.extend_from_slice(&v.to_le_bytes());
+            self.buf.put_slice(&v.to_le_bytes());
         }
         pos
     }
 
     /// Writes a vector of u64 scalars.
     pub fn vec_u64(&mut self, vals: &[u64]) -> u32 {
-        let pos = self.buf.len() as u32;
-        self.buf.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+        let pos = self.pos();
+        self.buf.put_slice(&(vals.len() as u32).to_le_bytes());
         for v in vals {
-            self.buf.extend_from_slice(&v.to_le_bytes());
+            self.buf.put_slice(&v.to_le_bytes());
         }
         pos
     }
 
     /// Finalizes a table built with [`TableBuilder`], returning its offset.
     fn end_table(&mut self, slots: &[(u16, SlotVal)]) -> u32 {
-        let table_pos = self.buf.len() as u32;
+        let table_pos = self.pos();
         // Table data: vtable pointer placeholder + fields in slot order.
-        self.buf.extend_from_slice(&0u32.to_le_bytes());
+        self.buf.put_slice(&0u32.to_le_bytes());
         let nslots = slots.iter().map(|(s, _)| *s + 1).max().unwrap_or(0);
         let mut rel = [0u16; 64];
         debug_assert!(nslots as usize <= rel.len(), "table has too many slots");
         let rel = &mut rel[..(nslots as usize).min(64)];
         for (slot, val) in slots {
-            let off = (self.buf.len() as u32 - table_pos) as u16;
+            let off = (self.pos() - table_pos) as u16;
             rel[*slot as usize] = off;
             match val {
-                SlotVal::U8(v) => self.buf.push(*v),
-                SlotVal::U16(v) => self.buf.extend_from_slice(&v.to_le_bytes()),
-                SlotVal::U32(v) | SlotVal::Off(v) => {
-                    self.buf.extend_from_slice(&v.to_le_bytes())
-                }
-                SlotVal::U64(v) => self.buf.extend_from_slice(&v.to_le_bytes()),
+                SlotVal::U8(v) => self.buf.push_byte(*v),
+                SlotVal::U16(v) => self.buf.put_slice(&v.to_le_bytes()),
+                SlotVal::U32(v) | SlotVal::Off(v) => self.buf.put_slice(&v.to_le_bytes()),
+                SlotVal::U64(v) => self.buf.put_slice(&v.to_le_bytes()),
             }
         }
         // VTable.
-        let vt_pos = self.buf.len() as u32;
-        self.buf.extend_from_slice(&nslots.to_le_bytes());
+        let vt_pos = self.pos();
+        self.buf.put_slice(&nslots.to_le_bytes());
         for r in rel.iter() {
-            self.buf.extend_from_slice(&r.to_le_bytes());
+            self.buf.put_slice(&r.to_le_bytes());
         }
         // Patch vtable pointer.
-        let tp = table_pos as usize;
-        self.buf[tp..tp + 4].copy_from_slice(&vt_pos.to_le_bytes());
+        let tp = self.base + table_pos as usize;
+        self.buf.as_mut_slice()[tp..tp + 4].copy_from_slice(&vt_pos.to_le_bytes());
         table_pos
     }
 
-    /// Sets the root table and returns the finished message bytes.
-    pub fn finish(mut self, root: u32) -> Vec<u8> {
-        self.buf[4..8].copy_from_slice(&root.to_le_bytes());
+    /// Sets the root table and returns the underlying buffer, with the
+    /// message appended after whatever the buffer held at construction.
+    pub fn finish_buf(mut self, root: u32) -> B {
+        let rp = self.base + 4;
+        self.buf.as_mut_slice()[rp..rp + 4].copy_from_slice(&root.to_le_bytes());
         self.buf
     }
 }
@@ -234,8 +257,8 @@ impl TableBuilder {
         self
     }
 
-    /// Writes the table into `b`, returning its absolute offset.
-    pub fn end(self, b: &mut FbBuilder) -> u32 {
+    /// Writes the table into `b`, returning its message-relative offset.
+    pub fn end<B: ByteSink>(self, b: &mut FbBuilder<B>) -> u32 {
         b.end_table(&self.slots)
     }
 
@@ -251,23 +274,17 @@ impl TableBuilder {
 // ---------------------------------------------------------------------------
 
 fn read_u16(buf: &[u8], pos: usize) -> Result<u16> {
-    let sl = buf
-        .get(pos..pos + 2)
-        .ok_or(CodecError::Truncated { what: "fb u16" })?;
+    let sl = buf.get(pos..pos + 2).ok_or(CodecError::Truncated { what: "fb u16" })?;
     Ok(u16::from_le_bytes([sl[0], sl[1]]))
 }
 
 fn read_u32(buf: &[u8], pos: usize) -> Result<u32> {
-    let sl = buf
-        .get(pos..pos + 4)
-        .ok_or(CodecError::Truncated { what: "fb u32" })?;
+    let sl = buf.get(pos..pos + 4).ok_or(CodecError::Truncated { what: "fb u32" })?;
     Ok(u32::from_le_bytes([sl[0], sl[1], sl[2], sl[3]]))
 }
 
 fn read_u64(buf: &[u8], pos: usize) -> Result<u64> {
-    let sl = buf
-        .get(pos..pos + 8)
-        .ok_or(CodecError::Truncated { what: "fb u64" })?;
+    let sl = buf.get(pos..pos + 8).ok_or(CodecError::Truncated { what: "fb u64" })?;
     let mut a = [0u8; 8];
     a.copy_from_slice(sl);
     Ok(u64::from_le_bytes(a))
@@ -333,12 +350,7 @@ impl<'a> FbTable<'a> {
     pub fn u8(&self, slot: u16) -> Result<Option<u8>> {
         Ok(match self.field_pos(slot)? {
             None => None,
-            Some(p) => Some(
-                *self
-                    .buf
-                    .get(p)
-                    .ok_or(CodecError::Truncated { what: "fb u8 field" })?,
-            ),
+            Some(p) => Some(*self.buf.get(p).ok_or(CodecError::Truncated { what: "fb u8 field" })?),
         })
     }
 
@@ -423,9 +435,7 @@ impl<'a> FbTable<'a> {
 
     /// Reads a vector slot, treating absence as an empty vector.
     pub fn vector_or_empty(&self, slot: u16) -> Result<FbVector<'a>> {
-        Ok(self
-            .vector(slot)?
-            .unwrap_or(FbVector { buf: self.buf, pos: 0, len: 0 }))
+        Ok(self.vector(slot)?.unwrap_or(FbVector { buf: self.buf, pos: 0, len: 0 }))
     }
 }
 
@@ -486,9 +496,7 @@ impl<'a> FbVector<'a> {
         self.check(i)?;
         let off = read_u32(self.buf, self.pos + 4 * i)? as usize;
         let len = read_u32(self.buf, off)? as usize;
-        self.buf
-            .get(off + 4..off + 4 + len)
-            .ok_or(CodecError::Truncated { what: "fb blob elem" })
+        self.buf.get(off + 4..off + 4 + len).ok_or(CodecError::Truncated { what: "fb blob elem" })
     }
 }
 
@@ -626,6 +634,30 @@ mod tests {
     }
 
     #[test]
+    fn builder_over_bytesmut_appends_self_contained_message() {
+        // Build the same message owned and appended after existing bytes;
+        // the appended region must be byte-identical and parse standalone.
+        fn build<B: ByteSink>(mut b: FbBuilder<B>) -> B {
+            let blob = b.blob(b"payload");
+            let mut t = TableBuilder::new();
+            t.u8(0, 7).u16(1, 300).off(2, blob);
+            let root = t.end(&mut b);
+            b.finish_buf(root)
+        }
+        let owned: Vec<u8> = build(FbBuilder::new());
+
+        let mut scratch = bytes::BytesMut::new();
+        scratch.extend_from_slice(b"prefix");
+        let scratch = build(FbBuilder::over(scratch));
+        assert_eq!(&scratch[..6], b"prefix");
+        assert_eq!(&scratch[6..], &owned[..]);
+
+        let root = FbView::parse(&scratch[6..]).unwrap().root().unwrap();
+        assert_eq!(root.u16(1).unwrap(), Some(300));
+        assert_eq!(root.bytes(2).unwrap(), Some(&b"payload"[..]));
+    }
+
+    #[test]
     fn per_message_overhead_is_tens_of_bytes() {
         // The paper observes 30-40 B FB overhead per message; our header +
         // vtable + offsets land in the same band for a small table.
@@ -636,9 +668,6 @@ mod tests {
         let root = t.end(&mut b);
         let msg = b.finish(root);
         let overhead = msg.len() - 100;
-        assert!(
-            (20..=60).contains(&overhead),
-            "overhead {overhead} outside expected FB band"
-        );
+        assert!((20..=60).contains(&overhead), "overhead {overhead} outside expected FB band");
     }
 }

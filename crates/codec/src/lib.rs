@@ -21,10 +21,31 @@ pub mod error;
 pub mod fb;
 pub mod pb;
 pub mod per;
+pub mod sink;
 
 pub use error::{CodecError, Result};
+pub use sink::ByteSink;
 
+use bytes::BytesMut;
 use flexric_e2ap::{E2apPdu, PduHeader};
+
+thread_local! {
+    /// Per-thread count of E2AP encode invocations, used by tests to verify
+    /// the encode-once fan-out invariant (thread-local so parallel test
+    /// threads cannot perturb each other's deltas).
+    static ENCODE_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn note_encode() {
+    ENCODE_CALLS.with(|c| c.set(c.get() + 1));
+}
+
+/// Number of E2AP encode invocations (`encode` or `encode_into`) performed
+/// by the current thread since it started.  Take a delta around the code
+/// under test to count how many encodes it performed.
+pub fn encode_invocations() -> u64 {
+    ENCODE_CALLS.with(|c| c.get())
+}
 
 /// Which encoding an E2AP connection uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -48,11 +69,29 @@ impl E2apCodec {
         }
     }
 
-    /// Encodes a PDU.
+    /// Encodes a PDU into a freshly allocated buffer.
     pub fn encode(&self, pdu: &E2apPdu) -> Vec<u8> {
+        note_encode();
         match self {
             E2apCodec::Asn1Per => e2ap_per::encode(pdu),
             E2apCodec::Flatb => e2ap_fb::encode(pdu),
+        }
+    }
+
+    /// Encodes a PDU into a caller-provided scratch buffer, appending after
+    /// any existing content.
+    ///
+    /// This is the zero-allocation path: callers keep one `BytesMut` per
+    /// connection (or per loop), call `encode_into`, then `split().freeze()`
+    /// the message off.  Once the frozen `Bytes` handles drop, the buffer's
+    /// capacity is reclaimed and steady-state encoding allocates nothing.
+    /// The appended bytes are identical to what [`E2apCodec::encode`]
+    /// returns — both dispatch to one shared encode body per codec.
+    pub fn encode_into(&self, pdu: &E2apPdu, buf: &mut BytesMut) {
+        note_encode();
+        match self {
+            E2apCodec::Asn1Per => e2ap_per::encode_into(pdu, buf),
+            E2apCodec::Flatb => e2ap_fb::encode_into(pdu, buf),
         }
     }
 
@@ -274,6 +313,43 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_is_byte_identical_to_encode() {
+        // Acceptance criterion: no behavioural change on the wire.  The
+        // scratch-buffer path must produce exactly the bytes of the classic
+        // path for every PDU constructor under every codec, including when
+        // the scratch already holds earlier content.
+        let mut scratch = bytes::BytesMut::new();
+        for codec in E2apCodec::ALL {
+            for pdu in sample_pdus() {
+                let owned = codec.encode(&pdu);
+                scratch.clear();
+                codec.encode_into(&pdu, &mut scratch);
+                assert_eq!(&scratch[..], &owned[..], "{:?} {:?}", codec, pdu.msg_type());
+                // Appending after existing content must not disturb either
+                // the prefix or the encoding.
+                scratch.clear();
+                scratch.extend_from_slice(b"hdr");
+                codec.encode_into(&pdu, &mut scratch);
+                assert_eq!(&scratch[..3], b"hdr");
+                assert_eq!(&scratch[3..], &owned[..], "{:?} {:?}", codec, pdu.msg_type());
+                // And the appended region must decode standalone.
+                let frame = scratch.split_off(3).freeze();
+                assert_eq!(codec.decode(&frame).unwrap(), pdu);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_invocations_counts_both_paths() {
+        let pdu = E2apPdu::ResetResponse(ResetResponse { transaction_id: 1 });
+        let before = encode_invocations();
+        let _ = E2apCodec::Asn1Per.encode(&pdu);
+        let mut buf = bytes::BytesMut::new();
+        E2apCodec::Flatb.encode_into(&pdu, &mut buf);
+        assert_eq!(encode_invocations() - before, 2);
+    }
+
+    #[test]
     fn peek_matches_header_both_codecs() {
         for codec in E2apCodec::ALL {
             for pdu in sample_pdus() {
@@ -319,18 +395,15 @@ mod tests {
 
     #[test]
     fn fb_indication_payload_zero_copy() {
-        let pdu = sample_pdus()
-            .into_iter()
-            .find(|p| p.msg_type() == MsgType::RicIndication)
-            .unwrap();
+        let pdu =
+            sample_pdus().into_iter().find(|p| p.msg_type() == MsgType::RicIndication).unwrap();
         let buf = E2apCodec::Flatb.encode(&pdu);
         let (hdr, msg) = e2ap_fb::indication_payload(&buf).unwrap();
         assert_eq!(hdr, b"ind-hdr");
         assert_eq!(msg, b"ind-msg-payload");
         // Non-indications are rejected.
-        let other = E2apCodec::Flatb.encode(&E2apPdu::ResetResponse(ResetResponse {
-            transaction_id: 0,
-        }));
+        let other =
+            E2apCodec::Flatb.encode(&E2apPdu::ResetResponse(ResetResponse { transaction_id: 0 }));
         assert!(e2ap_fb::indication_payload(&other).is_err());
     }
 

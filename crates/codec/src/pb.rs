@@ -9,7 +9,10 @@
 //! full sequential decode, which places FlexRAN's RTT between the FB and
 //! ASN.1 variants in the paper's Fig. 7a.
 
+use bytes::BytesMut;
+
 use crate::error::{CodecError, Result};
+use crate::sink::ByteSink;
 
 /// Wire types of the protobuf format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,25 +38,57 @@ impl WireType {
 }
 
 /// Writer producing protobuf-style output.
+///
+/// Generic over the backing [`ByteSink`]: the default `Vec<u8>` gives the
+/// classic allocate-per-message [`PbWriter::finish`] path, while
+/// [`PbWriter::over`] wraps a reusable `BytesMut` scratch buffer for the
+/// zero-allocation path.
 #[derive(Debug, Default)]
-pub struct PbWriter {
-    buf: Vec<u8>,
+pub struct PbWriter<B: ByteSink = Vec<u8>> {
+    buf: B,
+    base: usize,
 }
 
 impl PbWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        PbWriter { buf: Vec::with_capacity(64) }
+        PbWriter { buf: Vec::with_capacity(64), base: 0 }
     }
 
-    /// Bytes written so far.
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl PbWriter<BytesMut> {
+    /// Wraps a (possibly non-empty) scratch buffer; encoded bytes are
+    /// appended after any existing content.
+    pub fn over(buf: BytesMut) -> Self {
+        let base = buf.len();
+        PbWriter { buf, base }
+    }
+
+    /// Consumes the writer, returning the backing buffer.
+    pub fn into_buf(self) -> BytesMut {
+        self.buf
+    }
+}
+
+impl<B: ByteSink> PbWriter<B> {
+    /// Bytes written by this writer so far.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.base
     }
 
     /// Whether nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
+    }
+
+    /// The bytes written by this writer.
+    pub fn written(&self) -> &[u8] {
+        &self.buf.as_slice()[self.base..]
     }
 
     fn put_varint(&mut self, mut v: u64) {
@@ -61,10 +96,10 @@ impl PbWriter {
             let byte = (v & 0x7F) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.push(byte);
+                self.buf.push_byte(byte);
                 return;
             }
-            self.buf.push(byte | 0x80);
+            self.buf.push_byte(byte | 0x80);
         }
     }
 
@@ -82,7 +117,7 @@ impl PbWriter {
     /// Writes a fixed 64-bit field.
     pub fn fixed64(&mut self, field: u32, v: u64) -> &mut Self {
         self.put_key(field, WireType::Fixed64);
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.buf.put_slice(&v.to_le_bytes());
         self
     }
 
@@ -90,7 +125,7 @@ impl PbWriter {
     pub fn bytes(&mut self, field: u32, data: &[u8]) -> &mut Self {
         self.put_key(field, WireType::Len);
         self.put_varint(data.len() as u64);
-        self.buf.extend_from_slice(data);
+        self.buf.put_slice(data);
         self
     }
 
@@ -100,13 +135,8 @@ impl PbWriter {
     }
 
     /// Writes an embedded message field from an already-encoded child.
-    pub fn message(&mut self, field: u32, child: &PbWriter) -> &mut Self {
-        self.bytes(field, &child.buf)
-    }
-
-    /// Consumes the writer, returning the encoded bytes.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
+    pub fn message<B2: ByteSink>(&mut self, field: u32, child: &PbWriter<B2>) -> &mut Self {
+        self.bytes(field, child.written())
     }
 }
 
@@ -166,10 +196,8 @@ impl<'a> PbReader<'a> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
-            let byte = *self
-                .buf
-                .get(self.pos)
-                .ok_or(CodecError::Truncated { what: "pb varint" })?;
+            let byte =
+                *self.buf.get(self.pos).ok_or(CodecError::Truncated { what: "pb varint" })?;
             self.pos += 1;
             if shift >= 64 {
                 return Err(CodecError::Malformed { what: "pb varint overflow" });
@@ -297,6 +325,26 @@ mod tests {
         // Field 1, wire type 5 (not supported).
         let mut r = PbReader::new(&[0x0D]);
         assert!(matches!(r.next_field(), Err(CodecError::BadDiscriminant { .. })));
+    }
+
+    #[test]
+    fn writer_over_bytesmut_appends_identically() {
+        fn build<B: ByteSink>(w: &mut PbWriter<B>) {
+            let mut inner = PbWriter::new();
+            inner.uint(1, 300).string(2, "ue");
+            w.uint(1, 7).fixed64(2, 0xF00D).bytes(3, b"xy").message(4, &inner);
+        }
+        let mut v = PbWriter::new();
+        build(&mut v);
+        let owned = v.finish();
+
+        let mut scratch = BytesMut::from(&b"prefix"[..]);
+        let mut b = PbWriter::over(std::mem::take(&mut scratch));
+        build(&mut b);
+        assert_eq!(b.len(), owned.len());
+        let buf = b.into_buf();
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(&buf[6..], &owned[..]);
     }
 
     #[test]

@@ -17,50 +17,121 @@
 //!   with a `11` prefix for lengths up to 2³⁰),
 //! * octet strings and UTF-8 strings,
 //! * optional-presence bitmaps (plain bits) and choice indices.
+//!
+//! Bit fields are packed word-at-a-time: [`BitWriter::put_bits`] and
+//! [`BitReader::get_bits`] shift and mask whole bytes instead of looping
+//! per bit.  The original per-bit loops are kept as
+//! [`BitWriter::put_bits_bitwise`] / [`BitReader::get_bits_bitwise`] so
+//! differential tests and benchmarks can pin the word-level versions to
+//! them bit for bit.
+//!
+//! The writer is generic over a [`ByteSink`], so the same encode body can
+//! produce an owned `Vec<u8>` or append into a reusable
+//! [`bytes::BytesMut`] scratch buffer (the `encode_into` path).
 
 use crate::error::{CodecError, Result};
+use crate::sink::ByteSink;
 
 /// Maximum length representable by [`BitWriter::put_length`].
 pub const MAX_LENGTH: usize = (1 << 30) - 1;
 
 /// Bit-oriented writer producing aligned-PER-style output.
 #[derive(Debug, Default)]
-pub struct BitWriter {
-    buf: Vec<u8>,
+pub struct BitWriter<B: ByteSink = Vec<u8>> {
+    buf: B,
+    /// Buffer length at construction; bytes before this index belong to the
+    /// caller (e.g. a reserved frame header) and are never touched.
+    base: usize,
     /// Number of valid bits in the last byte of `buf` (0 ⇒ byte-aligned).
     partial_bits: u8,
 }
 
 impl BitWriter {
-    /// Creates an empty writer.
+    /// Creates an empty writer backed by an owned `Vec<u8>`.
     pub fn new() -> Self {
-        BitWriter { buf: Vec::with_capacity(64), partial_bits: 0 }
+        Self::with_capacity(64)
     }
 
-    /// Creates a writer with a capacity hint.
+    /// Creates an owned writer with a capacity hint.
     pub fn with_capacity(cap: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(cap), partial_bits: 0 }
+        BitWriter { buf: Vec::with_capacity(cap), base: 0, partial_bits: 0 }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl<B: ByteSink> BitWriter<B> {
+    /// Wraps an existing buffer, appending after its current contents.
+    ///
+    /// Existing bytes are left untouched; [`Self::len_bytes`] counts only
+    /// bytes written through this writer.  Recover the buffer with
+    /// [`Self::into_buf`].
+    pub fn over(buf: B) -> Self {
+        let base = buf.len();
+        BitWriter { buf, base, partial_bits: 0 }
+    }
+
+    /// Consumes the writer, returning the underlying buffer.
+    pub fn into_buf(self) -> B {
+        self.buf
     }
 
     /// Number of whole bytes written so far (including a partial last byte).
     pub fn len_bytes(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.base
     }
 
     /// Writes a single bit.
     pub fn put_bit(&mut self, bit: bool) {
         if self.partial_bits == 0 {
-            self.buf.push(0);
+            self.buf.push_byte(0);
         }
         if bit {
-            let last = self.buf.last_mut().expect("pushed above");
+            let last = self.buf.as_mut_slice().last_mut().expect("pushed above");
             *last |= 1 << (7 - self.partial_bits);
         }
         self.partial_bits = (self.partial_bits + 1) % 8;
     }
 
     /// Writes the low `nbits` bits of `value`, most-significant first.
+    ///
+    /// Word-level: fills the partial last byte, emits whole bytes, then a
+    /// trailing partial byte — no per-bit loop.  Bit-exact with
+    /// [`Self::put_bits_bitwise`].
     pub fn put_bits(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return;
+        }
+        let mut rem = nbits; // bits of `value` still to emit
+        if self.partial_bits != 0 {
+            let free = 8 - self.partial_bits as u32; // 1..=7
+            let take = free.min(rem);
+            rem -= take; // ≤ 63 afterwards, so shifts below stay in range
+            let chunk = (value >> rem) as u8 & ((1u16 << take) - 1) as u8;
+            let last = self.buf.as_mut_slice().last_mut().expect("partial byte exists");
+            *last |= chunk << (free - take);
+            self.partial_bits = (self.partial_bits + take as u8) % 8;
+        }
+        while rem >= 8 {
+            rem -= 8;
+            self.buf.push_byte((value >> rem) as u8);
+        }
+        if rem > 0 {
+            let chunk = value as u8 & ((1u16 << rem) - 1) as u8;
+            self.buf.push_byte(chunk << (8 - rem));
+            self.partial_bits = rem as u8;
+        }
+    }
+
+    /// Reference bit-by-bit implementation of [`Self::put_bits`].
+    ///
+    /// Kept for differential tests and the old-path benchmark; the
+    /// word-level `put_bits` must stay bit-exact with this loop.
+    pub fn put_bits_bitwise(&mut self, value: u64, nbits: u32) {
         debug_assert!(nbits <= 64);
         for i in (0..nbits).rev() {
             self.put_bit((value >> i) & 1 == 1);
@@ -75,7 +146,7 @@ impl BitWriter {
     /// Writes raw bytes (aligned).
     pub fn put_raw(&mut self, bytes: &[u8]) {
         self.align();
-        self.buf.extend_from_slice(bytes);
+        self.buf.put_slice(bytes);
     }
 
     /// Writes a PER length determinant (aligned).
@@ -87,15 +158,16 @@ impl BitWriter {
         assert!(len <= MAX_LENGTH, "length {len} exceeds PER codec maximum");
         self.align();
         if len < 128 {
-            self.buf.push(len as u8);
+            self.buf.push_byte(len as u8);
         } else if len < 16384 {
-            self.buf.push(0x80 | (len >> 8) as u8);
-            self.buf.push(len as u8);
+            self.buf.put_slice(&[0x80 | (len >> 8) as u8, len as u8]);
         } else {
-            self.buf.push(0xC0 | ((len >> 24) as u8 & 0x3F));
-            self.buf.push((len >> 16) as u8);
-            self.buf.push((len >> 8) as u8);
-            self.buf.push(len as u8);
+            self.buf.put_slice(&[
+                0xC0 | ((len >> 24) as u8 & 0x3F),
+                (len >> 16) as u8,
+                (len >> 8) as u8,
+                len as u8,
+            ]);
         }
     }
 
@@ -117,9 +189,8 @@ impl BitWriter {
         } else {
             let nbytes = ((64 - offset.leading_zeros()).div_ceil(8)).max(1) as usize;
             self.put_length(nbytes);
-            for i in (0..nbytes).rev() {
-                self.buf.push((offset >> (i * 8)) as u8);
-            }
+            let be = offset.to_be_bytes();
+            self.buf.put_slice(&be[8 - nbytes..]);
         }
     }
 
@@ -127,25 +198,19 @@ impl BitWriter {
     pub fn put_uint(&mut self, value: u64) {
         let nbytes = ((64 - value.leading_zeros()).div_ceil(8)).max(1) as usize;
         self.put_length(nbytes);
-        for i in (0..nbytes).rev() {
-            self.buf.push((value >> (i * 8)) as u8);
-        }
+        let be = value.to_be_bytes();
+        self.buf.put_slice(&be[8 - nbytes..]);
     }
 
     /// Writes an octet string: length determinant + raw bytes.
     pub fn put_octets(&mut self, bytes: &[u8]) {
         self.put_length(bytes.len());
-        self.buf.extend_from_slice(bytes);
+        self.buf.put_slice(bytes);
     }
 
     /// Writes a UTF-8 string as an octet string.
     pub fn put_utf8(&mut self, s: &str) {
         self.put_octets(s.as_bytes());
-    }
-
-    /// Consumes the writer, returning the encoded bytes.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
     }
 }
 
@@ -180,7 +245,48 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `nbits` bits, most-significant first.
+    ///
+    /// Word-level: consumes the rest of the current byte, then whole bytes,
+    /// then a leading slice of the final byte.  Bit-exact with
+    /// [`Self::get_bits_bitwise`].
     pub fn get_bits(&mut self, nbits: u32) -> Result<u64> {
+        debug_assert!(nbits <= 64);
+        if nbits == 0 {
+            return Ok(0);
+        }
+        if self.remaining_bits() < nbits as usize {
+            // Same terminal state as the per-bit loop: cursor exhausted.
+            self.pos_bits = self.buf.len() * 8;
+            return Err(CodecError::Truncated { what: "bit" });
+        }
+        let mut v = 0u64;
+        let mut rem = nbits;
+        let bit_off = (self.pos_bits % 8) as u32;
+        if bit_off != 0 {
+            let avail = 8 - bit_off; // 1..=7
+            let take = avail.min(rem);
+            let byte = self.buf[self.pos_bits / 8];
+            v = (byte >> (avail - take)) as u64 & ((1u64 << take) - 1);
+            rem -= take;
+            self.pos_bits += take as usize;
+        }
+        while rem >= 8 {
+            v = (v << 8) | self.buf[self.pos_bits / 8] as u64;
+            rem -= 8;
+            self.pos_bits += 8;
+        }
+        if rem > 0 {
+            let byte = self.buf[self.pos_bits / 8];
+            v = (v << rem) | ((byte >> (8 - rem)) as u64 & ((1u64 << rem) - 1));
+            self.pos_bits += rem as usize;
+        }
+        Ok(v)
+    }
+
+    /// Reference bit-by-bit implementation of [`Self::get_bits`].
+    ///
+    /// Kept for differential tests and the old-path benchmark.
+    pub fn get_bits_bitwise(&mut self, nbits: u32) -> Result<u64> {
         debug_assert!(nbits <= 64);
         let mut v = 0u64;
         for _ in 0..nbits {
@@ -242,10 +348,9 @@ impl<'a> BitReader<'a> {
             let raw = self.get_raw(nbytes)?;
             raw.iter().fold(0u64, |acc, &b| (acc << 8) | b as u64)
         };
-        let value = lo.checked_add(offset).ok_or(CodecError::OutOfRange {
-            what: "constrained int",
-            value: offset,
-        })?;
+        let value = lo
+            .checked_add(offset)
+            .ok_or(CodecError::OutOfRange { what: "constrained int", value: offset })?;
         if value > hi {
             return Err(CodecError::OutOfRange { what: "constrained int", value });
         }
@@ -269,15 +374,19 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads a UTF-8 string.
+    ///
+    /// Validates on the borrowed slice and allocates the `String` once —
+    /// no intermediate `Vec<u8>`.
     pub fn get_utf8(&mut self) -> Result<String> {
         let raw = self.get_octets()?;
-        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8)
+        std::str::from_utf8(raw).map(str::to_owned).map_err(|_| CodecError::BadUtf8)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     #[test]
     fn bits_roundtrip() {
@@ -321,6 +430,38 @@ mod tests {
             assert_eq!(buf.len(), expected, "len={len}");
             let mut r = BitReader::new(&buf);
             assert_eq!(r.get_length().unwrap(), len);
+        }
+    }
+
+    #[test]
+    fn length_determinant_boundaries() {
+        // Exact wire bytes at every form boundary: 127/128 (1 → 2 bytes),
+        // 16 Ki−1 / 16 Ki (2 → 4 bytes) and MAX_LENGTH (the documented
+        // 4-byte deviation from X.691 fragmentation).
+        let cases: [(usize, &[u8]); 5] = [
+            (127, &[0x7F]),
+            (128, &[0x80, 0x80]),
+            (16383, &[0xBF, 0xFF]),
+            (16384, &[0xC0, 0x00, 0x40, 0x00]),
+            (MAX_LENGTH, &[0xFF, 0xFF, 0xFF, 0xFF]),
+        ];
+        for (len, wire) in cases {
+            let mut w = BitWriter::new();
+            w.put_length(len);
+            let buf = w.finish();
+            assert_eq!(buf, wire, "len={len}");
+            let mut r = BitReader::new(&buf);
+            assert_eq!(r.get_length().unwrap(), len, "len={len}");
+
+            // Same, starting misaligned: the determinant must align first.
+            let mut w = BitWriter::new();
+            w.put_bit(true);
+            w.put_length(len);
+            let buf = w.finish();
+            assert_eq!(&buf[1..], wire, "misaligned len={len}");
+            let mut r = BitReader::new(&buf);
+            assert!(r.get_bit().unwrap());
+            assert_eq!(r.get_length().unwrap(), len, "misaligned len={len}");
         }
     }
 
@@ -407,6 +548,12 @@ mod tests {
         assert!(matches!(r.get_octets(), Err(CodecError::Truncated { .. })));
         let mut r = BitReader::new(&[0x09, 0, 0, 0, 0, 0, 0, 0, 0, 0]); // uint with 9 bytes
         assert!(matches!(r.get_uint(), Err(CodecError::Malformed { .. })));
+        // Word-level get_bits past the end behaves like the bit loop did:
+        // error, cursor exhausted.
+        let mut r = BitReader::new(&[0xFF]);
+        r.get_bits(3).unwrap();
+        assert!(matches!(r.get_bits(6), Err(CodecError::Truncated { .. })));
+        assert_eq!(r.remaining_bits(), 0);
     }
 
     #[test]
@@ -427,5 +574,109 @@ mod tests {
         assert_eq!(r.remaining_bits(), 27);
         r.align();
         assert_eq!(r.remaining_bits(), 24);
+    }
+
+    #[test]
+    fn writer_over_bytesmut_appends_after_existing_content() {
+        let mut scratch = BytesMut::with_capacity(32);
+        scratch.extend_from_slice(b"hdr");
+        let mut w = BitWriter::over(scratch);
+        assert_eq!(w.len_bytes(), 0);
+        w.put_bits(0xAB, 8);
+        w.put_octets(b"xy");
+        assert_eq!(w.len_bytes(), 4);
+        let buf = w.into_buf();
+        assert_eq!(&buf[..], b"hdr\xAB\x02xy");
+    }
+
+    /// Deterministic xorshift for dependency-free differential coverage.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn word_level_bits_match_bitwise_reference() {
+        let mut state = 0x243F_6A88_85A3_08D3u64; // arbitrary nonzero seed
+        for _ in 0..200 {
+            let ops: Vec<(u64, u32)> = (0..32)
+                .map(|_| {
+                    let v = xorshift(&mut state);
+                    let n = (xorshift(&mut state) % 65) as u32;
+                    (v, n)
+                })
+                .collect();
+            let mut fast = BitWriter::new();
+            let mut slow = BitWriter::new();
+            for &(v, n) in &ops {
+                fast.put_bits(v, n);
+                slow.put_bits_bitwise(v, n);
+            }
+            let (fast, slow) = (fast.finish(), slow.finish());
+            assert_eq!(fast, slow);
+            let mut rf = BitReader::new(&fast);
+            let mut rs = BitReader::new(&fast);
+            for &(v, n) in &ops {
+                let a = rf.get_bits(n).unwrap();
+                let b = rs.get_bits_bitwise(n).unwrap();
+                assert_eq!(a, b);
+                if n == 64 {
+                    assert_eq!(a, v);
+                } else {
+                    assert_eq!(a, v & ((1u64 << n) - 1));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ops() -> impl Strategy<Value = Vec<(u64, u32)>> {
+        proptest::collection::vec((any::<u64>(), 0u32..=64), 0..64)
+    }
+
+    proptest! {
+        #[test]
+        fn put_bits_matches_reference(ops in ops()) {
+            let mut fast = BitWriter::new();
+            let mut slow = BitWriter::new();
+            for &(v, n) in &ops {
+                fast.put_bits(v, n);
+                slow.put_bits_bitwise(v, n);
+            }
+            prop_assert_eq!(fast.finish(), slow.finish());
+        }
+
+        #[test]
+        fn get_bits_matches_reference(ops in ops()) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &ops {
+                w.put_bits(v, n);
+            }
+            let buf = w.finish();
+            let mut fast = BitReader::new(&buf);
+            let mut slow = BitReader::new(&buf);
+            for &(_, n) in &ops {
+                prop_assert_eq!(fast.get_bits(n).unwrap(), slow.get_bits_bitwise(n).unwrap());
+                prop_assert_eq!(fast.remaining_bits(), slow.remaining_bits());
+            }
+        }
+
+        #[test]
+        fn vec_and_bytesmut_backed_writers_agree(ops in ops()) {
+            let mut owned = BitWriter::new();
+            let mut scratch = BitWriter::over(bytes::BytesMut::new());
+            for &(v, n) in &ops {
+                owned.put_bits(v, n);
+                scratch.put_bits(v, n);
+            }
+            prop_assert_eq!(owned.finish(), scratch.into_buf().to_vec());
+        }
     }
 }

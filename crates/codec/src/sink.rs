@@ -1,0 +1,103 @@
+//! Byte-sink abstraction behind the zero-allocation encode path.
+//!
+//! The three writers in this crate ([`crate::per::BitWriter`],
+//! [`crate::fb::FbBuilder`], [`crate::pb::PbWriter`]) are generic over a
+//! [`ByteSink`] so the same encode body can target either
+//!
+//! * an owned `Vec<u8>` — the classic allocate-per-message path behind
+//!   `encode()`, or
+//! * a caller-provided reusable [`BytesMut`] — the scratch path behind
+//!   `encode_into()`, where steady-state encoding performs no allocation
+//!   because the buffer's capacity is reclaimed once previously frozen
+//!   `Bytes` handles drop.
+//!
+//! The writers only ever *append* bytes and *patch* already-written bytes
+//! (FB vtable pointers and the root offset), so the trait is deliberately
+//! minimal: no truncation, no insertion.
+
+use bytes::BytesMut;
+
+/// A growable byte buffer the codec writers append into.
+pub trait ByteSink {
+    /// Appends one byte.
+    fn push_byte(&mut self, b: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, bytes: &[u8]);
+    /// Number of bytes currently in the buffer (including any bytes that
+    /// were present before a writer wrapped it).
+    fn len(&self) -> usize;
+    /// Whether the buffer is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Read access to the whole buffer.
+    fn as_slice(&self) -> &[u8];
+    /// Mutable access to the whole buffer, for patching offset slots.
+    fn as_mut_slice(&mut self) -> &mut [u8];
+}
+
+impl ByteSink for Vec<u8> {
+    fn push_byte(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        self
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        self
+    }
+}
+
+impl ByteSink for BytesMut {
+    fn push_byte(&mut self, b: u8) {
+        self.extend_from_slice(std::slice::from_ref(&b));
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+
+    fn len(&self) -> usize {
+        BytesMut::len(self)
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        self
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<B: ByteSink>(mut sink: B) -> B {
+        sink.push_byte(0xAB);
+        sink.put_slice(&[1, 2, 3]);
+        sink.as_mut_slice()[1] = 9;
+        sink
+    }
+
+    #[test]
+    fn vec_and_bytesmut_sinks_agree() {
+        let v = exercise(Vec::new());
+        let b = exercise(BytesMut::new());
+        assert_eq!(v.as_slice(), b.as_slice());
+        assert_eq!(v, vec![0xAB, 9, 2, 3]);
+        assert_eq!(ByteSink::len(&b), 4);
+        assert!(!ByteSink::is_empty(&b));
+    }
+}

@@ -28,6 +28,8 @@ use flexric_e2ap::*;
 use flexric_sm::{ReportTrigger, SmCodec, SmPayload};
 use flexric_transport::{connect, RecvHalf, SendHalf, TransportAddr, WireMsg};
 
+use crate::scratch::{self, EncodeScratch, Targets};
+
 /// Index of a controller connection at this agent (0 = first controller).
 pub type CtrlId = usize;
 
@@ -79,14 +81,23 @@ pub struct SubscriptionInfo {
 pub struct AgentCtx<'a> {
     /// Current time in milliseconds.
     pub now_ms: u64,
-    outbox: &'a mut Vec<(CtrlId, E2apPdu)>,
+    outbox: &'a mut Vec<(Targets<CtrlId>, E2apPdu)>,
     assoc: &'a UeAssoc,
 }
 
 impl AgentCtx<'_> {
     /// Queues an arbitrary PDU toward a controller.
     pub fn send(&mut self, ctrl: CtrlId, pdu: E2apPdu) {
-        self.outbox.push((ctrl, pdu));
+        self.outbox.push((Targets::One(ctrl), pdu));
+    }
+
+    /// Queues one PDU toward several controllers.  The PDU is encoded once
+    /// at flush and the frame is shared across all targets.
+    pub fn send_multi(&mut self, ctrls: Vec<CtrlId>, pdu: E2apPdu) {
+        if ctrls.is_empty() {
+            return;
+        }
+        self.outbox.push((Targets::from_vec(ctrls), pdu));
     }
 
     /// Queues a report indication for a subscription.
@@ -110,6 +121,45 @@ impl AgentCtx<'_> {
                 call_process_id: None,
             }),
         );
+    }
+
+    /// Queues one report payload for several subscriptions at once.
+    ///
+    /// Subscriptions whose indication PDU would be identical (same request
+    /// id, RAN function and action — common when controllers issue the
+    /// same subscription) are grouped and encoded once at flush, sharing
+    /// the frozen frame across their controllers.  Distinct groups are
+    /// queued separately, so this is always safe to call.
+    pub fn send_indication_multi<'s>(
+        &mut self,
+        subs: impl IntoIterator<Item = &'s SubscriptionInfo>,
+        sn: Option<u32>,
+        header: Bytes,
+        message: Bytes,
+    ) {
+        let mut groups: Vec<(RicRequestId, RanFunctionId, RicActionId, Vec<CtrlId>)> = Vec::new();
+        for sub in subs {
+            match groups
+                .iter_mut()
+                .find(|(r, f, a, _)| *r == sub.req_id && *f == sub.ran_function && *a == sub.action)
+            {
+                Some((_, _, _, ctrls)) => ctrls.push(sub.ctrl),
+                None => groups.push((sub.req_id, sub.ran_function, sub.action, vec![sub.ctrl])),
+            }
+        }
+        for (req_id, ran_function, action, ctrls) in groups {
+            let pdu = E2apPdu::RicIndication(RicIndication {
+                req_id,
+                ran_function,
+                action,
+                sn,
+                ind_type: RicIndicationType::Report,
+                header: header.clone(),
+                message: message.clone(),
+                call_process_id: None,
+            });
+            self.outbox.push((Targets::from_vec(ctrls), pdu));
+        }
     }
 
     /// Whether `rnti` is exposed to `ctrl` under the current
@@ -185,7 +235,12 @@ impl PeriodicSubs {
 
     /// Admits a subscription whose event trigger is a [`ReportTrigger`]
     /// encoded with `sm_codec`.
-    pub fn admit(&mut self, sub: &SubscriptionInfo, sm_codec: SmCodec, now_ms: u64) -> Result<(), Cause> {
+    pub fn admit(
+        &mut self,
+        sub: &SubscriptionInfo,
+        sm_codec: SmCodec,
+        now_ms: u64,
+    ) -> Result<(), Cause> {
         let trigger = ReportTrigger::decode(sm_codec, &sub.trigger)
             .map_err(|_| Cause::Ric(RicCause::UnsupportedEventTrigger))?;
         if self.subs.iter().any(|(s, _, _)| s.ctrl == sub.ctrl && s.req_id == sub.req_id) {
@@ -342,8 +397,9 @@ pub struct Agent {
     sub_index: HashMap<(CtrlId, RicRequestId), usize>,
     conns: Vec<CtrlConn>,
     assoc: UeAssoc,
-    outbox: Vec<(CtrlId, E2apPdu)>,
+    outbox: Vec<(Targets<CtrlId>, E2apPdu)>,
     stats: AgentStats,
+    scratch: EncodeScratch,
     now_ms: u64,
     evt_tx: mpsc::UnboundedSender<LoopEvent>,
     next_txid: u8,
@@ -367,6 +423,7 @@ impl Agent {
             assoc: UeAssoc::default(),
             outbox: Vec::new(),
             stats: AgentStats::default(),
+            scratch: EncodeScratch::with_capacity(4096),
             now_ms: 0,
             evt_tx,
             next_txid: 0,
@@ -469,8 +526,7 @@ impl Agent {
         mut cmd_rx: mpsc::UnboundedReceiver<Cmd>,
     ) {
         let mut ticker = self.cfg.tick_ms.map(|ms| {
-            let mut iv =
-                tokio::time::interval(std::time::Duration::from_millis(ms.max(1)));
+            let mut iv = tokio::time::interval(std::time::Duration::from_millis(ms.max(1)));
             iv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
             iv
         });
@@ -560,7 +616,7 @@ impl Agent {
             Ok(p) => p,
             Err(_) => {
                 self.outbox.push((
-                    ctrl,
+                    ctrl.into(),
                     E2apPdu::ErrorIndication(ErrorIndication {
                         req_id: None,
                         ran_function: None,
@@ -586,7 +642,7 @@ impl Agent {
                     setup: upd.add.clone(),
                     failed: vec![],
                 });
-                self.outbox.push((ctrl, ack));
+                self.outbox.push((ctrl.into(), ack));
                 for tnl in upd.add {
                     let addr = if let Some(name) = tnl.address.strip_prefix("mem:") {
                         TransportAddr::Mem(name.to_owned())
@@ -613,20 +669,17 @@ impl Agent {
                     }
                 }
                 self.outbox.push((
-                    ctrl,
+                    ctrl.into(),
                     E2apPdu::ResetResponse(ResetResponse { transaction_id: req.transaction_id }),
                 ));
             }
             E2apPdu::RicServiceQuery(q) => {
                 let known: HashSet<RanFunctionId> = q.accepted.iter().copied().collect();
-                let missing: Vec<RanFunctionItem> = self
-                    .fn_items()
-                    .into_iter()
-                    .filter(|f| !known.contains(&f.id))
-                    .collect();
+                let missing: Vec<RanFunctionItem> =
+                    self.fn_items().into_iter().filter(|f| !known.contains(&f.id)).collect();
                 if !missing.is_empty() {
                     self.outbox.push((
-                        ctrl,
+                        ctrl.into(),
                         E2apPdu::RicServiceUpdate(RicServiceUpdate {
                             transaction_id: q.transaction_id,
                             added: missing,
@@ -643,7 +696,7 @@ impl Agent {
             | E2apPdu::ResetResponse(_) => {}
             other => {
                 self.outbox.push((
-                    ctrl,
+                    ctrl.into(),
                     E2apPdu::ErrorIndication(ErrorIndication {
                         req_id: other.ric_request_id(),
                         ran_function: other.ran_function_id(),
@@ -659,7 +712,7 @@ impl Agent {
     fn handle_subscription(&mut self, ctrl: CtrlId, req: RicSubscriptionRequest) {
         let Some(fidx) = self.find_fn(req.ran_function) else {
             self.outbox.push((
-                ctrl,
+                ctrl.into(),
                 E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
                     req_id: req.req_id,
                     ran_function: req.ran_function,
@@ -670,7 +723,7 @@ impl Agent {
         };
         if self.sub_index.contains_key(&(ctrl, req.req_id)) {
             self.outbox.push((
-                ctrl,
+                ctrl.into(),
                 E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
                     req_id: req.req_id,
                     ran_function: req.ran_function,
@@ -693,7 +746,7 @@ impl Agent {
             Ok(()) => {
                 self.sub_index.insert((ctrl, req.req_id), fidx);
                 self.outbox.push((
-                    ctrl,
+                    ctrl.into(),
                     E2apPdu::RicSubscriptionResponse(RicSubscriptionResponse {
                         req_id: req.req_id,
                         ran_function: req.ran_function,
@@ -704,7 +757,7 @@ impl Agent {
             }
             Err(cause) => {
                 self.outbox.push((
-                    ctrl,
+                    ctrl.into(),
                     E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
                         req_id: req.req_id,
                         ran_function: req.ran_function,
@@ -722,7 +775,7 @@ impl Agent {
                     AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
                 self.functions[fidx].on_subscription_delete(&mut ctx, ctrl, req.req_id);
                 self.outbox.push((
-                    ctrl,
+                    ctrl.into(),
                     E2apPdu::RicSubscriptionDeleteResponse(RicSubscriptionDeleteResponse {
                         req_id: req.req_id,
                         ran_function: req.ran_function,
@@ -731,7 +784,7 @@ impl Agent {
             }
             None => {
                 self.outbox.push((
-                    ctrl,
+                    ctrl.into(),
                     E2apPdu::RicSubscriptionDeleteFailure(RicSubscriptionDeleteFailure {
                         req_id: req.req_id,
                         ran_function: req.ran_function,
@@ -745,7 +798,7 @@ impl Agent {
     fn handle_control(&mut self, ctrl: CtrlId, req: RicControlRequest) {
         let Some(fidx) = self.find_fn(req.ran_function) else {
             self.outbox.push((
-                ctrl,
+                ctrl.into(),
                 E2apPdu::RicControlFailure(RicControlFailure {
                     req_id: req.req_id,
                     ran_function: req.ran_function,
@@ -763,7 +816,7 @@ impl Agent {
             Ok(outcome) => {
                 if matches!(req.ack_request, Some(ControlAckRequest::Ack)) || outcome.is_some() {
                     self.outbox.push((
-                        ctrl,
+                        ctrl.into(),
                         E2apPdu::RicControlAcknowledge(RicControlAcknowledge {
                             req_id: req.req_id,
                             ran_function: req.ran_function,
@@ -776,7 +829,7 @@ impl Agent {
             Err(cause) => {
                 if !matches!(req.ack_request, Some(ControlAckRequest::NoAck)) {
                     self.outbox.push((
-                        ctrl,
+                        ctrl.into(),
                         E2apPdu::RicControlFailure(RicControlFailure {
                             req_id: req.req_id,
                             ran_function: req.ran_function,
@@ -791,16 +844,18 @@ impl Agent {
     }
 
     fn flush(&mut self) {
-        for (ctrl, pdu) in self.outbox.drain(..) {
-            let Some(conn) = self.conns.get(ctrl) else { continue };
+        // Encode each queued PDU exactly once into the reusable scratch
+        // buffer and share the frozen frame across its targets.
+        let Agent { conns, stats, outbox, scratch, cfg, .. } = self;
+        scratch::flush_outbox(scratch, cfg.codec, outbox, |ctrl, frame| {
+            let Some(conn) = conns.get(ctrl) else { return };
             if !conn.alive {
-                continue;
+                return;
             }
-            let buf = Bytes::from(self.cfg.codec.encode(&pdu));
-            self.stats.tx_msgs += 1;
-            self.stats.tx_bytes += buf.len() as u64;
-            let _ = conn.tx.send(buf);
-        }
+            stats.tx_msgs += 1;
+            stats.tx_bytes += frame.len() as u64;
+            let _ = conn.tx.send(frame);
+        });
     }
 }
 

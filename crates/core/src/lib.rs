@@ -31,9 +31,11 @@
 //! statistics service model, subscribes, and prints live statistics.
 
 pub mod agent;
+pub mod scratch;
 pub mod server;
 
 pub use agent::{Agent, AgentConfig, AgentCtx, AgentHandle, RanFunction, SubscriptionInfo};
+pub use scratch::{EncodeScratch, Targets};
 pub use server::{
     AgentId, AgentInfo, IApp, IndicationRef, RanDb, RanEntity, Server, ServerApi, ServerConfig,
     ServerEvent, ServerHandle,

@@ -38,6 +38,8 @@ use flexric_codec::{CodecError, E2apCodec};
 use flexric_e2ap::*;
 use flexric_transport::{listen, Listener, SendHalf, TransportAddr, WireMsg};
 
+use crate::scratch::{self, EncodeScratch, Targets};
+
 /// Configuration of a controller built on the server library.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -151,7 +153,12 @@ pub trait IApp: Send {
     /// A RAN entity became complete (monolithic node, or CU+DU merged).
     fn on_ran_formed(&mut self, _api: &mut ServerApi, _ran: &RanEntity) {}
     /// Outcome of a subscription this iApp requested.
-    fn on_subscription_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, _out: &SubOutcome) {
+    fn on_subscription_outcome(
+        &mut self,
+        _api: &mut ServerApi,
+        _agent: AgentId,
+        _out: &SubOutcome,
+    ) {
     }
     /// An indication for a subscription this iApp owns.
     fn on_indication(&mut self, _api: &mut ServerApi, _agent: AgentId, _ind: &IndicationRef) {}
@@ -191,7 +198,8 @@ struct ServerCore {
     subs: HashMap<(AgentId, RicRequestId), SubEntry>,
     ctrl_reqs: HashMap<(AgentId, RicRequestId), usize>,
     conns: HashMap<AgentId, ConnState>,
-    outbox: Vec<(AgentId, E2apPdu)>,
+    outbox: Vec<(Targets<AgentId>, E2apPdu)>,
+    scratch: EncodeScratch,
     custom_queue: Vec<(String, Box<dyn Any + Send>)>,
     events_tx: broadcast::Sender<ServerEvent>,
     next_instance: u16,
@@ -243,7 +251,7 @@ impl ServerApi<'_> {
         let req_id = self.core.next_req_id(self.iapp);
         self.core.subs.insert((agent, req_id), SubEntry { iapp: self.iapp });
         self.core.outbox.push((
-            agent,
+            agent.into(),
             E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
                 req_id,
                 ran_function,
@@ -289,7 +297,7 @@ impl ServerApi<'_> {
         // The delete request needs the RAN function id; agents in this
         // implementation resolve deletes by request id, so 0 is accepted.
         self.core.outbox.push((
-            agent,
+            agent.into(),
             E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
                 req_id,
                 ran_function: RanFunctionId::new(0),
@@ -309,7 +317,7 @@ impl ServerApi<'_> {
         let req_id = self.core.next_req_id(self.iapp);
         self.core.ctrl_reqs.insert((agent, req_id), self.iapp);
         self.core.outbox.push((
-            agent,
+            agent.into(),
             E2apPdu::RicControlRequest(RicControlRequest {
                 req_id,
                 ran_function,
@@ -324,7 +332,16 @@ impl ServerApi<'_> {
 
     /// Sends an arbitrary PDU to an agent (relay/advanced use).
     pub fn send_pdu(&mut self, agent: AgentId, pdu: E2apPdu) {
-        self.core.outbox.push((agent, pdu));
+        self.core.outbox.push((Targets::One(agent), pdu));
+    }
+
+    /// Sends one PDU to several agents.  The PDU is encoded once at flush
+    /// and the frozen frame is shared across all targets.
+    pub fn send_pdu_multi(&mut self, agents: Vec<AgentId>, pdu: E2apPdu) {
+        if agents.is_empty() {
+            return;
+        }
+        self.core.outbox.push((Targets::from_vec(agents), pdu));
     }
 
     /// Registers an externally chosen request id so indications and
@@ -444,10 +461,7 @@ pub struct Server;
 impl Server {
     /// Binds the listeners and spawns the controller event loop with the
     /// given iApps.
-    pub async fn spawn(
-        cfg: ServerConfig,
-        iapps: Vec<Box<dyn IApp>>,
-    ) -> io::Result<ServerHandle> {
+    pub async fn spawn(cfg: ServerConfig, iapps: Vec<Box<dyn IApp>>) -> io::Result<ServerHandle> {
         let (evt_tx, evt_rx) = mpsc::unbounded_channel();
         let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
         let (events_tx, _) = broadcast::channel(1024);
@@ -491,6 +505,7 @@ impl Server {
             ctrl_reqs: HashMap::new(),
             conns: HashMap::new(),
             outbox: Vec::new(),
+            scratch: EncodeScratch::with_capacity(4096),
             custom_queue: Vec::new(),
             events_tx: events_tx.clone(),
             next_instance: 0,
@@ -668,7 +683,7 @@ impl ServerRuntime {
         };
         let accepted = req.ran_functions.iter().map(|f| f.id).collect();
         self.core.outbox.push((
-            agent_id,
+            agent_id.into(),
             E2apPdu::E2SetupResponse(E2SetupResponse {
                 transaction_id: req.transaction_id,
                 global_ric: self.core.ric_id,
@@ -772,7 +787,7 @@ impl ServerRuntime {
                     self.core.randb.add_agent(info);
                 }
                 self.core.outbox.push((
-                    agent,
+                    agent.into(),
                     E2apPdu::RicServiceUpdateAck(RicServiceUpdateAck {
                         transaction_id: upd.transaction_id,
                         accepted,
@@ -784,7 +799,7 @@ impl ServerRuntime {
             E2apPdu::ResetRequest(req) => {
                 self.core.subs.retain(|(a, _), _| *a != agent);
                 self.core.outbox.push((
-                    agent,
+                    agent.into(),
                     E2apPdu::ResetResponse(ResetResponse { transaction_id: req.transaction_id }),
                 ));
             }
@@ -793,16 +808,18 @@ impl ServerRuntime {
     }
 
     fn flush(&mut self) {
-        let outbox = std::mem::take(&mut self.core.outbox);
-        for (agent, pdu) in outbox {
-            let Some(conn) = self.core.conns.get(&agent) else { continue };
+        // Encode each queued PDU exactly once into the reusable scratch
+        // buffer and share the frozen frame across its targets.
+        let core = &mut self.core;
+        let (conns, tx_msgs, tx_bytes) = (&core.conns, &mut core.tx_msgs, &mut core.tx_bytes);
+        scratch::flush_outbox(&mut core.scratch, core.codec, &mut core.outbox, |agent, frame| {
+            let Some(conn) = conns.get(&agent) else { return };
             if !conn.alive {
-                continue;
+                return;
             }
-            let buf = Bytes::from(self.core.codec.encode(&pdu));
-            self.core.tx_msgs += 1;
-            self.core.tx_bytes += buf.len() as u64;
-            let _ = conn.tx.send(buf);
-        }
+            *tx_msgs += 1;
+            *tx_bytes += frame.len() as u64;
+            let _ = conn.tx.send(frame);
+        });
     }
 }

@@ -88,10 +88,8 @@ impl RanDb {
                 .filter_map(|a| self.agents.get(a))
                 .map(|a| a.node.node_type)
                 .collect();
-            let has_cu =
-                types.iter().any(|t| matches!(t, E2NodeType::GnbCu | E2NodeType::EnbCu));
-            let has_du =
-                types.iter().any(|t| matches!(t, E2NodeType::GnbDu | E2NodeType::EnbDu));
+            let has_cu = types.iter().any(|t| matches!(t, E2NodeType::GnbCu | E2NodeType::EnbCu));
+            let has_du = types.iter().any(|t| matches!(t, E2NodeType::GnbDu | E2NodeType::EnbDu));
             has_cu && has_du
         } else {
             true

@@ -10,7 +10,9 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use flexric::agent::{Agent, AgentConfig, AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
+use flexric::agent::{
+    Agent, AgentConfig, AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo,
+};
 use flexric::server::{
     AgentId, AgentInfo, IApp, IndicationRef, Server, ServerApi, ServerConfig, ServerEvent,
     SubOutcome,
@@ -205,7 +207,8 @@ async fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
 async fn run_full_flow(codec: E2apCodec, sm_codec: SmCodec, addr: TransportAddr) {
     let state = Arc::new(Mutex::new(Recorded::default()));
     let ind_count = Arc::new(AtomicU64::new(0));
-    let app = TestApp { sm_codec, period_ms: 1, state: state.clone(), ind_count: ind_count.clone() };
+    let app =
+        TestApp { sm_codec, period_ms: 1, state: state.clone(), ind_count: ind_count.clone() };
 
     let mut cfg = ServerConfig::new(ric(), addr);
     cfg.codec = codec;
@@ -268,19 +271,14 @@ async fn full_flow_mem_fb() {
 
 #[tokio::test]
 async fn full_flow_mem_asn() {
-    run_full_flow(E2apCodec::Asn1Per, SmCodec::Asn1Per, TransportAddr::Mem("e2e-asn".into()))
-        .await;
+    run_full_flow(E2apCodec::Asn1Per, SmCodec::Asn1Per, TransportAddr::Mem("e2e-asn".into())).await;
 }
 
 #[tokio::test]
 async fn full_flow_tcp_mixed_encodings() {
     // E2AP in FB, SM in ASN.1 — one of the paper's "mixed" combinations.
-    run_full_flow(
-        E2apCodec::Flatb,
-        SmCodec::Asn1Per,
-        TransportAddr::parse("127.0.0.1:0").unwrap(),
-    )
-    .await;
+    run_full_flow(E2apCodec::Flatb, SmCodec::Asn1Per, TransportAddr::parse("127.0.0.1:0").unwrap())
+        .await;
 }
 
 #[tokio::test]
@@ -399,9 +397,8 @@ async fn subscription_to_unknown_function_fails() {
     let state = Arc::new(Mutex::new(Recorded::default()));
     let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("e2e-subfail".into()));
     cfg.tick_ms = None;
-    let server = Server::spawn(cfg, vec![Box::new(FailApp { state: state.clone() })])
-        .await
-        .unwrap();
+    let server =
+        Server::spawn(cfg, vec![Box::new(FailApp { state: state.clone() })]).await.unwrap();
     let mut acfg = AgentConfig::new(node(E2NodeType::Gnb, 4), server.addrs[0].clone());
     acfg.tick_ms = None;
     let agent = Agent::spawn(acfg, vec![Box::new(CounterFn::new(SmCodec::Flatb))]).await.unwrap();

@@ -7,7 +7,9 @@
 use bytes::Bytes;
 
 use flexric::agent::{AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
-use flexric_e2ap::{Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest};
+use flexric_e2ap::{
+    Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest,
+};
 use flexric_sm::{
     mac::{MacStatsInd, MacUeStats},
     oid,
@@ -157,18 +159,15 @@ impl RanFunction for DummyStatsFn {
             return;
         }
         let msg = self.payload(ctx.now_ms);
-        for sub in due {
-            ctx.send_indication(&sub, None, Bytes::new(), msg.clone());
-        }
+        // All due subscriptions carry the same payload: subscriptions with
+        // identical request ids fan out from a single encode at flush.
+        ctx.send_indication_multi(due.iter(), None, Bytes::new(), msg);
     }
 }
 
 /// The full dummy bundle: MAC + RLC + PDCP with 32 UEs (the paper's
 /// configuration).
-pub fn dummy_bundle(
-    ue_count: u16,
-    sm_codec: SmCodec,
-) -> Vec<Box<dyn flexric::agent::RanFunction>> {
+pub fn dummy_bundle(ue_count: u16, sm_codec: SmCodec) -> Vec<Box<dyn flexric::agent::RanFunction>> {
     vec![
         Box::new(DummyStatsFn::new(DummyKind::Mac, ue_count, sm_codec)),
         Box::new(DummyStatsFn::new(DummyKind::Rlc, ue_count, sm_codec)),

@@ -130,7 +130,8 @@ impl IApp for MonitorApp {
     }
 
     fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
-        let trigger = Bytes::from(ReportTrigger::every_ms(self.cfg.period_ms).encode(self.cfg.sm_codec));
+        let trigger =
+            Bytes::from(ReportTrigger::every_ms(self.cfg.period_ms).encode(self.cfg.sm_codec));
         let mut want = Vec::new();
         if self.cfg.mac {
             want.push((oid::MAC_STATS, rf::MAC_STATS));
@@ -144,10 +145,8 @@ impl IApp for MonitorApp {
         for (oid, default_rf) in want {
             // Prefer the advertised function id; fall back to the
             // well-known id for agents with terse definitions.
-            let rf_id = agent
-                .function_by_oid(oid)
-                .map(|f| f.id)
-                .unwrap_or(RanFunctionId::new(default_rf));
+            let rf_id =
+                agent.function_by_oid(oid).map(|f| f.id).unwrap_or(RanFunctionId::new(default_rf));
             if agent.function(rf_id).is_none() {
                 continue;
             }

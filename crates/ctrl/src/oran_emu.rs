@@ -30,7 +30,9 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use tokio::sync::mpsc;
 
-use flexric::server::{AgentId, CtrlOutcome, IApp, IndicationRef, Server, ServerApi, ServerConfig, SubOutcome};
+use flexric::server::{
+    AgentId, CtrlOutcome, IApp, IndicationRef, Server, ServerApi, ServerConfig, SubOutcome,
+};
 use flexric_codec::E2apCodec;
 use flexric_e2ap::*;
 use flexric_transport::{connect, listen, TransportAddr, WireMsg};
@@ -160,8 +162,7 @@ pub async fn run_e2term(
 ) -> io::Result<TransportAddr> {
     let codec = E2apCodec::Asn1Per; // O-RAN mandates ASN.1 PER.
     let (rmr_tx, mut rmr_out) = mpsc::unbounded_channel::<WireMsg>();
-    let mut cfg =
-        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 0xE2), south_listen);
+    let mut cfg = ServerConfig::new(GlobalRicId::new(Plmn::TEST, 0xE2), south_listen);
     cfg.codec = codec;
     cfg.tick_ms = None;
     let app = E2tApp { codec, rmr_tx, agents: Vec::new() };
@@ -409,18 +410,13 @@ mod tests {
     async fn full_pipeline_ping_and_monitoring() {
         let sm_codec = SmCodec::Asn1Per;
         // xApp listens for RMR.
-        let xapp = OranXapp::spawn(TransportAddr::Mem("oran-rmr".into()), sm_codec)
-            .await
-            .unwrap();
+        let xapp = OranXapp::spawn(TransportAddr::Mem("oran-rmr".into()), sm_codec).await.unwrap();
         // E2T connects xApp and listens south.
         let south = run_e2term(TransportAddr::Mem("oran-south".into()), xapp.rmr_addr.clone())
             .await
             .unwrap();
         // Agent with HW + dummy MAC stats.
-        let mut acfg = AgentConfig::new(
-            GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 5),
-            south,
-        );
+        let mut acfg = AgentConfig::new(GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 5), south);
         acfg.codec = E2apCodec::Asn1Per;
         acfg.tick_ms = Some(1);
         let mut fns = crate::dummy::dummy_mac_only(32, sm_codec);
@@ -436,8 +432,7 @@ mod tests {
             tokio::time::sleep(Duration::from_millis(20)).await;
         }
         for _ in 0..100 {
-            if xapp.rtts.lock().len() >= 5
-                && xapp.counters.indications.load(Ordering::Relaxed) > 50
+            if xapp.rtts.lock().len() >= 5 && xapp.counters.indications.load(Ordering::Relaxed) > 50
             {
                 break;
             }

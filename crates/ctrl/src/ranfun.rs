@@ -14,7 +14,9 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use flexric::agent::{AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
-use flexric_e2ap::{Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest};
+use flexric_e2ap::{
+    Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest,
+};
 use flexric_ransim::Sim;
 use flexric_sm::{
     hw::HwPing,
@@ -176,36 +178,21 @@ fn filter_mac(ind: &MacStatsInd, ctx: &AgentCtx, sub: &SubscriptionInfo) -> MacS
     MacStatsInd {
         tstamp_ms: ind.tstamp_ms,
         cell_prbs: ind.cell_prbs,
-        ues: ind
-            .ues
-            .iter()
-            .filter(|u| ctx.ue_exposed(sub.ctrl, u.rnti))
-            .copied()
-            .collect(),
+        ues: ind.ues.iter().filter(|u| ctx.ue_exposed(sub.ctrl, u.rnti)).copied().collect(),
     }
 }
 
 fn filter_rlc(ind: &RlcStatsInd, ctx: &AgentCtx, sub: &SubscriptionInfo) -> RlcStatsInd {
     RlcStatsInd {
         tstamp_ms: ind.tstamp_ms,
-        bearers: ind
-            .bearers
-            .iter()
-            .filter(|b| ctx.ue_exposed(sub.ctrl, b.rnti))
-            .copied()
-            .collect(),
+        bearers: ind.bearers.iter().filter(|b| ctx.ue_exposed(sub.ctrl, b.rnti)).copied().collect(),
     }
 }
 
 fn filter_pdcp(ind: &PdcpStatsInd, ctx: &AgentCtx, sub: &SubscriptionInfo) -> PdcpStatsInd {
     PdcpStatsInd {
         tstamp_ms: ind.tstamp_ms,
-        bearers: ind
-            .bearers
-            .iter()
-            .filter(|b| ctx.ue_exposed(sub.ctrl, b.rnti))
-            .copied()
-            .collect(),
+        bearers: ind.bearers.iter().filter(|b| ctx.ue_exposed(sub.ctrl, b.rnti)).copied().collect(),
     }
 }
 
@@ -367,8 +354,7 @@ impl RanFunction for TcCtrlFn {
             .first()
             .and_then(|a| a.definition.as_ref())
             .ok_or(Cause::Ric(RicCause::ActionNotSupported))?;
-        let bearer =
-            BearerAddr::decode(def).ok_or(Cause::Ric(RicCause::ActionNotSupported))?;
+        let bearer = BearerAddr::decode(def).ok_or(Cause::Ric(RicCause::ActionNotSupported))?;
         self.subs.push((sub.clone(), bearer, trigger.period_ms.max(1), 0));
         Ok(())
     }
@@ -381,8 +367,8 @@ impl RanFunction for TcCtrlFn {
         _ctrl: CtrlId,
         req: &RicControlRequest,
     ) -> Result<Option<Bytes>, Cause> {
-        let bearer = BearerAddr::decode(&req.header)
-            .ok_or(Cause::Ric(RicCause::ControlMessageInvalid))?;
+        let bearer =
+            BearerAddr::decode(&req.header).ok_or(Cause::Ric(RicCause::ControlMessageInvalid))?;
         let ctrl_msg = TcCtrl::decode(self.sm_codec, &req.message)
             .map_err(|_| Cause::Ric(RicCause::ControlMessageInvalid))?;
         let mut sim = self.bs.sim.lock();
@@ -397,8 +383,7 @@ impl RanFunction for TcCtrlFn {
             if now < self.subs[i].3 {
                 continue;
             }
-            let (sub, bearer, period) =
-                (self.subs[i].0.clone(), self.subs[i].1, self.subs[i].2);
+            let (sub, bearer, period) = (self.subs[i].0.clone(), self.subs[i].1, self.subs[i].2);
             self.subs[i].3 = now + period as u64;
             let ind: Option<TcStatsInd> = {
                 let mut sim = self.bs.sim.lock();
@@ -459,13 +444,21 @@ impl KpmFn {
                         }
                         let before = prev_of(c.rnti).map(|p| p.dl_bytes_total).unwrap_or(0);
                         let kbps = (c.dl_bytes_total - before) * 8 / period;
-                        records.push(KpmRecord { name: name.clone(), rnti: Some(c.rnti), value: kbps });
+                        records.push(KpmRecord {
+                            name: name.clone(),
+                            rnti: Some(c.rnti),
+                            value: kbps,
+                        });
                     }
                 }
                 kpm::meas::RRU_PRB_TOT_DL => {
                     let before: u64 = prev.iter().map(|p| p.dl_prbs_total).sum();
                     let total: u64 = cur.iter().map(|c| c.dl_prbs_total).sum();
-                    records.push(KpmRecord { name: name.clone(), rnti: None, value: total - before });
+                    records.push(KpmRecord {
+                        name: name.clone(),
+                        rnti: None,
+                        value: total - before,
+                    });
                 }
                 kpm::meas::DRB_RLC_SDU_DELAY_DL => {
                     for c in cur {
@@ -482,10 +475,18 @@ impl KpmFn {
                 kpm::meas::DRB_PDCP_SDU_VOLUME_DL => {
                     let before: u64 = prev.iter().map(|p| p.pdcp_tx_aggr).sum();
                     let total: u64 = cur.iter().map(|c| c.pdcp_tx_aggr).sum();
-                    records.push(KpmRecord { name: name.clone(), rnti: None, value: total - before });
+                    records.push(KpmRecord {
+                        name: name.clone(),
+                        rnti: None,
+                        value: total - before,
+                    });
                 }
                 kpm::meas::RRC_CONN_MEAN => {
-                    records.push(KpmRecord { name: name.clone(), rnti: None, value: cur.len() as u64 });
+                    records.push(KpmRecord {
+                        name: name.clone(),
+                        rnti: None,
+                        value: cur.len() as u64,
+                    });
                 }
                 _ => {} // unknown measurements are skipped, per KPM practice
             }
@@ -553,9 +554,8 @@ impl RanFunction for KpmFn {
                 msg
             } else {
                 let mut r = report.clone();
-                r.records.retain(|rec| {
-                    rec.rnti.map(|u| ctx.ue_exposed(sub.ctrl, u)).unwrap_or(true)
-                });
+                r.records
+                    .retain(|rec| rec.rnti.map(|u| ctx.ue_exposed(sub.ctrl, u)).unwrap_or(true));
                 Bytes::from(r.encode(self.sm_codec))
             };
             ctx.send_indication(&sub, None, Bytes::new(), filtered);
@@ -622,13 +622,12 @@ impl RanFunction for RrcEventFn {
             return;
         }
         let ind = RrcEventInd { tstamp_ms: ctx.now_ms, events };
-        for sub in &self.subs {
-            // RRC events are visible to every subscribed controller: the
-            // *controller* decides UE-to-controller association from them
-            // (paper Fig. 4), so withholding them would deadlock setup.
-            let msg = Bytes::from(ind.encode(self.sm_codec));
-            ctx.send_indication(sub, None, Bytes::new(), msg);
-        }
+        // RRC events are visible to every subscribed controller: the
+        // *controller* decides UE-to-controller association from them
+        // (paper Fig. 4), so withholding them would deadlock setup.  One
+        // SM encode here, one E2AP encode per request-id group at flush.
+        let msg = Bytes::from(ind.encode(self.sm_codec));
+        ctx.send_indication_multi(self.subs.iter(), None, Bytes::new(), msg);
     }
 }
 

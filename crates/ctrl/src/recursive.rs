@@ -28,11 +28,17 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use tokio::sync::mpsc;
 
-use flexric::agent::{Agent, AgentConfig, AgentCtx, AgentHandle, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
-use flexric::server::{AgentId, AgentInfo, IApp, IndicationRef, Server, ServerApi, ServerConfig, ServerHandle};
+use flexric::agent::{
+    Agent, AgentConfig, AgentCtx, AgentHandle, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo,
+};
+use flexric::server::{
+    AgentId, AgentInfo, IApp, IndicationRef, Server, ServerApi, ServerConfig, ServerHandle,
+};
 use flexric_e2ap::*;
 use flexric_sm::mac::MacStatsInd;
-use flexric_sm::slice::{SliceAlgo, SliceConf, SliceCtrl, SliceParams, SliceStatsInd, SliceStatus, UeSchedAlgo};
+use flexric_sm::slice::{
+    SliceAlgo, SliceConf, SliceCtrl, SliceParams, SliceStatsInd, SliceStatus, UeSchedAlgo,
+};
 use flexric_sm::{oid, rf, RanFuncDef, ReportTrigger, SmCodec, SmPayload};
 use flexric_transport::TransportAddr;
 
@@ -142,8 +148,7 @@ fn tenant_south_batch(shared: &VirtShared, tenant: usize) -> Vec<SliceConf> {
         .collect();
     out.sort_by_key(|s| s.id);
     let used: f64 = shared.virt_slices[tenant].values().map(|s| s.params.share(0)).sum();
-    let remaining_milli =
-        ((1.0 - used).max(0.0) * conf.sla_milli as f64).round() as u32;
+    let remaining_milli = ((1.0 - used).max(0.0) * conf.sla_milli as f64).round() as u32;
     out.push(SliceConf {
         id: phys_slice_id(tenant, DEFAULT_VID),
         label: format!("{}-default", conf.name),
@@ -168,11 +173,8 @@ struct VirtSouthApp {
 impl VirtSouthApp {
     fn apply(&self, api: &mut ServerApi, ctrl: &SliceCtrl) {
         let Some(agent) = self.target else { return };
-        let Some(rf_id) = api
-            .randb()
-            .agent(agent)
-            .and_then(|a| a.function_by_oid(oid::SLICE_CTRL))
-            .map(|f| f.id)
+        let Some(rf_id) =
+            api.randb().agent(agent).and_then(|a| a.function_by_oid(oid::SLICE_CTRL)).map(|f| f.id)
         else {
             return;
         };
@@ -398,9 +400,7 @@ impl VirtSliceFn {
                 }
                 // Re-emit the tenant's full physical batch (sub-slices +
                 // shrunken default) so south admission stays balanced.
-                Ok(vec![SliceCtrl::AddModSlices {
-                    slices: tenant_south_batch(shared, tenant),
-                }])
+                Ok(vec![SliceCtrl::AddModSlices { slices: tenant_south_batch(shared, tenant) }])
             }
             SliceCtrl::DelSlices { ids } => {
                 for vid in ids {
@@ -422,9 +422,7 @@ impl VirtSliceFn {
                 let mut phys = Vec::new();
                 for (rnti, vid) in assoc {
                     let owned = shared.latest_mac.as_ref().is_some_and(|m| {
-                        m.ues
-                            .iter()
-                            .any(|u| u.rnti == *rnti && (u.plmn_mcc, u.plmn_mnc) == tplmn)
+                        m.ues.iter().any(|u| u.rnti == *rnti && (u.plmn_mcc, u.plmn_mnc) == tplmn)
                     });
                     if !owned {
                         return Err(Cause::Ric(RicCause::RequestIdUnknown));
@@ -660,10 +658,7 @@ mod tests {
         let p = virt_to_phys_params(&SliceParams::NvsCapacity { share_milli: 660 }, 500);
         assert_eq!(p, SliceParams::NvsCapacity { share_milli: 330 });
         // Round trip back to virtual.
-        assert_eq!(
-            phys_to_virt_params(&p, 500),
-            SliceParams::NvsCapacity { share_milli: 660 }
-        );
+        assert_eq!(phys_to_virt_params(&p, 500), SliceParams::NvsCapacity { share_milli: 660 });
     }
 
     #[test]
@@ -752,8 +747,18 @@ mod tests {
             tstamp_ms: 0,
             cell_prbs: 50,
             ues: vec![
-                flexric_sm::mac::MacUeStats { rnti: 0x10, plmn_mcc: 1, plmn_mnc: 1, ..Default::default() },
-                flexric_sm::mac::MacUeStats { rnti: 0x20, plmn_mcc: 2, plmn_mnc: 1, ..Default::default() },
+                flexric_sm::mac::MacUeStats {
+                    rnti: 0x10,
+                    plmn_mcc: 1,
+                    plmn_mnc: 1,
+                    ..Default::default()
+                },
+                flexric_sm::mac::MacUeStats {
+                    rnti: 0x20,
+                    plmn_mcc: 2,
+                    plmn_mnc: 1,
+                    ..Default::default()
+                },
             ],
         });
         // Tenant 0 may move its own UE to its default slice…
@@ -789,7 +794,8 @@ mod tests {
     #[test]
     fn delete_unknown_slice_rejected() {
         let mut shared = shared_with(vec![tenant("a", 1, 500)]);
-        assert!(VirtSliceFn::translate(&mut shared, 0, &SliceCtrl::DelSlices { ids: vec![0] })
-            .is_err());
+        assert!(
+            VirtSliceFn::translate(&mut shared, 0, &SliceCtrl::DelSlices { ids: vec![0] }).is_err()
+        );
     }
 }

@@ -13,7 +13,9 @@ use std::io;
 use bytes::Bytes;
 use tokio::sync::mpsc;
 
-use flexric::server::{AgentId, CtrlOutcome, IApp, IndicationRef, Server, ServerApi, ServerConfig, SubOutcome};
+use flexric::server::{
+    AgentId, CtrlOutcome, IApp, IndicationRef, Server, ServerApi, ServerConfig, SubOutcome,
+};
 use flexric_e2ap::*;
 use flexric_transport::{connect, TransportAddr, WireMsg};
 
@@ -291,12 +293,8 @@ mod tests {
         );
         acfg.codec = codec;
         acfg.tick_ms = None;
-        let _agent = Agent::spawn(
-            acfg,
-            vec![Box::new(crate::ranfun::HwFn::new(sm_codec))],
-        )
-        .await
-        .unwrap();
+        let _agent =
+            Agent::spawn(acfg, vec![Box::new(crate::ranfun::HwFn::new(sm_codec))]).await.unwrap();
 
         for _ in 0..300 {
             if rtts.lock().len() >= 5 {

@@ -18,7 +18,9 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use tokio::sync::oneshot;
 
-use flexric::server::{AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle};
+use flexric::server::{
+    AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle,
+};
 use flexric_e2ap::{ControlAckRequest, RicRequestId};
 use flexric_sm::slice::{SliceAlgo, SliceConf, SliceCtrl, SliceParams, SliceStatsInd, UeSchedAlgo};
 use flexric_sm::{oid, ReportTrigger, SmCodec, SmPayload};
@@ -230,10 +232,9 @@ impl IApp for SliceApp {
     fn on_control_outcome(&mut self, _api: &mut ServerApi, agent: AgentId, out: &CtrlOutcome) {
         let (req_id, reply) = match out {
             CtrlOutcome::Ack(ack) => (ack.req_id, CtrlReply { ok: true, detail: String::new() }),
-            CtrlOutcome::Failed(f) => (
-                f.req_id,
-                CtrlReply { ok: false, detail: format!("{:?}", f.cause) },
-            ),
+            CtrlOutcome::Failed(f) => {
+                (f.req_id, CtrlReply { ok: false, detail: format!("{:?}", f.cause) })
+            }
         };
         if let Some(tx) = self.pending.remove(&(agent, req_id)) {
             let _ = tx.send(reply);
@@ -243,19 +244,15 @@ impl IApp for SliceApp {
     fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn Any + Send>) {
         let Ok(cmd) = msg.downcast::<ApplySliceCtrl>() else { return };
         let ApplySliceCtrl { agent, ctrl, reply } = *cmd;
-        let Some(rf_id) = api
-            .randb()
-            .agent(agent)
-            .and_then(|a| a.function_by_oid(oid::SLICE_CTRL))
-            .map(|f| f.id)
+        let Some(rf_id) =
+            api.randb().agent(agent).and_then(|a| a.function_by_oid(oid::SLICE_CTRL)).map(|f| f.id)
         else {
-            let _ = reply
-                .send(CtrlReply { ok: false, detail: format!("agent {agent} has no SC SM") });
+            let _ =
+                reply.send(CtrlReply { ok: false, detail: format!("agent {agent} has no SC SM") });
             return;
         };
         let msg = Bytes::from(ctrl.encode(self.sm_codec));
-        let req_id =
-            api.control(agent, rf_id, Bytes::new(), msg, Some(ControlAckRequest::Ack));
+        let req_id = api.control(agent, rf_id, Bytes::new(), msg, Some(ControlAckRequest::Ack));
         self.pending.insert((agent, req_id), reply);
     }
 }

@@ -20,7 +20,9 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use tokio::sync::oneshot;
 
-use flexric::server::{AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle};
+use flexric::server::{
+    AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle,
+};
 use flexric_e2ap::{ControlAckRequest, RicRequestId};
 use flexric_sm::tc::{FiveTupleRule, PacerConf, QueueKind, TcCtrl, TcStatsInd};
 use flexric_sm::{oid, rlc::RlcStatsInd, ReportTrigger, SmCodec, SmPayload};
@@ -251,19 +253,15 @@ impl IApp for TcManagerApp {
     fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn Any + Send>) {
         let Ok(cmd) = msg.downcast::<ApplyTcCtrl>() else { return };
         let ApplyTcCtrl { agent, bearer, ctrl, reply } = *cmd;
-        let Some(rf_id) = api
-            .randb()
-            .agent(agent)
-            .and_then(|a| a.function_by_oid(oid::TC_CTRL))
-            .map(|f| f.id)
+        let Some(rf_id) =
+            api.randb().agent(agent).and_then(|a| a.function_by_oid(oid::TC_CTRL)).map(|f| f.id)
         else {
             let _ =
                 reply.send(CtrlReply { ok: false, detail: format!("agent {agent} has no TC SM") });
             return;
         };
         let msg = Bytes::from(ctrl.encode(self.sm_codec));
-        let req_id =
-            api.control(agent, rf_id, bearer.encode(), msg, Some(ControlAckRequest::Ack));
+        let req_id = api.control(agent, rf_id, bearer.encode(), msg, Some(ControlAckRequest::Ack));
         self.pending.insert((agent, req_id), reply);
     }
 }
@@ -449,8 +447,7 @@ pub async fn run_bloat_guard(cfg: BloatGuardConfig) -> std::io::Result<(AgentId,
         ];
         for cmd in cmds {
             let body = TcCmdReq { agent: dto.agent, rnti: dto.rnti, drb: dto.drb, cmd };
-            let (status, resp) =
-                HttpClient::post_json(&cfg.rest_addr, "/tc/cmd", &body).await?;
+            let (status, resp) = HttpClient::post_json(&cfg.rest_addr, "/tc/cmd", &body).await?;
             if status != 200 {
                 return Err(std::io::Error::other(format!(
                     "tc command rejected: {status} {}",

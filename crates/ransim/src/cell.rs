@@ -155,7 +155,12 @@ impl Cell {
             pdcp_tx_bytes: 0,
             pdcp_tx_aggr: 0,
         };
-        self.ues.push(Ue { cfg, slice: u32::MAX, bearers: vec![bearer], mac: MacWindow::default() });
+        self.ues.push(Ue {
+            cfg,
+            slice: u32::MAX,
+            bearers: vec![bearer],
+            mac: MacWindow::default(),
+        });
         self.rrc_events.push(RrcUeEvent {
             rnti: cfg.rnti,
             kind: RrcEventKind::Attach,
@@ -189,13 +194,21 @@ impl Cell {
     pub(crate) fn extract_ue(&mut self, rnti: u16) -> Option<Ue> {
         let pos = self.ues.iter().position(|u| u.cfg.rnti == rnti)?;
         let ue = self.ues.remove(pos);
-        self.rrc_events.push(RrcEventKind::HandoverOut.event(ue.cfg.rnti, ue.cfg.plmn, ue.cfg.snssai));
+        self.rrc_events.push(RrcEventKind::HandoverOut.event(
+            ue.cfg.rnti,
+            ue.cfg.plmn,
+            ue.cfg.snssai,
+        ));
         Some(ue)
     }
 
     /// Inserts a handed-over UE (target side).
     pub(crate) fn insert_ue(&mut self, ue: Ue) {
-        self.rrc_events.push(RrcEventKind::HandoverIn.event(ue.cfg.rnti, ue.cfg.plmn, ue.cfg.snssai));
+        self.rrc_events.push(RrcEventKind::HandoverIn.event(
+            ue.cfg.rnti,
+            ue.cfg.plmn,
+            ue.cfg.snssai,
+        ));
         self.ues.push(ue);
     }
 
@@ -333,11 +346,8 @@ impl Cell {
             if remaining == 0 {
                 break;
             }
-            let active: Vec<usize> = eligible
-                .iter()
-                .copied()
-                .filter(|&i| self.ues[i].backlog() > 0)
-                .collect();
+            let active: Vec<usize> =
+                eligible.iter().copied().filter(|&i| self.ues[i].backlog() > 0).collect();
             if active.is_empty() {
                 break;
             }
@@ -404,9 +414,7 @@ impl Cell {
                 self.sched.set_algo(*algo);
                 Ok(())
             }
-            SliceCtrl::AddModSlices { slices } => {
-                self.sched.upsert_batch(slices, self.cfg.prbs)
-            }
+            SliceCtrl::AddModSlices { slices } => self.sched.upsert_batch(slices, self.cfg.prbs),
             SliceCtrl::DelSlices { ids } => {
                 for id in ids {
                     self.sched.delete(*id)?;

@@ -98,10 +98,7 @@ impl SliceSched {
     pub fn upsert(&mut self, conf: SliceConf, cell_prbs: u32) -> Result<(), String> {
         let proposed = self.reserved_share(cell_prbs, Some(conf.id)) + conf.params.share(cell_prbs);
         if conf.id != u32::MAX && proposed > 1.0 + 1e-9 {
-            return Err(format!(
-                "admission control: total share {:.3} exceeds 1.0",
-                proposed
-            ));
+            return Err(format!("admission control: total share {:.3} exceeds 1.0", proposed));
         }
         if conf.id != u32::MAX {
             // A real slice replaces the implicit default placeholder.

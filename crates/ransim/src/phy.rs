@@ -20,15 +20,15 @@ pub enum Rat {
 /// Spectral efficiency (bits per resource element) for LTE MCS 0–28,
 /// 64-QAM table (3GPP 36.213 Table 7.1.7.1-1 / 7.1.7.2.1-1 condensed).
 const LTE_EFF: [f64; 29] = [
-    0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.59, 0.74, 0.88, 1.03, 1.18, 1.33, 1.48, 1.70, 1.91,
-    2.16, 2.41, 2.57, 2.73, 3.03, 3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55,
+    0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.59, 0.74, 0.88, 1.03, 1.18, 1.33, 1.48, 1.70, 1.91, 2.16,
+    2.41, 2.57, 2.73, 3.03, 3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55,
 ];
 
 /// Spectral efficiency for NR MCS 0–27, 256-QAM table (38.214 Table
 /// 5.1.3.1-2 condensed).
 const NR_EFF: [f64; 28] = [
-    0.23, 0.38, 0.60, 0.88, 1.18, 1.48, 1.70, 1.91, 2.16, 2.41, 2.57, 2.73, 3.03, 3.32, 3.61,
-    3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55, 5.89, 6.23, 6.57, 6.91, 7.16, 7.41,
+    0.23, 0.38, 0.60, 0.88, 1.18, 1.48, 1.70, 1.91, 2.16, 2.41, 2.57, 2.73, 3.03, 3.32, 3.61, 3.90,
+    4.21, 4.52, 4.82, 5.12, 5.33, 5.55, 5.89, 6.23, 6.57, 6.91, 7.16, 7.41,
 ];
 
 /// Usable resource elements in one PRB over one millisecond, after

@@ -126,10 +126,8 @@ impl Sim {
                     let flow_id = pkt.flow;
                     if let Some(flow) = self.flows.get_mut(flow_id) {
                         flow.on_delivered(&pkt, now, self.path.ul_rtt_ms);
-                        let is_tcp = matches!(
-                            flow.cfg.kind,
-                            crate::traffic::FlowKind::GreedyTcp { .. }
-                        );
+                        let is_tcp =
+                            matches!(flow.cfg.kind, crate::traffic::FlowKind::GreedyTcp { .. });
                         if is_tcp {
                             self.schedule(now + self.path.ul_rtt_ms, Pending::Ack(flow_id));
                         }

@@ -171,7 +171,12 @@ impl TcLayer {
     }
 
     /// Installs a classifier rule.
-    pub fn add_rule(&mut self, rule: FiveTupleRule, queue: u32, precedence: u32) -> Result<(), &'static str> {
+    pub fn add_rule(
+        &mut self,
+        rule: FiveTupleRule,
+        queue: u32,
+        precedence: u32,
+    ) -> Result<(), &'static str> {
         if !self.queues.iter().any(|q| q.id == queue) {
             return Err("rule targets unknown queue");
         }
@@ -218,9 +223,7 @@ impl TcLayer {
         let target = self
             .rules
             .iter()
-            .find(|r| {
-                r.rule.matches(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, pkt.proto)
-            })
+            .find(|r| r.rule.matches(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, pkt.proto))
             .map(|r| r.queue)
             .unwrap_or(0);
         let pos = self
@@ -383,12 +386,7 @@ mod tests {
     fn del_queue_rehomes_backlog() {
         let mut tc = TcLayer::new();
         tc.add_queue(1, QueueKind::Fifo { cap_bytes: 0 });
-        tc.add_rule(
-            FiveTupleRule { id: 1, proto: Some(17), ..Default::default() },
-            1,
-            0,
-        )
-        .unwrap();
+        tc.add_rule(FiveTupleRule { id: 1, proto: Some(17), ..Default::default() }, 1, 0).unwrap();
         tc.ingress(pkt(0, 100, 0, 5004, 17), 0);
         tc.del_queue(1).unwrap();
         let (stats, _) = tc.stats(0);
@@ -429,12 +427,7 @@ mod tests {
     fn round_robin_alternates_queues() {
         let mut tc = TcLayer::new();
         tc.add_queue(1, QueueKind::Fifo { cap_bytes: 0 });
-        tc.add_rule(
-            FiveTupleRule { id: 1, proto: Some(17), ..Default::default() },
-            1,
-            0,
-        )
-        .unwrap();
+        tc.add_rule(FiveTupleRule { id: 1, proto: Some(17), ..Default::default() }, 1, 0).unwrap();
         for _ in 0..10 {
             tc.ingress(pkt(0, 100, 0, 80, 6), 0); // q0
             tc.ingress(pkt(1, 100, 0, 5004, 17), 0); // q1
@@ -453,12 +446,7 @@ mod tests {
         tc.add_queue(1, QueueKind::Fifo { cap_bytes: 0 });
         tc.set_sched(TcSchedAlgo::StrictPriority, vec![]);
         tc.set_pacer(PacerConf::Bdp { target_delay_us: 1 }); // tiny budget
-        tc.add_rule(
-            FiveTupleRule { id: 1, proto: Some(17), ..Default::default() },
-            1,
-            0,
-        )
-        .unwrap();
+        tc.add_rule(FiveTupleRule { id: 1, proto: Some(17), ..Default::default() }, 1, 0).unwrap();
         tc.ingress(pkt(1, 1000, 0, 5004, 17), 0); // q1
         tc.ingress(pkt(0, 1000, 0, 80, 6), 0); // q0
         let mut rlc = RlcBearer::new(0);
@@ -473,12 +461,7 @@ mod tests {
     fn codel_drops_persistent_bloat() {
         let mut tc = TcLayer::new();
         tc.add_queue(1, QueueKind::Codel { target_us: 5_000, interval_us: 20_000 });
-        tc.add_rule(
-            FiveTupleRule { id: 1, proto: Some(17), ..Default::default() },
-            1,
-            0,
-        )
-        .unwrap();
+        tc.add_rule(FiveTupleRule { id: 1, proto: Some(17), ..Default::default() }, 1, 0).unwrap();
         // Fill queue 1 at t=0, then drain much later: sojourns way above
         // target for longer than the interval ⇒ CoDel drops.
         for i in 0..50 {

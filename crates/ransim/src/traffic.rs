@@ -76,7 +76,14 @@ pub struct TcpState {
 
 impl Default for TcpState {
     fn default() -> Self {
-        TcpState { cwnd: 10.0, ssthresh: f64::MAX, w_max: 0.0, epoch_start_ms: None, in_flight: 0, losses: 0 }
+        TcpState {
+            cwnd: 10.0,
+            ssthresh: f64::MAX,
+            w_max: 0.0,
+            epoch_start_ms: None,
+            in_flight: 0,
+            losses: 0,
+        }
     }
 }
 
@@ -175,7 +182,18 @@ impl Flow {
         let seq = self.seq;
         self.seq += 1;
         self.tx_pkts += 1;
-        Packet { flow: flow_id, seq, bytes, sent_ms: now_ms, enq_ms: now_ms, src_ip, dst_ip, src_port, dst_port, proto }
+        Packet {
+            flow: flow_id,
+            seq,
+            bytes,
+            sent_ms: now_ms,
+            enq_ms: now_ms,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        }
     }
 
     /// Emits the packets this flow sends at `now_ms`.

@@ -90,9 +90,7 @@ impl SmPayload for KpmActionDef {
         let mut measurements = Vec::with_capacity(v.len());
         for i in 0..v.len() {
             measurements.push(
-                std::str::from_utf8(v.bytes_at(i)?)
-                    .map_err(|_| CodecError::BadUtf8)?
-                    .to_owned(),
+                std::str::from_utf8(v.bytes_at(i)?).map_err(|_| CodecError::BadUtf8)?.to_owned(),
             );
         }
         Ok(KpmActionDef {
@@ -206,10 +204,7 @@ mod tests {
 
     #[test]
     fn action_def_roundtrip() {
-        roundtrip_both(&KpmActionDef::cell(
-            1000,
-            &[meas::DRB_UE_THP_DL, meas::RRU_PRB_TOT_DL],
-        ));
+        roundtrip_both(&KpmActionDef::cell(1000, &[meas::DRB_UE_THP_DL, meas::RRU_PRB_TOT_DL]));
         roundtrip_both(&KpmActionDef {
             granularity_ms: 10,
             measurements: vec![],
@@ -226,11 +221,7 @@ mod tests {
             granularity_ms: 1_000,
             records: vec![
                 KpmRecord { name: meas::RRU_PRB_TOT_DL.into(), rnti: None, value: 106_000 },
-                KpmRecord {
-                    name: meas::DRB_UE_THP_DL.into(),
-                    rnti: Some(0x4601),
-                    value: 30_000,
-                },
+                KpmRecord { name: meas::DRB_UE_THP_DL.into(), rnti: Some(0x4601), value: 30_000 },
                 KpmRecord { name: meas::RRC_CONN_MEAN.into(), rnti: None, value: 3 },
             ],
         });

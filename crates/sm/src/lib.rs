@@ -149,8 +149,8 @@ pub(crate) mod test_util {
     pub fn roundtrip_both<T: SmPayload + PartialEq + Debug>(msg: &T) {
         for codec in SmCodec::ALL {
             let buf = msg.encode(codec);
-            let back = T::decode(codec, &buf)
-                .unwrap_or_else(|e| panic!("{codec:?} decode failed: {e}"));
+            let back =
+                T::decode(codec, &buf).unwrap_or_else(|e| panic!("{codec:?} decode failed: {e}"));
             assert_eq!(&back, msg, "{codec:?} roundtrip");
         }
     }

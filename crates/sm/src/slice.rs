@@ -214,10 +214,7 @@ fn get_params(r: &mut BitReader) -> Result<SliceParams> {
             rate_kbps: r.get_uint()? as u32,
             ref_kbps: r.get_uint()? as u32,
         }),
-        2 => Ok(SliceParams::StaticRb {
-            lo: r.get_bits(16)? as u16,
-            hi: r.get_bits(16)? as u16,
-        }),
+        2 => Ok(SliceParams::StaticRb { lo: r.get_bits(16)? as u16, hi: r.get_bits(16)? as u16 }),
         v => Err(CodecError::BadDiscriminant { what: "slice params", value: v }),
     }
 }
@@ -309,8 +306,7 @@ fn get_assoc(r: &mut BitReader) -> Result<Vec<(u16, u32)>> {
 
 fn enc_assoc_fb(b: &mut FbBuilder, assoc: &[(u16, u32)]) -> u32 {
     // Encoded as a flat u64 vector: (rnti << 32) | slice.
-    let packed: Vec<u64> =
-        assoc.iter().map(|(r, s)| ((*r as u64) << 32) | *s as u64).collect();
+    let packed: Vec<u64> = assoc.iter().map(|(r, s)| ((*r as u64) << 32) | *s as u64).collect();
     b.vec_u64(&packed)
 }
 

@@ -91,7 +91,14 @@ pub struct FiveTupleRule {
 
 impl FiveTupleRule {
     /// Whether a packet's 5-tuple matches this rule.
-    pub fn matches(&self, src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: u8) -> bool {
+    pub fn matches(
+        &self,
+        src_ip: u32,
+        dst_ip: u32,
+        src_port: u16,
+        dst_port: u16,
+        proto: u8,
+    ) -> bool {
         self.src_ip.is_none_or(|v| v == src_ip)
             && self.dst_ip.is_none_or(|v| v == dst_ip)
             && self.src_port.is_none_or(|v| v == src_port)

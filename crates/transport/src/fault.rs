@@ -106,10 +106,8 @@ mod tests {
         let mut l = listen(&TransportAddr::Mem("fault-drop".into())).await.unwrap();
         let conn = connect(&TransportAddr::Mem("fault-drop".into())).await.unwrap();
         let (tx, _rx) = conn.split();
-        let mut faulty = FaultySender::new(
-            tx,
-            FaultConfig { drop_chance: 1.0, ..FaultConfig::default() },
-        );
+        let mut faulty =
+            FaultySender::new(tx, FaultConfig { drop_chance: 1.0, ..FaultConfig::default() });
         for _ in 0..50 {
             faulty.send(WireMsg::e2ap(Bytes::from_static(b"x"))).await.unwrap();
         }
@@ -125,10 +123,8 @@ mod tests {
         let mut l = listen(&TransportAddr::Mem("fault-corrupt".into())).await.unwrap();
         let conn = connect(&TransportAddr::Mem("fault-corrupt".into())).await.unwrap();
         let (tx, _rx) = conn.split();
-        let mut faulty = FaultySender::new(
-            tx,
-            FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() },
-        );
+        let mut faulty =
+            FaultySender::new(tx, FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() });
         let orig = Bytes::from_static(b"payload-bytes");
         faulty.send(WireMsg::e2ap(orig.clone())).await.unwrap();
         assert_eq!(faulty.stats().corrupted, 1);
@@ -171,10 +167,8 @@ mod tests {
         let _l = listen(&TransportAddr::Mem("fault-size".into())).await.unwrap();
         let conn = connect(&TransportAddr::Mem("fault-size".into())).await.unwrap();
         let (tx, _rx) = conn.split();
-        let mut faulty = FaultySender::new(
-            tx,
-            FaultConfig { size_limit: Some(100), ..FaultConfig::default() },
-        );
+        let mut faulty =
+            FaultySender::new(tx, FaultConfig { size_limit: Some(100), ..FaultConfig::default() });
         faulty.send(WireMsg::e2ap(Bytes::from(vec![0; 101]))).await.unwrap();
         faulty.send(WireMsg::e2ap(Bytes::from(vec![0; 100]))).await.unwrap();
         assert_eq!(faulty.stats().dropped, 1);

@@ -41,11 +41,25 @@ pub fn decode_header(h: &[u8; HEADER_LEN]) -> (u32, u16, u32) {
 
 /// Serializes a full frame (header + payload) into one buffer, so the
 /// writer can issue a single `write_all` per message.
+///
+/// Allocates a fresh buffer per call; hot paths should prefer
+/// [`encode_frame_into`] with a reusable scratch buffer, or the direct
+/// header+payload writes the TCP send half performs.
 pub fn encode_frame(stream: u16, ppid: u32, payload: &Bytes) -> BytesMut {
     let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
     buf.extend_from_slice(&encode_header(payload.len() as u32, stream, ppid));
     buf.extend_from_slice(payload);
     buf
+}
+
+/// Serializes a full frame into a reusable scratch buffer, appending after
+/// any existing content.  The header is written up front and the payload
+/// follows in the same buffer — no intermediate allocation and no second
+/// copy once the buffer's capacity is warm.
+pub fn encode_frame_into(stream: u16, ppid: u32, payload: &[u8], out: &mut BytesMut) {
+    out.reserve(HEADER_LEN + payload.len());
+    out.extend_from_slice(&encode_header(payload.len() as u32, stream, ppid));
+    out.extend_from_slice(payload);
 }
 
 #[cfg(test)]
@@ -54,7 +68,8 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        for (len, stream, ppid) in [(0u32, 0u16, 0u32), (1500, 7, 70), (u32::MAX, u16::MAX, u32::MAX)]
+        for (len, stream, ppid) in
+            [(0u32, 0u16, 0u32), (1500, 7, 70), (u32::MAX, u16::MAX, u32::MAX)]
         {
             let h = encode_header(len, stream, ppid);
             assert_eq!(decode_header(&h), (len, stream, ppid));
@@ -68,5 +83,16 @@ mod tests {
         assert_eq!(f.len(), HEADER_LEN + 3);
         assert_eq!(&f[0..4], &3u32.to_be_bytes());
         assert_eq!(&f[HEADER_LEN..], b"abc");
+    }
+
+    #[test]
+    fn encode_frame_into_matches_encode_frame() {
+        let payload = Bytes::from_static(b"payload-bytes");
+        let owned = encode_frame(3, 70, &payload);
+        let mut scratch = BytesMut::new();
+        scratch.extend_from_slice(b"already-queued");
+        encode_frame_into(3, 70, &payload, &mut scratch);
+        assert_eq!(&scratch[..14], b"already-queued");
+        assert_eq!(&scratch[14..], &owned[..]);
     }
 }

@@ -79,9 +79,7 @@ pub struct MemSendHalf {
 impl MemSendHalf {
     /// Sends one message.
     pub fn send(&mut self, msg: WireMsg) -> io::Result<()> {
-        self.tx
-            .send(msg)
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+        self.tx.send(msg).map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
     }
 }
 

@@ -21,16 +21,10 @@ pub struct TcpConn {
 impl TcpConn {
     /// Wraps a connected `TcpStream`.
     pub fn new(stream: TcpStream) -> Self {
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "<unknown>".to_owned());
+        let peer =
+            stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "<unknown>".to_owned());
         let (rd, wr) = stream.into_split();
-        TcpConn {
-            tx: TcpSendHalf { wr: BufWriter::new(wr) },
-            rx: TcpRecvHalf { rd },
-            peer,
-        }
+        TcpConn { tx: TcpSendHalf { wr: BufWriter::new(wr) }, rx: TcpRecvHalf { rd }, peer }
     }
 
     /// Sends one message.
@@ -54,6 +48,10 @@ impl TcpConn {
     }
 }
 
+/// Payloads at least this large bypass the `BufWriter` staging copy and go
+/// out as one vectored (header, payload) write instead.
+const VECTORED_MIN: usize = 8 * 1024;
+
 /// Owned send half.
 #[derive(Debug)]
 pub struct TcpSendHalf {
@@ -61,10 +59,45 @@ pub struct TcpSendHalf {
 }
 
 impl TcpSendHalf {
+    /// Writes one frame without flushing.
+    ///
+    /// Small payloads are staged in the `BufWriter` as header-then-payload —
+    /// no per-frame buffer allocation and no header+payload re-copy.  Large
+    /// payloads skip staging entirely: the buffered bytes are flushed and
+    /// the (header, payload) pair is handed to the kernel as a vectored
+    /// write.
+    async fn write_frame(&mut self, msg: &WireMsg) -> io::Result<()> {
+        let header = frame::encode_header(msg.payload.len() as u32, msg.stream, msg.ppid);
+        if msg.payload.len() < VECTORED_MIN {
+            self.wr.write_all(&header).await?;
+            return self.wr.write_all(&msg.payload).await;
+        }
+        self.wr.flush().await?;
+        let sock = self.wr.get_mut();
+        let mut hdr_sent = 0usize;
+        let mut pay_sent = 0usize;
+        while hdr_sent < HEADER_LEN || pay_sent < msg.payload.len() {
+            // Short writes attribute to the header first, so the payload
+            // slice only advances once the header is fully out.
+            let n = if hdr_sent < HEADER_LEN {
+                let bufs = [io::IoSlice::new(&header[hdr_sent..]), io::IoSlice::new(&msg.payload)];
+                sock.write_vectored(&bufs).await?
+            } else {
+                sock.write(&msg.payload[pay_sent..]).await?
+            };
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "socket closed mid-frame"));
+            }
+            let for_header = n.min(HEADER_LEN - hdr_sent);
+            hdr_sent += for_header;
+            pay_sent += n - for_header;
+        }
+        Ok(())
+    }
+
     /// Sends one message (header + payload, flushed).
     pub async fn send(&mut self, msg: WireMsg) -> io::Result<()> {
-        let buf = frame::encode_frame(msg.stream, msg.ppid, &msg.payload);
-        self.wr.write_all(&buf).await?;
+        self.write_frame(&msg).await?;
         // Flush per message: E2 traffic is latency sensitive and messages
         // are the unit of exchange; Nagle is already disabled.
         self.wr.flush().await
@@ -74,8 +107,7 @@ impl TcpSendHalf {
     /// tasks when several indications are queued in the same tick.
     pub async fn send_batch(&mut self, msgs: &[WireMsg]) -> io::Result<()> {
         for msg in msgs {
-            let buf = frame::encode_frame(msg.stream, msg.ppid, &msg.payload);
-            self.wr.write_all(&buf).await?;
+            self.write_frame(msg).await?;
         }
         self.wr.flush().await
     }

@@ -207,10 +207,8 @@ mod tests {
         tokio::time::sleep(Duration::from_millis(20)).await; // sub registered
         let mut publ = BrokerClient::connect(&addr).await.unwrap();
         publ.publish("rlc-stats", b"{\"sojourn\": 42}").await.unwrap();
-        let (chan, msg) = tokio::time::timeout(Duration::from_secs(2), sub.recv())
-            .await
-            .unwrap()
-            .unwrap();
+        let (chan, msg) =
+            tokio::time::timeout(Duration::from_secs(2), sub.recv()).await.unwrap().unwrap();
         assert_eq!(chan, "rlc-stats");
         assert_eq!(&msg[..], b"{\"sojourn\": 42}");
     }

@@ -80,9 +80,8 @@ impl Response {
 }
 
 /// Boxed async handler.
-pub type Handler = Arc<
-    dyn Fn(Request) -> Pin<Box<dyn Future<Output = Response> + Send>> + Send + Sync,
->;
+pub type Handler =
+    Arc<dyn Fn(Request) -> Pin<Box<dyn Future<Output = Response> + Send>> + Send + Sync>;
 
 /// A tiny route table: exact `(method, path)` matches.
 #[derive(Default, Clone)]
@@ -355,9 +354,9 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..32 {
             let addr = addr.clone();
-            handles.push(tokio::spawn(async move {
-                HttpClient::get(&addr, "/ping").await.unwrap().0
-            }));
+            handles.push(tokio::spawn(
+                async move { HttpClient::get(&addr, "/ping").await.unwrap().0 },
+            ));
         }
         for h in handles {
             assert_eq!(h.await.unwrap(), 200);

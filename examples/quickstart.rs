@@ -86,12 +86,7 @@ async fn main() {
             println!("waiting for statistics…");
             continue;
         };
-        println!(
-            "t={}s  indications={}  cell: {} PRBs",
-            mac.tstamp_ms / 1000,
-            inds,
-            mac.cell_prbs
-        );
+        println!("t={}s  indications={}  cell: {} PRBs", mac.tstamp_ms / 1000, inds, mac.cell_prbs);
         for ue in &mac.ues {
             println!(
                 "  UE {:#06x}: mcs {}  {:>6.2} Mbit/s  backlog {:>7} B  total {:>5} MB",

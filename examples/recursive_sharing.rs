@@ -35,10 +35,8 @@ const OP_B: (u16, u16) = (2, 1);
 
 async fn tenant_ctrl(name: &str) -> flexric::server::ServerHandle {
     let (app, _latest) = SliceApp::new(SmCodec::Flatb, 1000);
-    let cfg = ServerConfig::new(
-        GlobalRicId::new(Plmn::TEST, 7),
-        TransportAddr::Mem(name.to_owned()),
-    );
+    let cfg =
+        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 7), TransportAddr::Mem(name.to_owned()));
     Server::spawn(cfg, vec![Box::new(app)]).await.expect("tenant controller")
 }
 

@@ -51,10 +51,7 @@ async fn main() {
     );
     let server = Server::spawn(cfg, vec![Box::new(fwd), Box::new(mgr)]).await.expect("server");
     let rest = spawn_rest("127.0.0.1:0", server.clone()).await.expect("rest");
-    println!(
-        "TC controller: E2 {}, broker {}, REST {}",
-        server.addrs[0], broker_addr, rest.addr
-    );
+    println!("TC controller: E2 {}, broker {}, REST {}", server.addrs[0], broker_addr, rest.addr);
 
     // Base station: one UE, a VoIP flow, and (after 5 s) a greedy TCP flow.
     let mut sim = Sim::new(vec![CellConfig::nr("cell0", 106)], PathConfig::default());
@@ -122,12 +119,8 @@ async fn main() {
         let (rtt_ms, n) = {
             let s = sim.lock();
             let log = &s.flow(voip).rtt_log;
-            let recent: Vec<u64> = log
-                .iter()
-                .rev()
-                .take(40)
-                .map(|(_, rtt_us)| rtt_us / 1000)
-                .collect();
+            let recent: Vec<u64> =
+                log.iter().rev().take(40).map(|(_, rtt_us)| rtt_us / 1000).collect();
             (recent.iter().sum::<u64>() / recent.len().max(1) as u64, log.len())
         };
         let marker = match (&intervened_at, guard.is_finished()) {

@@ -56,10 +56,8 @@ async fn monitoring_pipeline_end_to_end() {
     // Controller + simulated BS over the in-memory transport; statistics
     // must arrive decoded and fresh in the controller's store.
     let (monitor, db, counters) = MonitorApp::new(MonitorConfig::default());
-    let mut cfg = ServerConfig::new(
-        GlobalRicId::new(Plmn::TEST, 1),
-        TransportAddr::Mem("it-monitor".into()),
-    );
+    let mut cfg =
+        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), TransportAddr::Mem("it-monitor".into()));
     cfg.tick_ms = None;
     let server = Server::spawn(cfg, vec![Box::new(monitor)]).await.unwrap();
 
@@ -91,10 +89,8 @@ async fn monitoring_pipeline_end_to_end() {
 #[tokio::test]
 async fn monitoring_pipeline_asn1_variant() {
     // The same pipeline over the ASN.1-PER codec end to end.
-    let (monitor, db, _) = MonitorApp::new(MonitorConfig {
-        sm_codec: SmCodec::Asn1Per,
-        ..Default::default()
-    });
+    let (monitor, db, _) =
+        MonitorApp::new(MonitorConfig { sm_codec: SmCodec::Asn1Per, ..Default::default() });
     let mut cfg = ServerConfig::new(
         GlobalRicId::new(Plmn::TEST, 1),
         TransportAddr::Mem("it-monitor-asn".into()),
@@ -126,10 +122,8 @@ async fn slicing_control_loop_via_rest() {
     use serde_json::json;
 
     let (slice_app, latest) = SliceApp::new(SmCodec::Flatb, 100);
-    let mut cfg = ServerConfig::new(
-        GlobalRicId::new(Plmn::TEST, 1),
-        TransportAddr::Mem("it-slicing".into()),
-    );
+    let mut cfg =
+        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), TransportAddr::Mem("it-slicing".into()));
     cfg.tick_ms = None;
     let server = Server::spawn(cfg, vec![Box::new(slice_app)]).await.unwrap();
     let rest = spawn_rest("127.0.0.1:0", server.clone(), latest).await.unwrap();
@@ -165,13 +159,10 @@ async fn slicing_control_loop_via_rest() {
     tokio::time::sleep(Duration::from_millis(200)).await;
 
     // Configure slices over REST.
-    let (status, body) = HttpClient::post_json(
-        &rest_addr,
-        "/slice/algo",
-        &json!({"agent": 0, "algo": "nvs"}),
-    )
-    .await
-    .unwrap();
+    let (status, body) =
+        HttpClient::post_json(&rest_addr, "/slice/algo", &json!({"agent": 0, "algo": "nvs"}))
+            .await
+            .unwrap();
     assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
     let (status, _) = HttpClient::post_json(
         &rest_addr,
@@ -250,10 +241,8 @@ async fn tc_xapp_full_loop_fixes_bufferbloat() {
         vec![BearerAddr { rnti: 0x4601, drb: 1 }],
     );
     let mgr = TcManagerApp::new(sm);
-    let mut cfg = ServerConfig::new(
-        GlobalRicId::new(Plmn::TEST, 1),
-        TransportAddr::Mem("it-tc".into()),
-    );
+    let mut cfg =
+        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), TransportAddr::Mem("it-tc".into()));
     cfg.tick_ms = None;
     let server = Server::spawn(cfg, vec![Box::new(fwd), Box::new(mgr)]).await.unwrap();
     let rest = spawn_rest("127.0.0.1:0", server.clone()).await.unwrap();
@@ -322,10 +311,7 @@ async fn tc_xapp_full_loop_fixes_bufferbloat() {
         let s = sim.lock();
         let ue = s.cells[0].ues.iter().find(|u| u.cfg.rnti == 0x4601).unwrap();
         let tc = &ue.bearers[0].tc;
-        assert!(matches!(
-            tc.pacer(),
-            flexric_sm::tc::PacerConf::Bdp { target_delay_us: 10_000 }
-        ));
+        assert!(matches!(tc.pacer(), flexric_sm::tc::PacerConf::Bdp { target_delay_us: 10_000 }));
     }
     agent.stop();
     server.stop();
@@ -341,10 +327,8 @@ async fn recursive_virtualization_isolates_tenants() {
     // Tenant controllers.
     let mk_tenant = |name: &str| {
         let (app, latest) = SliceApp::new(SmCodec::Flatb, 200);
-        let mut cfg = ServerConfig::new(
-            GlobalRicId::new(Plmn::TEST, 7),
-            TransportAddr::Mem(name.to_owned()),
-        );
+        let mut cfg =
+            ServerConfig::new(GlobalRicId::new(Plmn::TEST, 7), TransportAddr::Mem(name.to_owned()));
         cfg.tick_ms = None;
         (cfg, app, latest)
     };
@@ -386,9 +370,7 @@ async fn recursive_virtualization_isolates_tenants() {
     // Shared cell: 2 UEs per tenant.
     let mut sim = Sim::new(vec![CellConfig::lte("shared", 50)], PathConfig::default());
     for (i, (rnti, plmn)) in
-        [(0x11u16, (1u16, 1u16)), (0x12, (1, 1)), (0x21, (2, 1)), (0x22, (2, 1))]
-            .iter()
-            .enumerate()
+        [(0x11u16, (1u16, 1u16)), (0x12, (1, 1)), (0x21, (2, 1)), (0x22, (2, 1))].iter().enumerate()
     {
         sim.attach_ue(0, UeConfig { rnti: *rnti, mcs: 28, cqi: 15, plmn: *plmn, snssai: None });
         sim.add_flow(FlowConfig {
@@ -494,10 +476,8 @@ async fn transport_fault_injection_does_not_wedge_the_stack() {
     use flexric_transport::{connect, WireMsg};
 
     let (monitor, _db, _) = MonitorApp::new(MonitorConfig::default());
-    let mut cfg = ServerConfig::new(
-        GlobalRicId::new(Plmn::TEST, 1),
-        TransportAddr::Mem("it-fault".into()),
-    );
+    let mut cfg =
+        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), TransportAddr::Mem("it-fault".into()));
     cfg.tick_ms = None;
     let server = Server::spawn(cfg, vec![Box::new(monitor)]).await.unwrap();
 
@@ -533,7 +513,7 @@ async fn kpm_subscription_and_handover_control() {
     use flexric_e2ap::*;
     use flexric_sm::kpm::{self, KpmActionDef, KpmReport};
     use flexric_sm::rrc::RrcCtrl;
-    use flexric_sm::{SmPayload, ReportTrigger};
+    use flexric_sm::{ReportTrigger, SmPayload};
 
     // A bespoke iApp: subscribes to KPM on connect, later triggers a
     // handover through the RRC SM and records everything it sees.
@@ -630,20 +610,14 @@ async fn kpm_subscription_and_handover_control() {
     }
 
     let seen = Arc::new(Mutex::new(SeenState::default()));
-    let mut cfg = ServerConfig::new(
-        GlobalRicId::new(Plmn::TEST, 1),
-        TransportAddr::Mem("it-kpm".into()),
-    );
+    let mut cfg =
+        ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), TransportAddr::Mem("it-kpm".into()));
     cfg.tick_ms = None;
-    let server = Server::spawn(cfg, vec![Box::new(KpmApp { seen: seen.clone() })])
-        .await
-        .unwrap();
+    let server = Server::spawn(cfg, vec![Box::new(KpmApp { seen: seen.clone() })]).await.unwrap();
 
     // Two-cell sim; the agent fronts cell 0.
-    let mut sim = Sim::new(
-        vec![CellConfig::nr("c0", 106), CellConfig::nr("c1", 106)],
-        PathConfig::default(),
-    );
+    let mut sim =
+        Sim::new(vec![CellConfig::nr("c0", 106), CellConfig::nr("c1", 106)], PathConfig::default());
     sim.attach_ue(0, UeConfig::new(0x4601, 20));
     sim.add_flow(FlowConfig {
         cell: 0,
