@@ -16,9 +16,21 @@
 //! UE-to-controller association decides which UEs a RAN function may expose
 //! to which controller: every UE is associated with the first controller;
 //! additional controllers see only explicitly associated UEs.
+//!
+//! ## Connection robustness
+//!
+//! Agent-initiated procedures (RIC Service Update) are tracked in the
+//! shared procedure-endpoint layer ([`crate::endpoint`]) with deadlines and
+//! retransmission, and transaction ids come from its wraparound-safe
+//! allocator.  When a controller connection drops, a supervisor task
+//! redials it with capped exponential backoff
+//! ([`AgentConfig::reconnect`]) and replays the E2 Setup handshake —
+//! re-announcing all RAN functions — so the controller can re-issue its
+//! subscriptions without the embedder doing anything.
 
 use std::collections::{HashMap, HashSet};
 use std::io;
+use std::time::Duration;
 
 use bytes::Bytes;
 use tokio::sync::{mpsc, oneshot};
@@ -26,8 +38,10 @@ use tokio::sync::{mpsc, oneshot};
 use flexric_codec::E2apCodec;
 use flexric_e2ap::*;
 use flexric_sm::{ReportTrigger, SmCodec, SmPayload};
-use flexric_transport::{connect, RecvHalf, SendHalf, TransportAddr, WireMsg};
+use flexric_transport::fault::FaultHandle;
+use flexric_transport::{connect, Transport, TransportAddr, WireMsg};
 
+use crate::endpoint::{Backoff, E2apEndpoint, ProcedureClass, ProcedureKey, RetryPolicy};
 use crate::scratch::{self, EncodeScratch, Targets};
 
 /// Index of a controller connection at this agent (0 = first controller).
@@ -47,16 +61,28 @@ pub struct AgentConfig {
     /// drives time explicitly through [`AgentHandle::tick`] (virtual-time
     /// simulations).
     pub tick_ms: Option<u64>,
+    /// Deadlines and retransmission budget for tracked procedures.
+    pub retry: RetryPolicy,
+    /// Backoff for redialing a lost controller connection; `None` disables
+    /// automatic reconnection.  The initial connections at
+    /// [`Agent::spawn`] always fail fast.
+    pub reconnect: Option<Backoff>,
+    /// Fault injector applied to every outbound frame (robustness tests).
+    pub fault: Option<FaultHandle>,
 }
 
 impl AgentConfig {
-    /// A single-controller agent with 1 ms internal ticks.
+    /// A single-controller agent with 1 ms internal ticks and automatic
+    /// reconnection under the default backoff.
     pub fn new(node: GlobalE2NodeId, controller: TransportAddr) -> Self {
         AgentConfig {
             node,
             codec: E2apCodec::default(),
             controllers: vec![controller],
             tick_ms: Some(1),
+            retry: RetryPolicy::default(),
+            reconnect: Some(Backoff::default()),
+            fault: None,
         }
     }
 }
@@ -329,6 +355,14 @@ pub struct AgentStats {
     pub active_subs: u64,
     /// Connected controllers.
     pub controllers: u64,
+    /// Procedure retransmissions sent.
+    pub retries: u64,
+    /// Procedures that expired terminally.
+    pub timeouts: u64,
+    /// Controller connections re-established by the supervisor.
+    pub reconnects: u64,
+    /// Inbound PDUs that failed to decode.
+    pub decode_errors: u64,
 }
 
 /// Handle to a running agent.
@@ -378,14 +412,20 @@ impl AgentHandle {
 }
 
 enum LoopEvent {
-    Inbound(CtrlId, WireMsg),
-    ConnClosed(CtrlId),
+    Inbound(CtrlId, u64, WireMsg),
+    ConnClosed(CtrlId, u64),
+    /// A supervisor re-established a controller connection (setup
+    /// handshake already completed).
+    Reconnected(CtrlId, Transport),
     Cmd(Cmd),
 }
 
 struct CtrlConn {
     tx: mpsc::UnboundedSender<Bytes>,
     alive: bool,
+    /// Distinguishes this connection from earlier ones under the same
+    /// [`CtrlId`] (reconnects), so stale reader events are ignored.
+    epoch: u64,
 }
 
 /// The agent runtime: owns the RAN functions and the controller
@@ -396,14 +436,54 @@ pub struct Agent {
     functions: Vec<Box<dyn RanFunction>>,
     sub_index: HashMap<(CtrlId, RicRequestId), usize>,
     conns: Vec<CtrlConn>,
+    /// Dial address per controller, kept for the reconnect supervisor.
+    ctrl_addrs: Vec<TransportAddr>,
     assoc: UeAssoc,
     outbox: Vec<(Targets<CtrlId>, E2apPdu)>,
     stats: AgentStats,
     scratch: EncodeScratch,
     now_ms: u64,
     evt_tx: mpsc::UnboundedSender<LoopEvent>,
-    next_txid: u8,
+    /// The shared procedure endpoint: outstanding agent-initiated
+    /// procedures plus the wraparound-safe transaction-id allocator.
+    endpoint: E2apEndpoint<CtrlId, ()>,
+    next_epoch: u64,
     pending_ctrls: Vec<TransportAddr>,
+}
+
+/// Dials a controller and runs the blocking E2 setup handshake; returns
+/// the ready transport.  Used for both the initial connections and the
+/// supervisor's redials.
+async fn establish(
+    addr: &TransportAddr,
+    codec: E2apCodec,
+    node: GlobalE2NodeId,
+    txid: u8,
+    ran_functions: Vec<RanFunctionItem>,
+) -> io::Result<Transport> {
+    let mut transport = connect(addr).await?;
+    let setup = E2apPdu::E2SetupRequest(E2SetupRequest {
+        transaction_id: txid,
+        global_node: node,
+        ran_functions,
+        component_configs: vec![],
+    });
+    let buf = Bytes::from(codec.encode(&setup));
+    transport.send(WireMsg::e2ap(buf)).await?;
+    let reply = transport
+        .recv()
+        .await?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionReset, "closed during setup"))?;
+    match codec.decode(&reply.payload) {
+        Ok(E2apPdu::E2SetupResponse(_)) => Ok(transport),
+        Ok(E2apPdu::E2SetupFailure(f)) => {
+            Err(io::Error::other(format!("E2 setup rejected: {:?}", f.cause)))
+        }
+        Ok(other) => {
+            Err(io::Error::other(format!("unexpected setup reply: {:?}", other.msg_type())))
+        }
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
 }
 
 impl Agent {
@@ -420,13 +500,15 @@ impl Agent {
             functions,
             sub_index: HashMap::new(),
             conns: Vec::new(),
+            ctrl_addrs: Vec::new(),
             assoc: UeAssoc::default(),
             outbox: Vec::new(),
             stats: AgentStats::default(),
             scratch: EncodeScratch::with_capacity(4096),
             now_ms: 0,
             evt_tx,
-            next_txid: 0,
+            endpoint: E2apEndpoint::new(cfg.retry),
+            next_epoch: 0,
             pending_ctrls: Vec::new(),
         };
         for addr in &cfg.controllers {
@@ -449,75 +531,76 @@ impl Agent {
     }
 
     async fn connect_controller(&mut self, addr: &TransportAddr) -> io::Result<CtrlId> {
-        let mut transport = connect(addr).await?;
-        let txid = self.next_txid;
-        self.next_txid = self.next_txid.wrapping_add(1);
-        let setup = E2apPdu::E2SetupRequest(E2SetupRequest {
-            transaction_id: txid,
-            global_node: self.cfg.node,
-            ran_functions: self.fn_items(),
-            component_configs: vec![],
-        });
-        let buf = Bytes::from(self.cfg.codec.encode(&setup));
-        transport.send(WireMsg::e2ap(buf)).await?;
-        let reply = transport
-            .recv()
-            .await?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionReset, "closed during setup"))?;
-        match self.cfg.codec.decode(&reply.payload) {
-            Ok(E2apPdu::E2SetupResponse(_)) => {}
-            Ok(E2apPdu::E2SetupFailure(f)) => {
-                return Err(io::Error::other(format!("E2 setup rejected: {:?}", f.cause)));
-            }
-            Ok(other) => {
-                return Err(io::Error::other(format!(
-                    "unexpected setup reply: {:?}",
-                    other.msg_type()
-                )));
-            }
-            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
-        }
-
+        let txid = self.endpoint.alloc_tx_id();
+        let transport =
+            establish(addr, self.cfg.codec, self.cfg.node, txid, self.fn_items()).await?;
         let ctrl_id = self.conns.len();
-        let (out_tx, mut out_rx) = mpsc::unbounded_channel::<Bytes>();
-        let (mut send_half, mut recv_half): (SendHalf, RecvHalf) = transport.split();
-        // Writer task.
-        tokio::spawn(async move {
-            let mut batch = Vec::with_capacity(8);
-            while let Some(buf) = out_rx.recv().await {
-                batch.push(WireMsg::e2ap(buf));
-                // Coalesce everything already queued into one flush.
-                while batch.len() < 64 {
-                    match out_rx.try_recv() {
-                        Ok(buf) => batch.push(WireMsg::e2ap(buf)),
-                        Err(_) => break,
-                    }
-                }
-                if send_half.send_batch(std::mem::take(&mut batch)).await.is_err() {
-                    break;
-                }
-            }
-        });
-        // Reader task.
+        self.ctrl_addrs.push(addr.clone());
+        self.register_conn(ctrl_id, transport);
+        self.stats.controllers += 1;
+        Ok(ctrl_id)
+    }
+
+    /// Spawns the writer/reader tasks for a ready transport and registers
+    /// it under `ctrl` — appending for a new controller, replacing in
+    /// place on a reconnect.
+    fn register_conn(&mut self, ctrl: CtrlId, transport: Transport) {
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        let (send_half, mut recv_half) = transport.split();
+        let tx = crate::conn::spawn_writer(send_half, self.cfg.fault.clone());
         let evt = self.evt_tx.clone();
         tokio::spawn(async move {
             loop {
                 match recv_half.recv().await {
                     Ok(Some(msg)) => {
-                        if evt.send(LoopEvent::Inbound(ctrl_id, msg)).is_err() {
+                        if evt.send(LoopEvent::Inbound(ctrl, epoch, msg)).is_err() {
                             break;
                         }
                     }
                     Ok(None) | Err(_) => {
-                        let _ = evt.send(LoopEvent::ConnClosed(ctrl_id));
+                        let _ = evt.send(LoopEvent::ConnClosed(ctrl, epoch));
                         break;
                     }
                 }
             }
         });
-        self.conns.push(CtrlConn { tx: out_tx, alive: true });
-        self.stats.controllers += 1;
-        Ok(ctrl_id)
+        let conn = CtrlConn { tx, alive: true, epoch };
+        if ctrl == self.conns.len() {
+            self.conns.push(conn);
+        } else {
+            self.conns[ctrl] = conn;
+        }
+    }
+
+    /// Spawns the reconnect supervisor for a lost controller connection:
+    /// redial with capped exponential backoff, replay the setup handshake,
+    /// and hand the ready transport back to the event loop.
+    fn spawn_supervisor(&mut self, ctrl: CtrlId, backoff: Backoff) {
+        let addr = self.ctrl_addrs[ctrl].clone();
+        let codec = self.cfg.codec;
+        let node = self.cfg.node;
+        let txid = self.endpoint.alloc_tx_id();
+        let items = self.fn_items();
+        let evt = self.evt_tx.clone();
+        tokio::spawn(async move {
+            let mut attempt = 0u32;
+            loop {
+                tokio::time::sleep(Duration::from_millis(backoff.delay_ms(attempt))).await;
+                attempt = attempt.saturating_add(1);
+                match establish(&addr, codec, node, txid, items.clone()).await {
+                    Ok(transport) => {
+                        let _ = evt.send(LoopEvent::Reconnected(ctrl, transport));
+                        return;
+                    }
+                    Err(_) => {
+                        if evt.is_closed() {
+                            return; // agent stopped; stop dialing
+                        }
+                    }
+                }
+            }
+        });
     }
 
     async fn run(
@@ -548,16 +631,18 @@ impl Agent {
                 }
             };
             match event {
-                LoopEvent::Inbound(ctrl, msg) => {
+                LoopEvent::Inbound(ctrl, epoch, msg) => {
+                    if !self.conns.get(ctrl).is_some_and(|c| c.alive && c.epoch == epoch) {
+                        continue; // stale reader of a replaced connection
+                    }
                     self.stats.rx_msgs += 1;
                     self.handle_inbound(ctrl, &msg.payload);
                 }
-                LoopEvent::ConnClosed(ctrl) => {
-                    if let Some(c) = self.conns.get_mut(ctrl) {
-                        c.alive = false;
-                        self.stats.controllers = self.stats.controllers.saturating_sub(1);
-                    }
-                    self.drop_ctrl_subs(ctrl);
+                LoopEvent::ConnClosed(ctrl, epoch) => self.handle_closed(ctrl, epoch),
+                LoopEvent::Reconnected(ctrl, transport) => {
+                    self.register_conn(ctrl, transport);
+                    self.stats.controllers += 1;
+                    self.stats.reconnects += 1;
                 }
                 LoopEvent::Cmd(Cmd::Tick(now)) => {
                     self.now_ms = now;
@@ -586,6 +671,21 @@ impl Agent {
         }
     }
 
+    fn handle_closed(&mut self, ctrl: CtrlId, epoch: u64) {
+        match self.conns.get_mut(ctrl) {
+            Some(c) if c.alive && c.epoch == epoch => c.alive = false,
+            _ => return, // stale notification from a replaced connection
+        }
+        self.stats.controllers = self.stats.controllers.saturating_sub(1);
+        self.drop_ctrl_subs(ctrl);
+        // Procedures in flight toward this controller terminate now; the
+        // supervisor re-announces everything at setup anyway.
+        let _ = self.endpoint.table.connection_lost(ctrl);
+        if let Some(backoff) = self.cfg.reconnect {
+            self.spawn_supervisor(ctrl, backoff);
+        }
+    }
+
     fn drop_ctrl_subs(&mut self, ctrl: CtrlId) {
         let dropped: Vec<(CtrlId, RicRequestId)> =
             self.sub_index.keys().filter(|(c, _)| *c == ctrl).copied().collect();
@@ -600,6 +700,16 @@ impl Agent {
     }
 
     fn tick(&mut self) {
+        // Retransmit due procedures and count terminal timeouts.
+        let now = self.now_ms;
+        let timed_out = {
+            let Agent { endpoint, outbox, stats, .. } = self;
+            endpoint.table.poll(now, |ctrl, pdu| {
+                stats.retries += 1;
+                outbox.push((Targets::One(ctrl), pdu.clone()));
+            })
+        };
+        self.stats.timeouts += timed_out.len() as u64;
         let mut ctx =
             AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
         for f in &mut self.functions {
@@ -615,6 +725,7 @@ impl Agent {
         let pdu = match self.cfg.codec.decode(raw) {
             Ok(p) => p,
             Err(_) => {
+                self.stats.decode_errors += 1;
                 self.outbox.push((
                     ctrl.into(),
                     E2apPdu::ErrorIndication(ErrorIndication {
@@ -678,20 +789,31 @@ impl Agent {
                 let missing: Vec<RanFunctionItem> =
                     self.fn_items().into_iter().filter(|f| !known.contains(&f.id)).collect();
                 if !missing.is_empty() {
-                    self.outbox.push((
-                        ctrl.into(),
-                        E2apPdu::RicServiceUpdate(RicServiceUpdate {
-                            transaction_id: q.transaction_id,
-                            added: missing,
-                            modified: vec![],
-                            removed: vec![],
-                        }),
-                    ));
+                    // The update is an agent-initiated procedure: tracked
+                    // with a deadline and retransmitted until acked.
+                    let txid = self.endpoint.alloc_tx_id();
+                    let pdu = E2apPdu::RicServiceUpdate(RicServiceUpdate {
+                        transaction_id: txid,
+                        added: missing,
+                        modified: vec![],
+                        removed: vec![],
+                    });
+                    self.endpoint.table.begin(
+                        ctrl,
+                        ProcedureKey::Tx(txid),
+                        ProcedureClass::ServiceUpdate,
+                        Some(pdu.clone()),
+                        (),
+                        self.now_ms,
+                    );
+                    self.outbox.push((ctrl.into(), pdu));
                 }
+            }
+            E2apPdu::RicServiceUpdateAck(ack) => {
+                self.endpoint.table.complete(ctrl, ProcedureKey::Tx(ack.transaction_id));
             }
             E2apPdu::ErrorIndication(_)
             | E2apPdu::E2SetupResponse(_)
-            | E2apPdu::RicServiceUpdateAck(_)
             | E2apPdu::E2ConnectionUpdateAck(_)
             | E2apPdu::ResetResponse(_) => {}
             other => {
@@ -722,12 +844,16 @@ impl Agent {
             return;
         };
         if self.sub_index.contains_key(&(ctrl, req.req_id)) {
+            // At-least-once delivery: a controller that lost our response
+            // retransmits the request, so a duplicate is re-acknowledged
+            // idempotently rather than failed.
             self.outbox.push((
                 ctrl.into(),
-                E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                E2apPdu::RicSubscriptionResponse(RicSubscriptionResponse {
                     req_id: req.req_id,
                     ran_function: req.ran_function,
-                    cause: Cause::Ric(RicCause::DuplicateAction),
+                    admitted: req.actions.iter().map(|a| a.id).collect(),
+                    not_admitted: vec![],
                 }),
             ));
             return;

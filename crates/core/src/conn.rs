@@ -1,0 +1,63 @@
+//! Connection plumbing shared by the agent and server runtimes: the
+//! batching writer task, optionally routed through a fault injector.
+//!
+//! Both event loops used to carry their own copy of this task; it lives
+//! here once, next to the procedure-endpoint layer the loops also share.
+
+use bytes::Bytes;
+use tokio::sync::mpsc;
+
+use flexric_transport::fault::{FaultHandle, FaultySender};
+use flexric_transport::{SendHalf, WireMsg};
+
+/// A send half, optionally wrapped in a shared fault injector.
+enum WireSender {
+    Plain(SendHalf),
+    Faulty(FaultySender),
+}
+
+impl WireSender {
+    fn new(half: SendHalf, fault: Option<FaultHandle>) -> Self {
+        match fault {
+            Some(h) => WireSender::Faulty(FaultySender::with_handle(half, h)),
+            None => WireSender::Plain(half),
+        }
+    }
+
+    async fn send_batch(&mut self, batch: Vec<WireMsg>) -> std::io::Result<()> {
+        match self {
+            WireSender::Plain(s) => s.send_batch(batch).await,
+            WireSender::Faulty(s) => s.send_batch(batch).await,
+        }
+    }
+}
+
+/// Spawns the writer task for one connection: frames queued on the
+/// returned channel are coalesced (up to 64 per flush) into batched
+/// vectored writes.  The task ends when the channel closes or the
+/// transport errors; dropping the sender is how a runtime degrades a
+/// connection.
+pub(crate) fn spawn_writer(
+    half: SendHalf,
+    fault: Option<FaultHandle>,
+) -> mpsc::UnboundedSender<Bytes> {
+    let (out_tx, mut out_rx) = mpsc::unbounded_channel::<Bytes>();
+    tokio::spawn(async move {
+        let mut sender = WireSender::new(half, fault);
+        let mut batch = Vec::with_capacity(8);
+        while let Some(buf) = out_rx.recv().await {
+            batch.push(WireMsg::e2ap(buf));
+            // Coalesce everything already queued into one flush.
+            while batch.len() < 64 {
+                match out_rx.try_recv() {
+                    Ok(buf) => batch.push(WireMsg::e2ap(buf)),
+                    Err(_) => break,
+                }
+            }
+            if sender.send_batch(std::mem::take(&mut batch)).await.is_err() {
+                break;
+            }
+        }
+    });
+    out_tx
+}

@@ -24,6 +24,14 @@
 //! "zero-overhead principle": nothing is imposed beyond what the use case
 //! needs.
 //!
+//! Both sides build their pending-request bookkeeping on the shared
+//! procedure-endpoint layer ([`endpoint`]): one outstanding-transaction
+//! table with per-procedure-class deadlines, bounded retransmission, and
+//! explicit terminal outcomes, plus connection supervisors that reconnect
+//! with capped exponential backoff and replay E2 Setup and live
+//! subscriptions, so iApps and RAN functions survive a controller or agent
+//! restart without code changes.
+//!
 //! ## Quick start
 //!
 //! See `examples/quickstart.rs` at the repository root: it starts a
@@ -31,10 +39,16 @@
 //! statistics service model, subscribes, and prints live statistics.
 
 pub mod agent;
+pub(crate) mod conn;
+pub mod endpoint;
 pub mod scratch;
 pub mod server;
 
 pub use agent::{Agent, AgentConfig, AgentCtx, AgentHandle, RanFunction, SubscriptionInfo};
+pub use endpoint::{
+    Backoff, E2apEndpoint, Procedure, ProcedureClass, ProcedureKey, ProcedureOutcome,
+    ProcedureTable, RetryPolicy,
+};
 pub use scratch::{EncodeScratch, Targets};
 pub use server::{
     AgentId, AgentInfo, IApp, IndicationRef, RanDb, RanEntity, Server, ServerApi, ServerConfig,

@@ -12,6 +12,20 @@
 //! communication and the server multiplexes messages between agents and
 //! iApps.
 //!
+//! ## Procedure robustness
+//!
+//! Every server-initiated E2AP procedure (subscription, subscription
+//! delete, control) is tracked in the shared procedure-endpoint layer
+//! ([`crate::endpoint`]): requests carry per-class deadlines, subscription
+//! requests are retransmitted under [`RetryPolicy`], and terminal failures
+//! surface to the owning iApp as [`SubOutcome::TimedOut`] /
+//! [`CtrlOutcome::TimedOut`] or the `ConnectionLost` variants instead of
+//! leaking state.  When an agent's connection drops, its identity and
+//! subscription intents are kept for [`ServerConfig::reconnect_grace_ms`];
+//! an agent presenting the same global E2 node id within the window is
+//! rebound to its old [`AgentId`] and every replayable subscription is
+//! re-issued — iApps keep their request ids and indications simply resume.
+//!
 //! ## The FB fast path
 //!
 //! When the connection codec is FlatBuffers-style, inbound indications are
@@ -33,12 +47,19 @@ use std::io;
 
 use bytes::Bytes;
 use tokio::sync::{broadcast, mpsc, oneshot};
+use tokio::task::JoinHandle;
 
 use flexric_codec::{CodecError, E2apCodec};
 use flexric_e2ap::*;
-use flexric_transport::{listen, Listener, SendHalf, TransportAddr, WireMsg};
+use flexric_transport::fault::FaultHandle;
+use flexric_transport::{listen, Listener, TransportAddr, WireMsg};
 
+use crate::endpoint::{E2apEndpoint, Procedure, ProcedureClass, ProcedureKey, RetryPolicy};
 use crate::scratch::{self, EncodeScratch, Targets};
+
+/// Consecutive undecodable PDUs from one agent before the server degrades
+/// the connection instead of continuing to parse garbage.
+const MAX_CONSECUTIVE_DECODE_ERRORS: u32 = 8;
 
 /// Configuration of a controller built on the server library.
 #[derive(Debug, Clone)]
@@ -52,16 +73,28 @@ pub struct ServerConfig {
     /// Internal tick period in milliseconds; `None` means the embedder
     /// drives time explicitly through [`ServerHandle::tick`].
     pub tick_ms: Option<u64>,
+    /// Deadlines and retransmission budget for tracked procedures.
+    pub retry: RetryPolicy,
+    /// How long a disconnected agent's identity and subscription intents
+    /// are kept for a reconnect-with-resubscribe; `0` disconnects
+    /// immediately.
+    pub reconnect_grace_ms: u64,
+    /// Fault injector applied to every outbound frame (robustness tests).
+    pub fault: Option<FaultHandle>,
 }
 
 impl ServerConfig {
-    /// A controller listening on one address, 100 ms internal ticks.
+    /// A controller listening on one address, 100 ms internal ticks, a
+    /// one-second reconnect grace window.
     pub fn new(ric_id: GlobalRicId, listen_addr: TransportAddr) -> Self {
         ServerConfig {
             ric_id,
             listen: vec![listen_addr],
             codec: E2apCodec::default(),
             tick_ms: Some(100),
+            retry: RetryPolicy::default(),
+            reconnect_grace_ms: 1_000,
+            fault: None,
         }
     }
 }
@@ -127,6 +160,24 @@ pub enum SubOutcome {
     Admitted(RicSubscriptionResponse),
     /// The agent rejected it.
     Failed(RicSubscriptionFailure),
+    /// No response within the deadline, after all retransmissions.
+    TimedOut {
+        /// The request that expired.
+        req_id: RicRequestId,
+        /// The RAN function it addressed.
+        ran_function: RanFunctionId,
+        /// How many times the request was sent.
+        attempts: u32,
+    },
+    /// The agent's connection dropped while the request was outstanding.
+    /// If the agent reconnects within the grace window the subscription is
+    /// re-issued automatically under the same request id.
+    ConnectionLost {
+        /// The request that was in flight.
+        req_id: RicRequestId,
+        /// The RAN function it addressed.
+        ran_function: RanFunctionId,
+    },
 }
 
 /// Outcome of a control request, delivered to the requesting iApp.
@@ -136,6 +187,22 @@ pub enum CtrlOutcome {
     Ack(RicControlAcknowledge),
     /// Failed.
     Failed(RicControlFailure),
+    /// No acknowledgement within the deadline.  Controls are never
+    /// retransmitted (they are not idempotent), so this only bounds the
+    /// wait.
+    TimedOut {
+        /// The request that expired.
+        req_id: RicRequestId,
+        /// The RAN function it addressed.
+        ran_function: RanFunctionId,
+    },
+    /// The agent's connection dropped while the request was outstanding.
+    ConnectionLost {
+        /// The request that was in flight.
+        req_id: RicRequestId,
+        /// The RAN function it addressed.
+        ran_function: RanFunctionId,
+    },
 }
 
 /// A controller-internal application: the unit of controller
@@ -150,6 +217,10 @@ pub trait IApp: Send {
     fn on_agent_connected(&mut self, _api: &mut ServerApi, _agent: &AgentInfo) {}
     /// An agent disconnected.
     fn on_agent_disconnected(&mut self, _api: &mut ServerApi, _agent: AgentId) {}
+    /// An agent reconnected within the grace window and was rebound to its
+    /// previous [`AgentId`]; its replayable subscriptions are being
+    /// re-issued under their original request ids.
+    fn on_agent_reconnected(&mut self, _api: &mut ServerApi, _agent: &AgentInfo) {}
     /// A RAN entity became complete (monolithic node, or CU+DU merged).
     fn on_ran_formed(&mut self, _api: &mut ServerApi, _ran: &RanEntity) {}
     /// Outcome of a subscription this iApp requested.
@@ -177,17 +248,34 @@ pub enum ServerEvent {
     AgentConnected(AgentInfo),
     /// An agent disconnected.
     AgentDisconnected(AgentId),
+    /// An agent reconnected within the grace window and kept its id.
+    AgentReconnected(AgentInfo),
     /// A RAN entity became complete.
     RanFormed(RanEntity),
 }
 
 struct ConnState {
     tx: mpsc::UnboundedSender<Bytes>,
-    alive: bool,
+    /// Distinguishes this connection from earlier ones under the same
+    /// [`AgentId`] (reconnects), so stale reader events are ignored.
+    epoch: u64,
+    reader: JoinHandle<()>,
+    /// Consecutive undecodable inbound PDUs; reset on any good PDU.
+    decode_errors: u32,
 }
 
-struct SubEntry {
+/// One subscription the server knows about: the routing entry plus the
+/// intent needed to replay it after a reconnect.
+struct SubState {
     iapp: usize,
+    ran_function: RanFunctionId,
+    event_trigger: Bytes,
+    actions: Vec<RicActionToBeSetup>,
+    /// Whether the agent has acknowledged it (on the current connection).
+    established: bool,
+    /// Whether the server owns the request and may re-issue it on
+    /// reconnect.  Claimed (forwarded) ids are routing-only.
+    replayable: bool,
 }
 
 /// Shared server state handed to iApps through [`ServerApi`].
@@ -195,25 +283,36 @@ struct ServerCore {
     codec: E2apCodec,
     ric_id: GlobalRicId,
     randb: RanDb,
-    subs: HashMap<(AgentId, RicRequestId), SubEntry>,
-    ctrl_reqs: HashMap<(AgentId, RicRequestId), usize>,
+    subs: HashMap<(AgentId, RicRequestId), SubState>,
+    /// The shared procedure endpoint: one outstanding-transaction table
+    /// for every server-initiated procedure, plus the id allocators.
+    endpoint: E2apEndpoint<AgentId, usize>,
     conns: HashMap<AgentId, ConnState>,
     outbox: Vec<(Targets<AgentId>, E2apPdu)>,
     scratch: EncodeScratch,
     custom_queue: Vec<(String, Box<dyn Any + Send>)>,
     events_tx: broadcast::Sender<ServerEvent>,
-    next_instance: u16,
     now_ms: u64,
     rx_msgs: u64,
     tx_msgs: u64,
     rx_bytes: u64,
     tx_bytes: u64,
+    retries: u64,
+    timeouts: u64,
+    reconnects: u64,
+    decode_errors: u64,
 }
 
 impl ServerCore {
     fn next_req_id(&mut self, iapp: usize) -> RicRequestId {
-        self.next_instance = self.next_instance.wrapping_add(1);
-        RicRequestId::new(iapp as u16 + 1, self.next_instance)
+        let requestor = iapp as u16 + 1;
+        let ServerCore { endpoint, subs, .. } = self;
+        // An instance is busy while its procedure is in flight *or* its
+        // subscription is live — established subscriptions outlive their
+        // table entry.
+        endpoint.alloc_request_id(requestor, |inst| {
+            subs.keys().any(|(_, r)| r.requestor == requestor && r.instance == inst)
+        })
     }
 }
 
@@ -241,6 +340,10 @@ impl ServerApi<'_> {
 
     /// Requests a subscription at `agent` for `ran_function`; indications
     /// will be delivered to this iApp.  Returns the assigned request id.
+    ///
+    /// The request is tracked in the procedure endpoint: it is
+    /// retransmitted per [`RetryPolicy`] if the response is lost, and the
+    /// iApp sees a terminal [`SubOutcome`] in every case.
     pub fn subscribe(
         &mut self,
         agent: AgentId,
@@ -249,16 +352,32 @@ impl ServerApi<'_> {
         actions: Vec<RicActionToBeSetup>,
     ) -> RicRequestId {
         let req_id = self.core.next_req_id(self.iapp);
-        self.core.subs.insert((agent, req_id), SubEntry { iapp: self.iapp });
-        self.core.outbox.push((
-            agent.into(),
-            E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
-                req_id,
+        let pdu = E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
+            req_id,
+            ran_function,
+            event_trigger: event_trigger.clone(),
+            actions: actions.clone(),
+        });
+        self.core.subs.insert(
+            (agent, req_id),
+            SubState {
+                iapp: self.iapp,
                 ran_function,
                 event_trigger,
                 actions,
-            }),
-        ));
+                established: false,
+                replayable: true,
+            },
+        );
+        self.core.endpoint.table.begin(
+            agent,
+            ProcedureKey::Ric(req_id),
+            ProcedureClass::Subscription,
+            Some(pdu.clone()),
+            self.iapp,
+            self.core.now_ms,
+        );
+        self.core.outbox.push((agent.into(), pdu));
         req_id
     }
 
@@ -284,28 +403,36 @@ impl ServerApi<'_> {
 
     /// Deletes a subscription.
     pub fn unsubscribe(&mut self, agent: AgentId, req_id: RicRequestId) {
-        if let Some(entry) = self.core.subs.get(&(agent, req_id)) {
-            if entry.iapp != self.iapp {
-                return; // not this iApp's subscription
-            }
-        }
-        if let Some(sub) = self.core.subs.remove(&(agent, req_id)) {
-            let ran_function = RanFunctionId::new(0); // resolved below
-            let _ = sub;
-            let _ = ran_function;
-        }
-        // The delete request needs the RAN function id; agents in this
-        // implementation resolve deletes by request id, so 0 is accepted.
-        self.core.outbox.push((
-            agent.into(),
-            E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
-                req_id,
-                ran_function: RanFunctionId::new(0),
-            }),
-        ));
+        let ran_function = match self.core.subs.get(&(agent, req_id)) {
+            Some(sub) if sub.iapp != self.iapp => return, // not this iApp's subscription
+            Some(sub) => sub.ran_function,
+            None => RanFunctionId::new(0),
+        };
+        self.core.subs.remove(&(agent, req_id));
+        // A still-pending subscription procedure under the same key is
+        // cancelled; the delete takes over the id.
+        self.core.endpoint.table.complete(agent, ProcedureKey::Ric(req_id));
+        let pdu = E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
+            req_id,
+            ran_function,
+        });
+        self.core.endpoint.table.begin(
+            agent,
+            ProcedureKey::Ric(req_id),
+            ProcedureClass::SubscriptionDelete,
+            Some(pdu.clone()),
+            self.iapp,
+            self.core.now_ms,
+        );
+        self.core.outbox.push((agent.into(), pdu));
     }
 
     /// Sends a control request; the outcome is delivered to this iApp.
+    ///
+    /// With `ack = Some(Ack)` the request carries a deadline and the iApp
+    /// is guaranteed a terminal [`CtrlOutcome`]; otherwise the entry only
+    /// routes whatever response the agent chooses to send.  Controls are
+    /// never retransmitted.
     pub fn control(
         &mut self,
         agent: AgentId,
@@ -315,18 +442,34 @@ impl ServerApi<'_> {
         ack: Option<ControlAckRequest>,
     ) -> RicRequestId {
         let req_id = self.core.next_req_id(self.iapp);
-        self.core.ctrl_reqs.insert((agent, req_id), self.iapp);
-        self.core.outbox.push((
-            agent.into(),
-            E2apPdu::RicControlRequest(RicControlRequest {
-                req_id,
-                ran_function,
-                call_process_id: None,
-                header,
-                message,
-                ack_request: ack,
-            }),
-        ));
+        let pdu = E2apPdu::RicControlRequest(RicControlRequest {
+            req_id,
+            ran_function,
+            call_process_id: None,
+            header,
+            message,
+            ack_request: ack,
+        });
+        if ack == Some(ControlAckRequest::Ack) {
+            self.core.endpoint.table.begin(
+                agent,
+                ProcedureKey::Ric(req_id),
+                ProcedureClass::Control,
+                Some(pdu.clone()),
+                self.iapp,
+                self.core.now_ms,
+            );
+        } else {
+            // A response is not guaranteed (no-ack / nack-only): track for
+            // routing but never expire.
+            self.core.endpoint.table.begin_untimed(
+                agent,
+                ProcedureKey::Ric(req_id),
+                ProcedureClass::Control,
+                self.iapp,
+            );
+        }
+        self.core.outbox.push((agent.into(), pdu));
         req_id
     }
 
@@ -346,16 +489,33 @@ impl ServerApi<'_> {
 
     /// Registers an externally chosen request id so indications and
     /// subscription outcomes for it are routed to this iApp (used by
-    /// relaying controllers that forward subscriptions verbatim).
+    /// relaying controllers that forward subscriptions verbatim).  The
+    /// forwarder owns the procedure lifecycle: the entry never times out
+    /// and is not replayed on reconnect.
     pub fn claim_request_id(&mut self, agent: AgentId, req_id: RicRequestId) {
-        self.core.subs.insert((agent, req_id), SubEntry { iapp: self.iapp });
+        self.core.subs.insert(
+            (agent, req_id),
+            SubState {
+                iapp: self.iapp,
+                ran_function: RanFunctionId::new(0),
+                event_trigger: Bytes::new(),
+                actions: Vec::new(),
+                established: false,
+                replayable: false,
+            },
+        );
     }
 
     /// Registers an externally chosen request id so control outcomes for
     /// it are routed to this iApp (relaying controllers forwarding control
-    /// requests verbatim).
+    /// requests verbatim).  Routing-only: the entry never times out.
     pub fn claim_control_id(&mut self, agent: AgentId, req_id: RicRequestId) {
-        self.core.ctrl_reqs.insert((agent, req_id), self.iapp);
+        self.core.endpoint.table.begin_untimed(
+            agent,
+            ProcedureKey::Ric(req_id),
+            ProcedureClass::Control,
+            self.iapp,
+        );
     }
 
     /// Sends a custom message to another iApp (dispatched after the current
@@ -389,7 +549,7 @@ pub struct ServerStats {
     pub rx_msgs: u64,
     /// Messages sent to agents.
     pub tx_msgs: u64,
-    /// Connected agents.
+    /// Connected agents (including agents in the reconnect grace window).
     pub agents: u64,
     /// Active subscriptions.
     pub subs: u64,
@@ -397,6 +557,14 @@ pub struct ServerStats {
     pub tx_bytes: u64,
     /// Bytes received from agents.
     pub rx_bytes: u64,
+    /// Procedure retransmissions sent.
+    pub retries: u64,
+    /// Procedures that expired terminally.
+    pub timeouts: u64,
+    /// Agents rebound to their old id after a reconnect.
+    pub reconnects: u64,
+    /// Inbound PDUs that failed to decode.
+    pub decode_errors: u64,
 }
 
 /// Handle to a running controller.
@@ -442,7 +610,8 @@ impl ServerHandle {
         rx.await.map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))
     }
 
-    /// Stops the controller.
+    /// Stops the controller.  Listeners are shut down with the event loop,
+    /// so the addresses can be re-bound by a restarted controller.
     pub fn stop(&self) {
         let _ = self.cmd.send(Cmd::Stop);
     }
@@ -450,12 +619,15 @@ impl ServerHandle {
 
 enum LoopEvent {
     NewAgent(E2SetupRequest, flexric_transport::Transport),
-    Inbound(AgentId, WireMsg),
-    Closed(AgentId),
+    Inbound(AgentId, u64, WireMsg),
+    Closed(AgentId, u64),
     Cmd(Cmd),
 }
 
 /// The controller runtime.
+///
+/// Procedure tracking, retransmission, and reconnect handling live in the
+/// shared endpoint layer — see [`crate::endpoint`] and the module docs.
 pub struct Server;
 
 impl Server {
@@ -474,11 +646,13 @@ impl Server {
             listeners.push(l);
         }
         // Accept tasks: perform the setup *read* off the event loop, then
-        // hand the transport plus the parsed request to the loop.
+        // hand the transport plus the parsed request to the loop.  The
+        // handles are kept so stopping the server frees the addresses.
+        let mut listener_tasks = Vec::new();
         for mut l in listeners {
             let evt = evt_tx.clone();
             let codec = cfg.codec;
-            tokio::spawn(async move {
+            listener_tasks.push(tokio::spawn(async move {
                 loop {
                     let Ok(mut transport) = l.accept().await else { break };
                     let evt = evt.clone();
@@ -494,7 +668,7 @@ impl Server {
                         }
                     });
                 }
-            });
+            }));
         }
 
         let core = ServerCore {
@@ -502,20 +676,33 @@ impl Server {
             ric_id: cfg.ric_id,
             randb: RanDb::new(),
             subs: HashMap::new(),
-            ctrl_reqs: HashMap::new(),
+            endpoint: E2apEndpoint::new(cfg.retry),
             conns: HashMap::new(),
             outbox: Vec::new(),
             scratch: EncodeScratch::with_capacity(4096),
             custom_queue: Vec::new(),
             events_tx: events_tx.clone(),
-            next_instance: 0,
             now_ms: 0,
             rx_msgs: 0,
             tx_msgs: 0,
             rx_bytes: 0,
             tx_bytes: 0,
+            retries: 0,
+            timeouts: 0,
+            reconnects: 0,
+            decode_errors: 0,
         };
-        let runtime = ServerRuntime { core, iapps, next_agent: 0, evt_tx: evt_tx.clone() };
+        let runtime = ServerRuntime {
+            core,
+            iapps,
+            next_agent: 0,
+            next_epoch: 0,
+            evt_tx: evt_tx.clone(),
+            offline: HashMap::new(),
+            grace_ms: cfg.reconnect_grace_ms,
+            fault: cfg.fault.clone(),
+            listener_tasks,
+        };
         tokio::spawn(runtime.run(cfg.tick_ms, evt_rx, cmd_rx));
         Ok(ServerHandle { cmd: cmd_tx, events_tx, addrs: bound })
     }
@@ -525,7 +712,13 @@ struct ServerRuntime {
     core: ServerCore,
     iapps: Vec<Box<dyn IApp>>,
     next_agent: AgentId,
+    next_epoch: u64,
     evt_tx: mpsc::UnboundedSender<LoopEvent>,
+    /// Disconnected agents kept for a rebind: grace deadline per agent.
+    offline: HashMap<AgentId, u64>,
+    grace_ms: u64,
+    fault: Option<FaultHandle>,
+    listener_tasks: Vec<JoinHandle<()>>,
 }
 
 impl ServerRuntime {
@@ -561,14 +754,25 @@ impl ServerRuntime {
             };
             match event {
                 LoopEvent::NewAgent(req, transport) => self.handle_new_agent(req, transport),
-                LoopEvent::Inbound(agent, msg) => {
+                LoopEvent::Inbound(agent, epoch, msg) => {
+                    if !self.core.conns.get(&agent).is_some_and(|c| c.epoch == epoch) {
+                        continue; // stale reader of a replaced connection
+                    }
                     self.core.rx_msgs += 1;
                     self.core.rx_bytes += msg.payload.len() as u64;
-                    self.handle_inbound(agent, &msg.payload);
+                    match self.handle_inbound(agent, &msg.payload) {
+                        Ok(()) => {
+                            if let Some(c) = self.core.conns.get_mut(&agent) {
+                                c.decode_errors = 0;
+                            }
+                        }
+                        Err(_) => self.on_decode_error(agent),
+                    }
                 }
-                LoopEvent::Closed(agent) => self.handle_closed(agent),
+                LoopEvent::Closed(agent, epoch) => self.handle_closed(agent, epoch),
                 LoopEvent::Cmd(Cmd::Tick(now)) => {
                     self.core.now_ms = now;
+                    self.tick_procedures(now);
                     self.for_all(|iapp, api| iapp.on_tick(api, now));
                 }
                 LoopEvent::Cmd(Cmd::ToIApp(name, msg)) => self.dispatch_custom(name, msg),
@@ -583,11 +787,23 @@ impl ServerRuntime {
                         subs: self.core.subs.len() as u64,
                         tx_bytes: self.core.tx_bytes,
                         rx_bytes: self.core.rx_bytes,
+                        retries: self.core.retries,
+                        timeouts: self.core.timeouts,
+                        reconnects: self.core.reconnects,
+                        decode_errors: self.core.decode_errors,
                     });
                 }
                 LoopEvent::Cmd(Cmd::Stop) => break,
             }
             self.flush();
+        }
+        // Free the listen addresses and reader tasks so a restarted
+        // controller can bind the same endpoints.
+        for t in &self.listener_tasks {
+            t.abort();
+        }
+        for (_, conn) in self.core.conns.drain() {
+            conn.reader.abort();
         }
     }
 
@@ -635,45 +851,58 @@ impl ServerRuntime {
         self.drain_custom();
     }
 
-    fn handle_new_agent(&mut self, req: E2SetupRequest, transport: flexric_transport::Transport) {
-        let agent_id = self.next_agent;
-        self.next_agent += 1;
+    /// Spawns the writer/reader tasks for a new connection and registers
+    /// it under `agent_id`.  Returns the transport peer description.
+    fn spawn_conn(&mut self, agent_id: AgentId, transport: flexric_transport::Transport) -> String {
         let peer = transport.peer();
-        let (out_tx, mut out_rx) = mpsc::unbounded_channel::<Bytes>();
-        let (mut send_half, mut recv_half): (SendHalf, _) = transport.split();
-        tokio::spawn(async move {
-            let mut batch = Vec::with_capacity(8);
-            while let Some(buf) = out_rx.recv().await {
-                batch.push(WireMsg::e2ap(buf));
-                // Coalesce everything already queued into one flush.
-                while batch.len() < 64 {
-                    match out_rx.try_recv() {
-                        Ok(buf) => batch.push(WireMsg::e2ap(buf)),
-                        Err(_) => break,
-                    }
-                }
-                if send_half.send_batch(std::mem::take(&mut batch)).await.is_err() {
-                    break;
-                }
-            }
-        });
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        let (send_half, mut recv_half) = transport.split();
+        let tx = crate::conn::spawn_writer(send_half, self.fault.clone());
         let evt = self.evt_tx.clone();
-        tokio::spawn(async move {
+        let reader = tokio::spawn(async move {
             loop {
                 match recv_half.recv().await {
                     Ok(Some(msg)) => {
-                        if evt.send(LoopEvent::Inbound(agent_id, msg)).is_err() {
+                        if evt.send(LoopEvent::Inbound(agent_id, epoch, msg)).is_err() {
                             break;
                         }
                     }
                     Ok(None) | Err(_) => {
-                        let _ = evt.send(LoopEvent::Closed(agent_id));
+                        let _ = evt.send(LoopEvent::Closed(agent_id, epoch));
                         break;
                     }
                 }
             }
         });
-        self.core.conns.insert(agent_id, ConnState { tx: out_tx, alive: true });
+        self.core.conns.insert(agent_id, ConnState { tx, epoch, reader, decode_errors: 0 });
+        peer
+    }
+
+    fn handle_new_agent(&mut self, req: E2SetupRequest, transport: flexric_transport::Transport) {
+        // An agent presenting a known global E2 node id is rebound to its
+        // previous AgentId: a reconnect, not a new node.
+        let known = self.core.randb.agents().find(|i| i.node == req.global_node).map(|i| i.id);
+        let (agent_id, reconnect) = match known {
+            Some(id) => {
+                if self.offline.remove(&id).is_none() {
+                    // Reconnect raced ahead of the close of the previous
+                    // connection: replace it.
+                    if let Some(old) = self.core.conns.remove(&id) {
+                        old.reader.abort();
+                    }
+                    let lost = self.core.endpoint.table.connection_lost(id);
+                    self.deliver_terminals(lost, false);
+                }
+                (id, true)
+            }
+            None => {
+                let id = self.next_agent;
+                self.next_agent += 1;
+                (id, false)
+            }
+        };
+        let peer = self.spawn_conn(agent_id, transport);
 
         let info = AgentInfo {
             id: agent_id,
@@ -692,31 +921,173 @@ impl ServerRuntime {
             }),
         ));
         let formed = self.core.randb.add_agent(info.clone());
-        let _ = self.core.events_tx.send(ServerEvent::AgentConnected(info.clone()));
-        self.for_all(|iapp, api| iapp.on_agent_connected(api, &info));
+        if reconnect {
+            self.core.reconnects += 1;
+            let _ = self.core.events_tx.send(ServerEvent::AgentReconnected(info.clone()));
+            self.for_all(|iapp, api| iapp.on_agent_reconnected(api, &info));
+            self.replay_subscriptions(agent_id);
+        } else {
+            let _ = self.core.events_tx.send(ServerEvent::AgentConnected(info.clone()));
+            self.for_all(|iapp, api| iapp.on_agent_connected(api, &info));
+        }
         if let Some(entity) = formed {
             let _ = self.core.events_tx.send(ServerEvent::RanFormed(entity.clone()));
             self.for_all(|iapp, api| iapp.on_ran_formed(api, &entity));
         }
     }
 
-    fn handle_closed(&mut self, agent: AgentId) {
-        if let Some(conn) = self.core.conns.get_mut(&agent) {
-            conn.alive = false;
+    /// Re-issues every replayable subscription intent toward a rebound
+    /// agent under its original request id.
+    fn replay_subscriptions(&mut self, agent: AgentId) {
+        let now = self.core.now_ms;
+        let ServerCore { subs, endpoint, outbox, .. } = &mut self.core;
+        for ((a, req_id), sub) in subs.iter_mut() {
+            if *a != agent || !sub.replayable {
+                continue;
+            }
+            sub.established = false;
+            let pdu = E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
+                req_id: *req_id,
+                ran_function: sub.ran_function,
+                event_trigger: sub.event_trigger.clone(),
+                actions: sub.actions.clone(),
+            });
+            if endpoint.table.begin(
+                agent,
+                ProcedureKey::Ric(*req_id),
+                ProcedureClass::Subscription,
+                Some(pdu.clone()),
+                sub.iapp,
+                now,
+            ) {
+                outbox.push((Targets::One(agent), pdu));
+            }
         }
+    }
+
+    fn handle_closed(&mut self, agent: AgentId, epoch: u64) {
+        match self.core.conns.get(&agent) {
+            Some(conn) if conn.epoch == epoch => {}
+            _ => return, // stale notification from a replaced connection
+        }
+        if let Some(conn) = self.core.conns.remove(&agent) {
+            conn.reader.abort();
+        }
+        // Every procedure in flight toward the agent terminates now.
+        let lost = self.core.endpoint.table.connection_lost(agent);
+        self.deliver_terminals(lost, false);
+        if self.core.randb.agent(agent).is_none() {
+            return;
+        }
+        if self.grace_ms > 0 {
+            // Keep the identity and the subscription intents for a rebind;
+            // the grace deadline is enforced on ticks.
+            for ((a, _), sub) in self.core.subs.iter_mut() {
+                if *a == agent {
+                    sub.established = false;
+                }
+            }
+            self.offline.insert(agent, self.core.now_ms.saturating_add(self.grace_ms));
+        } else {
+            self.finalize_disconnect(agent);
+        }
+    }
+
+    /// The agent is gone for good: drop its subscriptions and identity and
+    /// tell the world.
+    fn finalize_disconnect(&mut self, agent: AgentId) {
+        self.offline.remove(&agent);
         self.core.subs.retain(|(a, _), _| *a != agent);
-        self.core.ctrl_reqs.retain(|(a, _), _| *a != agent);
+        if let Some(conn) = self.core.conns.remove(&agent) {
+            conn.reader.abort();
+        }
         if self.core.randb.remove_agent(agent).is_some() {
             let _ = self.core.events_tx.send(ServerEvent::AgentDisconnected(agent));
             self.for_all(|iapp, api| iapp.on_agent_disconnected(api, agent));
         }
-        self.core.conns.remove(&agent);
     }
 
-    fn handle_inbound(&mut self, agent: AgentId, raw: &[u8]) {
+    /// Drives the procedure table: retransmits due requests, delivers
+    /// terminal timeouts, and expires reconnect grace windows.
+    fn tick_procedures(&mut self, now: u64) {
+        let timed_out = {
+            let ServerCore { endpoint, outbox, retries, .. } = &mut self.core;
+            endpoint.table.poll(now, |agent, pdu| {
+                *retries += 1;
+                outbox.push((Targets::One(agent), pdu.clone()));
+            })
+        };
+        self.deliver_terminals(timed_out, true);
+        let expired: Vec<AgentId> =
+            self.offline.iter().filter(|(_, dl)| now >= **dl).map(|(a, _)| *a).collect();
+        for agent in expired {
+            self.finalize_disconnect(agent);
+        }
+    }
+
+    /// Delivers terminal outcomes for procedures that died without a
+    /// response — timed out (`timed_out`) or severed with the connection.
+    fn deliver_terminals(&mut self, procs: Vec<Procedure<AgentId, usize>>, timed_out: bool) {
+        for proc in procs {
+            if timed_out {
+                self.core.timeouts += 1;
+            }
+            let agent = proc.peer;
+            let ProcedureKey::Ric(req_id) = proc.key else { continue };
+            let ran_function = proc.ran_function().unwrap_or(RanFunctionId::new(0));
+            match proc.class {
+                ProcedureClass::Subscription => {
+                    let out = if timed_out {
+                        // The agent is reachable but unresponsive for this
+                        // request: the intent dies with it.
+                        self.core.subs.remove(&(agent, req_id));
+                        SubOutcome::TimedOut { req_id, ran_function, attempts: proc.attempts }
+                    } else {
+                        SubOutcome::ConnectionLost { req_id, ran_function }
+                    };
+                    self.for_one(proc.user, |iapp, api| {
+                        iapp.on_subscription_outcome(api, agent, &out)
+                    });
+                }
+                ProcedureClass::Control => {
+                    let out = if timed_out {
+                        CtrlOutcome::TimedOut { req_id, ran_function }
+                    } else {
+                        CtrlOutcome::ConnectionLost { req_id, ran_function }
+                    };
+                    self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
+                }
+                // Subscription deletes and global procedures have no
+                // iApp-visible outcome; the counter above records them.
+                _ => {}
+            }
+        }
+    }
+
+    /// An inbound PDU failed to decode: count it, report it to the peer,
+    /// and degrade the connection if the peer keeps sending garbage.
+    fn on_decode_error(&mut self, agent: AgentId) {
+        self.core.decode_errors += 1;
+        self.core.outbox.push((
+            agent.into(),
+            E2apPdu::ErrorIndication(ErrorIndication {
+                req_id: None,
+                ran_function: None,
+                cause: Some(Cause::Protocol(ProtocolCause::TransferSyntaxError)),
+            }),
+        ));
+        let Some(conn) = self.core.conns.get_mut(&agent) else { return };
+        conn.decode_errors += 1;
+        if conn.decode_errors >= MAX_CONSECUTIVE_DECODE_ERRORS {
+            let epoch = conn.epoch;
+            self.handle_closed(agent, epoch);
+        }
+    }
+
+    fn handle_inbound(&mut self, agent: AgentId, raw: &[u8]) -> Result<(), CodecError> {
         // FB fast path: peek is O(1); only indications stay undecoded.
         if self.core.codec == E2apCodec::Flatb {
-            let Ok(hdr) = self.core.codec.peek(raw) else { return };
+            let hdr = self.core.codec.peek(raw)?;
             if hdr.msg_type == MsgType::RicIndication {
                 let req_id = hdr.req_id.unwrap_or_default();
                 if let Some(entry) = self.core.subs.get(&(agent, req_id)) {
@@ -724,10 +1095,10 @@ impl ServerRuntime {
                     let ind = IndicationRef::Raw { raw, hdr };
                     self.for_one(idx, |iapp, api| iapp.on_indication(api, agent, &ind));
                 }
-                return;
+                return Ok(());
             }
         }
-        let Ok(pdu) = self.core.codec.decode(raw) else { return };
+        let pdu = self.core.codec.decode(raw)?;
         match pdu {
             E2apPdu::RicIndication(ind) => {
                 if let Some(entry) = self.core.subs.get(&(agent, ind.req_id)) {
@@ -737,35 +1108,54 @@ impl ServerRuntime {
                 }
             }
             E2apPdu::RicSubscriptionResponse(resp) => {
-                if let Some(entry) = self.core.subs.get(&(agent, resp.req_id)) {
-                    let idx = entry.iapp;
-                    let out = SubOutcome::Admitted(resp);
-                    self.for_one(idx, |iapp, api| iapp.on_subscription_outcome(api, agent, &out));
+                let proc = self.core.endpoint.table.complete(agent, ProcedureKey::Ric(resp.req_id));
+                if let Some(sub) = self.core.subs.get_mut(&(agent, resp.req_id)) {
+                    // A retransmitted request may be acknowledged more than
+                    // once; only the first response is delivered.  Claimed
+                    // (forwarded) ids have no tracked procedure and always
+                    // pass through.
+                    let fresh = proc.is_some() || !sub.replayable;
+                    sub.established = true;
+                    let idx = sub.iapp;
+                    if fresh {
+                        let out = SubOutcome::Admitted(resp);
+                        self.for_one(idx, |iapp, api| {
+                            iapp.on_subscription_outcome(api, agent, &out)
+                        });
+                    }
                 }
             }
             E2apPdu::RicSubscriptionFailure(fail) => {
-                if let Some(entry) = self.core.subs.remove(&(agent, fail.req_id)) {
-                    let idx = entry.iapp;
+                self.core.endpoint.table.complete(agent, ProcedureKey::Ric(fail.req_id));
+                if let Some(sub) = self.core.subs.remove(&(agent, fail.req_id)) {
                     let out = SubOutcome::Failed(fail);
-                    self.for_one(idx, |iapp, api| iapp.on_subscription_outcome(api, agent, &out));
+                    self.for_one(sub.iapp, |iapp, api| {
+                        iapp.on_subscription_outcome(api, agent, &out)
+                    });
                 }
             }
             E2apPdu::RicSubscriptionDeleteResponse(resp) => {
+                self.core.endpoint.table.complete(agent, ProcedureKey::Ric(resp.req_id));
                 self.core.subs.remove(&(agent, resp.req_id));
             }
             E2apPdu::RicSubscriptionDeleteFailure(fail) => {
+                self.core.endpoint.table.complete(agent, ProcedureKey::Ric(fail.req_id));
                 self.core.subs.remove(&(agent, fail.req_id));
             }
             E2apPdu::RicControlAcknowledge(ack) => {
-                if let Some(idx) = self.core.ctrl_reqs.remove(&(agent, ack.req_id)) {
+                if let Some(proc) =
+                    self.core.endpoint.table.complete(agent, ProcedureKey::Ric(ack.req_id))
+                {
                     let out = CtrlOutcome::Ack(ack);
-                    self.for_one(idx, |iapp, api| iapp.on_control_outcome(api, agent, &out));
+                    self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
                 }
             }
             E2apPdu::RicControlFailure(fail) => {
-                if let Some(idx) = self.core.ctrl_reqs.remove(&(agent, fail.req_id)) {
+                if let Some(proc) =
+                    self.core.endpoint.table.complete(agent, ProcedureKey::Ric(fail.req_id))
+                {
                     let out = CtrlOutcome::Failed(fail);
-                    self.for_one(idx, |iapp, api| iapp.on_control_outcome(api, agent, &out));
+                    self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
                 }
             }
             E2apPdu::RicServiceUpdate(upd) => {
@@ -797,7 +1187,11 @@ impl ServerRuntime {
             }
             E2apPdu::ErrorIndication(_) | E2apPdu::ResetResponse(_) => {}
             E2apPdu::ResetRequest(req) => {
+                // The agent wiped its subscription state: drop intents and
+                // terminate everything in flight toward it.
                 self.core.subs.retain(|(a, _), _| *a != agent);
+                let lost = self.core.endpoint.table.connection_lost(agent);
+                self.deliver_terminals(lost, false);
                 self.core.outbox.push((
                     agent.into(),
                     E2apPdu::ResetResponse(ResetResponse { transaction_id: req.transaction_id }),
@@ -805,6 +1199,7 @@ impl ServerRuntime {
             }
             _ => {}
         }
+        Ok(())
     }
 
     fn flush(&mut self) {
@@ -814,9 +1209,6 @@ impl ServerRuntime {
         let (conns, tx_msgs, tx_bytes) = (&core.conns, &mut core.tx_msgs, &mut core.tx_bytes);
         scratch::flush_outbox(&mut core.scratch, core.codec, &mut core.outbox, |agent, frame| {
             let Some(conn) = conns.get(&agent) else { return };
-            if !conn.alive {
-                return;
-            }
             *tx_msgs += 1;
             *tx_bytes += frame.len() as u64;
             let _ = conn.tx.send(frame);

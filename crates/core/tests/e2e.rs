@@ -151,7 +151,9 @@ impl IApp for TestApp {
     fn on_subscription_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, out: &SubOutcome) {
         match out {
             SubOutcome::Admitted(_) => self.state.lock().admitted += 1,
-            SubOutcome::Failed(_) => self.state.lock().failed += 1,
+            SubOutcome::Failed(_)
+            | SubOutcome::TimedOut { .. }
+            | SubOutcome::ConnectionLost { .. } => self.state.lock().failed += 1,
         }
     }
 
@@ -173,7 +175,11 @@ impl IApp for TestApp {
                 let s = ack.outcome.as_ref().map(|o| String::from_utf8_lossy(o).to_string());
                 self.state.lock().ctrl_acks.push(s.unwrap_or_default());
             }
-            flexric::server::CtrlOutcome::Failed(_) => self.state.lock().ctrl_fails += 1,
+            flexric::server::CtrlOutcome::Failed(_)
+            | flexric::server::CtrlOutcome::TimedOut { .. }
+            | flexric::server::CtrlOutcome::ConnectionLost { .. } => {
+                self.state.lock().ctrl_fails += 1
+            }
         }
     }
 
@@ -390,6 +396,9 @@ async fn subscription_to_unknown_function_fails() {
                         "expected invalid function cause"
                     );
                     self.state.lock().failed += 1;
+                }
+                SubOutcome::TimedOut { .. } | SubOutcome::ConnectionLost { .. } => {
+                    panic!("unexpected endpoint terminal for rejected subscription")
                 }
             }
         }

@@ -1,0 +1,349 @@
+//! Robustness tests for the shared procedure-endpoint layer: message loss
+//! with deterministic fault injection, controller restarts, and agent
+//! reconnects within the server's grace window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use flexric::agent::{
+    Agent, AgentConfig, AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo,
+};
+use flexric::server::{
+    AgentId, AgentInfo, IApp, IndicationRef, Server, ServerApi, ServerConfig, ServerEvent,
+    SubOutcome,
+};
+use flexric_e2ap::*;
+use flexric_sm::{hw::HwPing, ReportTrigger, SmCodec};
+use flexric_transport::fault::{FaultConfig, FaultHandle};
+use flexric_transport::TransportAddr;
+
+fn node(id: u64) -> GlobalE2NodeId {
+    GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, id)
+}
+
+fn ric() -> GlobalRicId {
+    GlobalRicId::new(Plmn::TEST, 1)
+}
+
+async fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..500 {
+        if cond() {
+            return;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    panic!("timeout waiting for {what}");
+}
+
+// ---------------------------------------------------------------------------
+// Minimal periodic-report RAN function (id 7)
+// ---------------------------------------------------------------------------
+
+struct PingFn {
+    subs: PeriodicSubs,
+    sm_codec: SmCodec,
+    seq: u32,
+}
+
+impl PingFn {
+    fn new(sm_codec: SmCodec) -> Self {
+        PingFn { subs: PeriodicSubs::new(), sm_codec, seq: 0 }
+    }
+}
+
+impl RanFunction for PingFn {
+    fn id(&self) -> RanFunctionId {
+        RanFunctionId::new(7)
+    }
+    fn oid(&self) -> String {
+        "test.ping".into()
+    }
+    fn definition(&self) -> Bytes {
+        Bytes::from_static(b"ping-def")
+    }
+    fn on_subscription(
+        &mut self,
+        ctx: &mut AgentCtx,
+        sub: &SubscriptionInfo,
+        _req: &RicSubscriptionRequest,
+    ) -> Result<(), Cause> {
+        self.subs.admit(sub, self.sm_codec, ctx.now_ms)
+    }
+    fn on_subscription_delete(&mut self, _ctx: &mut AgentCtx, ctrl: CtrlId, req_id: RicRequestId) {
+        self.subs.remove(ctrl, req_id);
+    }
+    fn on_control(
+        &mut self,
+        _ctx: &mut AgentCtx,
+        _ctrl: CtrlId,
+        _req: &RicControlRequest,
+    ) -> Result<Option<Bytes>, Cause> {
+        Ok(None)
+    }
+    fn on_tick(&mut self, ctx: &mut AgentCtx) {
+        let seq = &mut self.seq;
+        let now = ctx.now_ms;
+        let mut due: Vec<SubscriptionInfo> = Vec::new();
+        self.subs.for_due(now, |sub, _| due.push(sub.clone()));
+        for sub in due {
+            *seq += 1;
+            let ping = HwPing { seq: *seq, tstamp_ns: now * 1_000_000, payload: Bytes::new() };
+            let msg = Bytes::from(ping.encode(self.sm_codec));
+            ctx.send_indication(&sub, Some(*seq), Bytes::new(), msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording iApp
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct RobState {
+    connected: u64,
+    reconnected: u64,
+    admitted: u64,
+    failed: u64,
+    timed_out: u64,
+    lost: u64,
+    last_agent: Option<AgentId>,
+}
+
+struct RobApp {
+    sm_codec: SmCodec,
+    period_ms: u32,
+    auto_subscribe: bool,
+    state: Arc<Mutex<RobState>>,
+    ind_count: Arc<AtomicU64>,
+}
+
+enum RobCmd {
+    Subscribe(AgentId),
+}
+
+impl RobApp {
+    fn subscribe(&self, api: &mut ServerApi, agent: AgentId) {
+        let trigger = Bytes::from(ReportTrigger::every_ms(self.period_ms).encode(self.sm_codec));
+        api.subscribe_report(agent, RanFunctionId::new(7), trigger);
+    }
+}
+
+impl IApp for RobApp {
+    fn name(&self) -> &str {
+        "rob-app"
+    }
+
+    fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
+        {
+            let mut st = self.state.lock();
+            st.connected += 1;
+            st.last_agent = Some(agent.id);
+        }
+        if self.auto_subscribe {
+            self.subscribe(api, agent.id);
+        }
+    }
+
+    fn on_agent_reconnected(&mut self, _api: &mut ServerApi, agent: &AgentInfo) {
+        let mut st = self.state.lock();
+        st.reconnected += 1;
+        st.last_agent = Some(agent.id);
+    }
+
+    fn on_subscription_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, out: &SubOutcome) {
+        let mut st = self.state.lock();
+        match out {
+            SubOutcome::Admitted(_) => st.admitted += 1,
+            SubOutcome::Failed(_) => st.failed += 1,
+            SubOutcome::TimedOut { .. } => st.timed_out += 1,
+            SubOutcome::ConnectionLost { .. } => st.lost += 1,
+        }
+    }
+
+    fn on_indication(&mut self, _api: &mut ServerApi, _agent: AgentId, _ind: &IndicationRef) {
+        self.ind_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn std::any::Any + Send>) {
+        if let Ok(cmd) = msg.downcast::<RobCmd>() {
+            let RobCmd::Subscribe(agent) = *cmd;
+            self.subscribe(api, agent);
+        }
+    }
+}
+
+fn mk_app(auto_subscribe: bool, period_ms: u32) -> (RobApp, Arc<Mutex<RobState>>, Arc<AtomicU64>) {
+    let state = Arc::new(Mutex::new(RobState::default()));
+    let ind_count = Arc::new(AtomicU64::new(0));
+    let app = RobApp {
+        sm_codec: SmCodec::Flatb,
+        period_ms,
+        auto_subscribe,
+        state: state.clone(),
+        ind_count: ind_count.clone(),
+    };
+    (app, state, ind_count)
+}
+
+// ---------------------------------------------------------------------------
+// 1. A lost RIC Subscription Request is retransmitted until admitted.
+// ---------------------------------------------------------------------------
+
+#[tokio::test]
+async fn lost_subscription_request_is_retransmitted() {
+    let fault = FaultHandle::new(FaultConfig::default());
+    let (app, state, ind_count) = mk_app(false, 1);
+
+    let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("rob-retry".into()));
+    cfg.tick_ms = Some(5);
+    cfg.fault = Some(fault.clone());
+    let server = Server::spawn(cfg, vec![Box::new(app)]).await.expect("server");
+
+    let mut acfg = AgentConfig::new(node(1), server.addrs[0].clone());
+    acfg.tick_ms = Some(1);
+    let agent = Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap();
+
+    wait_until(|| state.lock().connected == 1, "agent connected").await;
+    let agent_id = state.lock().last_agent.unwrap();
+
+    // Swallow the next outbound frame — the subscription request — then
+    // ask the iApp to subscribe.
+    fault.drop_next(1);
+    server.to_iapp("rob-app", Box::new(RobCmd::Subscribe(agent_id)));
+
+    // The endpoint layer retransmits after the subscription deadline and
+    // the retry goes through.
+    wait_until(|| state.lock().admitted == 1, "subscription admitted after retry").await;
+    wait_until(|| ind_count.load(Ordering::Relaxed) >= 3, "indications flowing").await;
+
+    assert_eq!(fault.stats().dropped, 1, "exactly the targeted frame was dropped");
+    let stats = server.stats().await.unwrap();
+    assert!(stats.retries >= 1, "expected at least one retransmission, got {}", stats.retries);
+    assert_eq!(state.lock().timed_out, 0);
+    assert_eq!(state.lock().failed, 0);
+
+    agent.stop();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// 2. Controller restart: the agent's supervisor redials and the restarted
+//    controller's iApps resubscribe — indications resume.
+// ---------------------------------------------------------------------------
+
+#[tokio::test]
+async fn controller_restart_agent_reconnects_and_resubscribes() {
+    let (app_a, state_a, ind_a) = mk_app(true, 1);
+    let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("rob-restart".into()));
+    cfg.tick_ms = Some(5);
+    let server_a = Server::spawn(cfg, vec![Box::new(app_a)]).await.expect("server A");
+    let addr = server_a.addrs[0].clone();
+
+    let mut acfg = AgentConfig::new(node(2), addr.clone());
+    acfg.tick_ms = Some(1);
+    let agent = Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap();
+
+    wait_until(|| state_a.lock().admitted == 1, "initial subscription").await;
+    wait_until(|| ind_a.load(Ordering::Relaxed) >= 5, "initial indications").await;
+
+    // Kill the controller; the agent's supervisor starts redialing.
+    server_a.stop();
+
+    // A new controller comes up on the same address.  The old listener is
+    // torn down asynchronously, so retry the bind until it frees up.
+    let state_b = Arc::new(Mutex::new(RobState::default()));
+    let ind_b = Arc::new(AtomicU64::new(0));
+    let mut server_b = None;
+    for _ in 0..200 {
+        let app_b = RobApp {
+            sm_codec: SmCodec::Flatb,
+            period_ms: 1,
+            auto_subscribe: true,
+            state: state_b.clone(),
+            ind_count: ind_b.clone(),
+        };
+        let mut cfg = ServerConfig::new(ric(), addr.clone());
+        cfg.tick_ms = Some(5);
+        match Server::spawn(cfg, vec![Box::new(app_b)]).await {
+            Ok(s) => {
+                server_b = Some(s);
+                break;
+            }
+            Err(_) => tokio::time::sleep(Duration::from_millis(10)).await,
+        }
+    }
+    let server_b = server_b.expect("server B bound the freed address");
+
+    // The agent reconnects, the new controller subscribes afresh, and
+    // indications resume.
+    wait_until(|| state_b.lock().admitted == 1, "resubscribed after restart").await;
+    wait_until(|| ind_b.load(Ordering::Relaxed) >= 5, "indications after restart").await;
+
+    let astats = agent.stats().await.unwrap();
+    assert!(astats.reconnects >= 1, "supervisor reconnected, got {}", astats.reconnects);
+    assert_eq!(astats.controllers, 1);
+    assert_eq!(astats.active_subs, 1);
+
+    agent.stop();
+    server_b.stop();
+}
+
+// ---------------------------------------------------------------------------
+// 3. Agent drop + return within the grace window: same AgentId, the
+//    server replays the subscription intent, AgentReconnected fires.
+// ---------------------------------------------------------------------------
+
+#[tokio::test]
+async fn agent_reconnect_within_grace_replays_subscriptions() {
+    let (app, state, ind_count) = mk_app(true, 1);
+    let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("rob-grace".into()));
+    cfg.tick_ms = Some(5);
+    cfg.reconnect_grace_ms = 2_000;
+    let server = Server::spawn(cfg, vec![Box::new(app)]).await.expect("server");
+    let addr = server.addrs[0].clone();
+    let mut events = server.events();
+
+    let mut acfg = AgentConfig::new(node(42), addr.clone());
+    acfg.tick_ms = Some(1);
+    let first = Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap();
+
+    wait_until(|| state.lock().admitted == 1, "initial subscription").await;
+    let first_id = state.lock().last_agent.unwrap();
+    first.stop();
+
+    // Same E2 node returns within the grace window.
+    let mut acfg = AgentConfig::new(node(42), addr);
+    acfg.tick_ms = Some(1);
+    let second = Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap();
+
+    wait_until(|| state.lock().reconnected == 1, "reconnect detected").await;
+    assert_eq!(state.lock().last_agent, Some(first_id), "agent kept its id");
+    assert_eq!(state.lock().connected, 1, "on_agent_connected fired only once");
+
+    // The replayed subscription is re-admitted and indications resume.
+    wait_until(|| state.lock().admitted == 2, "replayed subscription admitted").await;
+    let before = ind_count.load(Ordering::Relaxed);
+    wait_until(|| ind_count.load(Ordering::Relaxed) >= before + 3, "indications after reconnect")
+        .await;
+
+    let sstats = server.stats().await.unwrap();
+    assert_eq!(sstats.reconnects, 1);
+    assert_eq!(sstats.agents, 1);
+    assert_eq!(sstats.subs, 1);
+
+    let mut saw_reconnected = false;
+    while let Ok(ev) = events.try_recv() {
+        if let ServerEvent::AgentReconnected(info) = ev {
+            assert_eq!(info.id, first_id);
+            saw_reconnected = true;
+        }
+    }
+    assert!(saw_reconnected, "AgentReconnected published on event stream");
+
+    second.stop();
+    server.stop();
+}

@@ -109,6 +109,16 @@ impl IApp for E2tApp {
             SubOutcome::Failed(f) => {
                 self.send_north(rmr::SUB_FAIL, agent, &E2apPdu::RicSubscriptionFailure(f.clone()))
             }
+            SubOutcome::TimedOut { req_id, ran_function, .. }
+            | SubOutcome::ConnectionLost { req_id, ran_function } => self.send_north(
+                rmr::SUB_FAIL,
+                agent,
+                &E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                    req_id: *req_id,
+                    ran_function: *ran_function,
+                    cause: Cause::Transport(TransportCause::Unspecified),
+                }),
+            ),
         }
     }
 
@@ -120,6 +130,18 @@ impl IApp for E2tApp {
             CtrlOutcome::Failed(f) => {
                 self.send_north(rmr::CTRL_FAIL, agent, &E2apPdu::RicControlFailure(f.clone()))
             }
+            CtrlOutcome::TimedOut { req_id, ran_function }
+            | CtrlOutcome::ConnectionLost { req_id, ran_function } => self.send_north(
+                rmr::CTRL_FAIL,
+                agent,
+                &E2apPdu::RicControlFailure(RicControlFailure {
+                    req_id: *req_id,
+                    ran_function: *ran_function,
+                    call_process_id: None,
+                    cause: Cause::Transport(TransportCause::Unspecified),
+                    outcome: None,
+                }),
+            ),
         }
     }
 

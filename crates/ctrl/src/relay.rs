@@ -60,6 +60,16 @@ impl IApp for RelayApp {
         let pdu = match out {
             SubOutcome::Admitted(r) => E2apPdu::RicSubscriptionResponse(r.clone()),
             SubOutcome::Failed(f) => E2apPdu::RicSubscriptionFailure(f.clone()),
+            // Endpoint-layer terminals have no wire PDU; synthesize a
+            // failure so the upstream controller gets an answer either way.
+            SubOutcome::TimedOut { req_id, ran_function, .. }
+            | SubOutcome::ConnectionLost { req_id, ran_function } => {
+                E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                    req_id: *req_id,
+                    ran_function: *ran_function,
+                    cause: Cause::Transport(TransportCause::Unspecified),
+                })
+            }
         };
         let _ = self.north_tx.send(pdu);
     }
@@ -68,6 +78,16 @@ impl IApp for RelayApp {
         let pdu = match out {
             CtrlOutcome::Ack(a) => E2apPdu::RicControlAcknowledge(a.clone()),
             CtrlOutcome::Failed(f) => E2apPdu::RicControlFailure(f.clone()),
+            CtrlOutcome::TimedOut { req_id, ran_function }
+            | CtrlOutcome::ConnectionLost { req_id, ran_function } => {
+                E2apPdu::RicControlFailure(RicControlFailure {
+                    req_id: *req_id,
+                    ran_function: *ran_function,
+                    call_process_id: None,
+                    cause: Cause::Transport(TransportCause::Unspecified),
+                    outcome: None,
+                })
+            }
         };
         let _ = self.north_tx.send(pdu);
     }

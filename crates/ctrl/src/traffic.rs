@@ -244,6 +244,12 @@ impl IApp for TcManagerApp {
             CtrlOutcome::Failed(f) => {
                 (f.req_id, CtrlReply { ok: false, detail: format!("{:?}", f.cause) })
             }
+            CtrlOutcome::TimedOut { req_id, .. } => {
+                (*req_id, CtrlReply { ok: false, detail: "control timed out".into() })
+            }
+            CtrlOutcome::ConnectionLost { req_id, .. } => {
+                (*req_id, CtrlReply { ok: false, detail: "agent connection lost".into() })
+            }
         };
         if let Some(tx) = self.pending.remove(&(agent, req_id)) {
             let _ = tx.send(reply);

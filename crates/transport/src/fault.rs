@@ -1,8 +1,21 @@
 //! Fault injection wrapper, in the spirit of smoltcp's `--drop-chance` /
-//! `--corrupt-chance` example options: deterministic, seedable packet loss
-//! and corruption on the send path, used by robustness tests.
+//! `--corrupt-chance` example options: deterministic, seedable packet loss,
+//! corruption, delay and reordering on the send path, used by robustness
+//! tests.
+//!
+//! Two entry points exist:
+//!
+//! - [`FaultySender`] wraps an owned [`SendHalf`] directly (simple tests);
+//! - [`FaultHandle`] is a cloneable, shared injector that the agent/server
+//!   writer tasks consult per frame, so a test can keep one end and steer
+//!   faults (e.g. [`FaultHandle::drop_next`]) while the stack owns the
+//!   transport.
 
 use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use crate::{SendHalf, WireMsg};
 
@@ -13,6 +26,14 @@ pub struct FaultConfig {
     pub drop_chance: f64,
     /// Probability (0..=1) of flipping one byte of the payload.
     pub corrupt_chance: f64,
+    /// Probability (0..=1) of delaying a message by [`delay_ms`](Self::delay_ms).
+    pub delay_chance: f64,
+    /// How long a delayed message is held back, in milliseconds.
+    pub delay_ms: u64,
+    /// Probability (0..=1) of holding a message back so it is delivered
+    /// after the next one (pairwise reorder).  A held message is released
+    /// together with (and after) the next message that passes the injector.
+    pub reorder_chance: f64,
     /// Drop messages whose payload exceeds this size (None = no limit).
     pub size_limit: Option<usize>,
     /// PRNG seed, for reproducibility.
@@ -21,7 +42,15 @@ pub struct FaultConfig {
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0, size_limit: None, seed: 0x5EED }
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            delay_chance: 0.0,
+            delay_ms: 0,
+            reorder_chance: 0.0,
+            size_limit: None,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -34,23 +63,32 @@ pub struct FaultStats {
     pub dropped: u64,
     /// Messages corrupted.
     pub corrupted: u64,
+    /// Messages delayed.
+    pub delayed: u64,
+    /// Messages delivered out of order.
+    pub reordered: u64,
 }
 
-/// A send half that randomly drops/corrupts messages.
+/// What to do with one message, as decided by [`FaultHandle::process`].
 #[derive(Debug)]
-pub struct FaultySender {
-    inner: SendHalf,
+pub struct FaultVerdict {
+    /// Sleep this long before sending (0 = send immediately).
+    pub delay_ms: u64,
+    /// The messages to put on the wire now, in order.  Empty when the
+    /// message was dropped or held back for reordering.
+    pub deliver: Vec<WireMsg>,
+}
+
+#[derive(Debug)]
+struct FaultState {
     cfg: FaultConfig,
     rng_state: u64,
     stats: FaultStats,
+    drop_next: u64,
+    held: Option<WireMsg>,
 }
 
-impl FaultySender {
-    /// Wraps `inner` with fault injection per `cfg`.
-    pub fn new(inner: SendHalf, cfg: FaultConfig) -> Self {
-        FaultySender { inner, cfg, rng_state: cfg.seed.max(1), stats: FaultStats::default() }
-    }
-
+impl FaultState {
     /// xorshift64* — deterministic, seedable, dependency-free.
     fn next_u64(&mut self) -> u64 {
         let mut x = self.rng_state;
@@ -64,34 +102,150 @@ impl FaultySender {
     fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+}
 
-    /// Sends `msg`, possibly dropping or corrupting it.
-    pub async fn send(&mut self, mut msg: WireMsg) -> io::Result<()> {
-        if let Some(limit) = self.cfg.size_limit {
-            if msg.payload.len() > limit {
-                self.stats.dropped += 1;
-                return Ok(());
-            }
-        }
-        if self.next_f64() < self.cfg.drop_chance {
-            self.stats.dropped += 1;
-            return Ok(());
-        }
-        if !msg.payload.is_empty() && self.next_f64() < self.cfg.corrupt_chance {
-            let idx = (self.next_u64() as usize) % msg.payload.len();
-            let mut owned = msg.payload.to_vec();
-            owned[idx] ^= 0xFF;
-            msg.payload = owned.into();
-            self.stats.corrupted += 1;
-        } else {
-            self.stats.passed += 1;
-        }
-        self.inner.send(msg).await
+/// A cloneable, shared fault injector.  All clones act on the same PRNG,
+/// statistics, and targeted-drop counter, so a test can hold one clone
+/// while the stack's writer tasks consult another.
+#[derive(Debug, Clone)]
+pub struct FaultHandle(Arc<Mutex<FaultState>>);
+
+impl Default for FaultHandle {
+    fn default() -> Self {
+        FaultHandle::new(FaultConfig::default())
+    }
+}
+
+impl FaultHandle {
+    /// Creates a handle with the given configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultHandle(Arc::new(Mutex::new(FaultState {
+            cfg,
+            rng_state: cfg.seed.max(1),
+            stats: FaultStats::default(),
+            drop_next: 0,
+            held: None,
+        })))
+    }
+
+    /// Replaces the configuration (the PRNG state is kept).
+    pub fn set_config(&self, cfg: FaultConfig) {
+        self.0.lock().cfg = cfg;
+    }
+
+    /// Unconditionally drops the next `n` messages, regardless of the
+    /// probabilistic knobs.  Counters accumulate across calls.
+    pub fn drop_next(&self, n: u64) {
+        self.0.lock().drop_next += n;
     }
 
     /// What the injector has done so far.
     pub fn stats(&self) -> FaultStats {
-        self.stats
+        self.0.lock().stats
+    }
+
+    /// Decides the fate of one message.  Pure bookkeeping — the caller is
+    /// responsible for honoring the returned delay and sending the
+    /// delivered messages in order.
+    pub fn process(&self, mut msg: WireMsg) -> FaultVerdict {
+        let mut st = self.0.lock();
+        if st.drop_next > 0 {
+            st.drop_next -= 1;
+            st.stats.dropped += 1;
+            return FaultVerdict { delay_ms: 0, deliver: vec![] };
+        }
+        if let Some(limit) = st.cfg.size_limit {
+            if msg.payload.len() > limit {
+                st.stats.dropped += 1;
+                return FaultVerdict { delay_ms: 0, deliver: vec![] };
+            }
+        }
+        if st.next_f64() < st.cfg.drop_chance {
+            st.stats.dropped += 1;
+            return FaultVerdict { delay_ms: 0, deliver: vec![] };
+        }
+        if !msg.payload.is_empty() && st.next_f64() < st.cfg.corrupt_chance {
+            let idx = (st.next_u64() as usize) % msg.payload.len();
+            let mut owned = msg.payload.to_vec();
+            owned[idx] ^= 0xFF;
+            msg.payload = owned.into();
+            st.stats.corrupted += 1;
+        } else {
+            st.stats.passed += 1;
+        }
+        // Reorder: hold this message back until the next one passes.
+        if st.cfg.reorder_chance > 0.0 && st.held.is_none() && st.next_f64() < st.cfg.reorder_chance
+        {
+            st.held = Some(msg);
+            return FaultVerdict { delay_ms: 0, deliver: vec![] };
+        }
+        let mut deliver = vec![msg];
+        if let Some(held) = st.held.take() {
+            st.stats.reordered += 1;
+            deliver.push(held);
+        }
+        let delay_ms = if st.cfg.delay_chance > 0.0 && st.next_f64() < st.cfg.delay_chance {
+            st.stats.delayed += 1;
+            st.cfg.delay_ms
+        } else {
+            0
+        };
+        FaultVerdict { delay_ms, deliver }
+    }
+
+    /// Releases a message held back for reordering, if any (end-of-stream
+    /// flush).
+    pub fn take_held(&self) -> Option<WireMsg> {
+        self.0.lock().held.take()
+    }
+}
+
+/// A send half that randomly drops, corrupts, delays or reorders messages.
+#[derive(Debug)]
+pub struct FaultySender {
+    inner: SendHalf,
+    handle: FaultHandle,
+}
+
+impl FaultySender {
+    /// Wraps `inner` with fault injection per `cfg`.
+    pub fn new(inner: SendHalf, cfg: FaultConfig) -> Self {
+        FaultySender { inner, handle: FaultHandle::new(cfg) }
+    }
+
+    /// Wraps `inner` with a shared injector.
+    pub fn with_handle(inner: SendHalf, handle: FaultHandle) -> Self {
+        FaultySender { inner, handle }
+    }
+
+    /// The shared injector, for steering faults and reading stats.
+    pub fn handle(&self) -> FaultHandle {
+        self.handle.clone()
+    }
+
+    /// Sends `msg`, subject to the configured faults.
+    pub async fn send(&mut self, msg: WireMsg) -> io::Result<()> {
+        let verdict = self.handle.process(msg);
+        if verdict.delay_ms > 0 {
+            tokio::time::sleep(Duration::from_millis(verdict.delay_ms)).await;
+        }
+        for m in verdict.deliver {
+            self.inner.send(m).await?;
+        }
+        Ok(())
+    }
+
+    /// Sends a batch, each message subject to the configured faults.
+    pub async fn send_batch(&mut self, msgs: Vec<WireMsg>) -> io::Result<()> {
+        for msg in msgs {
+            self.send(msg).await?;
+        }
+        Ok(())
+    }
+
+    /// What the injector has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.handle.stats()
     }
 }
 
@@ -146,7 +300,7 @@ mod tests {
             let (tx, _rx) = conn.split();
             let mut faulty = FaultySender::new(
                 tx,
-                FaultConfig { drop_chance: 0.3, corrupt_chance: 0.2, seed, size_limit: None },
+                FaultConfig { drop_chance: 0.3, corrupt_chance: 0.2, seed, ..Default::default() },
             );
             for i in 0..200u32 {
                 faulty
@@ -173,5 +327,66 @@ mod tests {
         faulty.send(WireMsg::e2ap(Bytes::from(vec![0; 100]))).await.unwrap();
         assert_eq!(faulty.stats().dropped, 1);
         assert_eq!(faulty.stats().passed, 1);
+    }
+
+    #[tokio::test]
+    async fn drop_next_is_targeted_and_exact() {
+        let mut l = listen(&TransportAddr::Mem("fault-dropnext".into())).await.unwrap();
+        let conn = connect(&TransportAddr::Mem("fault-dropnext".into())).await.unwrap();
+        let (tx, _rx) = conn.split();
+        let mut faulty = FaultySender::new(tx, FaultConfig::default());
+        faulty.handle().drop_next(2);
+        for i in 0..5u32 {
+            faulty
+                .send(WireMsg { stream: 0, ppid: i, payload: Bytes::from_static(b"m") })
+                .await
+                .unwrap();
+        }
+        assert_eq!(faulty.stats().dropped, 2);
+        assert_eq!(faulty.stats().passed, 3);
+        let mut server = l.accept().await.unwrap();
+        // The first two messages (ppid 0, 1) were eaten.
+        let got = server.recv().await.unwrap().unwrap();
+        assert_eq!(got.ppid, 2);
+    }
+
+    #[tokio::test]
+    async fn reorder_swaps_adjacent_messages() {
+        let mut l = listen(&TransportAddr::Mem("fault-reorder".into())).await.unwrap();
+        let conn = connect(&TransportAddr::Mem("fault-reorder".into())).await.unwrap();
+        let (tx, _rx) = conn.split();
+        let mut faulty =
+            FaultySender::new(tx, FaultConfig { reorder_chance: 1.0, ..FaultConfig::default() });
+        for i in 0..4u32 {
+            faulty
+                .send(WireMsg { stream: 0, ppid: i, payload: Bytes::from_static(b"m") })
+                .await
+                .unwrap();
+        }
+        let stats = faulty.stats();
+        assert!(stats.reordered >= 1, "at least one swap: {stats:?}");
+        let mut server = l.accept().await.unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..stats.passed - u64::from(faulty.handle().take_held().is_some()) {
+            seen.push(server.recv().await.unwrap().unwrap().ppid);
+        }
+        assert_ne!(seen, (0..seen.len() as u32).collect::<Vec<_>>(), "order changed: {seen:?}");
+    }
+
+    #[tokio::test]
+    async fn delay_holds_messages_back() {
+        let mut l = listen(&TransportAddr::Mem("fault-delay".into())).await.unwrap();
+        let conn = connect(&TransportAddr::Mem("fault-delay".into())).await.unwrap();
+        let (tx, _rx) = conn.split();
+        let mut faulty = FaultySender::new(
+            tx,
+            FaultConfig { delay_chance: 1.0, delay_ms: 30, ..FaultConfig::default() },
+        );
+        let t0 = std::time::Instant::now();
+        faulty.send(WireMsg::e2ap(Bytes::from_static(b"late"))).await.unwrap();
+        assert!(t0.elapsed().as_millis() >= 25, "send was delayed");
+        assert_eq!(faulty.stats().delayed, 1);
+        let mut server = l.accept().await.unwrap();
+        assert_eq!(server.recv().await.unwrap().unwrap().payload, Bytes::from_static(b"late"));
     }
 }

@@ -87,24 +87,45 @@ type Subscribers = Arc<Mutex<HashMap<String, Vec<mpsc::UnboundedSender<(String, 
 pub struct Broker {
     /// The bound address.
     pub addr: SocketAddr,
+    accept: tokio::task::JoinHandle<()>,
+    clients: Arc<Mutex<Vec<tokio::task::JoinHandle<()>>>>,
 }
 
 impl Broker {
-    /// Binds and serves; runs until the process exits.
+    /// Binds and serves; runs until the process exits or [`shutdown`] is
+    /// called.
+    ///
+    /// [`shutdown`]: Broker::shutdown
     pub async fn spawn(addr: &str) -> io::Result<Broker> {
         let listener = TcpListener::bind(addr).await?;
         let addr = listener.local_addr()?;
         let subs: Subscribers = Arc::new(Mutex::new(HashMap::new()));
-        tokio::spawn(async move {
+        let clients: Arc<Mutex<Vec<tokio::task::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let clients2 = clients.clone();
+        let accept = tokio::spawn(async move {
             loop {
                 let Ok((stream, _)) = listener.accept().await else { break };
                 let subs = subs.clone();
-                tokio::spawn(async move {
+                let handle = tokio::spawn(async move {
                     let _ = serve_client(stream, subs).await;
                 });
+                let mut list = clients2.lock();
+                list.retain(|h| !h.is_finished());
+                list.push(handle);
             }
         });
-        Ok(Broker { addr })
+        Ok(Broker { addr, accept, clients })
+    }
+
+    /// Stops accepting and drops every live client connection, freeing the
+    /// listen address.  Used by tests to simulate a broker crash; connected
+    /// [`BrokerClient`]s see the connection drop and reconnect.
+    pub fn shutdown(&self) {
+        self.accept.abort();
+        for h in self.clients.lock().drain(..) {
+            h.abort();
+        }
     }
 }
 
@@ -144,47 +165,117 @@ async fn serve_client(stream: TcpStream, subs: Subscribers) -> io::Result<()> {
     Ok(())
 }
 
+/// Reconnect schedule: capped exponential backoff.
+const RECONNECT_INITIAL_MS: u64 = 50;
+const RECONNECT_MAX_MS: u64 = 5_000;
+const RECONNECT_ATTEMPTS: u32 = 8;
+
+async fn dial(
+    addr: &str,
+) -> io::Result<(tokio::net::tcp::OwnedWriteHalf, mpsc::UnboundedReceiver<(String, Bytes)>)> {
+    let stream = TcpStream::connect(addr).await?;
+    stream.set_nodelay(true)?;
+    let (mut rd, wr) = stream.into_split();
+    let (tx, rx) = mpsc::unbounded_channel();
+    tokio::spawn(async move {
+        while let Ok(Some((kind, payload))) = read_frame(&mut rd).await {
+            if kind == KIND_MESSAGE {
+                if let Ok((channel, msg)) = chan_msg(&payload) {
+                    if tx.send((channel, msg)).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    Ok((wr, rx))
+}
+
 /// A broker client: publish and/or subscribe.
+///
+/// The client remembers every channel it subscribed to.  When the broker
+/// connection drops — detected on a failed write or when the inbound
+/// stream ends — it redials with capped exponential backoff and replays
+/// all subscriptions, so a broker restart is invisible to the caller
+/// beyond the messages published while it was down.
 pub struct BrokerClient {
+    addr: String,
     wr: tokio::net::tcp::OwnedWriteHalf,
     rx: mpsc::UnboundedReceiver<(String, Bytes)>,
+    channels: Vec<String>,
 }
 
 impl BrokerClient {
     /// Connects to a broker.
     pub async fn connect(addr: &str) -> io::Result<BrokerClient> {
-        let stream = TcpStream::connect(addr).await?;
-        stream.set_nodelay(true)?;
-        let (mut rd, wr) = stream.into_split();
-        let (tx, rx) = mpsc::unbounded_channel();
-        tokio::spawn(async move {
-            while let Ok(Some((kind, payload))) = read_frame(&mut rd).await {
-                if kind == KIND_MESSAGE {
-                    if let Ok((channel, msg)) = chan_msg(&payload) {
-                        if tx.send((channel, msg)).is_err() {
-                            break;
-                        }
-                    }
+        let (wr, rx) = dial(addr).await?;
+        Ok(BrokerClient { addr: addr.to_string(), wr, rx, channels: Vec::new() })
+    }
+
+    /// Redials and replays all subscriptions.  Retries with backoff before
+    /// giving up.
+    async fn reconnect(&mut self) -> io::Result<()> {
+        let mut delay = RECONNECT_INITIAL_MS;
+        for _ in 0..RECONNECT_ATTEMPTS {
+            tokio::time::sleep(std::time::Duration::from_millis(delay)).await;
+            delay = delay.saturating_mul(2).min(RECONNECT_MAX_MS);
+            let Ok((mut wr, rx)) = dial(&self.addr).await else { continue };
+            let mut ok = true;
+            for chan in &self.channels {
+                if write_frame(&mut wr, KIND_SUBSCRIBE, chan.as_bytes()).await.is_err() {
+                    ok = false;
+                    break;
                 }
             }
-        });
-        Ok(BrokerClient { wr, rx })
+            if ok {
+                self.wr = wr;
+                self.rx = rx;
+                return Ok(());
+            }
+        }
+        Err(io::Error::new(io::ErrorKind::ConnectionRefused, "broker unreachable"))
     }
 
-    /// Subscribes to a channel.
+    /// Subscribes to a channel.  The subscription is replayed automatically
+    /// after a reconnect.
     pub async fn subscribe(&mut self, channel: &str) -> io::Result<()> {
-        write_frame(&mut self.wr, KIND_SUBSCRIBE, channel.as_bytes()).await
+        if !self.channels.iter().any(|c| c == channel) {
+            self.channels.push(channel.to_string());
+        }
+        match write_frame(&mut self.wr, KIND_SUBSCRIBE, channel.as_bytes()).await {
+            Ok(()) => Ok(()),
+            // reconnect() replays the channel list, which now includes
+            // this channel.
+            Err(_) => self.reconnect().await,
+        }
     }
 
-    /// Publishes a message to a channel.
+    /// Publishes a message to a channel, reconnecting once on a dead
+    /// connection.
     pub async fn publish(&mut self, channel: &str, msg: &[u8]) -> io::Result<()> {
         let payload = encode_chan_msg(channel, msg);
-        write_frame(&mut self.wr, KIND_PUBLISH, &payload).await
+        match write_frame(&mut self.wr, KIND_PUBLISH, &payload).await {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.reconnect().await?;
+                write_frame(&mut self.wr, KIND_PUBLISH, &payload).await
+            }
+        }
     }
 
-    /// Receives the next message on any subscribed channel.
+    /// Receives the next message on any subscribed channel.  If the broker
+    /// connection drops, reconnects (replaying subscriptions) and keeps
+    /// waiting; returns `None` only when the broker stays unreachable or
+    /// nothing was ever subscribed.
     pub async fn recv(&mut self) -> Option<(String, Bytes)> {
-        self.rx.recv().await
+        loop {
+            if let Some(m) = self.rx.recv().await {
+                return Some(m);
+            }
+            if self.channels.is_empty() || self.reconnect().await.is_err() {
+                return None;
+            }
+        }
     }
 
     /// Non-blocking receive.
@@ -264,6 +355,36 @@ mod tests {
         let (_, msg) =
             tokio::time::timeout(Duration::from_secs(2), sub.recv()).await.unwrap().unwrap();
         assert_eq!(&msg[..], b"heard");
+    }
+
+    #[tokio::test]
+    async fn broker_restart_resubscribes() {
+        let broker = Broker::spawn("127.0.0.1:0").await.unwrap();
+        let addr = broker.addr.to_string();
+        let mut sub = BrokerClient::connect(&addr).await.unwrap();
+        sub.subscribe("chan").await.unwrap();
+        tokio::time::sleep(Duration::from_millis(20)).await;
+
+        // Crash the broker and bring a new one up on the same address.
+        broker.shutdown();
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        let _broker2 = Broker::spawn(&addr).await.unwrap();
+
+        // The subscriber reconnects and replays its subscription in the
+        // background; publish until the message gets through.
+        let mut publ = BrokerClient::connect(&addr).await.unwrap();
+        let mut got = None;
+        for _ in 0..100 {
+            publ.publish("chan", b"after restart").await.unwrap();
+            if let Ok(Some(m)) = tokio::time::timeout(Duration::from_millis(100), sub.recv()).await
+            {
+                got = Some(m);
+                break;
+            }
+        }
+        let (chan, msg) = got.expect("subscription survived the broker restart");
+        assert_eq!(chan, "chan");
+        assert_eq!(&msg[..], b"after restart");
     }
 
     #[tokio::test]
