@@ -1,0 +1,98 @@
+//! Observability overhead A/B: the instrumented PER encode hot loop with
+//! obs hooks compiled in (default) vs compiled out (`obs-off`), plus the
+//! raw cost of each obs primitive.
+//!
+//! The feature is a compile-time switch, so one binary cannot hold both
+//! sides.  Run the A/B as two passes with identical benchmark ids and let
+//! Criterion report the delta against the saved baseline:
+//!
+//! ```text
+//! cargo bench -p flexric-bench --bench obs_overhead -- --save-baseline obs-on
+//! cargo bench -p flexric-bench --bench obs_overhead --features obs-off -- --baseline obs-on
+//! ```
+//!
+//! See `crates/obs/README.md` for the methodology and the overhead budget.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexric_codec::E2apCodec;
+use flexric_e2ap::*;
+
+fn indication(payload: Bytes) -> E2apPdu {
+    E2apPdu::RicIndication(RicIndication {
+        req_id: RicRequestId::new(7, 3),
+        ran_function: RanFunctionId::new(142),
+        action: RicActionId(0),
+        sn: Some(42),
+        ind_type: RicIndicationType::Report,
+        header: Bytes::new(),
+        message: payload,
+        call_process_id: None,
+    })
+}
+
+/// The instrumented codec hot loop — the E2AP path most sensitive to a
+/// per-call timer (a span brackets every `encode`/`encode_into`).
+fn bench_instrumented_encode(c: &mut Criterion) {
+    let mode = if cfg!(feature = "obs-off") { "obs-off" } else { "obs-on" };
+    println!("obs_overhead: running with obs hooks {mode}");
+    let mut group = c.benchmark_group("obs_encode");
+    for payload_size in [100usize, 1500] {
+        let pdu = indication(Bytes::from(vec![0xA5u8; payload_size]));
+        for codec in E2apCodec::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode/{}", codec.label()), payload_size),
+                &pdu,
+                |b, pdu| b.iter(|| codec.encode(std::hint::black_box(pdu))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_into/{}", codec.label()), payload_size),
+                &pdu,
+                |b, pdu| {
+                    let mut scratch = BytesMut::with_capacity(4096);
+                    b.iter(|| {
+                        codec.encode_into(std::hint::black_box(pdu), &mut scratch);
+                        scratch.split().freeze()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Raw per-op cost of the obs primitives themselves, to budget new hooks.
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    let counter = flexric_obs::counter("flexric_bench_obs_counter_total", "bench: counter op cost");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let gauge = flexric_obs::gauge("flexric_bench_obs_gauge", "bench: gauge op cost");
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0i64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            gauge.set(std::hint::black_box(v));
+        })
+    });
+
+    let hist = flexric_obs::histogram("flexric_bench_obs_hist_ns", "bench: histogram op cost");
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(std::hint::black_box(v >> 32));
+        })
+    });
+    // record + the two `Instant::now` reads a span performs.
+    group.bench_function("span_timed", |b| {
+        b.iter(|| {
+            let _t = flexric_obs::span!("bench.obs.span");
+            std::hint::black_box(())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumented_encode, bench_primitives);
+criterion_main!(benches);

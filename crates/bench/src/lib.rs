@@ -26,47 +26,10 @@ pub fn spawn_role(args: &[String]) -> io::Result<Child> {
         .spawn()
 }
 
-/// Percentile of a sorted slice (nearest-rank).
-pub fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
-/// Summary statistics of a sample set.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Summary {
-    /// Sample count.
-    pub n: usize,
-    /// Mean.
-    pub mean: f64,
-    /// Median.
-    pub p50: u64,
-    /// 99th percentile.
-    pub p99: u64,
-    /// Minimum.
-    pub min: u64,
-    /// Maximum.
-    pub max: u64,
-}
-
-/// Summarizes raw samples.
-pub fn summarize(samples: &mut Vec<u64>) -> Summary {
-    if samples.is_empty() {
-        return Summary::default();
-    }
-    samples.sort_unstable();
-    Summary {
-        n: samples.len(),
-        mean: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
-        p50: percentile(samples, 50.0),
-        p99: percentile(samples, 99.0),
-        min: samples[0],
-        max: samples[samples.len() - 1],
-    }
-}
+// Percentile/summary helpers are shared with the always-on observability
+// subsystem — the exact-sample statistics live in `flexric_obs::stats`,
+// the table formatting stays here.
+pub use flexric_obs::stats::{percentile, summarize, Summary};
 
 /// Simple flag parser: `--key value` pairs after the binary name.
 pub struct Args {

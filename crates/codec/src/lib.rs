@@ -47,6 +47,38 @@ pub fn encode_invocations() -> u64 {
     ENCODE_CALLS.with(|c| c.get())
 }
 
+/// Per-codec latency histograms (ns).  Registered all at once on first
+/// touch so `/metrics` always lists the codec layer, even before traffic.
+struct CodecMetrics {
+    encode_ns: [flexric_obs::Histogram; 2],
+    decode_ns: [flexric_obs::Histogram; 2],
+    peek_ns: [flexric_obs::Histogram; 2],
+}
+
+fn obs() -> &'static CodecMetrics {
+    static M: std::sync::OnceLock<CodecMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let per_codec = |name: &str, help: &'static str| {
+            E2apCodec::ALL.map(|c| flexric_obs::histogram_with(name, &[("codec", c.label())], help))
+        };
+        CodecMetrics {
+            encode_ns: per_codec("flexric_codec_encode_ns", "E2AP encode latency"),
+            decode_ns: per_codec("flexric_codec_decode_ns", "E2AP full decode latency"),
+            peek_ns: per_codec("flexric_codec_peek_ns", "E2AP header peek latency"),
+        }
+    })
+}
+
+impl E2apCodec {
+    #[inline]
+    fn idx(&self) -> usize {
+        match self {
+            E2apCodec::Asn1Per => 0,
+            E2apCodec::Flatb => 1,
+        }
+    }
+}
+
 /// Which encoding an E2AP connection uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum E2apCodec {
@@ -72,6 +104,7 @@ impl E2apCodec {
     /// Encodes a PDU into a freshly allocated buffer.
     pub fn encode(&self, pdu: &E2apPdu) -> Vec<u8> {
         note_encode();
+        let _t = obs().encode_ns[self.idx()].timer();
         match self {
             E2apCodec::Asn1Per => e2ap_per::encode(pdu),
             E2apCodec::Flatb => e2ap_fb::encode(pdu),
@@ -89,6 +122,7 @@ impl E2apCodec {
     /// returns — both dispatch to one shared encode body per codec.
     pub fn encode_into(&self, pdu: &E2apPdu, buf: &mut BytesMut) {
         note_encode();
+        let _t = obs().encode_ns[self.idx()].timer();
         match self {
             E2apCodec::Asn1Per => e2ap_per::encode_into(pdu, buf),
             E2apCodec::Flatb => e2ap_fb::encode_into(pdu, buf),
@@ -97,6 +131,7 @@ impl E2apCodec {
 
     /// Decodes a PDU into the owned IR.
     pub fn decode(&self, buf: &[u8]) -> Result<E2apPdu> {
+        let _t = obs().decode_ns[self.idx()].timer();
         match self {
             E2apCodec::Asn1Per => e2ap_per::decode(buf),
             E2apCodec::Flatb => e2ap_fb::decode(buf),
@@ -109,6 +144,7 @@ impl E2apCodec {
     /// [`E2apCodec::Asn1Per`] it is a full decode — the structural asymmetry
     /// the paper's Fig. 8b measures.
     pub fn peek(&self, buf: &[u8]) -> Result<PduHeader> {
+        let _t = obs().peek_ns[self.idx()].timer();
         match self {
             E2apCodec::Asn1Per => e2ap_per::peek(buf),
             E2apCodec::Flatb => e2ap_fb::peek(buf),

@@ -365,6 +365,51 @@ pub struct AgentStats {
     pub decode_errors: u64,
 }
 
+/// Agent-layer registry metrics, mirroring the per-instance [`AgentStats`]
+/// into the process-wide registry (summed across agents in one process).
+/// Registered as a block on first touch so the layer is always listed.
+struct AgentObs {
+    rx_msgs: flexric_obs::Counter,
+    tx_msgs: flexric_obs::Counter,
+    tx_bytes: flexric_obs::Counter,
+    indications_sent: flexric_obs::Counter,
+    decode_errors: flexric_obs::Counter,
+    reconnects: flexric_obs::Counter,
+    active_subs: flexric_obs::Gauge,
+    controllers: flexric_obs::Gauge,
+    dispatch_ns: flexric_obs::Histogram,
+}
+
+fn obs() -> &'static AgentObs {
+    static M: std::sync::OnceLock<AgentObs> = std::sync::OnceLock::new();
+    M.get_or_init(|| AgentObs {
+        rx_msgs: flexric_obs::counter("flexric_agent_rx_msgs_total", "messages from controllers"),
+        tx_msgs: flexric_obs::counter("flexric_agent_tx_msgs_total", "messages to controllers"),
+        tx_bytes: flexric_obs::counter("flexric_agent_tx_bytes_total", "encoded bytes sent"),
+        indications_sent: flexric_obs::counter(
+            "flexric_agent_indications_sent_total",
+            "RIC indications fanned out to controllers",
+        ),
+        decode_errors: flexric_obs::counter(
+            "flexric_agent_decode_errors_total",
+            "inbound PDUs that failed to decode",
+        ),
+        reconnects: flexric_obs::counter(
+            "flexric_agent_reconnects_total",
+            "controller connections re-established",
+        ),
+        active_subs: flexric_obs::gauge(
+            "flexric_agent_subscriptions_live",
+            "active subscriptions across all functions",
+        ),
+        controllers: flexric_obs::gauge("flexric_agent_controllers", "connected controllers"),
+        dispatch_ns: flexric_obs::histogram(
+            "flexric_agent_dispatch_ns",
+            "inbound PDU decode + handler dispatch latency",
+        ),
+    })
+}
+
 /// Handle to a running agent.
 #[derive(Debug, Clone)]
 pub struct AgentHandle {
@@ -636,6 +681,8 @@ impl Agent {
                         continue; // stale reader of a replaced connection
                     }
                     self.stats.rx_msgs += 1;
+                    obs().rx_msgs.inc();
+                    let _t = obs().dispatch_ns.timer();
                     self.handle_inbound(ctrl, &msg.payload);
                 }
                 LoopEvent::ConnClosed(ctrl, epoch) => self.handle_closed(ctrl, epoch),
@@ -643,6 +690,7 @@ impl Agent {
                     self.register_conn(ctrl, transport);
                     self.stats.controllers += 1;
                     self.stats.reconnects += 1;
+                    obs().reconnects.inc();
                 }
                 LoopEvent::Cmd(Cmd::Tick(now)) => {
                     self.now_ms = now;
@@ -726,6 +774,7 @@ impl Agent {
             Ok(p) => p,
             Err(_) => {
                 self.stats.decode_errors += 1;
+                obs().decode_errors.inc();
                 self.outbox.push((
                     ctrl.into(),
                     E2apPdu::ErrorIndication(ErrorIndication {
@@ -810,7 +859,14 @@ impl Agent {
                 }
             }
             E2apPdu::RicServiceUpdateAck(ack) => {
-                self.endpoint.table.complete(ctrl, ProcedureKey::Tx(ack.transaction_id));
+                if self
+                    .endpoint
+                    .table
+                    .complete(ctrl, ProcedureKey::Tx(ack.transaction_id))
+                    .is_some()
+                {
+                    crate::endpoint::note_completed(true);
+                }
             }
             E2apPdu::ErrorIndication(_)
             | E2apPdu::E2SetupResponse(_)
@@ -970,6 +1026,20 @@ impl Agent {
     }
 
     fn flush(&mut self) {
+        let m = obs();
+        let indications: u64 = self
+            .outbox
+            .iter()
+            .filter(|(_, pdu)| matches!(pdu, E2apPdu::RicIndication(_)))
+            .map(|(targets, _)| {
+                targets
+                    .as_slice()
+                    .iter()
+                    .filter(|&&c| self.conns.get(c).is_some_and(|conn| conn.alive))
+                    .count() as u64
+            })
+            .sum();
+        m.indications_sent.add(indications);
         // Encode each queued PDU exactly once into the reusable scratch
         // buffer and share the frozen frame across its targets.
         let Agent { conns, stats, outbox, scratch, cfg, .. } = self;
@@ -980,8 +1050,12 @@ impl Agent {
             }
             stats.tx_msgs += 1;
             stats.tx_bytes += frame.len() as u64;
+            m.tx_msgs.inc();
+            m.tx_bytes.add(frame.len() as u64);
             let _ = conn.tx.send(frame);
         });
+        m.active_subs.set(self.sub_index.len() as i64);
+        m.controllers.set(self.stats.controllers as i64);
     }
 }
 

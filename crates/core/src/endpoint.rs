@@ -203,6 +203,63 @@ impl<P, U> Procedure<P, U> {
     }
 }
 
+/// Procedure-layer metrics, shared by every endpoint in the process
+/// (agent- and server-side tables alike).  Terminal outcomes are labeled
+/// `outcome="acked|failed|timed_out|connection_lost"`; the table itself
+/// counts begins/retransmits/timeouts/losses, and the response-completion
+/// call sites in agent/server report acked vs. failed via
+/// [`note_completed`].
+pub(crate) struct EndpointMetrics {
+    pub begun: flexric_obs::Counter,
+    pub retransmits: flexric_obs::Counter,
+    pub acked: flexric_obs::Counter,
+    pub failed: flexric_obs::Counter,
+    pub timed_out: flexric_obs::Counter,
+    pub connection_lost: flexric_obs::Counter,
+    pub outstanding: flexric_obs::Gauge,
+}
+
+pub(crate) fn metrics() -> &'static EndpointMetrics {
+    static M: std::sync::OnceLock<EndpointMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let outcome = |o: &'static str| {
+            flexric_obs::counter_with(
+                "flexric_endpoint_procedures_total",
+                &[("outcome", o)],
+                "E2AP procedures by terminal outcome",
+            )
+        };
+        EndpointMetrics {
+            begun: flexric_obs::counter(
+                "flexric_endpoint_begun_total",
+                "E2AP procedures started (original transmissions)",
+            ),
+            retransmits: flexric_obs::counter(
+                "flexric_endpoint_retransmits_total",
+                "E2AP procedure retransmissions",
+            ),
+            acked: outcome("acked"),
+            failed: outcome("failed"),
+            timed_out: outcome("timed_out"),
+            connection_lost: outcome("connection_lost"),
+            outstanding: flexric_obs::gauge(
+                "flexric_endpoint_outstanding",
+                "E2AP procedures currently in flight",
+            ),
+        }
+    })
+}
+
+/// Records a procedure completed by a peer response: positive responses
+/// count as `outcome="acked"`, failure responses as `outcome="failed"`.
+pub(crate) fn note_completed(acked: bool) {
+    if acked {
+        metrics().acked.inc();
+    } else {
+        metrics().failed.inc();
+    }
+}
+
 /// The typed outstanding-transaction table: at most one procedure per
 /// `(peer, key)`, with deadline/retransmission bookkeeping driven by
 /// [`poll`](Self::poll).
@@ -242,6 +299,8 @@ impl<P: Eq + Hash + Copy, U> ProcedureTable<P, U> {
             (peer, key),
             Procedure { peer, key, class, pdu, user, attempts: 1, deadline_ms: deadline },
         );
+        metrics().begun.inc();
+        metrics().outstanding.add(1);
         true
     }
 
@@ -262,12 +321,18 @@ impl<P: Eq + Hash + Copy, U> ProcedureTable<P, U> {
             (peer, key),
             Procedure { peer, key, class, pdu: None, user, attempts: 1, deadline_ms: None },
         );
+        metrics().begun.inc();
+        metrics().outstanding.add(1);
         true
     }
 
     /// Removes and returns the procedure a response arrived for.
     pub fn complete(&mut self, peer: P, key: ProcedureKey) -> Option<Procedure<P, U>> {
-        self.entries.remove(&(peer, key))
+        let removed = self.entries.remove(&(peer, key));
+        if removed.is_some() {
+            metrics().outstanding.sub(1);
+        }
+        removed
     }
 
     /// The outstanding procedure under `(peer, key)`, if any.
@@ -327,13 +392,18 @@ impl<P: Eq + Hash + Copy, U> ProcedureTable<P, U> {
                         .saturating_add(self.policy.attempt_deadline_ms(proc.class, proc.attempts)),
                 );
                 if let Some(pdu) = &proc.pdu {
+                    metrics().retransmits.inc();
                     retransmit(*peer, pdu);
                 }
             } else {
                 expired.push((*peer, *key));
             }
         }
-        expired.into_iter().filter_map(|k| self.entries.remove(&k)).collect()
+        let out: Vec<Procedure<P, U>> =
+            expired.into_iter().filter_map(|k| self.entries.remove(&k)).collect();
+        metrics().timed_out.add(out.len() as u64);
+        metrics().outstanding.sub(out.len() as i64);
+        out
     }
 
     /// Removes and returns every procedure outstanding toward `peer` —
@@ -341,7 +411,11 @@ impl<P: Eq + Hash + Copy, U> ProcedureTable<P, U> {
     pub fn connection_lost(&mut self, peer: P) -> Vec<Procedure<P, U>> {
         let keys: Vec<(P, ProcedureKey)> =
             self.entries.keys().filter(|(p, _)| *p == peer).copied().collect();
-        keys.into_iter().filter_map(|k| self.entries.remove(&k)).collect()
+        let out: Vec<Procedure<P, U>> =
+            keys.into_iter().filter_map(|k| self.entries.remove(&k)).collect();
+        metrics().connection_lost.add(out.len() as u64);
+        metrics().outstanding.sub(out.len() as i64);
+        out
     }
 }
 

@@ -567,6 +567,51 @@ pub struct ServerStats {
     pub decode_errors: u64,
 }
 
+/// Server-layer registry metrics, mirroring the per-instance
+/// [`ServerStats`] into the process-wide registry (summed across servers
+/// in one process).  Registered as a block on first touch so the layer is
+/// always listed in `/metrics`.
+struct ServerObs {
+    rx_msgs: flexric_obs::Counter,
+    rx_bytes: flexric_obs::Counter,
+    tx_msgs: flexric_obs::Counter,
+    tx_bytes: flexric_obs::Counter,
+    indications_rx: flexric_obs::Counter,
+    decode_errors: flexric_obs::Counter,
+    reconnects: flexric_obs::Counter,
+    agents: flexric_obs::Gauge,
+    subs_live: flexric_obs::Gauge,
+    dispatch_ns: flexric_obs::Histogram,
+}
+
+fn obs() -> &'static ServerObs {
+    static M: std::sync::OnceLock<ServerObs> = std::sync::OnceLock::new();
+    M.get_or_init(|| ServerObs {
+        rx_msgs: flexric_obs::counter("flexric_server_rx_msgs_total", "messages from agents"),
+        rx_bytes: flexric_obs::counter("flexric_server_rx_bytes_total", "encoded bytes received"),
+        tx_msgs: flexric_obs::counter("flexric_server_tx_msgs_total", "messages to agents"),
+        tx_bytes: flexric_obs::counter("flexric_server_tx_bytes_total", "encoded bytes sent"),
+        indications_rx: flexric_obs::counter(
+            "flexric_server_indications_rx_total",
+            "RIC indications received from agents",
+        ),
+        decode_errors: flexric_obs::counter(
+            "flexric_server_decode_errors_total",
+            "inbound PDUs that failed to decode",
+        ),
+        reconnects: flexric_obs::counter(
+            "flexric_server_reconnects_total",
+            "agents rebound to their old id after a reconnect",
+        ),
+        agents: flexric_obs::gauge("flexric_server_agents", "connected agents"),
+        subs_live: flexric_obs::gauge("flexric_server_subscriptions_live", "active subscriptions"),
+        dispatch_ns: flexric_obs::histogram(
+            "flexric_server_dispatch_ns",
+            "indication dispatch latency (subscription lookup + iApp handler)",
+        ),
+    })
+}
+
 /// Handle to a running controller.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
@@ -760,6 +805,8 @@ impl ServerRuntime {
                     }
                     self.core.rx_msgs += 1;
                     self.core.rx_bytes += msg.payload.len() as u64;
+                    obs().rx_msgs.inc();
+                    obs().rx_bytes.add(msg.payload.len() as u64);
                     match self.handle_inbound(agent, &msg.payload) {
                         Ok(()) => {
                             if let Some(c) = self.core.conns.get_mut(&agent) {
@@ -923,6 +970,7 @@ impl ServerRuntime {
         let formed = self.core.randb.add_agent(info.clone());
         if reconnect {
             self.core.reconnects += 1;
+            obs().reconnects.inc();
             let _ = self.core.events_tx.send(ServerEvent::AgentReconnected(info.clone()));
             self.for_all(|iapp, api| iapp.on_agent_reconnected(api, &info));
             self.replay_subscriptions(agent_id);
@@ -1068,6 +1116,7 @@ impl ServerRuntime {
     /// and degrade the connection if the peer keeps sending garbage.
     fn on_decode_error(&mut self, agent: AgentId) {
         self.core.decode_errors += 1;
+        obs().decode_errors.inc();
         self.core.outbox.push((
             agent.into(),
             E2apPdu::ErrorIndication(ErrorIndication {
@@ -1089,10 +1138,12 @@ impl ServerRuntime {
         if self.core.codec == E2apCodec::Flatb {
             let hdr = self.core.codec.peek(raw)?;
             if hdr.msg_type == MsgType::RicIndication {
+                obs().indications_rx.inc();
                 let req_id = hdr.req_id.unwrap_or_default();
                 if let Some(entry) = self.core.subs.get(&(agent, req_id)) {
                     let idx = entry.iapp;
                     let ind = IndicationRef::Raw { raw, hdr };
+                    let _t = obs().dispatch_ns.timer();
                     self.for_one(idx, |iapp, api| iapp.on_indication(api, agent, &ind));
                 }
                 return Ok(());
@@ -1101,14 +1152,19 @@ impl ServerRuntime {
         let pdu = self.core.codec.decode(raw)?;
         match pdu {
             E2apPdu::RicIndication(ind) => {
+                obs().indications_rx.inc();
                 if let Some(entry) = self.core.subs.get(&(agent, ind.req_id)) {
                     let idx = entry.iapp;
                     let ind_ref = IndicationRef::Decoded(&ind);
+                    let _t = obs().dispatch_ns.timer();
                     self.for_one(idx, |iapp, api| iapp.on_indication(api, agent, &ind_ref));
                 }
             }
             E2apPdu::RicSubscriptionResponse(resp) => {
                 let proc = self.core.endpoint.table.complete(agent, ProcedureKey::Ric(resp.req_id));
+                if proc.is_some() {
+                    crate::endpoint::note_completed(true);
+                }
                 if let Some(sub) = self.core.subs.get_mut(&(agent, resp.req_id)) {
                     // A retransmitted request may be acknowledged more than
                     // once; only the first response is delivered.  Claimed
@@ -1126,7 +1182,15 @@ impl ServerRuntime {
                 }
             }
             E2apPdu::RicSubscriptionFailure(fail) => {
-                self.core.endpoint.table.complete(agent, ProcedureKey::Ric(fail.req_id));
+                if self
+                    .core
+                    .endpoint
+                    .table
+                    .complete(agent, ProcedureKey::Ric(fail.req_id))
+                    .is_some()
+                {
+                    crate::endpoint::note_completed(false);
+                }
                 if let Some(sub) = self.core.subs.remove(&(agent, fail.req_id)) {
                     let out = SubOutcome::Failed(fail);
                     self.for_one(sub.iapp, |iapp, api| {
@@ -1135,17 +1199,34 @@ impl ServerRuntime {
                 }
             }
             E2apPdu::RicSubscriptionDeleteResponse(resp) => {
-                self.core.endpoint.table.complete(agent, ProcedureKey::Ric(resp.req_id));
+                if self
+                    .core
+                    .endpoint
+                    .table
+                    .complete(agent, ProcedureKey::Ric(resp.req_id))
+                    .is_some()
+                {
+                    crate::endpoint::note_completed(true);
+                }
                 self.core.subs.remove(&(agent, resp.req_id));
             }
             E2apPdu::RicSubscriptionDeleteFailure(fail) => {
-                self.core.endpoint.table.complete(agent, ProcedureKey::Ric(fail.req_id));
+                if self
+                    .core
+                    .endpoint
+                    .table
+                    .complete(agent, ProcedureKey::Ric(fail.req_id))
+                    .is_some()
+                {
+                    crate::endpoint::note_completed(false);
+                }
                 self.core.subs.remove(&(agent, fail.req_id));
             }
             E2apPdu::RicControlAcknowledge(ack) => {
                 if let Some(proc) =
                     self.core.endpoint.table.complete(agent, ProcedureKey::Ric(ack.req_id))
                 {
+                    crate::endpoint::note_completed(true);
                     let out = CtrlOutcome::Ack(ack);
                     self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
                 }
@@ -1154,6 +1235,7 @@ impl ServerRuntime {
                 if let Some(proc) =
                     self.core.endpoint.table.complete(agent, ProcedureKey::Ric(fail.req_id))
                 {
+                    crate::endpoint::note_completed(false);
                     let out = CtrlOutcome::Failed(fail);
                     self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
                 }
@@ -1205,13 +1287,18 @@ impl ServerRuntime {
     fn flush(&mut self) {
         // Encode each queued PDU exactly once into the reusable scratch
         // buffer and share the frozen frame across its targets.
+        let m = obs();
         let core = &mut self.core;
         let (conns, tx_msgs, tx_bytes) = (&core.conns, &mut core.tx_msgs, &mut core.tx_bytes);
         scratch::flush_outbox(&mut core.scratch, core.codec, &mut core.outbox, |agent, frame| {
             let Some(conn) = conns.get(&agent) else { return };
             *tx_msgs += 1;
             *tx_bytes += frame.len() as u64;
+            m.tx_msgs.inc();
+            m.tx_bytes.add(frame.len() as u64);
             let _ = conn.tx.send(frame);
         });
+        m.agents.set(core.randb.agent_count() as i64);
+        m.subs_live.set(core.subs.len() as i64);
     }
 }

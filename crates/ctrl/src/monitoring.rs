@@ -57,6 +57,26 @@ impl StatsDb {
     }
 }
 
+/// Global obs counters mirroring [`MonitorCounters`], registered once.
+struct MonitorObs {
+    indications: flexric_obs::Counter,
+    bytes: flexric_obs::Counter,
+}
+
+fn obs() -> &'static MonitorObs {
+    static OBS: std::sync::OnceLock<MonitorObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| MonitorObs {
+        indications: flexric_obs::counter(
+            "flexric_ctrl_indications_total",
+            "Indications processed by the monitoring iApp",
+        ),
+        bytes: flexric_obs::counter(
+            "flexric_ctrl_indication_bytes_total",
+            "SM payload bytes of indications processed by the monitoring iApp",
+        ),
+    })
+}
+
 /// Counters for throughput accounting in the scaling experiments.
 #[derive(Debug, Default)]
 pub struct MonitorCounters {
@@ -165,8 +185,10 @@ impl IApp for MonitorApp {
 
     fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
         self.counters.indications.fetch_add(1, Ordering::Relaxed);
+        obs().indications.inc();
         let Ok((_, msg)) = ind.sm_payload() else { return };
         self.counters.bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        obs().bytes.add(msg.len() as u64);
         if !self.cfg.store {
             return;
         }

@@ -1,0 +1,350 @@
+//! Log-bucketed latency histogram in the HdrHistogram style.
+//!
+//! Values (nanoseconds, bytes, …) are bucketed by magnitude: 16 linear
+//! sub-buckets per power of two, so the bucket containing `v` is at most
+//! `v/16` wide — ≤ 6.25 % relative error on any reported quantile, over the
+//! full `u64` range, with a fixed 976-bucket table.  Recording is four or
+//! five `Relaxed` atomic ops and no allocation; buckets are plain counts,
+//! so snapshots from different shards, threads, or processes merge by
+//! element-wise addition ([`HistSnapshot::merge`]) and the merge is *exact*
+//! — merging per-shard snapshots yields bit-identical results to recording
+//! everything into one histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// log2 of the number of linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power of two (16 → ≤ 6.25 % bucket width).
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets covering all of `u64`: 16 exact buckets for `0..16`, then
+/// 16 per magnitude for magnitudes 4..=63.
+pub const BUCKETS: usize = SUB * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index for a value.  Exact below 16; above, the top `SUB_BITS + 1`
+/// significant bits select the bucket.
+#[inline]
+#[cfg_attr(feature = "obs-off", allow(dead_code))]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+    ((msb - SUB_BITS + 1) as usize) * SUB + sub
+}
+
+/// Inclusive upper bound of a bucket — the value reported for quantiles
+/// that land in it, so reported quantiles never under-state the truth.
+pub fn bucket_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let mag = (idx / SUB) as u32;
+    let sub = (idx % SUB) as u64;
+    let shift = mag - 1;
+    ((SUB as u64 + sub) << shift) + ((1u64 << shift) - 1)
+}
+
+struct HistInner {
+    buckets: Vec<AtomicU64>,
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Concurrent histogram handle; clones share storage.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    /// Creates a detached histogram: not registered, not exported — for
+    /// ad-hoc aggregation and property tests.  Registered histograms come
+    /// from [`crate::registry::histogram`].
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one value.  All-`Relaxed` atomics, no allocation.
+    #[cfg(not(feature = "obs-off"))]
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &*self.inner;
+        inner.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        inner.count.fetch_add(1, Relaxed);
+        inner.sum.fetch_add(v, Relaxed);
+        inner.min.fetch_min(v, Relaxed);
+        inner.max.fetch_max(v, Relaxed);
+    }
+
+    /// No-op: hooks are compiled out.
+    #[cfg(feature = "obs-off")]
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// Starts a drop-guard that records elapsed nanoseconds into this
+    /// histogram when it goes out of scope.
+    #[cfg(not(feature = "obs-off"))]
+    #[inline]
+    pub fn timer(&self) -> Timer<'_> {
+        Timer { hist: self, start: std::time::Instant::now() }
+    }
+
+    /// No-op guard: neither the clock read nor the record happens.
+    #[cfg(feature = "obs-off")]
+    #[inline]
+    pub fn timer(&self) -> Timer<'_> {
+        Timer(std::marker::PhantomData)
+    }
+
+    /// Point-in-time copy of the buckets.  Under concurrent writers the cut
+    /// is not atomic across buckets, but every recorded value is counted at
+    /// most once per snapshot and never twice.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let inner = &*self.inner;
+        let buckets: Vec<u64> = inner.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let count: u64 = buckets.iter().sum();
+        HistSnapshot {
+            sum: inner.sum.load(Relaxed),
+            min: if count == 0 { 0 } else { inner.min.load(Relaxed) },
+            max: inner.max.load(Relaxed),
+            count,
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Drop-guard returned by [`Histogram::timer`] and [`crate::span!`].
+#[cfg(not(feature = "obs-off"))]
+#[must_use = "the timer records on drop; binding it to `_` drops it immediately"]
+pub struct Timer<'a> {
+    hist: &'a Histogram,
+    start: std::time::Instant,
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Zero-sized stand-in without a `Drop` impl: the guard costs nothing.
+#[cfg(feature = "obs-off")]
+#[must_use = "the timer records on drop; binding it to `_` drops it immediately"]
+pub struct Timer<'a>(std::marker::PhantomData<&'a ()>);
+
+/// Mergeable point-in-time histogram state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_bound`] for bucket upper bounds).
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Element-wise merge.  Exact: merging shard snapshots is
+    /// indistinguishable from having recorded every value into one
+    /// histogram.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Nearest-rank percentile at bucket resolution: the reported value is
+    /// the upper bound of the bucket holding the rank-th smallest sample
+    /// (clamped to the observed max), so it is ≥ the exact percentile and
+    /// over-states it by at most 6.25 %.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_bound(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* stream for property-style sweeps without
+    /// external dev-dependencies.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    fn interesting_values() -> Vec<u64> {
+        let mut vals: Vec<u64> = (0..4096).collect();
+        for p in 4..64 {
+            let b = 1u64 << p;
+            vals.extend([b - 1, b, b + 1]);
+        }
+        vals.push(u64::MAX);
+        let mut rng = Rng(0x5EED);
+        for _ in 0..4096 {
+            let v = rng.next();
+            // Spread across magnitudes, not just the top of the range.
+            vals.push(v >> (rng.next() % 64));
+        }
+        vals
+    }
+
+    #[test]
+    fn bucket_invariants() {
+        for &v in &interesting_values() {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+            let bound = bucket_bound(idx);
+            assert!(bound >= v, "bound {bound} < value {v}");
+            if v >= SUB as u64 {
+                assert!(bound - v <= v / SUB as u64, "error too large for {v}: bound {bound}");
+            } else {
+                assert_eq!(bound, v, "exact below {SUB}");
+            }
+            if v > 0 {
+                assert!(bucket_index(v - 1) <= idx, "index not monotone at {v}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn merge_of_shards_equals_whole() {
+        let mut rng = Rng(42);
+        let whole = Histogram::new();
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for i in 0..20_000u64 {
+            let v = rng.next() >> (rng.next() % 64);
+            whole.record(v);
+            shards[(i % 4) as usize].record(v);
+        }
+        let mut merged = HistSnapshot::default();
+        for s in &shards {
+            merged.merge(&s.snapshot());
+        }
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn percentile_tracks_exact_within_bucket_error() {
+        let mut rng = Rng(7);
+        let hist = Histogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            let v = rng.next() >> (rng.next() % 48);
+            hist.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        let snap = hist.snapshot();
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let exact = crate::stats::percentile(&samples, p);
+            let approx = snap.percentile(p);
+            assert!(approx >= exact, "p{p}: approx {approx} < exact {exact}");
+            assert!(
+                approx - exact <= exact / 16 + 1,
+                "p{p}: approx {approx} over-states exact {exact} by more than 6.25 %"
+            );
+        }
+        assert_eq!(snap.percentile(100.0), *samples.last().unwrap());
+        assert_eq!(snap.min, samples[0]);
+        assert_eq!(snap.count, 10_000);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean(), 0.0);
+        h.record(7);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (1, 7, 7, 7));
+        assert_eq!(s.percentile(99.0), 7);
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let h = Histogram::new();
+        h.record(100);
+        let mut empty = HistSnapshot::default();
+        empty.merge(&h.snapshot());
+        assert_eq!(empty, h.snapshot());
+        let mut full = h.snapshot();
+        full.merge(&HistSnapshot::default());
+        assert_eq!(full, h.snapshot());
+    }
+
+    #[test]
+    fn timer_records() {
+        let h = Histogram::new();
+        {
+            let _t = h.timer();
+            std::hint::black_box(0);
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

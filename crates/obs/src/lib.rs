@@ -1,0 +1,43 @@
+//! `flexric-obs` — always-on, near-zero-cost observability for the whole
+//! stack.
+//!
+//! The paper's evaluation is entirely about latency and CPU overhead of the
+//! E2 path (Figs. 6, 8, 9); this crate makes those quantities readable from
+//! a *running* process instead of only from the offline harness in
+//! `crates/bench`.  Three pieces:
+//!
+//! - a global, lock-free [`registry`]: counters are sharded across
+//!   cache-line-padded atomics (one shard per thread, round-robin assigned)
+//!   and updated with `Relaxed` ordering, so the hot path is a single
+//!   uncontended `fetch_add`; registration (the cold path) interns handles
+//!   by `(name, labels)` under a mutex, so the same metric registered from
+//!   two call sites shares storage;
+//! - log-bucketed [`hist::Histogram`]s in the HdrHistogram style — 16
+//!   linear sub-buckets per power of two (≤ 6.25 % relative error),
+//!   bucketwise-additive snapshots so per-shard or per-process histograms
+//!   merge exactly;
+//! - a lightweight span API ([`span!`]) that times a scope with a
+//!   drop-guard and records into a histogram resolved once per call site
+//!   through a local `OnceLock`.
+//!
+//! Everything renders to Prometheus text exposition format via
+//! [`prom::render_text`]; metric names follow `flexric_<layer>_<name>`.
+//!
+//! The `obs-off` cargo feature compiles out all hot-path mutation and clock
+//! reads while leaving registration and rendering intact, so downstream
+//! crates carry no `cfg` — the A/B bench in `crates/bench` measures the
+//! delta.
+
+pub mod hist;
+pub mod prom;
+pub mod registry;
+pub mod span;
+pub mod stats;
+
+pub use hist::{HistSnapshot, Histogram, Timer};
+pub use registry::{
+    counter, counter_with, gauge, gauge_with, histogram, histogram_with, snapshot, Counter, Gauge,
+    SnapMetric, SnapValue, Snapshot,
+};
+pub use span::Stopwatch;
+pub use stats::{percentile, summarize, Summary};

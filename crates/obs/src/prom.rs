@@ -1,0 +1,142 @@
+//! Prometheus text exposition (format version 0.0.4) rendering of a
+//! registry [`Snapshot`].
+//!
+//! Histograms emit cumulative `_bucket{le="…"}` series for occupied
+//! buckets only (the full 976-bucket table would be noise), then the
+//! standard `+Inf` bucket, `_sum`, and `_count`.  `# TYPE` / `# HELP` are
+//! emitted once per metric name; the snapshot is `(name, labels)`-sorted,
+//! so all label variants of a name are adjacent.
+
+use crate::registry::{SnapMetric, SnapValue, Snapshot};
+
+/// Content-Type for HTTP responses carrying this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn push_series(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        out.push_str(labels);
+        if let Some((k, v)) = extra {
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn render_one(out: &mut String, m: &SnapMetric) {
+    match &m.value {
+        SnapValue::Counter(v) => push_series(out, &m.name, &m.labels, None, &v.to_string()),
+        SnapValue::Gauge(v) => push_series(out, &m.name, &m.labels, None, &v.to_string()),
+        SnapValue::Hist(h) => {
+            let bucket_name = format!("{}_bucket", m.name);
+            let mut cum = 0u64;
+            for (idx, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cum += n;
+                let le = crate::hist::bucket_bound(idx).to_string();
+                push_series(out, &bucket_name, &m.labels, Some(("le", &le)), &cum.to_string());
+            }
+            push_series(out, &bucket_name, &m.labels, Some(("le", "+Inf")), &h.count.to_string());
+            push_series(out, &format!("{}_sum", m.name), &m.labels, None, &h.sum.to_string());
+            push_series(out, &format!("{}_count", m.name), &m.labels, None, &h.count.to_string());
+        }
+    }
+}
+
+/// Renders a snapshot to the exposition text.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut prev_name: Option<&str> = None;
+    for m in &snap.metrics {
+        if prev_name != Some(m.name.as_str()) {
+            if !m.help.is_empty() {
+                out.push_str("# HELP ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(&m.help);
+                out.push('\n');
+            }
+            out.push_str("# TYPE ");
+            out.push_str(&m.name);
+            out.push(' ');
+            out.push_str(match m.value {
+                SnapValue::Counter(_) => "counter",
+                SnapValue::Gauge(_) => "gauge",
+                SnapValue::Hist(_) => "histogram",
+            });
+            out.push('\n');
+            prev_name = Some(m.name.as_str());
+        }
+        render_one(&mut out, m);
+    }
+    out
+}
+
+/// Snapshots the global registry and renders it — what `GET /metrics`
+/// serves.
+pub fn render_text() -> String {
+    render(&crate::registry::snapshot())
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use crate::registry;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let c = registry::counter_with("obs_prom_reqs_total", &[("codec", "ASN")], "requests");
+        c.add(3);
+        let g = registry::gauge("obs_prom_live", "live things");
+        g.set(-2);
+        let h = registry::histogram("obs_prom_lat_ns", "latency");
+        h.record(5);
+        h.record(5);
+        h.record(100);
+        let text = super::render_text();
+        assert!(text.contains("# TYPE obs_prom_reqs_total counter"), "{text}");
+        assert!(text.contains("obs_prom_reqs_total{codec=\"ASN\"} 3"), "{text}");
+        assert!(text.contains("# HELP obs_prom_live live things"), "{text}");
+        assert!(text.contains("obs_prom_live -2"), "{text}");
+        assert!(text.contains("# TYPE obs_prom_lat_ns histogram"), "{text}");
+        assert!(text.contains("obs_prom_lat_ns_bucket{le=\"5\"} 2"), "{text}");
+        assert!(text.contains("obs_prom_lat_ns_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("obs_prom_lat_ns_sum 110"), "{text}");
+        assert!(text.contains("obs_prom_lat_ns_count 3"), "{text}");
+        // Cumulative: the bucket holding 100 includes the two 5s.
+        let hundred_bucket = crate::hist::bucket_bound(crate::hist::bucket_index(100));
+        assert!(
+            text.contains(&format!("obs_prom_lat_ns_bucket{{le=\"{hundred_bucket}\"}} 3")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn type_line_once_per_name_across_label_variants() {
+        let a = registry::counter_with("obs_prom_multi_total", &[("codec", "ASN")], "h");
+        let b = registry::counter_with("obs_prom_multi_total", &[("codec", "FB")], "h");
+        a.inc();
+        b.inc();
+        let text = super::render_text();
+        let type_lines =
+            text.lines().filter(|l| l.starts_with("# TYPE obs_prom_multi_total ")).count();
+        assert_eq!(type_lines, 1, "{text}");
+    }
+}

@@ -12,6 +12,7 @@
 //!   transport.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,6 +70,54 @@ pub struct FaultStats {
     pub reordered: u64,
 }
 
+/// Live atomic counters behind a [`FaultHandle`]: [`FaultHandle::stats`]
+/// reads them without touching the injector's mutex, so observers never
+/// contend with (or need exclusive access to) the fault layer.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    passed: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    reordered: AtomicU64,
+}
+
+/// Global registry mirrors of the fault counters, aggregated across every
+/// injector in the process — what `/metrics` reports.
+struct FaultObs {
+    passed: flexric_obs::Counter,
+    dropped: flexric_obs::Counter,
+    corrupted: flexric_obs::Counter,
+    delayed: flexric_obs::Counter,
+    reordered: flexric_obs::Counter,
+}
+
+pub(crate) fn fault_obs() -> &'static FaultObs {
+    static M: std::sync::OnceLock<FaultObs> = std::sync::OnceLock::new();
+    M.get_or_init(|| FaultObs {
+        passed: flexric_obs::counter(
+            "flexric_transport_fault_passed_total",
+            "messages passed through the fault injector unmodified",
+        ),
+        dropped: flexric_obs::counter(
+            "flexric_transport_fault_dropped_total",
+            "messages dropped by the fault injector",
+        ),
+        corrupted: flexric_obs::counter(
+            "flexric_transport_fault_corrupted_total",
+            "messages corrupted by the fault injector",
+        ),
+        delayed: flexric_obs::counter(
+            "flexric_transport_fault_delayed_total",
+            "messages delayed by the fault injector",
+        ),
+        reordered: flexric_obs::counter(
+            "flexric_transport_fault_reordered_total",
+            "messages reordered by the fault injector",
+        ),
+    })
+}
+
 /// What to do with one message, as decided by [`FaultHandle::process`].
 #[derive(Debug)]
 pub struct FaultVerdict {
@@ -83,7 +132,6 @@ pub struct FaultVerdict {
 struct FaultState {
     cfg: FaultConfig,
     rng_state: u64,
-    stats: FaultStats,
     drop_next: u64,
     held: Option<WireMsg>,
 }
@@ -106,9 +154,15 @@ impl FaultState {
 
 /// A cloneable, shared fault injector.  All clones act on the same PRNG,
 /// statistics, and targeted-drop counter, so a test can hold one clone
-/// while the stack's writer tasks consult another.
+/// while the stack's writer tasks consult another.  Statistics live in
+/// atomics outside the mutex: [`FaultHandle::stats`] is lock-free, and
+/// every event is mirrored into the global metrics registry
+/// (`flexric_transport_fault_*_total`).
 #[derive(Debug, Clone)]
-pub struct FaultHandle(Arc<Mutex<FaultState>>);
+pub struct FaultHandle {
+    state: Arc<Mutex<FaultState>>,
+    counters: Arc<FaultCounters>,
+}
 
 impl Default for FaultHandle {
     fn default() -> Self {
@@ -119,49 +173,63 @@ impl Default for FaultHandle {
 impl FaultHandle {
     /// Creates a handle with the given configuration.
     pub fn new(cfg: FaultConfig) -> Self {
-        FaultHandle(Arc::new(Mutex::new(FaultState {
-            cfg,
-            rng_state: cfg.seed.max(1),
-            stats: FaultStats::default(),
-            drop_next: 0,
-            held: None,
-        })))
+        FaultHandle {
+            state: Arc::new(Mutex::new(FaultState {
+                cfg,
+                rng_state: cfg.seed.max(1),
+                drop_next: 0,
+                held: None,
+            })),
+            counters: Arc::new(FaultCounters::default()),
+        }
     }
 
     /// Replaces the configuration (the PRNG state is kept).
     pub fn set_config(&self, cfg: FaultConfig) {
-        self.0.lock().cfg = cfg;
+        self.state.lock().cfg = cfg;
     }
 
     /// Unconditionally drops the next `n` messages, regardless of the
     /// probabilistic knobs.  Counters accumulate across calls.
     pub fn drop_next(&self, n: u64) {
-        self.0.lock().drop_next += n;
+        self.state.lock().drop_next += n;
     }
 
-    /// What the injector has done so far.
+    /// Snapshot of what the injector has done so far.  Reads the atomic
+    /// counters directly — never blocks on, or is blocked by, `process`.
     pub fn stats(&self) -> FaultStats {
-        self.0.lock().stats
+        FaultStats {
+            passed: self.counters.passed.load(Relaxed),
+            dropped: self.counters.dropped.load(Relaxed),
+            corrupted: self.counters.corrupted.load(Relaxed),
+            delayed: self.counters.delayed.load(Relaxed),
+            reordered: self.counters.reordered.load(Relaxed),
+        }
+    }
+
+    fn note_dropped(&self) {
+        self.counters.dropped.fetch_add(1, Relaxed);
+        fault_obs().dropped.inc();
     }
 
     /// Decides the fate of one message.  Pure bookkeeping — the caller is
     /// responsible for honoring the returned delay and sending the
     /// delivered messages in order.
     pub fn process(&self, mut msg: WireMsg) -> FaultVerdict {
-        let mut st = self.0.lock();
+        let mut st = self.state.lock();
         if st.drop_next > 0 {
             st.drop_next -= 1;
-            st.stats.dropped += 1;
+            self.note_dropped();
             return FaultVerdict { delay_ms: 0, deliver: vec![] };
         }
         if let Some(limit) = st.cfg.size_limit {
             if msg.payload.len() > limit {
-                st.stats.dropped += 1;
+                self.note_dropped();
                 return FaultVerdict { delay_ms: 0, deliver: vec![] };
             }
         }
         if st.next_f64() < st.cfg.drop_chance {
-            st.stats.dropped += 1;
+            self.note_dropped();
             return FaultVerdict { delay_ms: 0, deliver: vec![] };
         }
         if !msg.payload.is_empty() && st.next_f64() < st.cfg.corrupt_chance {
@@ -169,9 +237,11 @@ impl FaultHandle {
             let mut owned = msg.payload.to_vec();
             owned[idx] ^= 0xFF;
             msg.payload = owned.into();
-            st.stats.corrupted += 1;
+            self.counters.corrupted.fetch_add(1, Relaxed);
+            fault_obs().corrupted.inc();
         } else {
-            st.stats.passed += 1;
+            self.counters.passed.fetch_add(1, Relaxed);
+            fault_obs().passed.inc();
         }
         // Reorder: hold this message back until the next one passes.
         if st.cfg.reorder_chance > 0.0 && st.held.is_none() && st.next_f64() < st.cfg.reorder_chance
@@ -181,11 +251,13 @@ impl FaultHandle {
         }
         let mut deliver = vec![msg];
         if let Some(held) = st.held.take() {
-            st.stats.reordered += 1;
+            self.counters.reordered.fetch_add(1, Relaxed);
+            fault_obs().reordered.inc();
             deliver.push(held);
         }
         let delay_ms = if st.cfg.delay_chance > 0.0 && st.next_f64() < st.cfg.delay_chance {
-            st.stats.delayed += 1;
+            self.counters.delayed.fetch_add(1, Relaxed);
+            fault_obs().delayed.inc();
             st.cfg.delay_ms
         } else {
             0
@@ -196,7 +268,7 @@ impl FaultHandle {
     /// Releases a message held back for reordering, if any (end-of-stream
     /// flush).
     pub fn take_held(&self) -> Option<WireMsg> {
-        self.0.lock().held.take()
+        self.state.lock().held.take()
     }
 }
 

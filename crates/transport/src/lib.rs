@@ -25,6 +25,42 @@ use bytes::Bytes;
 use std::fmt;
 use std::io;
 
+/// Wire-level counters and the write-latency span, shared by all transport
+/// instances.  Registered as a block on first use so the transport layer is
+/// always present in `/metrics`.
+pub(crate) struct TransportMetrics {
+    pub tx_frames: flexric_obs::Counter,
+    pub tx_bytes: flexric_obs::Counter,
+    pub rx_frames: flexric_obs::Counter,
+    pub rx_bytes: flexric_obs::Counter,
+    pub write_ns: flexric_obs::Histogram,
+}
+
+pub(crate) fn obs() -> &'static TransportMetrics {
+    static M: std::sync::OnceLock<TransportMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        // Register the fault-injector series alongside ours: a no-fault
+        // deployment still lists them (at zero) in /metrics.
+        fault::fault_obs();
+        TransportMetrics {
+            tx_frames: flexric_obs::counter("flexric_transport_tx_frames_total", "frames sent"),
+            tx_bytes: flexric_obs::counter(
+                "flexric_transport_tx_bytes_total",
+                "payload bytes sent",
+            ),
+            rx_frames: flexric_obs::counter("flexric_transport_rx_frames_total", "frames received"),
+            rx_bytes: flexric_obs::counter(
+                "flexric_transport_rx_bytes_total",
+                "payload bytes received",
+            ),
+            write_ns: flexric_obs::histogram(
+                "flexric_transport_write_ns",
+                "transport write latency (frame + flush, including backpressure)",
+            ),
+        }
+    })
+}
+
 /// One transport-level message (the unit SCTP would deliver).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireMsg {
@@ -90,6 +126,10 @@ pub enum Transport {
 impl Transport {
     /// Sends one message.
     pub async fn send(&mut self, msg: WireMsg) -> io::Result<()> {
+        let m = obs();
+        m.tx_frames.inc();
+        m.tx_bytes.add(msg.payload.len() as u64);
+        let _t = m.write_ns.timer();
         match self {
             Transport::Tcp(c) => c.send(msg).await,
             Transport::Mem(c) => c.send(msg),
@@ -98,10 +138,16 @@ impl Transport {
 
     /// Receives the next message; `None` on orderly shutdown.
     pub async fn recv(&mut self) -> io::Result<Option<WireMsg>> {
-        match self {
+        let res = match self {
             Transport::Tcp(c) => c.recv().await,
             Transport::Mem(c) => c.recv().await,
+        };
+        if let Ok(Some(msg)) = &res {
+            let m = obs();
+            m.rx_frames.inc();
+            m.rx_bytes.add(msg.payload.len() as u64);
         }
+        res
     }
 
     /// Splits into independently owned send and receive halves.
@@ -139,6 +185,10 @@ pub enum SendHalf {
 impl SendHalf {
     /// Sends one message.
     pub async fn send(&mut self, msg: WireMsg) -> io::Result<()> {
+        let m = obs();
+        m.tx_frames.inc();
+        m.tx_bytes.add(msg.payload.len() as u64);
+        let _t = m.write_ns.timer();
         match self {
             SendHalf::Tcp(c) => c.send(msg).await,
             SendHalf::Mem(c) => c.send(msg),
@@ -147,11 +197,15 @@ impl SendHalf {
 
     /// Sends a batch of messages; over TCP this issues a single flush.
     pub async fn send_batch(&mut self, msgs: Vec<WireMsg>) -> io::Result<()> {
+        let m = obs();
+        m.tx_frames.add(msgs.len() as u64);
+        m.tx_bytes.add(msgs.iter().map(|w| w.payload.len() as u64).sum());
+        let _t = m.write_ns.timer();
         match self {
             SendHalf::Tcp(c) => c.send_batch(&msgs).await,
             SendHalf::Mem(c) => {
-                for m in msgs {
-                    c.send(m)?;
+                for w in msgs {
+                    c.send(w)?;
                 }
                 Ok(())
             }
@@ -171,10 +225,16 @@ pub enum RecvHalf {
 impl RecvHalf {
     /// Receives the next message; `None` on orderly shutdown.
     pub async fn recv(&mut self) -> io::Result<Option<WireMsg>> {
-        match self {
+        let res = match self {
             RecvHalf::Tcp(c) => c.recv().await,
             RecvHalf::Mem(c) => c.recv().await,
+        };
+        if let Ok(Some(msg)) = &res {
+            let m = obs();
+            m.rx_frames.inc();
+            m.rx_bytes.add(msg.payload.len() as u64);
         }
+        res
     }
 }
 

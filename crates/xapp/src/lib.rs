@@ -10,10 +10,13 @@
 //!   bodies), the REST northbound of the slicing and TC controllers;
 //! * [`broker`] — a Redis-style pub/sub broker (SUBSCRIBE/PUBLISH over a
 //!   length-framed TCP protocol), the stats-push channel of the TC
-//!   controller.
+//!   controller;
+//! * [`metrics`] — a Prometheus-text `/metrics` route for the HTTP
+//!   server, exporting the process-wide obs registry.
 //!
 //! The recursive controller's northbound is the agent library itself and
 //! lives in `flexric-ctrl`.
 
 pub mod broker;
 pub mod http;
+pub mod metrics;

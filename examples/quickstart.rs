@@ -34,6 +34,16 @@ async fn main() {
     let server = Server::spawn(cfg, vec![Box::new(monitor)]).await.expect("controller");
     println!("controller listening on {}", server.addrs[0]);
 
+    // 1b. Observability northbound: every layer below feeds the global
+    //     obs registry; this serves it in Prometheus text format.
+    let http = flexric_xapp::http::HttpServer::spawn(
+        "127.0.0.1:0",
+        flexric_xapp::metrics::with_metrics_route(flexric_xapp::http::Router::new()),
+    )
+    .await
+    .expect("metrics exporter");
+    println!("metrics:  curl http://{}/metrics", http.addr);
+
     // 2. The base station: a simulated NR cell (106 PRB ≈ 20 MHz) with
     //    three UEs downloading at full rate.
     let mut sim = Sim::new(vec![CellConfig::nr("cell0", 106)], PathConfig::default());
