@@ -8,14 +8,27 @@
 //! for ASN.1.  `--period 10` reproduces the §5.3 side-note that ~100
 //! agents are sustainable at a 10 ms export period.
 //!
+//! `--shards N` runs the controller role sharded (`0` = one per core);
+//! see `fig8b_sharded_sweep` for the mem-transport sweep toward 10k
+//! agents.  Results are also written as a machine-readable snapshot to
+//! `--out` (default `BENCH_fig8b.json`, `--out -` to skip).
+//!
 //! ```text
 //! cargo run --release -p flexric-bench --bin fig8b_controller_scaling \
-//!     [--duration 8] [--max-agents 18] [--step 4] [--period 1]
+//!     [--duration 8] [--max-agents 18] [--step 4] [--period 1] [--shards 1]
 //! ```
 
 use flexric_bench::{metrics, roles, spawn_role, table, Args};
+use serde_json::json;
 
-async fn run_point(codec: &str, agents: usize, period: u32, duration: u64, port: u16) -> f64 {
+async fn run_point(
+    codec: &str,
+    agents: usize,
+    period: u32,
+    duration: u64,
+    port: u16,
+    shards: usize,
+) -> f64 {
     let mut ctrl = spawn_role(&[
         "--role".into(),
         "monitor".into(),
@@ -27,6 +40,8 @@ async fn run_point(codec: &str, agents: usize, period: u32, duration: u64, port:
         codec.into(),
         "--sm".into(),
         "fb".into(),
+        "--shards".into(),
+        shards.to_string(),
         // Scaling run: measure the dispatch path, not the store.
         "--no-store".into(),
         "x".into(),
@@ -70,13 +85,16 @@ async fn main() {
     let max_agents: usize = args.get_or("max-agents", 18);
     let step: usize = args.get_or("step", 4);
     let period: u32 = args.get_or("period", 1);
+    let shards: usize = args.get_or("shards", 1);
+    let out = args.get("out").unwrap_or("BENCH_fig8b.json").to_owned();
 
     table::experiment(
         "Fig. 8b",
         "Controller CPU vs #agents, FB vs ASN.1 E2AP (32 UEs/agent, stats every period)",
     );
-    println!("period = {period} ms");
+    println!("period = {period} ms, shards = {shards}");
     let mut rows = Vec::new();
+    let mut json_points = Vec::new();
     let mut port = 39400u16;
     let mut points: Vec<usize> = (1..=max_agents).step_by(step.max(1)).collect();
     if *points.last().unwrap_or(&0) != max_agents {
@@ -84,15 +102,34 @@ async fn main() {
     }
     for agents in points {
         let mut row = vec![agents.to_string()];
+        let mut point = vec![("agents".to_owned(), json!(agents))];
         for codec in ["asn", "fb"] {
             port += 1;
-            let cpu = run_point(codec, agents, period, duration, port).await;
+            let cpu = run_point(codec, agents, period, duration, port, shards).await;
             eprintln!("  agents={agents} {codec}: {cpu:.1} %");
             row.push(table::f(cpu));
+            point.push((format!("{codec}_cpu_pct"), json!((cpu * 10.0).round() / 10.0)));
         }
         rows.push(row);
+        json_points.push(serde_json::Value::Object(point.into_iter().collect()));
     }
     table::table(&["agents", "asn1_cpu_%", "fb_cpu_%"], &rows);
+    if out != "-" {
+        let snapshot = json!({
+            "bench": "fig8b",
+            "source": "fig8b_controller_scaling",
+            "transport": "tcp-loopback",
+            "sm_codec": "fb",
+            "period_ms": period,
+            "ues_per_agent": 32,
+            "shards": shards,
+            "duration_s": duration,
+            "points": json_points,
+        });
+        let text = serde_json::to_string_pretty(&snapshot).expect("json") + "\n";
+        std::fs::write(&out, text).expect("write snapshot");
+        println!("snapshot written to {out}");
+    }
     println!();
     println!("Paper shape check: ASN.1 ≈4x the CPU of FB at equal agent counts —");
     println!("the FB path peeks the routing header from raw bytes, the ASN.1 path");

@@ -142,21 +142,32 @@ pub async fn role_bs(args: &Args) {
 
 /// Role: a FlexRIC monitoring controller (stats iApp) listening on
 /// `--listen`, with `--period` ms subscriptions, running until killed.
+/// `--shards N` runs a sharded server with one monitor replica per shard
+/// sharing the same store (`0` = one shard per core; default `1`).
 pub async fn role_monitor(args: &Args) {
     let listen = TransportAddr::parse(args.get("listen").expect("--listen")).expect("addr");
     let codec = codec_arg(args);
     let period: u32 = args.get_or("period", 1);
     let store = !args.has("no-store");
-    let (app, _db, _counters) = MonitorApp::new(MonitorConfig {
+    let mcfg = MonitorConfig {
         period_ms: period,
         sm_codec: sm_arg(args, codec),
         store,
         ..Default::default()
-    });
+    };
     let mut cfg = ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), listen);
     cfg.codec = codec;
     cfg.tick_ms = Some(100);
-    let _server = Server::spawn(cfg, vec![Box::new(app)]).await.expect("server");
+    cfg.shards = args.get_or("shards", 1);
+    let (app, db, counters) = MonitorApp::new(mcfg);
+    let mut first = Some(app);
+    let _server = Server::spawn_sharded(cfg, move |_shard| {
+        let app =
+            first.take().unwrap_or_else(|| MonitorApp::replica(mcfg, db.clone(), counters.clone()));
+        vec![Box::new(app) as Box<dyn flexric::server::IApp>]
+    })
+    .await
+    .expect("server");
     futures_park().await;
 }
 

@@ -12,6 +12,23 @@
 //! communication and the server multiplexes messages between agents and
 //! iApps.
 //!
+//! ## Sharded runtime
+//!
+//! The controller runs [`ServerConfig::shards`] independent event loops
+//! (the `shard` module), each owning a disjoint set of agents: connection
+//! state, the RAN database slice, subscription routing, and the procedure
+//! endpoint of an agent all live on exactly one shard.  Agents are
+//! assigned to shards at accept time by their RAN-entity key (least-loaded
+//! shard wins; CU/DU agents of one base station land together so entity
+//! merging stays shard-local), and the assignment is sticky across the
+//! reconnect grace window, so a returning agent rebinds on its original
+//! shard.  The indication hot path — header peek, subscription lookup,
+//! iApp dispatch — never crosses a shard boundary and takes no cross-shard
+//! lock.  Only three things span shards: accept-time assignment (the
+//! `router` module), `send_pdu`/`send_pdu_multi` toward agents owned by
+//! another shard (the encoded frame is handed over, never re-encoded), and
+//! the aggregating [`ServerHandle`].
+//!
 //! ## Procedure robustness
 //!
 //! Every server-initiated E2AP procedure (subscription, subscription
@@ -38,28 +55,26 @@
 //! of the paper's Fig. 8b.
 
 mod randb;
+mod router;
+mod runtime;
+mod shard;
 
 pub use randb::{AgentId, AgentInfo, RanDb, RanEntity};
+pub use runtime::{Server, ServerHandle};
+pub use shard::ServerApi;
 
 use std::any::Any;
-use std::collections::HashMap;
-use std::io;
-
-use bytes::Bytes;
-use tokio::sync::{broadcast, mpsc, oneshot};
-use tokio::task::JoinHandle;
 
 use flexric_codec::{CodecError, E2apCodec};
 use flexric_e2ap::*;
 use flexric_transport::fault::FaultHandle;
-use flexric_transport::{listen, Listener, TransportAddr, WireMsg};
+use flexric_transport::TransportAddr;
 
-use crate::endpoint::{E2apEndpoint, Procedure, ProcedureClass, ProcedureKey, RetryPolicy};
-use crate::scratch::{self, EncodeScratch, Targets};
+use crate::endpoint::RetryPolicy;
 
 /// Consecutive undecodable PDUs from one agent before the server degrades
 /// the connection instead of continuing to parse garbage.
-const MAX_CONSECUTIVE_DECODE_ERRORS: u32 = 8;
+pub(crate) const MAX_CONSECUTIVE_DECODE_ERRORS: u32 = 8;
 
 /// Configuration of a controller built on the server library.
 #[derive(Debug, Clone)]
@@ -81,11 +96,15 @@ pub struct ServerConfig {
     pub reconnect_grace_ms: u64,
     /// Fault injector applied to every outbound frame (robustness tests).
     pub fault: Option<FaultHandle>,
+    /// Number of shard event loops; `0` means one per available core.
+    /// With more than one shard each shard needs its own iApp instances —
+    /// use [`Server::spawn_sharded`].
+    pub shards: usize,
 }
 
 impl ServerConfig {
     /// A controller listening on one address, 100 ms internal ticks, a
-    /// one-second reconnect grace window.
+    /// one-second reconnect grace window, a single shard.
     pub fn new(ric_id: GlobalRicId, listen_addr: TransportAddr) -> Self {
         ServerConfig {
             ric_id,
@@ -95,6 +114,16 @@ impl ServerConfig {
             retry: RetryPolicy::default(),
             reconnect_grace_ms: 1_000,
             fault: None,
+            shards: 1,
+        }
+    }
+
+    /// The shard count this configuration resolves to: `shards`, or the
+    /// machine's available parallelism when `shards == 0`.
+    pub fn resolved_shards(&self) -> usize {
+        match self.shards {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -207,6 +236,11 @@ pub enum CtrlOutcome {
 
 /// A controller-internal application: the unit of controller
 /// specialization (paper §4.2.1).
+///
+/// On a sharded controller one instance of each iApp runs per shard and
+/// sees only the agents owned by that shard; instances share state through
+/// whatever the iApp's constructor puts behind an `Arc` (see
+/// `MonitorApp::replica` in `flexric-ctrl` for the pattern).
 pub trait IApp: Send {
     /// Unique name, used for northbound routing.
     fn name(&self) -> &str;
@@ -242,6 +276,7 @@ pub trait IApp: Send {
 }
 
 /// Events published to external observers (examples, tests, northbound).
+/// All shards publish into one broadcast channel.
 #[derive(Debug, Clone)]
 pub enum ServerEvent {
     /// An agent completed E2 setup.
@@ -254,295 +289,7 @@ pub enum ServerEvent {
     RanFormed(RanEntity),
 }
 
-struct ConnState {
-    tx: mpsc::UnboundedSender<Bytes>,
-    /// Distinguishes this connection from earlier ones under the same
-    /// [`AgentId`] (reconnects), so stale reader events are ignored.
-    epoch: u64,
-    reader: JoinHandle<()>,
-    /// Consecutive undecodable inbound PDUs; reset on any good PDU.
-    decode_errors: u32,
-}
-
-/// One subscription the server knows about: the routing entry plus the
-/// intent needed to replay it after a reconnect.
-struct SubState {
-    iapp: usize,
-    ran_function: RanFunctionId,
-    event_trigger: Bytes,
-    actions: Vec<RicActionToBeSetup>,
-    /// Whether the agent has acknowledged it (on the current connection).
-    established: bool,
-    /// Whether the server owns the request and may re-issue it on
-    /// reconnect.  Claimed (forwarded) ids are routing-only.
-    replayable: bool,
-}
-
-/// Shared server state handed to iApps through [`ServerApi`].
-struct ServerCore {
-    codec: E2apCodec,
-    ric_id: GlobalRicId,
-    randb: RanDb,
-    subs: HashMap<(AgentId, RicRequestId), SubState>,
-    /// The shared procedure endpoint: one outstanding-transaction table
-    /// for every server-initiated procedure, plus the id allocators.
-    endpoint: E2apEndpoint<AgentId, usize>,
-    conns: HashMap<AgentId, ConnState>,
-    outbox: Vec<(Targets<AgentId>, E2apPdu)>,
-    scratch: EncodeScratch,
-    custom_queue: Vec<(String, Box<dyn Any + Send>)>,
-    events_tx: broadcast::Sender<ServerEvent>,
-    now_ms: u64,
-    rx_msgs: u64,
-    tx_msgs: u64,
-    rx_bytes: u64,
-    tx_bytes: u64,
-    retries: u64,
-    timeouts: u64,
-    reconnects: u64,
-    decode_errors: u64,
-}
-
-impl ServerCore {
-    fn next_req_id(&mut self, iapp: usize) -> RicRequestId {
-        let requestor = iapp as u16 + 1;
-        let ServerCore { endpoint, subs, .. } = self;
-        // An instance is busy while its procedure is in flight *or* its
-        // subscription is live — established subscriptions outlive their
-        // table entry.
-        endpoint.alloc_request_id(requestor, |inst| {
-            subs.keys().any(|(_, r)| r.requestor == requestor && r.instance == inst)
-        })
-    }
-}
-
-/// API surface iApps use to act on the network.
-pub struct ServerApi<'a> {
-    core: &'a mut ServerCore,
-    iapp: usize,
-}
-
-impl ServerApi<'_> {
-    /// Current time in milliseconds.
-    pub fn now_ms(&self) -> u64 {
-        self.core.now_ms
-    }
-
-    /// The RAN database.
-    pub fn randb(&self) -> &RanDb {
-        &self.core.randb
-    }
-
-    /// The E2AP codec of this controller.
-    pub fn codec(&self) -> E2apCodec {
-        self.core.codec
-    }
-
-    /// Requests a subscription at `agent` for `ran_function`; indications
-    /// will be delivered to this iApp.  Returns the assigned request id.
-    ///
-    /// The request is tracked in the procedure endpoint: it is
-    /// retransmitted per [`RetryPolicy`] if the response is lost, and the
-    /// iApp sees a terminal [`SubOutcome`] in every case.
-    pub fn subscribe(
-        &mut self,
-        agent: AgentId,
-        ran_function: RanFunctionId,
-        event_trigger: Bytes,
-        actions: Vec<RicActionToBeSetup>,
-    ) -> RicRequestId {
-        let req_id = self.core.next_req_id(self.iapp);
-        let pdu = E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
-            req_id,
-            ran_function,
-            event_trigger: event_trigger.clone(),
-            actions: actions.clone(),
-        });
-        self.core.subs.insert(
-            (agent, req_id),
-            SubState {
-                iapp: self.iapp,
-                ran_function,
-                event_trigger,
-                actions,
-                established: false,
-                replayable: true,
-            },
-        );
-        self.core.endpoint.table.begin(
-            agent,
-            ProcedureKey::Ric(req_id),
-            ProcedureClass::Subscription,
-            Some(pdu.clone()),
-            self.iapp,
-            self.core.now_ms,
-        );
-        self.core.outbox.push((agent.into(), pdu));
-        req_id
-    }
-
-    /// Requests a report subscription with a single report action.
-    pub fn subscribe_report(
-        &mut self,
-        agent: AgentId,
-        ran_function: RanFunctionId,
-        event_trigger: Bytes,
-    ) -> RicRequestId {
-        self.subscribe(
-            agent,
-            ran_function,
-            event_trigger,
-            vec![RicActionToBeSetup {
-                id: RicActionId(0),
-                action_type: RicActionType::Report,
-                definition: None,
-                subsequent: None,
-            }],
-        )
-    }
-
-    /// Deletes a subscription.
-    pub fn unsubscribe(&mut self, agent: AgentId, req_id: RicRequestId) {
-        let ran_function = match self.core.subs.get(&(agent, req_id)) {
-            Some(sub) if sub.iapp != self.iapp => return, // not this iApp's subscription
-            Some(sub) => sub.ran_function,
-            None => RanFunctionId::new(0),
-        };
-        self.core.subs.remove(&(agent, req_id));
-        // A still-pending subscription procedure under the same key is
-        // cancelled; the delete takes over the id.
-        self.core.endpoint.table.complete(agent, ProcedureKey::Ric(req_id));
-        let pdu = E2apPdu::RicSubscriptionDeleteRequest(RicSubscriptionDeleteRequest {
-            req_id,
-            ran_function,
-        });
-        self.core.endpoint.table.begin(
-            agent,
-            ProcedureKey::Ric(req_id),
-            ProcedureClass::SubscriptionDelete,
-            Some(pdu.clone()),
-            self.iapp,
-            self.core.now_ms,
-        );
-        self.core.outbox.push((agent.into(), pdu));
-    }
-
-    /// Sends a control request; the outcome is delivered to this iApp.
-    ///
-    /// With `ack = Some(Ack)` the request carries a deadline and the iApp
-    /// is guaranteed a terminal [`CtrlOutcome`]; otherwise the entry only
-    /// routes whatever response the agent chooses to send.  Controls are
-    /// never retransmitted.
-    pub fn control(
-        &mut self,
-        agent: AgentId,
-        ran_function: RanFunctionId,
-        header: Bytes,
-        message: Bytes,
-        ack: Option<ControlAckRequest>,
-    ) -> RicRequestId {
-        let req_id = self.core.next_req_id(self.iapp);
-        let pdu = E2apPdu::RicControlRequest(RicControlRequest {
-            req_id,
-            ran_function,
-            call_process_id: None,
-            header,
-            message,
-            ack_request: ack,
-        });
-        if ack == Some(ControlAckRequest::Ack) {
-            self.core.endpoint.table.begin(
-                agent,
-                ProcedureKey::Ric(req_id),
-                ProcedureClass::Control,
-                Some(pdu.clone()),
-                self.iapp,
-                self.core.now_ms,
-            );
-        } else {
-            // A response is not guaranteed (no-ack / nack-only): track for
-            // routing but never expire.
-            self.core.endpoint.table.begin_untimed(
-                agent,
-                ProcedureKey::Ric(req_id),
-                ProcedureClass::Control,
-                self.iapp,
-            );
-        }
-        self.core.outbox.push((agent.into(), pdu));
-        req_id
-    }
-
-    /// Sends an arbitrary PDU to an agent (relay/advanced use).
-    pub fn send_pdu(&mut self, agent: AgentId, pdu: E2apPdu) {
-        self.core.outbox.push((Targets::One(agent), pdu));
-    }
-
-    /// Sends one PDU to several agents.  The PDU is encoded once at flush
-    /// and the frozen frame is shared across all targets.
-    pub fn send_pdu_multi(&mut self, agents: Vec<AgentId>, pdu: E2apPdu) {
-        if agents.is_empty() {
-            return;
-        }
-        self.core.outbox.push((Targets::from_vec(agents), pdu));
-    }
-
-    /// Registers an externally chosen request id so indications and
-    /// subscription outcomes for it are routed to this iApp (used by
-    /// relaying controllers that forward subscriptions verbatim).  The
-    /// forwarder owns the procedure lifecycle: the entry never times out
-    /// and is not replayed on reconnect.
-    pub fn claim_request_id(&mut self, agent: AgentId, req_id: RicRequestId) {
-        self.core.subs.insert(
-            (agent, req_id),
-            SubState {
-                iapp: self.iapp,
-                ran_function: RanFunctionId::new(0),
-                event_trigger: Bytes::new(),
-                actions: Vec::new(),
-                established: false,
-                replayable: false,
-            },
-        );
-    }
-
-    /// Registers an externally chosen request id so control outcomes for
-    /// it are routed to this iApp (relaying controllers forwarding control
-    /// requests verbatim).  Routing-only: the entry never times out.
-    pub fn claim_control_id(&mut self, agent: AgentId, req_id: RicRequestId) {
-        self.core.endpoint.table.begin_untimed(
-            agent,
-            ProcedureKey::Ric(req_id),
-            ProcedureClass::Control,
-            self.iapp,
-        );
-    }
-
-    /// Sends a custom message to another iApp (dispatched after the current
-    /// callback returns).
-    pub fn send_custom(&mut self, iapp_name: &str, msg: Box<dyn Any + Send>) {
-        self.core.custom_queue.push((iapp_name.to_owned(), msg));
-    }
-
-    /// Publishes a server event to external observers.
-    pub fn publish(&mut self, event: ServerEvent) {
-        let _ = self.core.events_tx.send(event);
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Runtime
-// ---------------------------------------------------------------------------
-
-enum Cmd {
-    Tick(u64),
-    ToIApp(String, Box<dyn Any + Send>),
-    Agents(oneshot::Sender<Vec<AgentInfo>>),
-    Stats(oneshot::Sender<ServerStats>),
-    Stop,
-}
-
-/// Counters exposed by [`ServerHandle::stats`].
+/// Counters exposed by [`ServerHandle::stats`], summed over all shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Messages received from agents.
@@ -567,738 +314,17 @@ pub struct ServerStats {
     pub decode_errors: u64,
 }
 
-/// Server-layer registry metrics, mirroring the per-instance
-/// [`ServerStats`] into the process-wide registry (summed across servers
-/// in one process).  Registered as a block on first touch so the layer is
-/// always listed in `/metrics`.
-struct ServerObs {
-    rx_msgs: flexric_obs::Counter,
-    rx_bytes: flexric_obs::Counter,
-    tx_msgs: flexric_obs::Counter,
-    tx_bytes: flexric_obs::Counter,
-    indications_rx: flexric_obs::Counter,
-    decode_errors: flexric_obs::Counter,
-    reconnects: flexric_obs::Counter,
-    agents: flexric_obs::Gauge,
-    subs_live: flexric_obs::Gauge,
-    dispatch_ns: flexric_obs::Histogram,
-}
-
-fn obs() -> &'static ServerObs {
-    static M: std::sync::OnceLock<ServerObs> = std::sync::OnceLock::new();
-    M.get_or_init(|| ServerObs {
-        rx_msgs: flexric_obs::counter("flexric_server_rx_msgs_total", "messages from agents"),
-        rx_bytes: flexric_obs::counter("flexric_server_rx_bytes_total", "encoded bytes received"),
-        tx_msgs: flexric_obs::counter("flexric_server_tx_msgs_total", "messages to agents"),
-        tx_bytes: flexric_obs::counter("flexric_server_tx_bytes_total", "encoded bytes sent"),
-        indications_rx: flexric_obs::counter(
-            "flexric_server_indications_rx_total",
-            "RIC indications received from agents",
-        ),
-        decode_errors: flexric_obs::counter(
-            "flexric_server_decode_errors_total",
-            "inbound PDUs that failed to decode",
-        ),
-        reconnects: flexric_obs::counter(
-            "flexric_server_reconnects_total",
-            "agents rebound to their old id after a reconnect",
-        ),
-        agents: flexric_obs::gauge("flexric_server_agents", "connected agents"),
-        subs_live: flexric_obs::gauge("flexric_server_subscriptions_live", "active subscriptions"),
-        dispatch_ns: flexric_obs::histogram(
-            "flexric_server_dispatch_ns",
-            "indication dispatch latency (subscription lookup + iApp handler)",
-        ),
-    })
-}
-
-/// Handle to a running controller.
-#[derive(Debug, Clone)]
-pub struct ServerHandle {
-    cmd: mpsc::UnboundedSender<Cmd>,
-    events_tx: broadcast::Sender<ServerEvent>,
-    /// Addresses the controller is listening on (ephemeral ports resolved).
-    pub addrs: Vec<TransportAddr>,
-}
-
-impl ServerHandle {
-    /// Advances controller time (virtual-time mode, or extra ticks).
-    pub fn tick(&self, now_ms: u64) {
-        let _ = self.cmd.send(Cmd::Tick(now_ms));
-    }
-
-    /// Sends a message to a named iApp (northbound ingress).
-    pub fn to_iapp(&self, name: &str, msg: Box<dyn Any + Send>) {
-        let _ = self.cmd.send(Cmd::ToIApp(name.to_owned(), msg));
-    }
-
-    /// Subscribes to server events.
-    pub fn events(&self) -> broadcast::Receiver<ServerEvent> {
-        self.events_tx.subscribe()
-    }
-
-    /// Snapshot of connected agents.
-    pub async fn agents(&self) -> io::Result<Vec<AgentInfo>> {
-        let (tx, rx) = oneshot::channel();
-        self.cmd
-            .send(Cmd::Agents(tx))
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
-        rx.await.map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))
-    }
-
-    /// Snapshot of the controller's counters.
-    pub async fn stats(&self) -> io::Result<ServerStats> {
-        let (tx, rx) = oneshot::channel();
-        self.cmd
-            .send(Cmd::Stats(tx))
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
-        rx.await.map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))
-    }
-
-    /// Stops the controller.  Listeners are shut down with the event loop,
-    /// so the addresses can be re-bound by a restarted controller.
-    pub fn stop(&self) {
-        let _ = self.cmd.send(Cmd::Stop);
-    }
-}
-
-enum LoopEvent {
-    NewAgent(E2SetupRequest, flexric_transport::Transport),
-    Inbound(AgentId, u64, WireMsg),
-    Closed(AgentId, u64),
-    Cmd(Cmd),
-}
-
-/// The controller runtime.
-///
-/// Procedure tracking, retransmission, and reconnect handling live in the
-/// shared endpoint layer — see [`crate::endpoint`] and the module docs.
-pub struct Server;
-
-impl Server {
-    /// Binds the listeners and spawns the controller event loop with the
-    /// given iApps.
-    pub async fn spawn(cfg: ServerConfig, iapps: Vec<Box<dyn IApp>>) -> io::Result<ServerHandle> {
-        let (evt_tx, evt_rx) = mpsc::unbounded_channel();
-        let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
-        let (events_tx, _) = broadcast::channel(1024);
-
-        let mut bound = Vec::new();
-        let mut listeners: Vec<Listener> = Vec::new();
-        for addr in &cfg.listen {
-            let l = listen(addr).await?;
-            bound.push(l.local_addr()?);
-            listeners.push(l);
-        }
-        // Accept tasks: perform the setup *read* off the event loop, then
-        // hand the transport plus the parsed request to the loop.  The
-        // handles are kept so stopping the server frees the addresses.
-        let mut listener_tasks = Vec::new();
-        for mut l in listeners {
-            let evt = evt_tx.clone();
-            let codec = cfg.codec;
-            listener_tasks.push(tokio::spawn(async move {
-                loop {
-                    let Ok(mut transport) = l.accept().await else { break };
-                    let evt = evt.clone();
-                    tokio::spawn(async move {
-                        let Ok(Some(first)) = transport.recv().await else { return };
-                        match codec.decode(&first.payload) {
-                            Ok(E2apPdu::E2SetupRequest(req)) => {
-                                let _ = evt.send(LoopEvent::NewAgent(req, transport));
-                            }
-                            _ => {
-                                // Protocol violation: close the connection.
-                            }
-                        }
-                    });
-                }
-            }));
-        }
-
-        let core = ServerCore {
-            codec: cfg.codec,
-            ric_id: cfg.ric_id,
-            randb: RanDb::new(),
-            subs: HashMap::new(),
-            endpoint: E2apEndpoint::new(cfg.retry),
-            conns: HashMap::new(),
-            outbox: Vec::new(),
-            scratch: EncodeScratch::with_capacity(4096),
-            custom_queue: Vec::new(),
-            events_tx: events_tx.clone(),
-            now_ms: 0,
-            rx_msgs: 0,
-            tx_msgs: 0,
-            rx_bytes: 0,
-            tx_bytes: 0,
-            retries: 0,
-            timeouts: 0,
-            reconnects: 0,
-            decode_errors: 0,
-        };
-        let runtime = ServerRuntime {
-            core,
-            iapps,
-            next_agent: 0,
-            next_epoch: 0,
-            evt_tx: evt_tx.clone(),
-            offline: HashMap::new(),
-            grace_ms: cfg.reconnect_grace_ms,
-            fault: cfg.fault.clone(),
-            listener_tasks,
-        };
-        tokio::spawn(runtime.run(cfg.tick_ms, evt_rx, cmd_rx));
-        Ok(ServerHandle { cmd: cmd_tx, events_tx, addrs: bound })
-    }
-}
-
-struct ServerRuntime {
-    core: ServerCore,
-    iapps: Vec<Box<dyn IApp>>,
-    next_agent: AgentId,
-    next_epoch: u64,
-    evt_tx: mpsc::UnboundedSender<LoopEvent>,
-    /// Disconnected agents kept for a rebind: grace deadline per agent.
-    offline: HashMap<AgentId, u64>,
-    grace_ms: u64,
-    fault: Option<FaultHandle>,
-    listener_tasks: Vec<JoinHandle<()>>,
-}
-
-impl ServerRuntime {
-    async fn run(
-        mut self,
-        tick_ms: Option<u64>,
-        mut evt_rx: mpsc::UnboundedReceiver<LoopEvent>,
-        mut cmd_rx: mpsc::UnboundedReceiver<Cmd>,
-    ) {
-        self.for_all(|iapp, api| iapp.on_start(api));
-        self.flush();
-        let mut ticker = tick_ms.map(|ms| {
-            let mut iv = tokio::time::interval(std::time::Duration::from_millis(ms.max(1)));
-            iv.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
-            iv
-        });
-        loop {
-            let event = if let Some(iv) = ticker.as_mut() {
-                tokio::select! {
-                    biased;
-                    Some(cmd) = cmd_rx.recv() => LoopEvent::Cmd(cmd),
-                    Some(ev) = evt_rx.recv() => ev,
-                    _ = iv.tick() => LoopEvent::Cmd(Cmd::Tick(crate::mono_ms())),
-                    else => break,
-                }
-            } else {
-                tokio::select! {
-                    biased;
-                    Some(cmd) = cmd_rx.recv() => LoopEvent::Cmd(cmd),
-                    Some(ev) = evt_rx.recv() => ev,
-                    else => break,
-                }
-            };
-            match event {
-                LoopEvent::NewAgent(req, transport) => self.handle_new_agent(req, transport),
-                LoopEvent::Inbound(agent, epoch, msg) => {
-                    if !self.core.conns.get(&agent).is_some_and(|c| c.epoch == epoch) {
-                        continue; // stale reader of a replaced connection
-                    }
-                    self.core.rx_msgs += 1;
-                    self.core.rx_bytes += msg.payload.len() as u64;
-                    obs().rx_msgs.inc();
-                    obs().rx_bytes.add(msg.payload.len() as u64);
-                    match self.handle_inbound(agent, &msg.payload) {
-                        Ok(()) => {
-                            if let Some(c) = self.core.conns.get_mut(&agent) {
-                                c.decode_errors = 0;
-                            }
-                        }
-                        Err(_) => self.on_decode_error(agent),
-                    }
-                }
-                LoopEvent::Closed(agent, epoch) => self.handle_closed(agent, epoch),
-                LoopEvent::Cmd(Cmd::Tick(now)) => {
-                    self.core.now_ms = now;
-                    self.tick_procedures(now);
-                    self.for_all(|iapp, api| iapp.on_tick(api, now));
-                }
-                LoopEvent::Cmd(Cmd::ToIApp(name, msg)) => self.dispatch_custom(name, msg),
-                LoopEvent::Cmd(Cmd::Agents(reply)) => {
-                    let _ = reply.send(self.core.randb.agents().cloned().collect());
-                }
-                LoopEvent::Cmd(Cmd::Stats(reply)) => {
-                    let _ = reply.send(ServerStats {
-                        rx_msgs: self.core.rx_msgs,
-                        tx_msgs: self.core.tx_msgs,
-                        agents: self.core.randb.agent_count() as u64,
-                        subs: self.core.subs.len() as u64,
-                        tx_bytes: self.core.tx_bytes,
-                        rx_bytes: self.core.rx_bytes,
-                        retries: self.core.retries,
-                        timeouts: self.core.timeouts,
-                        reconnects: self.core.reconnects,
-                        decode_errors: self.core.decode_errors,
-                    });
-                }
-                LoopEvent::Cmd(Cmd::Stop) => break,
-            }
-            self.flush();
-        }
-        // Free the listen addresses and reader tasks so a restarted
-        // controller can bind the same endpoints.
-        for t in &self.listener_tasks {
-            t.abort();
-        }
-        for (_, conn) in self.core.conns.drain() {
-            conn.reader.abort();
-        }
-    }
-
-    /// Runs a callback over all iApps with a fresh API view each.
-    fn for_all(&mut self, mut f: impl FnMut(&mut Box<dyn IApp>, &mut ServerApi)) {
-        for idx in 0..self.iapps.len() {
-            // Split borrow: iApps vector vs core.
-            let (iapps, core) = (&mut self.iapps, &mut self.core);
-            let mut api = ServerApi { core, iapp: idx };
-            f(&mut iapps[idx], &mut api);
-        }
-        self.drain_custom();
-    }
-
-    /// Runs a callback on one iApp.
-    fn for_one(&mut self, idx: usize, f: impl FnOnce(&mut Box<dyn IApp>, &mut ServerApi)) {
-        if idx >= self.iapps.len() {
-            return;
-        }
-        let (iapps, core) = (&mut self.iapps, &mut self.core);
-        let mut api = ServerApi { core, iapp: idx };
-        f(&mut iapps[idx], &mut api);
-        self.drain_custom();
-    }
-
-    fn drain_custom(&mut self) {
-        // Custom messages queued by iApps during callbacks, delivered
-        // breadth-first; bounded to avoid infinite ping-pong.
-        let mut depth = 0;
-        while !self.core.custom_queue.is_empty() && depth < 64 {
-            depth += 1;
-            let queue = std::mem::take(&mut self.core.custom_queue);
-            for (name, msg) in queue {
-                if let Some(idx) = self.iapps.iter().position(|i| i.name() == name) {
-                    let (iapps, core) = (&mut self.iapps, &mut self.core);
-                    let mut api = ServerApi { core, iapp: idx };
-                    iapps[idx].on_custom(&mut api, msg);
-                }
-            }
-        }
-    }
-
-    fn dispatch_custom(&mut self, name: String, msg: Box<dyn Any + Send>) {
-        self.core.custom_queue.push((name, msg));
-        self.drain_custom();
-    }
-
-    /// Spawns the writer/reader tasks for a new connection and registers
-    /// it under `agent_id`.  Returns the transport peer description.
-    fn spawn_conn(&mut self, agent_id: AgentId, transport: flexric_transport::Transport) -> String {
-        let peer = transport.peer();
-        self.next_epoch += 1;
-        let epoch = self.next_epoch;
-        let (send_half, mut recv_half) = transport.split();
-        let tx = crate::conn::spawn_writer(send_half, self.fault.clone());
-        let evt = self.evt_tx.clone();
-        let reader = tokio::spawn(async move {
-            loop {
-                match recv_half.recv().await {
-                    Ok(Some(msg)) => {
-                        if evt.send(LoopEvent::Inbound(agent_id, epoch, msg)).is_err() {
-                            break;
-                        }
-                    }
-                    Ok(None) | Err(_) => {
-                        let _ = evt.send(LoopEvent::Closed(agent_id, epoch));
-                        break;
-                    }
-                }
-            }
-        });
-        self.core.conns.insert(agent_id, ConnState { tx, epoch, reader, decode_errors: 0 });
-        peer
-    }
-
-    fn handle_new_agent(&mut self, req: E2SetupRequest, transport: flexric_transport::Transport) {
-        // An agent presenting a known global E2 node id is rebound to its
-        // previous AgentId: a reconnect, not a new node.
-        let known = self.core.randb.agents().find(|i| i.node == req.global_node).map(|i| i.id);
-        let (agent_id, reconnect) = match known {
-            Some(id) => {
-                if self.offline.remove(&id).is_none() {
-                    // Reconnect raced ahead of the close of the previous
-                    // connection: replace it.
-                    if let Some(old) = self.core.conns.remove(&id) {
-                        old.reader.abort();
-                    }
-                    let lost = self.core.endpoint.table.connection_lost(id);
-                    self.deliver_terminals(lost, false);
-                }
-                (id, true)
-            }
-            None => {
-                let id = self.next_agent;
-                self.next_agent += 1;
-                (id, false)
-            }
-        };
-        let peer = self.spawn_conn(agent_id, transport);
-
-        let info = AgentInfo {
-            id: agent_id,
-            node: req.global_node,
-            functions: req.ran_functions.clone(),
-            peer,
-        };
-        let accepted = req.ran_functions.iter().map(|f| f.id).collect();
-        self.core.outbox.push((
-            agent_id.into(),
-            E2apPdu::E2SetupResponse(E2SetupResponse {
-                transaction_id: req.transaction_id,
-                global_ric: self.core.ric_id,
-                accepted,
-                rejected: vec![],
-            }),
-        ));
-        let formed = self.core.randb.add_agent(info.clone());
-        if reconnect {
-            self.core.reconnects += 1;
-            obs().reconnects.inc();
-            let _ = self.core.events_tx.send(ServerEvent::AgentReconnected(info.clone()));
-            self.for_all(|iapp, api| iapp.on_agent_reconnected(api, &info));
-            self.replay_subscriptions(agent_id);
-        } else {
-            let _ = self.core.events_tx.send(ServerEvent::AgentConnected(info.clone()));
-            self.for_all(|iapp, api| iapp.on_agent_connected(api, &info));
-        }
-        if let Some(entity) = formed {
-            let _ = self.core.events_tx.send(ServerEvent::RanFormed(entity.clone()));
-            self.for_all(|iapp, api| iapp.on_ran_formed(api, &entity));
-        }
-    }
-
-    /// Re-issues every replayable subscription intent toward a rebound
-    /// agent under its original request id.
-    fn replay_subscriptions(&mut self, agent: AgentId) {
-        let now = self.core.now_ms;
-        let ServerCore { subs, endpoint, outbox, .. } = &mut self.core;
-        for ((a, req_id), sub) in subs.iter_mut() {
-            if *a != agent || !sub.replayable {
-                continue;
-            }
-            sub.established = false;
-            let pdu = E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
-                req_id: *req_id,
-                ran_function: sub.ran_function,
-                event_trigger: sub.event_trigger.clone(),
-                actions: sub.actions.clone(),
-            });
-            if endpoint.table.begin(
-                agent,
-                ProcedureKey::Ric(*req_id),
-                ProcedureClass::Subscription,
-                Some(pdu.clone()),
-                sub.iapp,
-                now,
-            ) {
-                outbox.push((Targets::One(agent), pdu));
-            }
-        }
-    }
-
-    fn handle_closed(&mut self, agent: AgentId, epoch: u64) {
-        match self.core.conns.get(&agent) {
-            Some(conn) if conn.epoch == epoch => {}
-            _ => return, // stale notification from a replaced connection
-        }
-        if let Some(conn) = self.core.conns.remove(&agent) {
-            conn.reader.abort();
-        }
-        // Every procedure in flight toward the agent terminates now.
-        let lost = self.core.endpoint.table.connection_lost(agent);
-        self.deliver_terminals(lost, false);
-        if self.core.randb.agent(agent).is_none() {
-            return;
-        }
-        if self.grace_ms > 0 {
-            // Keep the identity and the subscription intents for a rebind;
-            // the grace deadline is enforced on ticks.
-            for ((a, _), sub) in self.core.subs.iter_mut() {
-                if *a == agent {
-                    sub.established = false;
-                }
-            }
-            self.offline.insert(agent, self.core.now_ms.saturating_add(self.grace_ms));
-        } else {
-            self.finalize_disconnect(agent);
-        }
-    }
-
-    /// The agent is gone for good: drop its subscriptions and identity and
-    /// tell the world.
-    fn finalize_disconnect(&mut self, agent: AgentId) {
-        self.offline.remove(&agent);
-        self.core.subs.retain(|(a, _), _| *a != agent);
-        if let Some(conn) = self.core.conns.remove(&agent) {
-            conn.reader.abort();
-        }
-        if self.core.randb.remove_agent(agent).is_some() {
-            let _ = self.core.events_tx.send(ServerEvent::AgentDisconnected(agent));
-            self.for_all(|iapp, api| iapp.on_agent_disconnected(api, agent));
-        }
-    }
-
-    /// Drives the procedure table: retransmits due requests, delivers
-    /// terminal timeouts, and expires reconnect grace windows.
-    fn tick_procedures(&mut self, now: u64) {
-        let timed_out = {
-            let ServerCore { endpoint, outbox, retries, .. } = &mut self.core;
-            endpoint.table.poll(now, |agent, pdu| {
-                *retries += 1;
-                outbox.push((Targets::One(agent), pdu.clone()));
-            })
-        };
-        self.deliver_terminals(timed_out, true);
-        let expired: Vec<AgentId> =
-            self.offline.iter().filter(|(_, dl)| now >= **dl).map(|(a, _)| *a).collect();
-        for agent in expired {
-            self.finalize_disconnect(agent);
-        }
-    }
-
-    /// Delivers terminal outcomes for procedures that died without a
-    /// response — timed out (`timed_out`) or severed with the connection.
-    fn deliver_terminals(&mut self, procs: Vec<Procedure<AgentId, usize>>, timed_out: bool) {
-        for proc in procs {
-            if timed_out {
-                self.core.timeouts += 1;
-            }
-            let agent = proc.peer;
-            let ProcedureKey::Ric(req_id) = proc.key else { continue };
-            let ran_function = proc.ran_function().unwrap_or(RanFunctionId::new(0));
-            match proc.class {
-                ProcedureClass::Subscription => {
-                    let out = if timed_out {
-                        // The agent is reachable but unresponsive for this
-                        // request: the intent dies with it.
-                        self.core.subs.remove(&(agent, req_id));
-                        SubOutcome::TimedOut { req_id, ran_function, attempts: proc.attempts }
-                    } else {
-                        SubOutcome::ConnectionLost { req_id, ran_function }
-                    };
-                    self.for_one(proc.user, |iapp, api| {
-                        iapp.on_subscription_outcome(api, agent, &out)
-                    });
-                }
-                ProcedureClass::Control => {
-                    let out = if timed_out {
-                        CtrlOutcome::TimedOut { req_id, ran_function }
-                    } else {
-                        CtrlOutcome::ConnectionLost { req_id, ran_function }
-                    };
-                    self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
-                }
-                // Subscription deletes and global procedures have no
-                // iApp-visible outcome; the counter above records them.
-                _ => {}
-            }
-        }
-    }
-
-    /// An inbound PDU failed to decode: count it, report it to the peer,
-    /// and degrade the connection if the peer keeps sending garbage.
-    fn on_decode_error(&mut self, agent: AgentId) {
-        self.core.decode_errors += 1;
-        obs().decode_errors.inc();
-        self.core.outbox.push((
-            agent.into(),
-            E2apPdu::ErrorIndication(ErrorIndication {
-                req_id: None,
-                ran_function: None,
-                cause: Some(Cause::Protocol(ProtocolCause::TransferSyntaxError)),
-            }),
-        ));
-        let Some(conn) = self.core.conns.get_mut(&agent) else { return };
-        conn.decode_errors += 1;
-        if conn.decode_errors >= MAX_CONSECUTIVE_DECODE_ERRORS {
-            let epoch = conn.epoch;
-            self.handle_closed(agent, epoch);
-        }
-    }
-
-    fn handle_inbound(&mut self, agent: AgentId, raw: &[u8]) -> Result<(), CodecError> {
-        // FB fast path: peek is O(1); only indications stay undecoded.
-        if self.core.codec == E2apCodec::Flatb {
-            let hdr = self.core.codec.peek(raw)?;
-            if hdr.msg_type == MsgType::RicIndication {
-                obs().indications_rx.inc();
-                let req_id = hdr.req_id.unwrap_or_default();
-                if let Some(entry) = self.core.subs.get(&(agent, req_id)) {
-                    let idx = entry.iapp;
-                    let ind = IndicationRef::Raw { raw, hdr };
-                    let _t = obs().dispatch_ns.timer();
-                    self.for_one(idx, |iapp, api| iapp.on_indication(api, agent, &ind));
-                }
-                return Ok(());
-            }
-        }
-        let pdu = self.core.codec.decode(raw)?;
-        match pdu {
-            E2apPdu::RicIndication(ind) => {
-                obs().indications_rx.inc();
-                if let Some(entry) = self.core.subs.get(&(agent, ind.req_id)) {
-                    let idx = entry.iapp;
-                    let ind_ref = IndicationRef::Decoded(&ind);
-                    let _t = obs().dispatch_ns.timer();
-                    self.for_one(idx, |iapp, api| iapp.on_indication(api, agent, &ind_ref));
-                }
-            }
-            E2apPdu::RicSubscriptionResponse(resp) => {
-                let proc = self.core.endpoint.table.complete(agent, ProcedureKey::Ric(resp.req_id));
-                if proc.is_some() {
-                    crate::endpoint::note_completed(true);
-                }
-                if let Some(sub) = self.core.subs.get_mut(&(agent, resp.req_id)) {
-                    // A retransmitted request may be acknowledged more than
-                    // once; only the first response is delivered.  Claimed
-                    // (forwarded) ids have no tracked procedure and always
-                    // pass through.
-                    let fresh = proc.is_some() || !sub.replayable;
-                    sub.established = true;
-                    let idx = sub.iapp;
-                    if fresh {
-                        let out = SubOutcome::Admitted(resp);
-                        self.for_one(idx, |iapp, api| {
-                            iapp.on_subscription_outcome(api, agent, &out)
-                        });
-                    }
-                }
-            }
-            E2apPdu::RicSubscriptionFailure(fail) => {
-                if self
-                    .core
-                    .endpoint
-                    .table
-                    .complete(agent, ProcedureKey::Ric(fail.req_id))
-                    .is_some()
-                {
-                    crate::endpoint::note_completed(false);
-                }
-                if let Some(sub) = self.core.subs.remove(&(agent, fail.req_id)) {
-                    let out = SubOutcome::Failed(fail);
-                    self.for_one(sub.iapp, |iapp, api| {
-                        iapp.on_subscription_outcome(api, agent, &out)
-                    });
-                }
-            }
-            E2apPdu::RicSubscriptionDeleteResponse(resp) => {
-                if self
-                    .core
-                    .endpoint
-                    .table
-                    .complete(agent, ProcedureKey::Ric(resp.req_id))
-                    .is_some()
-                {
-                    crate::endpoint::note_completed(true);
-                }
-                self.core.subs.remove(&(agent, resp.req_id));
-            }
-            E2apPdu::RicSubscriptionDeleteFailure(fail) => {
-                if self
-                    .core
-                    .endpoint
-                    .table
-                    .complete(agent, ProcedureKey::Ric(fail.req_id))
-                    .is_some()
-                {
-                    crate::endpoint::note_completed(false);
-                }
-                self.core.subs.remove(&(agent, fail.req_id));
-            }
-            E2apPdu::RicControlAcknowledge(ack) => {
-                if let Some(proc) =
-                    self.core.endpoint.table.complete(agent, ProcedureKey::Ric(ack.req_id))
-                {
-                    crate::endpoint::note_completed(true);
-                    let out = CtrlOutcome::Ack(ack);
-                    self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
-                }
-            }
-            E2apPdu::RicControlFailure(fail) => {
-                if let Some(proc) =
-                    self.core.endpoint.table.complete(agent, ProcedureKey::Ric(fail.req_id))
-                {
-                    crate::endpoint::note_completed(false);
-                    let out = CtrlOutcome::Failed(fail);
-                    self.for_one(proc.user, |iapp, api| iapp.on_control_outcome(api, agent, &out));
-                }
-            }
-            E2apPdu::RicServiceUpdate(upd) => {
-                // Update the RANDB view of the agent's functions and ack.
-                let accepted: Vec<RanFunctionId> = upd.added.iter().map(|f| f.id).collect();
-                if let Some(info) = self.core.randb.agent(agent).cloned() {
-                    let mut info = info;
-                    for f in upd.added {
-                        if !info.functions.iter().any(|x| x.id == f.id) {
-                            info.functions.push(f);
-                        }
-                    }
-                    for f in upd.modified {
-                        if let Some(x) = info.functions.iter_mut().find(|x| x.id == f.id) {
-                            *x = f;
-                        }
-                    }
-                    info.functions.retain(|x| !upd.removed.contains(&x.id));
-                    self.core.randb.add_agent(info);
-                }
-                self.core.outbox.push((
-                    agent.into(),
-                    E2apPdu::RicServiceUpdateAck(RicServiceUpdateAck {
-                        transaction_id: upd.transaction_id,
-                        accepted,
-                        rejected: vec![],
-                    }),
-                ));
-            }
-            E2apPdu::ErrorIndication(_) | E2apPdu::ResetResponse(_) => {}
-            E2apPdu::ResetRequest(req) => {
-                // The agent wiped its subscription state: drop intents and
-                // terminate everything in flight toward it.
-                self.core.subs.retain(|(a, _), _| *a != agent);
-                let lost = self.core.endpoint.table.connection_lost(agent);
-                self.deliver_terminals(lost, false);
-                self.core.outbox.push((
-                    agent.into(),
-                    E2apPdu::ResetResponse(ResetResponse { transaction_id: req.transaction_id }),
-                ));
-            }
-            _ => {}
-        }
-        Ok(())
-    }
-
-    fn flush(&mut self) {
-        // Encode each queued PDU exactly once into the reusable scratch
-        // buffer and share the frozen frame across its targets.
-        let m = obs();
-        let core = &mut self.core;
-        let (conns, tx_msgs, tx_bytes) = (&core.conns, &mut core.tx_msgs, &mut core.tx_bytes);
-        scratch::flush_outbox(&mut core.scratch, core.codec, &mut core.outbox, |agent, frame| {
-            let Some(conn) = conns.get(&agent) else { return };
-            *tx_msgs += 1;
-            *tx_bytes += frame.len() as u64;
-            m.tx_msgs.inc();
-            m.tx_bytes.add(frame.len() as u64);
-            let _ = conn.tx.send(frame);
-        });
-        m.agents.set(core.randb.agent_count() as i64);
-        m.subs_live.set(core.subs.len() as i64);
+impl std::ops::AddAssign for ServerStats {
+    fn add_assign(&mut self, s: ServerStats) {
+        self.rx_msgs += s.rx_msgs;
+        self.tx_msgs += s.tx_msgs;
+        self.agents += s.agents;
+        self.subs += s.subs;
+        self.tx_bytes += s.tx_bytes;
+        self.rx_bytes += s.rx_bytes;
+        self.retries += s.retries;
+        self.timeouts += s.timeouts;
+        self.reconnects += s.reconnects;
+        self.decode_errors += s.decode_errors;
     }
 }

@@ -1,0 +1,220 @@
+//! Controller startup and the public handle: binds listeners, spawns one
+//! [`super::shard::ShardRuntime`] per shard, and fans handle commands out
+//! across the shards.
+
+use std::any::Any;
+use std::io;
+use std::sync::Arc;
+
+use tokio::sync::{broadcast, mpsc, oneshot};
+
+use flexric_e2ap::E2apPdu;
+use flexric_transport::{listen, Listener, TransportAddr};
+
+use super::router::ShardRouter;
+use super::shard::ShardRuntime;
+use super::{AgentInfo, IApp, ServerConfig, ServerEvent, ServerStats};
+
+pub(crate) enum Cmd {
+    Tick(u64),
+    ToIApp(String, Box<dyn Any + Send>),
+    Agents(oneshot::Sender<Vec<AgentInfo>>),
+    Stats(oneshot::Sender<ServerStats>),
+    Stop,
+}
+
+/// Handle to a running controller.
+///
+/// On a sharded controller the handle is the aggregation point: `tick` and
+/// `stop` reach every shard, `agents`/`stats` gather and merge per-shard
+/// snapshots, and `events` taps the single broadcast channel all shards
+/// publish into.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shards: Vec<mpsc::UnboundedSender<Cmd>>,
+    events_tx: broadcast::Sender<ServerEvent>,
+    /// Addresses the controller is listening on (ephemeral ports resolved).
+    pub addrs: Vec<TransportAddr>,
+}
+
+impl ServerHandle {
+    /// Number of shard event loops behind this handle.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Advances controller time on every shard (virtual-time mode, or
+    /// extra ticks).
+    pub fn tick(&self, now_ms: u64) {
+        for s in &self.shards {
+            let _ = s.send(Cmd::Tick(now_ms));
+        }
+    }
+
+    /// Sends a message to a named iApp (northbound ingress).
+    ///
+    /// The message is delivered on shard 0 (`Box<dyn Any>` is not
+    /// cloneable, so it cannot be fanned out); on a sharded controller the
+    /// shard-0 iApp instance is the northbound entry point and forwards
+    /// shard-spanning requests through [`super::ServerApi::send_pdu_multi`],
+    /// which routes across shards.
+    pub fn to_iapp(&self, name: &str, msg: Box<dyn Any + Send>) {
+        let _ = self.shards[0].send(Cmd::ToIApp(name.to_owned(), msg));
+    }
+
+    /// Subscribes to server events (published by all shards).
+    pub fn events(&self) -> broadcast::Receiver<ServerEvent> {
+        self.events_tx.subscribe()
+    }
+
+    /// Snapshot of connected agents, merged over all shards.
+    pub async fn agents(&self) -> io::Result<Vec<AgentInfo>> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let (tx, rx) = oneshot::channel();
+            s.send(Cmd::Agents(tx))
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+            pending.push(rx);
+        }
+        let mut all = Vec::new();
+        for rx in pending {
+            let mut part = rx
+                .await
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+            all.append(&mut part);
+        }
+        all.sort_by_key(|a| a.id);
+        Ok(all)
+    }
+
+    /// Snapshot of the controller's counters, summed over all shards.
+    pub async fn stats(&self) -> io::Result<ServerStats> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let (tx, rx) = oneshot::channel();
+            s.send(Cmd::Stats(tx))
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+            pending.push(rx);
+        }
+        let mut sum = ServerStats::default();
+        for rx in pending {
+            sum += rx
+                .await
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "server stopped"))?;
+        }
+        Ok(sum)
+    }
+
+    /// Stops the controller.  Listeners are shut down with the shard-0
+    /// event loop, so the addresses can be re-bound by a restarted
+    /// controller.
+    pub fn stop(&self) {
+        for s in &self.shards {
+            let _ = s.send(Cmd::Stop);
+        }
+    }
+}
+
+/// The controller runtime.
+///
+/// Procedure tracking, retransmission, and reconnect handling live in the
+/// shared endpoint layer — see [`crate::endpoint`] and the module docs.
+pub struct Server;
+
+impl Server {
+    /// Binds the listeners and spawns the controller event loop with the
+    /// given iApps.
+    ///
+    /// This entry point runs a single shard: one set of iApp instances,
+    /// one event loop — the classic layout.  A config asking for more than
+    /// one shard is rejected here, because one `Vec` of iApps cannot serve
+    /// N independent loops; use [`Server::spawn_sharded`] with a factory.
+    pub async fn spawn(cfg: ServerConfig, iapps: Vec<Box<dyn IApp>>) -> io::Result<ServerHandle> {
+        if cfg.resolved_shards() > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ServerConfig.shards > 1 needs per-shard iApp instances; use Server::spawn_sharded",
+            ));
+        }
+        let mut iapps = Some(iapps);
+        Self::spawn_sharded(cfg, move |_| iapps.take().unwrap_or_default()).await
+    }
+
+    /// Binds the listeners and spawns one shard event loop per
+    /// [`ServerConfig::resolved_shards`], calling `iapps(shard)` once per
+    /// shard for that shard's iApp instances.
+    ///
+    /// Connections are assigned to shards at accept time by RAN-entity key
+    /// (sticky least-loaded), so agents of one base station — and an agent
+    /// reconnecting within the grace window — always land on the same
+    /// shard.  Per-shard instances that need a combined view share state
+    /// via `Arc` internally (see `MonitorApp::replica`).
+    pub async fn spawn_sharded(
+        cfg: ServerConfig,
+        mut iapps: impl FnMut(usize) -> Vec<Box<dyn IApp>>,
+    ) -> io::Result<ServerHandle> {
+        let shards = cfg.resolved_shards().max(1);
+        let (events_tx, _) = broadcast::channel(1024);
+
+        let mut evt_txs = Vec::with_capacity(shards);
+        let mut evt_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::unbounded_channel();
+            evt_txs.push(tx);
+            evt_rxs.push(rx);
+        }
+        let router = Arc::new(ShardRouter::new(evt_txs.clone()));
+
+        let mut bound = Vec::new();
+        let mut listeners: Vec<Listener> = Vec::new();
+        for addr in &cfg.listen {
+            let l = listen(addr).await?;
+            bound.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        // Accept tasks: perform the setup *read* off the event loops, then
+        // route the transport plus the parsed request to the entity's
+        // shard.  The handles are kept (on shard 0) so stopping the server
+        // frees the addresses.
+        let mut listener_tasks = Vec::new();
+        for mut l in listeners {
+            let router = router.clone();
+            let codec = cfg.codec;
+            listener_tasks.push(tokio::spawn(async move {
+                loop {
+                    let Ok(mut transport) = l.accept().await else { break };
+                    let router = router.clone();
+                    tokio::spawn(async move {
+                        let Ok(Some(first)) = transport.recv().await else { return };
+                        match codec.decode(&first.payload) {
+                            Ok(E2apPdu::E2SetupRequest(req)) => {
+                                router.dispatch_new_agent(req, transport);
+                            }
+                            _ => {
+                                // Protocol violation: close the connection.
+                            }
+                        }
+                    });
+                }
+            }));
+        }
+
+        let mut listener_tasks = Some(listener_tasks);
+        let mut cmd_txs = Vec::with_capacity(shards);
+        for (idx, evt_rx) in evt_rxs.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+            cmd_txs.push(cmd_tx);
+            let rt = ShardRuntime::new(
+                idx,
+                &cfg,
+                iapps(idx),
+                router.clone(),
+                events_tx.clone(),
+                evt_txs[idx].clone(),
+                listener_tasks.take().unwrap_or_default(),
+            );
+            tokio::spawn(rt.run(cfg.tick_ms, evt_rx, cmd_rx));
+        }
+        Ok(ServerHandle { shards: cmd_txs, events_tx, addrs: bound })
+    }
+}

@@ -111,6 +111,8 @@ struct RobState {
     timed_out: u64,
     lost: u64,
     last_agent: Option<AgentId>,
+    /// Which shard each agent's callbacks ran on (0 on a 1-shard server).
+    shard_of: std::collections::HashMap<AgentId, usize>,
 }
 
 struct RobApp {
@@ -123,6 +125,8 @@ struct RobApp {
 
 enum RobCmd {
     Subscribe(AgentId),
+    /// One PDU to many agents — exercises the cross-shard fan-out.
+    SendMulti(Vec<AgentId>),
 }
 
 impl RobApp {
@@ -142,16 +146,18 @@ impl IApp for RobApp {
             let mut st = self.state.lock();
             st.connected += 1;
             st.last_agent = Some(agent.id);
+            st.shard_of.insert(agent.id, api.shard());
         }
         if self.auto_subscribe {
             self.subscribe(api, agent.id);
         }
     }
 
-    fn on_agent_reconnected(&mut self, _api: &mut ServerApi, agent: &AgentInfo) {
+    fn on_agent_reconnected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
         let mut st = self.state.lock();
         st.reconnected += 1;
         st.last_agent = Some(agent.id);
+        st.shard_of.insert(agent.id, api.shard());
     }
 
     fn on_subscription_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, out: &SubOutcome) {
@@ -170,8 +176,17 @@ impl IApp for RobApp {
 
     fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn std::any::Any + Send>) {
         if let Ok(cmd) = msg.downcast::<RobCmd>() {
-            let RobCmd::Subscribe(agent) = *cmd;
-            self.subscribe(api, agent);
+            match *cmd {
+                RobCmd::Subscribe(agent) => self.subscribe(api, agent),
+                RobCmd::SendMulti(agents) => api.send_pdu_multi(
+                    agents,
+                    E2apPdu::ErrorIndication(ErrorIndication {
+                        req_id: None,
+                        ran_function: None,
+                        cause: None,
+                    }),
+                ),
+            }
         }
     }
 }
@@ -345,5 +360,170 @@ async fn agent_reconnect_within_grace_replays_subscriptions() {
     assert!(saw_reconnected, "AgentReconnected published on event stream");
 
     second.stop();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// 4. Sharded server: an agent returning within the grace window rebinds on
+//    its original shard with the same AgentId, and the replayed
+//    subscription is re-admitted there.
+// ---------------------------------------------------------------------------
+
+/// Per-shard RobApp instances sharing one state/counter, as
+/// [`Server::spawn_sharded`] requires.
+fn sharded_factory(
+    auto_subscribe: bool,
+    period_ms: u32,
+) -> (impl FnMut(usize) -> Vec<Box<dyn IApp>>, Arc<Mutex<RobState>>, Arc<AtomicU64>) {
+    let state = Arc::new(Mutex::new(RobState::default()));
+    let ind_count = Arc::new(AtomicU64::new(0));
+    let (st, ind) = (state.clone(), ind_count.clone());
+    let factory = move |_shard: usize| {
+        vec![Box::new(RobApp {
+            sm_codec: SmCodec::Flatb,
+            period_ms,
+            auto_subscribe,
+            state: st.clone(),
+            ind_count: ind.clone(),
+        }) as Box<dyn IApp>]
+    };
+    (factory, state, ind_count)
+}
+
+#[tokio::test]
+async fn sharded_reconnect_within_grace_rebinds_to_original_shard() {
+    let (factory, state, ind_count) = sharded_factory(true, 1);
+    let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("rob-shard-grace".into()));
+    cfg.tick_ms = Some(5);
+    cfg.reconnect_grace_ms = 2_000;
+    cfg.shards = 4;
+    let server = Server::spawn_sharded(cfg, factory).await.expect("server");
+    let addr = server.addrs[0].clone();
+
+    // Fill several shards so the rebind target is not trivially shard 0.
+    let mut others = Vec::new();
+    for id in [50, 51, 52] {
+        let mut acfg = AgentConfig::new(node(id), addr.clone());
+        acfg.tick_ms = Some(1);
+        others.push(Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap());
+    }
+    wait_until(|| state.lock().connected == 3, "other agents connected").await;
+
+    let mut acfg = AgentConfig::new(node(42), addr.clone());
+    acfg.tick_ms = Some(1);
+    let first = Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap();
+    wait_until(|| state.lock().connected == 4, "agent 42 connected").await;
+    let (first_id, first_shard) = {
+        let st = state.lock();
+        let id = st.last_agent.unwrap();
+        (id, st.shard_of[&id])
+    };
+    wait_until(|| state.lock().admitted == 4, "all initial subscriptions").await;
+    first.stop();
+
+    // The same E2 node returns within the grace window.
+    let mut acfg = AgentConfig::new(node(42), addr);
+    acfg.tick_ms = Some(1);
+    let second = Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap();
+
+    wait_until(|| state.lock().reconnected == 1, "reconnect detected").await;
+    {
+        let st = state.lock();
+        assert_eq!(st.last_agent, Some(first_id), "agent kept its id across shards");
+        assert_eq!(
+            st.shard_of[&first_id], first_shard,
+            "entity-key affinity rebinds the agent on its original shard"
+        );
+        assert_eq!(st.connected, 4, "no spurious on_agent_connected");
+    }
+
+    // The replayed subscription is re-admitted and indications resume.
+    wait_until(|| state.lock().admitted == 5, "replayed subscription admitted").await;
+    let before = ind_count.load(Ordering::Relaxed);
+    wait_until(|| ind_count.load(Ordering::Relaxed) >= before + 3, "indications after rebind")
+        .await;
+
+    let sstats = server.stats().await.unwrap();
+    assert_eq!(sstats.reconnects, 1);
+    assert_eq!(sstats.agents, 4, "summed over shards");
+    assert_eq!(sstats.subs, 4);
+
+    second.stop();
+    for a in others {
+        a.stop();
+    }
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// 5. Sharded server: send_pdu_multi reaches agents on different shards
+//    exactly once each — the cross-shard handover neither drops nor
+//    duplicates frames.
+// ---------------------------------------------------------------------------
+
+#[tokio::test]
+async fn sharded_send_pdu_multi_reaches_every_shard_exactly_once() {
+    let (factory, state, _ind) = sharded_factory(false, 1);
+    let mut cfg = ServerConfig::new(ric(), TransportAddr::Mem("rob-shard-multi".into()));
+    cfg.tick_ms = Some(5);
+    cfg.shards = 4;
+    let server = Server::spawn_sharded(cfg, factory).await.expect("server");
+    let addr = server.addrs[0].clone();
+
+    let mut agents = Vec::new();
+    for id in [60, 61, 62, 63] {
+        let mut acfg = AgentConfig::new(node(id), addr.clone());
+        acfg.tick_ms = Some(1);
+        agents.push(Agent::spawn(acfg, vec![Box::new(PingFn::new(SmCodec::Flatb))]).await.unwrap());
+    }
+    wait_until(|| state.lock().connected == 4, "all agents connected").await;
+
+    let infos = server.agents().await.unwrap();
+    assert_eq!(infos.len(), 4);
+    let shards_used: std::collections::HashSet<usize> =
+        state.lock().shard_of.values().copied().collect();
+    assert!(
+        shards_used.len() >= 2,
+        "4 distinct entities on 4 shards must spread over several shards, got {shards_used:?}"
+    );
+
+    // Quiesce, then snapshot each agent's rx counter.
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let mut before = Vec::new();
+    for a in &agents {
+        before.push(a.stats().await.unwrap().rx_msgs);
+    }
+
+    // One PDU to all agents, issued on shard 0 (to_iapp enters there);
+    // targets on other shards cross through the router.
+    let ids: Vec<AgentId> = infos.iter().map(|i| i.id).collect();
+    server.to_iapp("rob-app", Box::new(RobCmd::SendMulti(ids)));
+
+    // Every agent gets it...
+    for (i, a) in agents.iter().enumerate() {
+        let mut delivered = false;
+        for _ in 0..500 {
+            if a.stats().await.unwrap().rx_msgs > before[i] {
+                delivered = true;
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert!(delivered, "broadcast frame never reached agent {i}");
+    }
+    // ...and, after things settle, exactly once.
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    for (i, a) in agents.iter().enumerate() {
+        let rx = a.stats().await.unwrap().rx_msgs;
+        assert_eq!(
+            rx,
+            before[i] + 1,
+            "agent {i} must receive the broadcast exactly once (no cross-shard duplicate)"
+        );
+    }
+
+    for a in agents {
+        a.stop();
+    }
     server.stop();
 }

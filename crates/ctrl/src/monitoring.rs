@@ -142,6 +142,18 @@ impl MonitorApp {
             counters,
         )
     }
+
+    /// Creates another instance feeding the same store and counters — one
+    /// per shard on a sharded controller ([`flexric::server::Server::spawn_sharded`]):
+    /// each replica subscribes to the agents its shard owns, and the shared
+    /// `Arc`s aggregate the combined view.
+    pub fn replica(
+        cfg: MonitorConfig,
+        db: Arc<Mutex<StatsDb>>,
+        counters: Arc<MonitorCounters>,
+    ) -> Self {
+        MonitorApp { cfg, db, counters, req_kind: std::collections::HashMap::new() }
+    }
 }
 
 impl IApp for MonitorApp {

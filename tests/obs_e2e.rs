@@ -39,51 +39,72 @@ fn hist_count(snap: &Snapshot, name: &str) -> u64 {
         .sum()
 }
 
-/// No faults, in-memory transport: every indication the agent sends must
+/// No faults, in-memory transport: every indication the agents send must
 /// arrive at the server, and nothing on the path may fail to decode.
+///
+/// Runs the server with two shards and one agent per shard (two distinct
+/// RAN entities spread by least-loaded assignment), so the conservation
+/// invariant also covers the sharded dispatch path and the per-shard
+/// `flexric_server_shard_*` series are populated.
 #[tokio::test]
 async fn indication_conservation_over_mem_transport() {
     if cfg!(feature = "obs-off") {
         return; // counters are compiled out; nothing to conserve
     }
-    let (monitor, _db, _counters) = MonitorApp::new(MonitorConfig::default());
+    let mcfg = MonitorConfig::default();
+    let (monitor, db, counters) = MonitorApp::new(mcfg);
     let mut cfg =
         ServerConfig::new(GlobalRicId::new(Plmn::TEST, 1), TransportAddr::Mem("it-obs".into()));
     cfg.tick_ms = None;
-    let server = Server::spawn(cfg, vec![Box::new(monitor)]).await.unwrap();
+    cfg.shards = 2;
+    let mut first = Some(monitor);
+    let server = Server::spawn_sharded(cfg, move |_shard| {
+        let app =
+            first.take().unwrap_or_else(|| MonitorApp::replica(mcfg, db.clone(), counters.clone()));
+        vec![Box::new(app) as Box<dyn flexric::server::IApp>]
+    })
+    .await
+    .unwrap();
 
-    let mut sim = Sim::new(vec![CellConfig::nr("cell0", 106)], PathConfig::default());
-    for i in 0..2u16 {
-        sim.attach_ue(0, UeConfig::new(0x4601 + i, 20));
-        sim.add_flow(FlowConfig {
-            cell: 0,
-            rnti: 0x4601 + i,
-            drb: 1,
-            kind: FlowKind::GreedyTcp { mss: 1500 },
-            tuple: (0x0A00_0001, 0x0A00_0100 + i as u32, 1000, 80, 6),
-            start_ms: 0,
-            stop_ms: None,
-        });
+    let mut agents = Vec::new();
+    let mut sims = Vec::new();
+    for n in 0..2u64 {
+        let mut sim = Sim::new(vec![CellConfig::nr("cell0", 106)], PathConfig::default());
+        for i in 0..2u16 {
+            sim.attach_ue(0, UeConfig::new(0x4601 + i, 20));
+            sim.add_flow(FlowConfig {
+                cell: 0,
+                rnti: 0x4601 + i,
+                drb: 1,
+                kind: FlowKind::GreedyTcp { mss: 1500 },
+                tuple: (0x0A00_0001, 0x0A00_0100 + i as u32, 1000, 80, 6),
+                start_ms: 0,
+                stop_ms: None,
+            });
+        }
+        let sim = Arc::new(Mutex::new(sim));
+        let bs = SimBs::new(sim.clone(), 0);
+        let mut acfg = AgentConfig::new(
+            GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1 + n),
+            TransportAddr::Mem("it-obs".into()),
+        );
+        acfg.tick_ms = None;
+        agents.push(Agent::spawn(acfg, stats_bundle(&bs, SmCodec::Flatb)).await.unwrap());
+        sims.push(sim);
     }
-    let sim = Arc::new(Mutex::new(sim));
-    let bs = SimBs::new(sim.clone(), 0);
-    let mut acfg = AgentConfig::new(
-        GlobalE2NodeId::new(Plmn::TEST, E2NodeType::Gnb, 1),
-        TransportAddr::Mem("it-obs".into()),
-    );
-    acfg.tick_ms = None;
-    let agent = Agent::spawn(acfg, stats_bundle(&bs, SmCodec::Flatb)).await.unwrap();
 
     // Drive 1 s of virtual time (subscription round-trip + a steady stream
-    // of 1 ms-period indications from 3 SMs).
+    // of 1 ms-period indications from 3 SMs per agent).
     for _ in 0..20 {
         for _ in 0..50 {
-            let now = {
-                let mut s = sim.lock();
-                s.tick();
-                s.now_ms()
-            };
-            agent.tick(now);
+            for (sim, agent) in sims.iter().zip(&agents) {
+                let now = {
+                    let mut s = sim.lock();
+                    s.tick();
+                    s.now_ms()
+                };
+                agent.tick(now);
+            }
         }
         tokio::task::yield_now().await;
     }
@@ -103,8 +124,38 @@ async fn indication_conservation_over_mem_transport() {
     // The conservation invariant.
     let sent = counter(&snap, "flexric_agent_indications_sent_total");
     let rx = counter(&snap, "flexric_server_indications_rx_total");
-    assert!(sent > 1_000, "3 SMs × ~1000 ticks should send thousands, got {sent}");
+    assert!(sent > 1_000, "2 agents × 3 SMs × ~1000 ticks should send thousands, got {sent}");
     assert_eq!(sent, rx, "every indication sent must be received");
+
+    // Per-shard conservation: two entities on a two-shard server spread
+    // one per shard (least-loaded assignment), each shard's rx series is
+    // live, and the shard series sum to the totals they decompose.
+    let shard_rx: Vec<u64> = snap
+        .metrics
+        .iter()
+        .filter(|m| m.name == "flexric_server_shard_rx_total")
+        .map(|m| match m.value {
+            SnapValue::Counter(v) => v,
+            _ => panic!("shard rx is a counter"),
+        })
+        .collect();
+    assert_eq!(shard_rx.len(), 2, "one series per shard");
+    assert!(shard_rx.iter().all(|&v| v > 0), "both shards received messages: {shard_rx:?}");
+    assert_eq!(
+        shard_rx.iter().sum::<u64>(),
+        counter(&snap, "flexric_server_rx_msgs_total"),
+        "shard rx series decompose the server total"
+    );
+    let shard_agents: Vec<i64> = snap
+        .metrics
+        .iter()
+        .filter(|m| m.name == "flexric_server_shard_agents")
+        .map(|m| match m.value {
+            SnapValue::Gauge(v) => v,
+            _ => panic!("shard agents is a gauge"),
+        })
+        .collect();
+    assert_eq!(shard_agents, vec![1, 1], "one agent owned by each shard");
     assert_eq!(counter(&snap, "flexric_agent_decode_errors_total"), 0);
     assert_eq!(counter(&snap, "flexric_server_decode_errors_total"), 0);
     assert_eq!(counter(&snap, "flexric_transport_fault_dropped_total"), 0, "no faults configured");
@@ -120,12 +171,17 @@ async fn indication_conservation_over_mem_transport() {
     assert!(counter(&snap, "flexric_ctrl_indications_total") > 0, "iApp saw indications");
     assert!(hist_count(&snap, "flexric_span_e2ap_encode_ns") > 0, "encode span on the hot path");
 
-    // And the whole thing renders to Prometheus text.
+    // And the whole thing renders to Prometheus text, per-shard series
+    // included.
     let text = snap.render_prom();
     assert!(text.contains("# TYPE flexric_server_indications_rx_total counter"));
     assert!(text.contains("flexric_server_dispatch_ns_bucket"));
+    assert!(text.contains("flexric_server_shard_rx_total{shard=\"0\"}"));
+    assert!(text.contains("flexric_server_shard_rx_total{shard=\"1\"}"));
 
-    agent.stop();
+    for agent in &agents {
+        agent.stop();
+    }
     server.stop();
 }
 
