@@ -10,8 +10,13 @@
 //! architecture that makes a localhost RTT approach 1 ms in the paper.
 //!
 //! ```text
-//! cargo run --release -p flexric-bench --bin fig9a_two_hop_rtt [--pings 1000]
+//! cargo run --release -p flexric-bench --bin fig9a_two_hop_rtt \
+//!     [--pings 1000] [--out BENCH_fig9a.json]
 //! ```
+//!
+//! Besides the table, a machine-readable snapshot is written to `--out`
+//! (default `BENCH_fig9a.json`, `--out -` to skip) so re-anchors can track
+//! the two-hop RTT over time.
 
 use flexric::agent::{Agent, AgentConfig};
 use flexric::server::{Server, ServerConfig};
@@ -147,12 +152,14 @@ async fn oran_two_hop(payload: usize, pings: usize) -> (f64, f64, f64) {
 async fn main() {
     let args = Args::parse();
     let pings: usize = args.get_or("pings", 1000);
+    let out = args.get("out").unwrap_or("BENCH_fig9a.json").to_owned();
 
     table::experiment(
         "Fig. 9a",
         "Two-hop RTT: FlexRIC relay vs O-RAN RIC pipeline (localhost TCP)",
     );
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     for payload in [100usize, 1500] {
         for (label, codec, sm) in [
             ("FB/FB 1-hop", Some((E2apCodec::Flatb, false)), SmCodec::Flatb),
@@ -173,9 +180,30 @@ async fn main() {
                 table::f(p50),
                 table::f(p99),
             ]);
+            points.push(serde_json::json!({
+                "payload_bytes": payload,
+                "path": label,
+                "rtt_mean_us": mean,
+                "rtt_p50_us": p50,
+                "rtt_p99_us": p99,
+            }));
         }
     }
     table::table(&["payload", "path", "rtt_mean_us", "rtt_p50_us", "rtt_p99_us"], &rows);
+
+    if out != "-" {
+        let doc = serde_json::json!({
+            "bench": "fig9a",
+            "source": "fig9a_two_hop_rtt",
+            "status": "measured",
+            "pings_per_point": pings,
+            "points": points,
+        });
+        match std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n") {
+            Ok(()) => eprintln!("  snapshot written to {out}"),
+            Err(e) => eprintln!("  snapshot NOT written ({out}: {e})"),
+        }
+    }
     println!();
     println!("Paper shape check: O-RAN imposes the second hop that FlexRIC does not");
     println!("(1-hop row ≈ half the RTT).  At equal hop counts our substrate shows");

@@ -158,7 +158,7 @@ fn dec_cause(v: u16) -> Result<Cause> {
 fn dec_fn_item(t: &FbTable) -> Result<RanFunctionItem> {
     Ok(RanFunctionItem {
         id: RanFunctionId::new(t.req_u16(0, "fn id")?),
-        definition: Bytes::copy_from_slice(t.req_bytes(1, "fn def")?),
+        definition: crate::borrow::mk_bytes(t.req_bytes(1, "fn def")?),
         revision: t.req_u16(2, "fn revision")?,
         oid: t.string(3)?.ok_or(CodecError::Malformed { what: "fn oid" })?.to_owned(),
     })
@@ -173,8 +173,8 @@ fn dec_component(t: &FbTable) -> Result<E2NodeComponentConfig> {
             .string(1)?
             .ok_or(CodecError::Malformed { what: "component id" })?
             .to_owned(),
-        request_part: Bytes::copy_from_slice(t.req_bytes(2, "component req")?),
-        response_part: Bytes::copy_from_slice(t.req_bytes(3, "component resp")?),
+        request_part: crate::borrow::mk_bytes(t.req_bytes(2, "component req")?),
+        response_part: crate::borrow::mk_bytes(t.req_bytes(3, "component resp")?),
     })
 }
 
@@ -211,7 +211,7 @@ fn dec_action(t: &FbTable) -> Result<RicActionToBeSetup> {
         id: RicActionId(t.req_u8(0, "action id")?),
         action_type: RicActionType::from_u8(at)
             .ok_or(CodecError::BadDiscriminant { what: "action type", value: at as u64 })?,
-        definition: t.bytes(2)?.map(Bytes::copy_from_slice),
+        definition: t.bytes(2)?.map(crate::borrow::mk_bytes),
         subsequent,
     })
 }
@@ -610,7 +610,7 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
             E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
                 req_id: req()?,
                 ran_function: rf()?,
-                event_trigger: Bytes::copy_from_slice(body.req_bytes(0, "trigger")?),
+                event_trigger: crate::borrow::mk_bytes(body.req_bytes(0, "trigger")?),
                 actions: dec_tables(&body.vector_or_empty(1)?, dec_action)?,
             })
         }
@@ -667,9 +667,9 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
                 sn: body.u32(5)?,
                 ind_type: RicIndicationType::from_u8(it)
                     .ok_or(CodecError::BadDiscriminant { what: "ind type", value: it as u64 })?,
-                header: Bytes::copy_from_slice(body.req_bytes(2, "ind header")?),
-                message: Bytes::copy_from_slice(body.req_bytes(3, "ind message")?),
-                call_process_id: body.bytes(4)?.map(Bytes::copy_from_slice),
+                header: crate::borrow::mk_bytes(body.req_bytes(2, "ind header")?),
+                message: crate::borrow::mk_bytes(body.req_bytes(3, "ind message")?),
+                call_process_id: body.bytes(4)?.map(crate::borrow::mk_bytes),
             })
         }
         MsgType::RicControlRequest => {
@@ -685,24 +685,24 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
             E2apPdu::RicControlRequest(RicControlRequest {
                 req_id: req()?,
                 ran_function: rf()?,
-                call_process_id: body.bytes(2)?.map(Bytes::copy_from_slice),
-                header: Bytes::copy_from_slice(body.req_bytes(0, "ctrl header")?),
-                message: Bytes::copy_from_slice(body.req_bytes(1, "ctrl message")?),
+                call_process_id: body.bytes(2)?.map(crate::borrow::mk_bytes),
+                header: crate::borrow::mk_bytes(body.req_bytes(0, "ctrl header")?),
+                message: crate::borrow::mk_bytes(body.req_bytes(1, "ctrl message")?),
                 ack_request,
             })
         }
         MsgType::RicControlAcknowledge => E2apPdu::RicControlAcknowledge(RicControlAcknowledge {
             req_id: req()?,
             ran_function: rf()?,
-            call_process_id: body.bytes(0)?.map(Bytes::copy_from_slice),
-            outcome: body.bytes(1)?.map(Bytes::copy_from_slice),
+            call_process_id: body.bytes(0)?.map(crate::borrow::mk_bytes),
+            outcome: body.bytes(1)?.map(crate::borrow::mk_bytes),
         }),
         MsgType::RicControlFailure => E2apPdu::RicControlFailure(RicControlFailure {
             req_id: req()?,
             ran_function: rf()?,
-            call_process_id: body.bytes(1)?.map(Bytes::copy_from_slice),
+            call_process_id: body.bytes(1)?.map(crate::borrow::mk_bytes),
             cause: dec_cause(body.req_u16(0, "cause")?)?,
-            outcome: body.bytes(2)?.map(Bytes::copy_from_slice),
+            outcome: body.bytes(2)?.map(crate::borrow::mk_bytes),
         }),
     })
 }
@@ -719,4 +719,12 @@ pub fn indication_payload(buf: &[u8]) -> Result<(&[u8], &[u8])> {
     }
     let body = root.req_table(4, "body")?;
     Ok((body.req_bytes(2, "ind header")?, body.req_bytes(3, "ind message")?))
+}
+
+/// Like [`indication_payload`], but returns refcounted views of `buf` —
+/// the receive path hands these to apps that retain the payload beyond the
+/// current dispatch without copying it out of the read slab.
+pub fn indication_payload_borrowed(buf: &Bytes) -> Result<(Bytes, Bytes)> {
+    let (hdr, msg) = indication_payload(buf)?;
+    Ok((buf.slice_ref(hdr), buf.slice_ref(msg)))
 }

@@ -115,7 +115,7 @@ fn put_opt_bytes<B: ByteSink>(w: &mut BitWriter<B>, v: &Option<Bytes>) {
 
 fn get_opt_bytes(r: &mut BitReader) -> Result<Option<Bytes>> {
     if r.get_bit()? {
-        Ok(Some(Bytes::copy_from_slice(r.get_octets()?)))
+        Ok(Some(crate::borrow::mk_bytes(r.get_octets()?)))
     } else {
         Ok(None)
     }
@@ -130,7 +130,7 @@ fn put_fn_item<B: ByteSink>(w: &mut BitWriter<B>, f: &RanFunctionItem) {
 
 fn get_fn_item(r: &mut BitReader) -> Result<RanFunctionItem> {
     let id = get_ran_func(r)?;
-    let definition = Bytes::copy_from_slice(r.get_octets()?);
+    let definition = crate::borrow::mk_bytes(r.get_octets()?);
     let revision = r.get_bits(16)? as u16;
     let oid = r.get_utf8()?;
     Ok(RanFunctionItem { id, definition, revision, oid })
@@ -148,8 +148,8 @@ fn get_component(r: &mut BitReader) -> Result<E2NodeComponentConfig> {
     let interface = InterfaceType::from_u8(i)
         .ok_or(CodecError::BadDiscriminant { what: "interface", value: i as u64 })?;
     let component_id = r.get_utf8()?;
-    let request_part = Bytes::copy_from_slice(r.get_octets()?);
-    let response_part = Bytes::copy_from_slice(r.get_octets()?);
+    let request_part = crate::borrow::mk_bytes(r.get_octets()?);
+    let response_part = crate::borrow::mk_bytes(r.get_octets()?);
     Ok(E2NodeComponentConfig { interface, component_id, request_part, response_part })
 }
 
@@ -533,7 +533,7 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
             E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
                 req_id: get_req_id(r)?,
                 ran_function: get_ran_func(r)?,
-                event_trigger: Bytes::copy_from_slice(r.get_octets()?),
+                event_trigger: crate::borrow::mk_bytes(r.get_octets()?),
                 actions: get_seq(r, get_action)?,
             })
         }
@@ -581,8 +581,8 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
             let it = r.get_constrained(0, 1)? as u8;
             let ind_type = RicIndicationType::from_u8(it)
                 .ok_or(CodecError::BadDiscriminant { what: "indication type", value: it as u64 })?;
-            let header = Bytes::copy_from_slice(r.get_octets()?);
-            let message = Bytes::copy_from_slice(r.get_octets()?);
+            let header = crate::borrow::mk_bytes(r.get_octets()?);
+            let message = crate::borrow::mk_bytes(r.get_octets()?);
             let call_process_id = get_opt_bytes(r)?;
             E2apPdu::RicIndication(RicIndication {
                 req_id,
@@ -599,8 +599,8 @@ pub fn decode(buf: &[u8]) -> Result<E2apPdu> {
             let req_id = get_req_id(r)?;
             let ran_function = get_ran_func(r)?;
             let call_process_id = get_opt_bytes(r)?;
-            let header = Bytes::copy_from_slice(r.get_octets()?);
-            let message = Bytes::copy_from_slice(r.get_octets()?);
+            let header = crate::borrow::mk_bytes(r.get_octets()?);
+            let message = crate::borrow::mk_bytes(r.get_octets()?);
             let ack_request =
                 if r.get_bit()? {
                     let a = r.get_constrained(0, 2)? as u8;

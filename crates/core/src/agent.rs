@@ -466,7 +466,7 @@ enum LoopEvent {
 }
 
 struct CtrlConn {
-    tx: mpsc::UnboundedSender<Bytes>,
+    tx: mpsc::UnboundedSender<WireMsg>,
     alive: bool,
     /// Distinguishes this connection from earlier ones under the same
     /// [`CtrlId`] (reconnects), so stale reader events are ignored.
@@ -769,8 +769,10 @@ impl Agent {
         self.functions.iter().position(|f| f.id() == id)
     }
 
-    fn handle_inbound(&mut self, ctrl: CtrlId, raw: &[u8]) {
-        let pdu = match self.cfg.codec.decode(raw) {
+    fn handle_inbound(&mut self, ctrl: CtrlId, raw: &Bytes) {
+        // Borrowed decode: byte-valued fields (control headers, action
+        // definitions …) stay refcounted views of the transport read slab.
+        let pdu = match self.cfg.codec.decode_borrowed(raw) {
             Ok(p) => p,
             Err(_) => {
                 self.stats.decode_errors += 1;
@@ -1043,16 +1045,16 @@ impl Agent {
         // Encode each queued PDU exactly once into the reusable scratch
         // buffer and share the frozen frame across its targets.
         let Agent { conns, stats, outbox, scratch, cfg, .. } = self;
-        scratch::flush_outbox(scratch, cfg.codec, outbox, |ctrl, frame| {
+        scratch::flush_outbox(scratch, cfg.codec, outbox, |ctrl, msg| {
             let Some(conn) = conns.get(ctrl) else { return };
             if !conn.alive {
                 return;
             }
             stats.tx_msgs += 1;
-            stats.tx_bytes += frame.len() as u64;
+            stats.tx_bytes += msg.payload.len() as u64;
             m.tx_msgs.inc();
-            m.tx_bytes.add(frame.len() as u64);
-            let _ = conn.tx.send(frame);
+            m.tx_bytes.add(msg.payload.len() as u64);
+            let _ = conn.tx.send(msg);
         });
         m.active_subs.set(self.sub_index.len() as i64);
         m.controllers.set(self.stats.controllers as i64);

@@ -3,8 +3,15 @@
 //!
 //! Both event loops used to carry their own copy of this task; it lives
 //! here once, next to the procedure-endpoint layer the loops also share.
+//!
+//! The writer queues [`WireMsg`]s (not bare frames), so the stream id —
+//! stream 0 for global/control procedures, nonzero for bulk indications —
+//! survives to the wire, and a drained batch is re-ordered so control
+//! frames overtake queued bulk traffic: a subscription or control
+//! procedure is never stuck behind thousands of coalesced indications.
+//! The reorder is a stable partition, so per-stream ordering (the SCTP
+//! guarantee E2AP relies on) is preserved within each class.
 
-use bytes::Bytes;
 use tokio::sync::mpsc;
 
 use flexric_transport::fault::{FaultHandle, FaultySender};
@@ -32,27 +39,64 @@ impl WireSender {
     }
 }
 
-/// Spawns the writer task for one connection: frames queued on the
-/// returned channel are coalesced (up to 64 per flush) into batched
-/// vectored writes.  The task ends when the channel closes or the
-/// transport errors; dropping the sender is how a runtime degrades a
-/// connection.
+/// Control frames that jumped ahead of queued bulk frames in a writer
+/// batch — visibility into the priority mechanism under load.
+fn promotions() -> &'static flexric_obs::Counter {
+    static C: std::sync::OnceLock<flexric_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        flexric_obs::counter(
+            "flexric_conn_control_promotions_total",
+            "control frames reordered ahead of queued bulk frames",
+        )
+    })
+}
+
+/// Moves control-stream frames ahead of bulk frames, preserving relative
+/// order within each class.  Returns how many control frames actually
+/// overtook at least one bulk frame.
+fn prioritize(batch: &mut [WireMsg]) -> u64 {
+    let mut bulk_seen = 0u64;
+    let mut promoted = 0u64;
+    for m in batch.iter() {
+        if m.is_control() {
+            if bulk_seen > 0 {
+                promoted += 1;
+            }
+        } else {
+            bulk_seen += 1;
+        }
+    }
+    if promoted > 0 {
+        batch.sort_by_key(|m| !m.is_control());
+    }
+    promoted
+}
+
+/// Spawns the writer task for one connection: messages queued on the
+/// returned channel are coalesced (up to 64 per flush), control frames are
+/// promoted ahead of bulk, and the batch goes out as one vectored write.
+/// The task ends when the channel closes or the transport errors; dropping
+/// the sender is how a runtime degrades a connection.
 pub(crate) fn spawn_writer(
     half: SendHalf,
     fault: Option<FaultHandle>,
-) -> mpsc::UnboundedSender<Bytes> {
-    let (out_tx, mut out_rx) = mpsc::unbounded_channel::<Bytes>();
+) -> mpsc::UnboundedSender<WireMsg> {
+    let (out_tx, mut out_rx) = mpsc::unbounded_channel::<WireMsg>();
     tokio::spawn(async move {
         let mut sender = WireSender::new(half, fault);
         let mut batch = Vec::with_capacity(8);
-        while let Some(buf) = out_rx.recv().await {
-            batch.push(WireMsg::e2ap(buf));
+        while let Some(msg) = out_rx.recv().await {
+            batch.push(msg);
             // Coalesce everything already queued into one flush.
             while batch.len() < 64 {
                 match out_rx.try_recv() {
-                    Ok(buf) => batch.push(WireMsg::e2ap(buf)),
+                    Ok(msg) => batch.push(msg),
                     Err(_) => break,
                 }
+            }
+            let promoted = prioritize(&mut batch);
+            if promoted > 0 {
+                promotions().add(promoted);
             }
             if sender.send_batch(std::mem::take(&mut batch)).await.is_err() {
                 break;
@@ -60,4 +104,43 @@ pub(crate) fn spawn_writer(
         }
     });
     out_tx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn msg(stream: u16, tag: u8) -> WireMsg {
+        WireMsg::e2ap_on(stream, Bytes::from(vec![tag]))
+    }
+
+    #[test]
+    fn control_overtakes_bulk_but_order_within_class_holds() {
+        let mut batch = vec![msg(1, 0), msg(1, 1), msg(0, 2), msg(1, 3), msg(0, 4), msg(1, 5)];
+        let promoted = prioritize(&mut batch);
+        assert_eq!(promoted, 2, "both control frames had bulk queued ahead");
+        let streams: Vec<u16> = batch.iter().map(|m| m.stream).collect();
+        assert_eq!(streams, [0, 0, 1, 1, 1, 1]);
+        let tags: Vec<u8> = batch.iter().map(|m| m.payload[0]).collect();
+        assert_eq!(tags, [2, 4, 0, 1, 3, 5], "stable within each class");
+    }
+
+    #[test]
+    fn all_control_or_all_bulk_is_untouched() {
+        let mut ctl = vec![msg(0, 0), msg(0, 1)];
+        assert_eq!(prioritize(&mut ctl), 0);
+        assert_eq!(ctl.iter().map(|m| m.payload[0]).collect::<Vec<_>>(), [0, 1]);
+
+        let mut bulk = vec![msg(1, 0), msg(2, 1), msg(1, 2)];
+        assert_eq!(prioritize(&mut bulk), 0);
+        assert_eq!(bulk.iter().map(|m| m.payload[0]).collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn control_already_first_needs_no_promotion() {
+        let mut batch = vec![msg(0, 0), msg(1, 1), msg(1, 2)];
+        assert_eq!(prioritize(&mut batch), 0);
+        assert_eq!(batch.iter().map(|m| m.payload[0]).collect::<Vec<_>>(), [0, 1, 2]);
+    }
 }

@@ -49,7 +49,7 @@ pub use endpoint::{
     Backoff, E2apEndpoint, Procedure, ProcedureClass, ProcedureKey, ProcedureOutcome,
     ProcedureTable, RetryPolicy,
 };
-pub use scratch::{EncodeScratch, Targets};
+pub use scratch::{stream_for, EncodeScratch, Targets};
 pub use server::{
     AgentId, AgentInfo, IApp, IndicationRef, RanDb, RanEntity, Server, ServerApi, ServerConfig,
     ServerEvent, ServerHandle,

@@ -10,6 +10,18 @@
 use bytes::{Bytes, BytesMut};
 use flexric_codec::E2apCodec;
 use flexric_e2ap::E2apPdu;
+use flexric_transport::WireMsg;
+
+/// Stream a PDU travels on under the SCTP-like framing: RIC indications
+/// are bulk traffic (stream 1); every other procedure — setup,
+/// subscription, control, service update — is a control procedure on
+/// stream 0 and overtakes queued bulk in the writer task.
+pub fn stream_for(pdu: &E2apPdu) -> u16 {
+    match pdu {
+        E2apPdu::RicIndication(_) => WireMsg::STREAM_BULK,
+        _ => WireMsg::STREAM_CONTROL,
+    }
+}
 
 /// Destination set of one queued PDU.
 ///
@@ -79,7 +91,9 @@ impl EncodeScratch {
 }
 
 /// Drains `outbox`, encoding every PDU exactly once and delivering the
-/// shared frame to each of its targets.
+/// shared frame to each of its targets as a [`WireMsg`] on the stream
+/// [`stream_for`] assigns (indications on the bulk stream, procedures on
+/// the control stream).
 ///
 /// `deliver` receives a clone of the frozen [`Bytes`] per target — a
 /// reference-count bump, not a copy.  Delivery decisions (dead connection,
@@ -88,12 +102,13 @@ pub fn flush_outbox<T: Copy>(
     scratch: &mut EncodeScratch,
     codec: E2apCodec,
     outbox: &mut Vec<(Targets<T>, E2apPdu)>,
-    mut deliver: impl FnMut(T, Bytes),
+    mut deliver: impl FnMut(T, WireMsg),
 ) {
     for (targets, pdu) in outbox.drain(..) {
+        let stream = stream_for(&pdu);
         let frame = scratch.encode(codec, &pdu);
         for t in targets.as_slice() {
-            deliver(*t, frame.clone());
+            deliver(*t, WireMsg::e2ap_on(stream, frame.clone()));
         }
     }
 }
@@ -123,11 +138,11 @@ mod tests {
         for codec in E2apCodec::ALL {
             let mut scratch = EncodeScratch::new();
             let mut outbox = vec![(Targets::Many((0usize..8).collect()), indication())];
-            let mut delivered: Vec<(usize, Bytes)> = Vec::new();
+            let mut delivered: Vec<(usize, WireMsg)> = Vec::new();
 
             let before = flexric_codec::encode_invocations();
-            flush_outbox(&mut scratch, codec, &mut outbox, |t, frame| {
-                delivered.push((t, frame));
+            flush_outbox(&mut scratch, codec, &mut outbox, |t, msg| {
+                delivered.push((t, msg));
             });
             let encodes = flexric_codec::encode_invocations() - before;
 
@@ -135,9 +150,10 @@ mod tests {
             assert!(outbox.is_empty());
             assert_eq!(delivered.len(), 8);
             let expected = codec.encode(&indication());
-            for (i, (t, frame)) in delivered.iter().enumerate() {
+            for (i, (t, msg)) in delivered.iter().enumerate() {
                 assert_eq!(*t, i);
-                assert_eq!(&frame[..], &expected[..], "{codec:?}: identical frame");
+                assert_eq!(&msg.payload[..], &expected[..], "{codec:?}: identical frame");
+                assert_eq!(msg.stream, WireMsg::STREAM_BULK, "indications ride the bulk stream");
             }
         }
     }
@@ -149,10 +165,23 @@ mod tests {
         let mut outbox =
             vec![(Targets::One(0usize), reset.clone()), (Targets::Many(vec![1, 2]), indication())];
         let before = flexric_codec::encode_invocations();
-        let mut n = 0;
-        flush_outbox(&mut scratch, E2apCodec::Asn1Per, &mut outbox, |_, _| n += 1);
+        let mut streams = Vec::new();
+        flush_outbox(&mut scratch, E2apCodec::Asn1Per, &mut outbox, |_, msg| {
+            streams.push(msg.stream)
+        });
         assert_eq!(flexric_codec::encode_invocations() - before, 2);
-        assert_eq!(n, 3);
+        assert_eq!(
+            streams,
+            [WireMsg::STREAM_CONTROL, WireMsg::STREAM_BULK, WireMsg::STREAM_BULK],
+            "procedures on stream 0, indications on the bulk stream"
+        );
+    }
+
+    #[test]
+    fn stream_assignment_covers_the_pdu_space() {
+        assert_eq!(stream_for(&indication()), WireMsg::STREAM_BULK);
+        let reset = E2apPdu::ResetResponse(ResetResponse { transaction_id: 1 });
+        assert_eq!(stream_for(&reset), WireMsg::STREAM_CONTROL);
     }
 
     #[test]

@@ -131,10 +131,11 @@ impl ServerConfig {
 /// A received indication, decoded lazily depending on the codec.
 #[derive(Debug)]
 pub enum IndicationRef<'a> {
-    /// FB path: raw bytes + peeked header, no decode performed.
+    /// FB path: the raw frame (a refcounted view of the transport read
+    /// slab) + peeked header, no decode performed.
     Raw {
-        /// The encoded E2AP PDU.
-        raw: &'a [u8],
+        /// The encoded E2AP PDU, as sliced off the receive buffer.
+        raw: &'a bytes::Bytes,
         /// The peeked routing header.
         hdr: PduHeader,
     },
@@ -170,14 +171,26 @@ impl IndicationRef<'_> {
         }
     }
 
-    /// Fully decodes into an owned indication (allocates on the FB path).
+    /// Fully decodes into an owned indication.  On the FB path the
+    /// byte-valued fields stay refcounted views of the receive buffer
+    /// (borrowed decode), so "owned" costs no payload copy.
     pub fn to_owned_indication(&self) -> Result<RicIndication, CodecError> {
         match self {
-            IndicationRef::Raw { raw, .. } => match flexric_codec::e2ap_fb::decode(raw)? {
+            IndicationRef::Raw { raw, .. } => match E2apCodec::Flatb.decode_borrowed(raw)? {
                 E2apPdu::RicIndication(ind) => Ok(ind),
                 _ => Err(CodecError::Malformed { what: "not an indication" }),
             },
             IndicationRef::Decoded(ind) => Ok((*ind).clone()),
+        }
+    }
+
+    /// The encoded frame, when the indication arrived undecoded (FB path):
+    /// a refcount bump on the receive-buffer slice, suitable for
+    /// forwarding verbatim to another E2 hop without re-encoding.
+    pub fn frame(&self) -> Option<bytes::Bytes> {
+        match self {
+            IndicationRef::Raw { raw, .. } => Some((*raw).clone()),
+            IndicationRef::Decoded(_) => None,
         }
     }
 }

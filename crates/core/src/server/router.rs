@@ -17,10 +17,10 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
-use bytes::Bytes;
 use tokio::sync::mpsc;
 
 use flexric_e2ap::{E2SetupRequest, Plmn};
+use flexric_transport::WireMsg;
 
 use super::randb::AgentId;
 use super::shard::LoopEvent;
@@ -123,16 +123,17 @@ impl ShardRouter {
         }
     }
 
-    /// Hands an already-encoded frame to the shard owning `agent`.  Called
-    /// from another shard's flush when the target is not local; the frame
-    /// is a frozen `Bytes`, so crossing the boundary never re-encodes.
-    /// Frames for unknown or own-shard-but-offline agents are dropped, as
-    /// a frame for a vanished connection would be.
-    pub(crate) fn forward(&self, from_shard: usize, agent: AgentId, frame: Bytes) {
+    /// Hands an already-encoded message to the shard owning `agent`.
+    /// Called from another shard's flush when the target is not local; the
+    /// payload is a frozen `Bytes`, so crossing the boundary never
+    /// re-encodes, and the stream id travels with it.  Messages for
+    /// unknown or own-shard-but-offline agents are dropped, as a frame for
+    /// a vanished connection would be.
+    pub(crate) fn forward(&self, from_shard: usize, agent: AgentId, msg: WireMsg) {
         let owner = self.owners.read().unwrap_or_else(|e| e.into_inner()).get(&agent).copied();
         match owner {
             Some(s) if s != from_shard => {
-                let _ = self.evt[s].send(LoopEvent::Forward(agent, frame));
+                let _ = self.evt[s].send(LoopEvent::Forward(agent, msg));
             }
             _ => {}
         }

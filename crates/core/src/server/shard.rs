@@ -33,7 +33,7 @@ use super::{
 };
 
 struct ConnState {
-    tx: mpsc::UnboundedSender<Bytes>,
+    tx: mpsc::UnboundedSender<WireMsg>,
     /// Distinguishes this connection from earlier ones under the same
     /// [`AgentId`] (reconnects), so stale reader events are ignored.
     epoch: u64,
@@ -405,8 +405,9 @@ pub(crate) enum LoopEvent {
     NewAgent(E2SetupRequest, flexric_transport::Transport),
     Inbound(AgentId, u64, WireMsg),
     Closed(AgentId, u64),
-    /// A frame encoded by another shard for an agent this shard owns.
-    Forward(AgentId, Bytes),
+    /// A message encoded by another shard for an agent this shard owns
+    /// (the stream id travels with the frame).
+    Forward(AgentId, WireMsg),
     Cmd(Cmd),
 }
 
@@ -859,8 +860,11 @@ impl ShardRuntime {
         }
     }
 
-    fn handle_inbound(&mut self, agent: AgentId, raw: &[u8]) -> Result<(), CodecError> {
+    fn handle_inbound(&mut self, agent: AgentId, raw: &Bytes) -> Result<(), CodecError> {
         // FB fast path: peek is O(1); only indications stay undecoded.
+        // `raw` is the frame sliced off the transport read slab, so the
+        // dispatch below hands apps refcounted views of the receive buffer
+        // — the paper's "no explicit decode" hot path with zero copies.
         // Subscription lookup and dispatch are shard-local by construction:
         // the subscription was created on this shard when the agent (owned
         // here) connected.
@@ -878,7 +882,8 @@ impl ShardRuntime {
                 return Ok(());
             }
         }
-        let pdu = self.core.codec.decode(raw)?;
+        // Borrowed decode: byte-valued fields stay views of the read slab.
+        let pdu = self.core.codec.decode_borrowed(raw)?;
         match pdu {
             E2apPdu::RicIndication(ind) => {
                 obs().indications_rx.inc();
@@ -1013,15 +1018,15 @@ impl ShardRuntime {
         Ok(())
     }
 
-    /// Sends a frame another shard encoded to a locally owned agent.
-    fn deliver_forwarded(&mut self, agent: AgentId, frame: Bytes) {
+    /// Sends a message another shard encoded to a locally owned agent.
+    fn deliver_forwarded(&mut self, agent: AgentId, msg: WireMsg) {
         let Some(conn) = self.core.conns.get(&agent) else { return };
         self.core.tx_msgs += 1;
-        self.core.tx_bytes += frame.len() as u64;
+        self.core.tx_bytes += msg.payload.len() as u64;
         let m = obs();
         m.tx_msgs.inc();
-        m.tx_bytes.add(frame.len() as u64);
-        let _ = conn.tx.send(frame);
+        m.tx_bytes.add(msg.payload.len() as u64);
+        let _ = conn.tx.send(msg);
     }
 
     fn flush(&mut self) {
@@ -1034,18 +1039,18 @@ impl ShardRuntime {
         let router = &self.router;
         let idx = self.idx;
         let (conns, tx_msgs, tx_bytes) = (&core.conns, &mut core.tx_msgs, &mut core.tx_bytes);
-        scratch::flush_outbox(&mut core.scratch, core.codec, &mut core.outbox, |agent, frame| {
+        scratch::flush_outbox(&mut core.scratch, core.codec, &mut core.outbox, |agent, msg| {
             match conns.get(&agent) {
                 Some(conn) => {
                     *tx_msgs += 1;
-                    *tx_bytes += frame.len() as u64;
+                    *tx_bytes += msg.payload.len() as u64;
                     m.tx_msgs.inc();
-                    m.tx_bytes.add(frame.len() as u64);
-                    let _ = conn.tx.send(frame);
+                    m.tx_bytes.add(msg.payload.len() as u64);
+                    let _ = conn.tx.send(msg);
                 }
                 // Not local: cross-shard target (or a dead agent — the
                 // router drops frames for unknown ids, as before).
-                None => router.forward(idx, agent, frame),
+                None => router.forward(idx, agent, msg),
             }
         });
         let agents_now = self.core.randb.agent_count() as i64;

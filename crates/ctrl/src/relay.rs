@@ -3,10 +3,14 @@
 //!
 //! Used by the Fig. 9a experiment: "In FlexRIC, we use a relaying
 //! controller to emulate two hops, which, unlike O-RAN RIC, is not imposed
-//! by FlexRIC but added to carry out a fair comparison."  The relay
-//! performs one decode + one encode per message — the honest cost of a
-//! controller hop — in contrast to the O-RAN pipeline, which adds an RMR
-//! hop and a second full decode at the xApp.
+//! by FlexRIC but added to carry out a fair comparison."  Procedure
+//! traffic (subscriptions, controls, their outcomes) pays one decode + one
+//! encode per hop — the honest cost of a controller hop.  FB-path
+//! indications are forwarded verbatim: the relay peeks the header,
+//! looks up the subscription, and ships the received frame (a refcounted
+//! view of its south read slab) north unchanged — no decode, no re-encode,
+//! no copy — in contrast to the O-RAN pipeline, which adds an RMR hop and
+//! a second full decode at the xApp.
 
 use std::io;
 
@@ -24,10 +28,20 @@ enum NorthMsg {
     Pdu(E2apPdu),
 }
 
+/// What the relay queues toward the northbound writer.
+enum NorthBound {
+    /// A PDU the writer encodes (procedure traffic).
+    Pdu(E2apPdu),
+    /// An already-encoded indication frame forwarded verbatim — valid
+    /// because the relay's north connection speaks the same codec as its
+    /// south server.
+    Frame(Bytes),
+}
+
 /// The relay iApp: forwards north→south requests and south→north
 /// responses/indications.
 struct RelayApp {
-    north_tx: mpsc::UnboundedSender<E2apPdu>,
+    north_tx: mpsc::UnboundedSender<NorthBound>,
     /// The south agent everything is relayed to (single-agent relay, as in
     /// the RTT experiment).
     target: Option<AgentId>,
@@ -51,8 +65,13 @@ impl IApp for RelayApp {
     }
 
     fn on_indication(&mut self, _api: &mut ServerApi, _agent: AgentId, ind: &IndicationRef) {
-        if let Ok(owned) = ind.to_owned_indication() {
-            let _ = self.north_tx.send(E2apPdu::RicIndication(owned));
+        // FB hot path: the frame arrived undecoded; ship it north verbatim
+        // (a refcount bump on the south read-slab slice).  The PER path
+        // was decoded during dispatch and is re-encoded by the writer.
+        if let Some(frame) = ind.frame() {
+            let _ = self.north_tx.send(NorthBound::Frame(frame));
+        } else if let Ok(owned) = ind.to_owned_indication() {
+            let _ = self.north_tx.send(NorthBound::Pdu(E2apPdu::RicIndication(owned)));
         }
     }
 
@@ -71,7 +90,7 @@ impl IApp for RelayApp {
                 })
             }
         };
-        let _ = self.north_tx.send(pdu);
+        let _ = self.north_tx.send(NorthBound::Pdu(pdu));
     }
 
     fn on_control_outcome(&mut self, _api: &mut ServerApi, _agent: AgentId, out: &CtrlOutcome) {
@@ -89,7 +108,7 @@ impl IApp for RelayApp {
                 })
             }
         };
-        let _ = self.north_tx.send(pdu);
+        let _ = self.north_tx.send(NorthBound::Pdu(pdu));
     }
 
     fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn std::any::Any + Send>) {
@@ -120,7 +139,7 @@ pub async fn spawn_relay(
     advertised: Vec<RanFunctionItem>,
 ) -> io::Result<flexric::server::ServerHandle> {
     let codec = south.codec;
-    let (north_tx, mut north_rx) = mpsc::unbounded_channel::<E2apPdu>();
+    let (north_tx, mut north_rx) = mpsc::unbounded_channel::<NorthBound>();
     let app = RelayApp { north_tx, target: None };
     let handle = Server::spawn(south, vec![Box::new(app)]).await?;
 
@@ -143,11 +162,17 @@ pub async fn spawn_relay(
         None => return Err(io::Error::new(io::ErrorKind::ConnectionReset, "north closed")),
     }
     let (mut tx_half, mut rx_half) = transport.split();
-    // North writer.
+    // North writer: procedures are encoded here; forwarded indication
+    // frames go out as-is on the bulk stream.
     tokio::spawn(async move {
-        while let Some(pdu) = north_rx.recv().await {
-            let buf = Bytes::from(codec.encode(&pdu));
-            if tx_half.send(WireMsg::e2ap(buf)).await.is_err() {
+        while let Some(nb) = north_rx.recv().await {
+            let msg = match nb {
+                NorthBound::Pdu(pdu) => {
+                    WireMsg::e2ap_on(flexric::stream_for(&pdu), Bytes::from(codec.encode(&pdu)))
+                }
+                NorthBound::Frame(frame) => WireMsg::e2ap_on(WireMsg::STREAM_BULK, frame),
+            };
+            if tx_half.send(msg).await.is_err() {
                 break;
             }
         }

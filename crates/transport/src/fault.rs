@@ -308,9 +308,25 @@ impl FaultySender {
     }
 
     /// Sends a batch, each message subject to the configured faults.
+    ///
+    /// Surviving messages are delivered through the inner half's
+    /// `send_batch`, so the writer's coalesced vectored write is preserved
+    /// through the fault layer; a per-message delay flushes what is ready,
+    /// sleeps, then resumes batching (ordering around the delay holds).
     pub async fn send_batch(&mut self, msgs: Vec<WireMsg>) -> io::Result<()> {
+        let mut ready: Vec<WireMsg> = Vec::with_capacity(msgs.len());
         for msg in msgs {
-            self.send(msg).await?;
+            let verdict = self.handle.process(msg);
+            if verdict.delay_ms > 0 {
+                if !ready.is_empty() {
+                    self.inner.send_batch(std::mem::take(&mut ready)).await?;
+                }
+                tokio::time::sleep(Duration::from_millis(verdict.delay_ms)).await;
+            }
+            ready.extend(verdict.deliver);
+        }
+        if !ready.is_empty() {
+            self.inner.send_batch(ready).await?;
         }
         Ok(())
     }

@@ -19,6 +19,7 @@
 pub mod fault;
 pub mod frame;
 pub mod mem;
+pub mod rx;
 pub mod tcp;
 
 use bytes::Bytes;
@@ -34,6 +35,14 @@ pub(crate) struct TransportMetrics {
     pub rx_frames: flexric_obs::Counter,
     pub rx_bytes: flexric_obs::Counter,
     pub write_ns: flexric_obs::Histogram,
+    /// Complete frames delivered by each socket read — the coalescing win
+    /// of the zero-copy receive path (N frames per wakeup vs 1).
+    pub read_frames_per_wakeup: flexric_obs::Histogram,
+    /// Per-frame payload copies on the receive path.  Zero in steady state
+    /// with the assembler; incremented by the legacy `rx-copy` path.  The
+    /// codec registers the same series with `site="decode"` for borrowed
+    /// decodes that fall back to copying.
+    pub rx_copies_recv: flexric_obs::Counter,
 }
 
 pub(crate) fn obs() -> &'static TransportMetrics {
@@ -57,6 +66,15 @@ pub(crate) fn obs() -> &'static TransportMetrics {
                 "flexric_transport_write_ns",
                 "transport write latency (frame + flush, including backpressure)",
             ),
+            read_frames_per_wakeup: flexric_obs::histogram(
+                "flexric_transport_read_frames_per_wakeup",
+                "complete frames delivered by one socket read",
+            ),
+            rx_copies_recv: flexric_obs::counter_with(
+                "flexric_transport_rx_copies_total",
+                &[("site", "recv")],
+                "per-frame payload copies on the receive path",
+            ),
         }
     })
 }
@@ -77,9 +95,27 @@ impl WireMsg {
     /// PPID assigned to E2AP.
     pub const PPID_E2AP: u32 = 70;
 
+    /// Stream carrying global/control procedures (setup, subscription,
+    /// control) — prioritized by the conn writer under load.
+    pub const STREAM_CONTROL: u16 = 0;
+
+    /// Stream carrying bulk functional traffic (RIC indications).
+    pub const STREAM_BULK: u16 = 1;
+
     /// Convenience constructor for E2AP traffic on stream 0.
     pub fn e2ap(payload: Bytes) -> Self {
-        WireMsg { stream: 0, ppid: Self::PPID_E2AP, payload }
+        WireMsg { stream: Self::STREAM_CONTROL, ppid: Self::PPID_E2AP, payload }
+    }
+
+    /// E2AP traffic on an explicit stream.
+    pub fn e2ap_on(stream: u16, payload: Bytes) -> Self {
+        WireMsg { stream, ppid: Self::PPID_E2AP, payload }
+    }
+
+    /// True for control-procedure traffic (stream 0), which overtakes
+    /// queued bulk indications in the writer task.
+    pub fn is_control(&self) -> bool {
+        self.stream == Self::STREAM_CONTROL
     }
 }
 

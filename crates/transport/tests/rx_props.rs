@@ -1,0 +1,112 @@
+//! Property tests for zero-copy frame reassembly: any frame sequence,
+//! split at arbitrary chunk boundaries (1-byte reads, mid-header splits,
+//! coalesced frames), must reassemble to byte-identical `WireMsg`s; and a
+//! stream truncated strictly inside a frame must never look clean (so EOF
+//! there is classified as an error, not an orderly shutdown).
+
+use bytes::Bytes;
+use flexric_transport::frame::{encode_frame_into, HEADER_LEN};
+use flexric_transport::rx::FrameAssembler;
+use flexric_transport::WireMsg;
+use proptest::prelude::*;
+
+fn arb_frames() -> impl Strategy<Value = Vec<WireMsg>> {
+    prop::collection::vec(
+        (any::<u16>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..512)),
+        1..20,
+    )
+    .prop_map(|frames| {
+        frames
+            .into_iter()
+            .map(|(stream, ppid, payload)| WireMsg { stream, ppid, payload: Bytes::from(payload) })
+            .collect()
+    })
+}
+
+fn wire_of(frames: &[WireMsg]) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    for f in frames {
+        encode_frame_into(f.stream, f.ppid, &f.payload, &mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Cuts `wire` into chunks at the given relative boundaries.
+fn chunked(wire: &[u8], cuts: &[prop::sample::Index]) -> Vec<Vec<u8>> {
+    let mut points: Vec<usize> = cuts.iter().map(|i| i.index(wire.len() + 1)).collect();
+    points.push(0);
+    points.push(wire.len());
+    points.sort_unstable();
+    points.dedup();
+    points.windows(2).map(|w| wire[w[0]..w[1]].to_vec()).collect()
+}
+
+proptest! {
+    /// Reassembly is exactly inverse to framing no matter how the byte
+    /// stream is sliced.
+    #[test]
+    fn arbitrary_chunking_reassembles_byte_identical(
+        frames in arb_frames(),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let wire = wire_of(&frames);
+        let mut asm = FrameAssembler::with_chunk(32);
+        let mut got = Vec::new();
+        for chunk in chunked(&wire, &cuts) {
+            asm.feed(&chunk);
+            while let Some(m) = asm.next_frame().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert!(asm.is_clean());
+    }
+
+    /// Byte-at-a-time delivery (the pathological chunking) also works.
+    #[test]
+    fn one_byte_reads_reassemble(frames in arb_frames()) {
+        let wire = wire_of(&frames);
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            asm.feed(std::slice::from_ref(b));
+            while let Some(m) = asm.next_frame().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Truncating the stream strictly inside a frame (mid-header or
+    /// mid-payload) leaves the assembler dirty: every already-complete
+    /// frame still comes out intact, but `is_clean()` is false so the
+    /// reader reports the truncation instead of an orderly shutdown.
+    #[test]
+    fn mid_frame_truncation_is_never_clean(
+        frames in arb_frames(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let wire = wire_of(&frames);
+        // Pick a truncation point strictly inside some frame: frame
+        // boundaries (including 0 and len) are the clean points.
+        let mut boundaries = vec![0usize];
+        let mut at = 0usize;
+        for f in &frames {
+            at += HEADER_LEN + f.payload.len();
+            boundaries.push(at);
+        }
+        let cut = cut.index(wire.len() + 1);
+        let mut asm = FrameAssembler::new();
+        asm.feed(&wire[..cut]);
+        let mut complete = 0usize;
+        while asm.next_frame().unwrap().is_some() {
+            complete += 1;
+        }
+        if boundaries.contains(&cut) {
+            prop_assert!(asm.is_clean());
+            prop_assert_eq!(complete, boundaries.iter().filter(|&&b| b > 0 && b <= cut).count());
+        } else {
+            prop_assert!(!asm.is_clean(), "cut at {cut} inside a frame must be dirty");
+        }
+    }
+}

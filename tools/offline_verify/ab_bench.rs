@@ -1,0 +1,159 @@
+//! Offline A/B measurement of the receive path and codec, linking the
+//! REAL workspace crates (obs, e2ap, codec, transport frame+rx) against
+//! the refcount-faithful bytes shim.  Emits one JSON document to stdout;
+//! `run.sh` captures it, and the checked-in `BENCH_fig8b.json` /
+//! `BENCH_fig9a.json` derive their measured component points from it
+//! (full-stack sweeps need a networked host — see those files' notes).
+
+use bytes::{Bytes, BytesMut};
+use flexric_codec::E2apCodec;
+use flexric_e2ap::*;
+use flexric_transport::frame::{decode_header, encode_frame_into, HEADER_LEN};
+use flexric_transport::rx::FrameAssembler;
+use flexric_transport::WireMsg;
+
+const FRAMES: usize = 64;
+
+fn burst(n: usize, payload: usize) -> Vec<u8> {
+    let body = vec![0xA5u8; payload];
+    let mut out = BytesMut::with_capacity(n * (HEADER_LEN + payload));
+    for i in 0..n {
+        encode_frame_into((i % 2) as u16, 70, &body, &mut out);
+    }
+    out.to_vec()
+}
+
+fn drain_copying(mut buf: &[u8]) -> u64 {
+    let mut frames = 0u64;
+    while buf.len() >= HEADER_LEN {
+        let mut hdr = [0u8; HEADER_LEN];
+        hdr.copy_from_slice(&buf[..HEADER_LEN]);
+        let (len, stream, ppid) = decode_header(&hdr);
+        let len = len as usize;
+        buf = &buf[HEADER_LEN..];
+        let mut payload = BytesMut::zeroed(len);
+        payload.copy_from_slice(&buf[..len]);
+        buf = &buf[len..];
+        std::hint::black_box(WireMsg { stream, ppid, payload: payload.freeze() });
+        frames += 1;
+    }
+    frames
+}
+
+fn drain_assembler(asm: &mut FrameAssembler, buf: &[u8]) -> u64 {
+    let mut frames = 0u64;
+    asm.feed(buf);
+    while let Ok(Some(msg)) = asm.next_frame() {
+        std::hint::black_box(msg);
+        frames += 1;
+    }
+    frames
+}
+
+/// Median-of-5 runs of `iters` calls each, ns per call.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 4 + 1 {
+        f(); // warmup
+    }
+    let mut runs: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[2]
+}
+
+fn indication(payload: usize) -> E2apPdu {
+    E2apPdu::RicIndication(RicIndication {
+        req_id: RicRequestId::new(1, 1),
+        ran_function: RanFunctionId::new(142),
+        action: RicActionId(0),
+        sn: Some(7),
+        ind_type: RicIndicationType::Report,
+        header: Bytes::copy_from_slice(&[0x11; 16]),
+        message: Bytes::copy_from_slice(&vec![0x22; payload]),
+        call_process_id: None,
+    })
+}
+
+fn main() {
+    let mut out = String::from("{\n");
+
+    // --- rx reassembly A/B (per frame) ---
+    out.push_str("  \"rx_reassembly\": [\n");
+    for (i, payload) in [64usize, 1024, 16 * 1024].iter().enumerate() {
+        let data = burst(FRAMES, *payload);
+        let iters = if *payload >= 16 * 1024 { 200 } else { 2000 };
+        let copy_ns = time_ns(iters, || {
+            assert_eq!(drain_copying(std::hint::black_box(&data)), FRAMES as u64);
+        }) / FRAMES as f64;
+        let mut asm = FrameAssembler::new();
+        let zc_ns = time_ns(iters, || {
+            assert_eq!(drain_assembler(&mut asm, std::hint::black_box(&data)), FRAMES as u64);
+        }) / FRAMES as f64;
+        out.push_str(&format!(
+            "    {{\"payload_bytes\": {payload}, \"copying_ns_per_frame\": {copy_ns:.1}, \
+             \"zero_copy_ns_per_frame\": {zc_ns:.1}, \"speedup\": {:.2}}}{}\n",
+            copy_ns / zc_ns,
+            if i < 2 { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // --- decode A/B: owned vs borrowed, both codecs (per op) ---
+    out.push_str("  \"decode\": [\n");
+    for (i, payload) in [100usize, 1500].iter().enumerate() {
+        let pdu = indication(*payload);
+        let mut fields = Vec::new();
+        for codec in [E2apCodec::Flatb, E2apCodec::Asn1Per] {
+            let raw = Bytes::from(codec.encode(&pdu));
+            // Borrowed decode really borrows: the indication message must
+            // point into `raw`.
+            let dec = codec.decode_borrowed(&raw).unwrap();
+            if let E2apPdu::RicIndication(ind) = &dec {
+                let base = raw.as_ptr() as usize;
+                let p = ind.message.as_ptr() as usize;
+                assert!(
+                    p >= base && p + ind.message.len() <= base + raw.len(),
+                    "decode_borrowed must alias the input ({codec:?})"
+                );
+            }
+            assert_eq!(dec, codec.decode(&raw).unwrap());
+            let owned_ns = time_ns(5000, || {
+                std::hint::black_box(codec.decode(std::hint::black_box(&raw)).unwrap());
+            });
+            let borrowed_ns = time_ns(5000, || {
+                std::hint::black_box(
+                    codec.decode_borrowed(std::hint::black_box(&raw)).unwrap(),
+                );
+            });
+            let encode_ns = time_ns(5000, || {
+                std::hint::black_box(codec.encode(std::hint::black_box(&pdu)));
+            });
+            let peek_ns = time_ns(5000, || {
+                std::hint::black_box(codec.peek(std::hint::black_box(&raw)).unwrap());
+            });
+            let tag = match codec {
+                E2apCodec::Flatb => "fb",
+                E2apCodec::Asn1Per => "per",
+            };
+            fields.push(format!(
+                "\"{tag}_encode_ns\": {encode_ns:.1}, \"{tag}_peek_ns\": {peek_ns:.1}, \
+                 \"{tag}_decode_owned_ns\": {owned_ns:.1}, \
+                 \"{tag}_decode_borrowed_ns\": {borrowed_ns:.1}"
+            ));
+        }
+        out.push_str(&format!(
+            "    {{\"payload_bytes\": {payload}, {}}}{}\n",
+            fields.join(", "),
+            if i < 1 { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

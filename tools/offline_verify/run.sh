@@ -1,0 +1,86 @@
+#!/bin/sh
+# Offline verification with bare rustc, for containers without a crates
+# registry (cargo cannot resolve even cached deps there).  Compiles the
+# dependency-light REAL crates — obs, e2ap, codec, and the tokio-free
+# transport core (frame + rx) — against the refcount-faithful bytes shim
+# and the mini proptest shim, runs their unit AND property tests, then
+# runs the receive-path A/B measurement.
+#
+# This is a *partial* stand-in for `cargo test`: crates needing tokio
+# (transport sockets, core, ctrl, ransim, bench) still require a
+# networked host.  What it does cover is real: the exact sources of the
+# frame codec, reassembler, borrowed decode, and obs registry, with
+# refcount/pointer semantics faithful enough that the zero-copy
+# assertions are meaningful.
+#
+# Usage: tools/offline_verify/run.sh  (from anywhere; writes to $WORK or
+# a fresh tempdir, prints a PASS/FAIL summary and the A/B JSON).
+set -eu
+cd "$(dirname "$0")"
+ROOT=$(cd ../.. && pwd)
+WORK=${WORK:-$(mktemp -d /tmp/flexric-offline.XXXXXX)}
+echo "workdir: $WORK"
+
+RUSTC="rustc --edition 2021 -O -L dependency=$WORK"
+
+# 1. Shims (the bytes shim's own semantics tests run first — if the
+#    double is wrong, everything downstream is noise).
+$RUSTC --crate-type rlib --crate-name bytes bytes_shim.rs -o "$WORK/libbytes.rlib"
+$RUSTC --test --crate-name bytes_shim_tests bytes_shim.rs -o "$WORK/bytes_shim_tests"
+"$WORK/bytes_shim_tests" --quiet
+$RUSTC --crate-type rlib --crate-name proptest mini_proptest.rs -o "$WORK/libproptest.rlib"
+
+# 2. Real crates as rlibs (dependency order).
+$RUSTC --crate-type rlib --crate-name flexric_obs \
+    "$ROOT/crates/obs/src/lib.rs" -o "$WORK/libflexric_obs.rlib"
+$RUSTC --crate-type rlib --crate-name flexric_e2ap \
+    --extern bytes="$WORK/libbytes.rlib" \
+    "$ROOT/crates/e2ap/src/lib.rs" -o "$WORK/libflexric_e2ap.rlib"
+$RUSTC --crate-type rlib --crate-name flexric_codec \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_e2ap="$WORK/libflexric_e2ap.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    "$ROOT/crates/codec/src/lib.rs" -o "$WORK/libflexric_codec.rlib"
+$RUSTC --crate-type rlib --crate-name flexric_transport \
+    --extern bytes="$WORK/libbytes.rlib" \
+    transport_core.rs -o "$WORK/libflexric_transport.rlib"
+
+# 3. Unit + property tests of the real modules.
+$RUSTC --test --crate-name obs_tests \
+    "$ROOT/crates/obs/src/lib.rs" -o "$WORK/obs_tests"
+"$WORK/obs_tests" --quiet
+$RUSTC --test --crate-name e2ap_tests \
+    --extern bytes="$WORK/libbytes.rlib" \
+    "$ROOT/crates/e2ap/src/lib.rs" -o "$WORK/e2ap_tests"
+"$WORK/e2ap_tests" --quiet
+$RUSTC --test --crate-name codec_tests \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_e2ap="$WORK/libflexric_e2ap.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    --extern proptest="$WORK/libproptest.rlib" \
+    "$ROOT/crates/codec/src/lib.rs" -o "$WORK/codec_tests"
+"$WORK/codec_tests" --quiet
+$RUSTC --test --crate-name transport_core_tests \
+    --extern bytes="$WORK/libbytes.rlib" \
+    transport_core.rs -o "$WORK/transport_core_tests"
+"$WORK/transport_core_tests" --quiet
+
+# 4. The real receive-path property tests (tests/rx_props.rs), verbatim.
+$RUSTC --test --crate-name rx_props \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_transport="$WORK/libflexric_transport.rlib" \
+    --extern proptest="$WORK/libproptest.rlib" \
+    "$ROOT/crates/transport/tests/rx_props.rs" -o "$WORK/rx_props"
+"$WORK/rx_props" --quiet
+
+# 5. Receive-path + codec A/B measurement (feeds BENCH_fig8b/9a notes).
+$RUSTC --crate-name ab_bench \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_e2ap="$WORK/libflexric_e2ap.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    --extern flexric_codec="$WORK/libflexric_codec.rlib" \
+    --extern flexric_transport="$WORK/libflexric_transport.rlib" \
+    ab_bench.rs -o "$WORK/ab_bench"
+"$WORK/ab_bench" | tee "$WORK/ab.json"
+
+echo "offline verify: ALL PASS (see caveats in tools/offline_verify/run.sh header)"

@@ -1,0 +1,53 @@
+//! Offline compilation wrapper for the tokio-free core of
+//! `flexric-transport`: the frame codec and the zero-copy reassembler,
+//! included from their real sources via `#[path]`, plus a verbatim copy
+//! of `WireMsg` (whose real definition sits in the crate root next to
+//! tokio-dependent code).  Compiled as `flexric_transport` so the real
+//! `tests/rx_props.rs` links against it unchanged.
+
+use bytes::Bytes;
+
+#[path = "../../crates/transport/src/frame.rs"]
+pub mod frame;
+#[path = "../../crates/transport/src/rx.rs"]
+pub mod rx;
+
+/// One transport-level message (the unit SCTP would deliver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMsg {
+    /// Stream id (SCTP stream); E2AP uses stream 0 for global procedures
+    /// and nonzero streams for functional traffic.
+    pub stream: u16,
+    /// Payload protocol id; E2AP is PPID 70 per IANA.
+    pub ppid: u32,
+    /// The encoded E2AP PDU.
+    pub payload: Bytes,
+}
+
+impl WireMsg {
+    /// PPID assigned to E2AP.
+    pub const PPID_E2AP: u32 = 70;
+
+    /// Stream carrying global/control procedures (setup, subscription,
+    /// control) — prioritized by the conn writer under load.
+    pub const STREAM_CONTROL: u16 = 0;
+
+    /// Stream carrying bulk functional traffic (RIC indications).
+    pub const STREAM_BULK: u16 = 1;
+
+    /// Convenience constructor for E2AP traffic on stream 0.
+    pub fn e2ap(payload: Bytes) -> Self {
+        WireMsg { stream: Self::STREAM_CONTROL, ppid: Self::PPID_E2AP, payload }
+    }
+
+    /// E2AP traffic on an explicit stream.
+    pub fn e2ap_on(stream: u16, payload: Bytes) -> Self {
+        WireMsg { stream, ppid: Self::PPID_E2AP, payload }
+    }
+
+    /// True for control-procedure traffic (stream 0), which overtakes
+    /// queued bulk indications in the writer task.
+    pub fn is_control(&self) -> bool {
+        self.stream == Self::STREAM_CONTROL
+    }
+}
