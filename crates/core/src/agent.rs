@@ -219,6 +219,24 @@ pub trait RanFunction: Send {
         req: &RicSubscriptionRequest,
     ) -> Result<(), Cause>;
 
+    /// A controller re-issues an existing subscription with a new event
+    /// trigger — the server-driven *retune* path (report-period backoff on
+    /// quiescence, tightening on anomaly).  The subscription identity
+    /// (controller, request id) is unchanged; only the trigger differs.
+    ///
+    /// The default implementation tears the subscription down and
+    /// re-admits it, which is always correct; functions with per-stream
+    /// state (delta encoders) override this to retune in place.
+    fn on_subscription_update(
+        &mut self,
+        ctx: &mut AgentCtx,
+        sub: &SubscriptionInfo,
+        req: &RicSubscriptionRequest,
+    ) -> Result<(), Cause> {
+        self.on_subscription_delete(ctx, sub.ctrl, sub.req_id);
+        self.on_subscription(ctx, sub, req)
+    }
+
     /// A controller deletes a subscription.
     fn on_subscription_delete(&mut self, ctx: &mut AgentCtx, ctrl: CtrlId, req_id: RicRequestId);
 
@@ -274,6 +292,30 @@ impl PeriodicSubs {
         }
         self.subs.push((sub.clone(), trigger, now_ms));
         Ok(())
+    }
+
+    /// Retunes an existing subscription to the trigger carried by `sub`
+    /// (same controller + request id, new event trigger) without tearing
+    /// it down: the new period takes effect at the next due time.  Returns
+    /// the decoded new trigger so callers can reset per-stream state
+    /// (delta encoders force a keyframe on retune).
+    pub fn retune(
+        &mut self,
+        sub: &SubscriptionInfo,
+        sm_codec: SmCodec,
+        now_ms: u64,
+    ) -> Result<ReportTrigger, Cause> {
+        let trigger = ReportTrigger::decode(sm_codec, &sub.trigger)
+            .map_err(|_| Cause::Ric(RicCause::UnsupportedEventTrigger))?;
+        let entry = self
+            .subs
+            .iter_mut()
+            .find(|(s, _, _)| s.ctrl == sub.ctrl && s.req_id == sub.req_id)
+            .ok_or(Cause::Ric(RicCause::RequestIdUnknown))?;
+        entry.0 = sub.clone();
+        entry.1 = trigger;
+        entry.2 = now_ms + trigger.period_ms.max(1) as u64;
+        Ok(trigger)
     }
 
     /// Removes a subscription; returns whether it existed.
@@ -901,19 +943,47 @@ impl Agent {
             ));
             return;
         };
-        if self.sub_index.contains_key(&(ctrl, req.req_id)) {
-            // At-least-once delivery: a controller that lost our response
-            // retransmits the request, so a duplicate is re-acknowledged
-            // idempotently rather than failed.
-            self.outbox.push((
-                ctrl.into(),
-                E2apPdu::RicSubscriptionResponse(RicSubscriptionResponse {
-                    req_id: req.req_id,
-                    ran_function: req.ran_function,
-                    admitted: req.actions.iter().map(|a| a.id).collect(),
-                    not_admitted: vec![],
-                }),
-            ));
+        if let Some(&sub_fidx) = self.sub_index.get(&(ctrl, req.req_id)) {
+            // An existing (controller, request id): either at-least-once
+            // retransmit of a response we already sent, or a server-driven
+            // *retune* carrying a new event trigger.  Both flow through
+            // on_subscription_update — a retransmit retunes to the same
+            // trigger, which is idempotent — and are re-acknowledged so
+            // the server's procedure entry completes.
+            let action = req.actions.first().map(|a| a.id).unwrap_or_default();
+            let sub = SubscriptionInfo {
+                ctrl,
+                req_id: req.req_id,
+                ran_function: req.ran_function,
+                action,
+                trigger: req.event_trigger.clone(),
+            };
+            let mut ctx =
+                AgentCtx { now_ms: self.now_ms, outbox: &mut self.outbox, assoc: &self.assoc };
+            match self.functions[sub_fidx].on_subscription_update(&mut ctx, &sub, &req) {
+                Ok(()) => {
+                    self.outbox.push((
+                        ctrl.into(),
+                        E2apPdu::RicSubscriptionResponse(RicSubscriptionResponse {
+                            req_id: req.req_id,
+                            ran_function: req.ran_function,
+                            admitted: req.actions.iter().map(|a| a.id).collect(),
+                            not_admitted: vec![],
+                        }),
+                    ));
+                }
+                Err(cause) => {
+                    self.sub_index.remove(&(ctrl, req.req_id));
+                    self.outbox.push((
+                        ctrl.into(),
+                        E2apPdu::RicSubscriptionFailure(RicSubscriptionFailure {
+                            req_id: req.req_id,
+                            ran_function: req.ran_function,
+                            cause,
+                        }),
+                    ));
+                }
+            }
             return;
         }
         let action = req.actions.first().map(|a| a.id).unwrap_or_default();

@@ -41,6 +41,7 @@
 pub mod agent;
 pub(crate) mod conn;
 pub mod endpoint;
+pub mod report;
 pub mod scratch;
 pub mod server;
 
@@ -49,6 +50,7 @@ pub use endpoint::{
     Backoff, E2apEndpoint, Procedure, ProcedureClass, ProcedureKey, ProcedureOutcome,
     ProcedureTable, RetryPolicy,
 };
+pub use report::ReportSender;
 pub use scratch::{stream_for, EncodeScratch, Targets};
 pub use server::{
     AgentId, AgentInfo, IApp, IndicationRef, RanDb, RanEntity, Server, ServerApi, ServerConfig,

@@ -217,6 +217,51 @@ impl ServerApi<'_> {
         self.core.outbox.push((agent.into(), pdu));
     }
 
+    /// Re-issues an existing subscription with a new event trigger — the
+    /// server-driven *retune* (report-period backoff / tightening, or
+    /// forcing a delta-stream keyframe).  The request keeps its id, so
+    /// the agent updates the live subscription in place instead of
+    /// creating a new one, and the re-issued request gets the same
+    /// deadline/retransmit treatment as the original.  Returns `false`
+    /// if the subscription is unknown or owned by another iApp.
+    pub fn retune_subscription(
+        &mut self,
+        agent: AgentId,
+        req_id: RicRequestId,
+        event_trigger: Bytes,
+    ) -> bool {
+        let (ran_function, actions) = match self.core.subs.get_mut(&(agent, req_id)) {
+            Some(sub) if sub.iapp != self.iapp => return false,
+            Some(sub) => {
+                sub.event_trigger = event_trigger.clone();
+                // Not established again until the retune is acked; a
+                // reconnect replay meanwhile re-issues the new trigger.
+                sub.established = false;
+                (sub.ran_function, sub.actions.clone())
+            }
+            None => return false,
+        };
+        let pdu = E2apPdu::RicSubscriptionRequest(RicSubscriptionRequest {
+            req_id,
+            ran_function,
+            event_trigger,
+            actions,
+        });
+        // A still-pending procedure under the same key (the original
+        // subscribe, or an earlier retune) is superseded.
+        self.core.endpoint.table.complete(agent, ProcedureKey::Ric(req_id));
+        self.core.endpoint.table.begin(
+            agent,
+            ProcedureKey::Ric(req_id),
+            ProcedureClass::Subscription,
+            Some(pdu.clone()),
+            self.iapp,
+            self.core.now_ms,
+        );
+        self.core.outbox.push((agent.into(), pdu));
+        true
+    }
+
     /// Sends a control request; the outcome is delivered to this iApp.
     ///
     /// With `ack = Some(Ack)` the request carries a deadline and the iApp

@@ -1,6 +1,15 @@
 //! The monitoring controller specialization: a statistics iApp "that saves
 //! incoming messages to an in-memory data structure, similar to FlexRAN"
 //! (paper §5.3).  This is the controller measured in Figs. 8 and 9b.
+//!
+//! Beyond the paper's full-snapshot baseline, the iApp speaks the adaptive
+//! monitoring pipeline: delta-encoded indications (reconstructed here from
+//! keyframe + deltas, [`flexric_sm::delta`]), and — in
+//! [`MonitorMode::Adaptive`] — server-driven report retuning that backs
+//! off quiescent cells and tightens the period when a reconstructed KPI
+//! crosses an anomaly threshold.  Retunes ride the regular subscription
+//! procedure ([`ServerApi::retune_subscription`]), so they inherit
+//! deadlines and retransmits from the endpoint layer.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -9,7 +18,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use flexric::server::{AgentId, AgentInfo, IApp, IndicationRef, ServerApi};
-use flexric_e2ap::RanFunctionId;
+use flexric_e2ap::{RanFunctionId, RicRequestId};
+use flexric_sm::delta::{DeltaDecoder, DeltaEvent};
 use flexric_sm::{
     mac::MacStatsInd, oid, pdcp::PdcpStatsInd, rf, rlc::RlcStatsInd, ReportTrigger, SmCodec,
     SmPayload,
@@ -21,7 +31,8 @@ use flexric_sm::{
 /// the *encoded* SM payloads and decodes on access — with the FB encoding
 /// the write path is a reference-counted byte copy and reads are lazy,
 /// which is the "more efficiently organized internal data structure" of
-/// the paper's §5.3.
+/// the paper's §5.3.  Under delta monitoring the stored payload is the
+/// re-encoded reconstruction, so readers are oblivious to the wire mode.
 #[derive(Debug, Default)]
 pub struct StatsDb {
     sm_codec: SmCodec,
@@ -61,19 +72,40 @@ impl StatsDb {
 struct MonitorObs {
     indications: flexric_obs::Counter,
     bytes: flexric_obs::Counter,
+    retunes_backoff: flexric_obs::Counter,
+    retunes_tighten: flexric_obs::Counter,
+    retunes_resync: flexric_obs::Counter,
 }
 
 fn obs() -> &'static MonitorObs {
     static OBS: std::sync::OnceLock<MonitorObs> = std::sync::OnceLock::new();
-    OBS.get_or_init(|| MonitorObs {
-        indications: flexric_obs::counter(
-            "flexric_ctrl_indications_total",
-            "Indications processed by the monitoring iApp",
-        ),
-        bytes: flexric_obs::counter(
-            "flexric_ctrl_indication_bytes_total",
-            "SM payload bytes of indications processed by the monitoring iApp",
-        ),
+    OBS.get_or_init(|| {
+        let retunes = "Server-driven report retunes issued by the monitoring iApp, by reason";
+        MonitorObs {
+            indications: flexric_obs::counter(
+                "flexric_ctrl_indications_total",
+                "Indications processed by the monitoring iApp",
+            ),
+            bytes: flexric_obs::counter(
+                "flexric_ctrl_indication_bytes_total",
+                "SM payload bytes of indications processed by the monitoring iApp",
+            ),
+            retunes_backoff: flexric_obs::counter_with(
+                "flexric_ctrl_retunes_total",
+                &[("dir", "backoff")],
+                retunes,
+            ),
+            retunes_tighten: flexric_obs::counter_with(
+                "flexric_ctrl_retunes_total",
+                &[("dir", "tighten")],
+                retunes,
+            ),
+            retunes_resync: flexric_obs::counter_with(
+                "flexric_ctrl_retunes_total",
+                &[("dir", "resync")],
+                retunes,
+            ),
+        }
     })
 }
 
@@ -84,6 +116,53 @@ pub struct MonitorCounters {
     pub indications: AtomicU64,
     /// Wire bytes of processed indications.
     pub bytes: AtomicU64,
+    /// Delta frames that failed to decode (wire-level).
+    pub decode_errors: AtomicU64,
+    /// Delta-stream resyncs (keyframe requested via retune).
+    pub resyncs: AtomicU64,
+    /// Retunes issued (all reasons).
+    pub retunes: AtomicU64,
+}
+
+/// How the iApp subscribes to reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonitorMode {
+    /// Full snapshot every period (the paper's baseline).
+    #[default]
+    Full,
+    /// Delta-encoded indications at a fixed period.
+    Delta,
+    /// Delta-encoded indications plus server-driven period retuning:
+    /// back off quiescent agents, tighten on anomaly.
+    Adaptive,
+}
+
+/// Thresholds and bounds of the adaptive retune state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Tightest period (used under anomaly); the subscription starts at
+    /// [`MonitorConfig::period_ms`].
+    pub min_period_ms: u32,
+    /// Loosest period the backoff may reach.
+    pub max_period_ms: u32,
+    /// Back off after this many periods without a content change.
+    pub quiet_periods: u32,
+    /// MAC anomaly: any UE's `dl_backlog_bytes` above this.
+    pub backlog_bytes_thr: u64,
+    /// RLC anomaly: any bearer's `sojourn_us_avg` above this.
+    pub sojourn_us_thr: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_period_ms: 1,
+            max_period_ms: 1_000,
+            quiet_periods: 8,
+            backlog_bytes_thr: 500_000,
+            sojourn_us_thr: 300_000,
+        }
+    }
 }
 
 /// Configuration of the monitoring iApp.
@@ -102,6 +181,13 @@ pub struct MonitorConfig {
     /// Decode payloads into the store.  Disabled for pure-throughput
     /// scaling runs where only the dispatch cost is being measured.
     pub store: bool,
+    /// Full, delta, or adaptive reporting.
+    pub mode: MonitorMode,
+    /// Keyframe cadence of delta subscriptions (report opportunities
+    /// per full keyframe).
+    pub keyframe_every: u32,
+    /// Retune state machine (only read in [`MonitorMode::Adaptive`]).
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for MonitorConfig {
@@ -113,9 +199,49 @@ impl Default for MonitorConfig {
             rlc: true,
             pdcp: true,
             store: true,
+            mode: MonitorMode::Full,
+            keyframe_every: 16,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
+
+impl MonitorConfig {
+    fn trigger_bytes(&self, period_ms: u32) -> Bytes {
+        let trigger = match self.mode {
+            MonitorMode::Full => ReportTrigger::every_ms(period_ms),
+            MonitorMode::Delta | MonitorMode::Adaptive => {
+                ReportTrigger::delta_every_ms(period_ms, self.keyframe_every)
+            }
+        };
+        Bytes::from(trigger.encode(self.sm_codec))
+    }
+}
+
+/// Per-subscription delta reconstruction state.
+enum AnyDecoder {
+    Mac(DeltaDecoder<MacStatsInd>),
+    Rlc(DeltaDecoder<RlcStatsInd>),
+    Pdcp(DeltaDecoder<PdcpStatsInd>),
+}
+
+struct DecEntry {
+    dec: AnyDecoder,
+    /// Storm guard: last time this stream asked the agent for a keyframe.
+    last_resync_ms: u64,
+}
+
+/// Per-agent adaptive retune state.
+struct AdaptState {
+    /// Currently requested period.
+    period_ms: u32,
+    /// Last time any subscription of this agent reported changed content
+    /// (or was (re)tuned — retunes reset the quiet clock).
+    last_change_ms: u64,
+}
+
+/// Minimum spacing of keyframe-resync retunes per subscription.
+const RESYNC_GUARD_MS: u64 = 1_000;
 
 /// The statistics iApp.
 pub struct MonitorApp {
@@ -123,7 +249,13 @@ pub struct MonitorApp {
     db: Arc<Mutex<StatsDb>>,
     counters: Arc<MonitorCounters>,
     /// Which SM each of our request ids belongs to.
-    req_kind: std::collections::HashMap<(AgentId, flexric_e2ap::RicRequestId), u16>,
+    req_kind: std::collections::HashMap<(AgentId, RicRequestId), u16>,
+    /// Delta reconstruction per subscription (delta/adaptive modes).
+    decoders: std::collections::HashMap<(AgentId, RicRequestId), DecEntry>,
+    /// Adaptive period state per agent.
+    adapt: std::collections::HashMap<AgentId, AdaptState>,
+    /// Per-shard reconstruct-time histogram, bound in `on_start`.
+    reconstruct_ns: Option<flexric_obs::Histogram>,
 }
 
 impl MonitorApp {
@@ -131,16 +263,7 @@ impl MonitorApp {
     pub fn new(cfg: MonitorConfig) -> (Self, Arc<Mutex<StatsDb>>, Arc<MonitorCounters>) {
         let db = Arc::new(Mutex::new(StatsDb { sm_codec: cfg.sm_codec, ..Default::default() }));
         let counters = Arc::new(MonitorCounters::default());
-        (
-            MonitorApp {
-                cfg,
-                db: db.clone(),
-                counters: counters.clone(),
-                req_kind: std::collections::HashMap::new(),
-            },
-            db,
-            counters,
-        )
+        (Self::replica(cfg, db.clone(), counters.clone()), db, counters)
     }
 
     /// Creates another instance feeding the same store and counters — one
@@ -152,8 +275,44 @@ impl MonitorApp {
         db: Arc<Mutex<StatsDb>>,
         counters: Arc<MonitorCounters>,
     ) -> Self {
-        MonitorApp { cfg, db, counters, req_kind: std::collections::HashMap::new() }
+        MonitorApp {
+            cfg,
+            db,
+            counters,
+            req_kind: std::collections::HashMap::new(),
+            decoders: std::collections::HashMap::new(),
+            adapt: std::collections::HashMap::new(),
+            reconstruct_ns: None,
+        }
     }
+
+    fn delta_mode(&self) -> bool {
+        self.cfg.mode != MonitorMode::Full
+    }
+
+    /// Issues a retune of every subscription of `agent` to `period_ms`.
+    fn retune_agent(&mut self, api: &mut ServerApi, agent: AgentId, period_ms: u32) {
+        let trigger = self.cfg.trigger_bytes(period_ms);
+        for (&(a, req_id), _) in self.req_kind.iter() {
+            if a == agent {
+                api.retune_subscription(a, req_id, trigger.clone());
+            }
+        }
+        self.counters.retunes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Re-encodes and stores one reconstructed snapshot, timing the
+/// reconstruction (decode + re-encode) into the per-shard histogram.
+macro_rules! store_snapshot {
+    ($self:ident, $agent:ident, $snap:expr, $slot:ident) => {{
+        let t0 = flexric::mono_ns();
+        let raw = bytes::Bytes::from($snap.encode($self.cfg.sm_codec));
+        $self.db.lock().$slot.insert($agent, raw);
+        if let Some(h) = &$self.reconstruct_ns {
+            h.record(flexric::mono_ns().saturating_sub(t0));
+        }
+    }};
 }
 
 impl IApp for MonitorApp {
@@ -161,9 +320,22 @@ impl IApp for MonitorApp {
         "monitor"
     }
 
+    fn on_start(&mut self, api: &mut ServerApi) {
+        // PR 5 convention: every series this iApp can emit is registered
+        // at zero from startup, idle or not — including the SM delta
+        // series owned by flexric-sm.
+        flexric_sm::delta::register_metrics();
+        let _ = obs();
+        let shard = api.shard().to_string();
+        self.reconstruct_ns = Some(flexric_obs::histogram_with(
+            "flexric_sm_reconstruct_ns",
+            &[("shard", &shard)],
+            "Time to reconstruct + re-encode one delta-mode snapshot",
+        ));
+    }
+
     fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
-        let trigger =
-            Bytes::from(ReportTrigger::every_ms(self.cfg.period_ms).encode(self.cfg.sm_codec));
+        let trigger = self.cfg.trigger_bytes(self.cfg.period_ms);
         let mut want = Vec::new();
         if self.cfg.mac {
             want.push((oid::MAC_STATS, rf::MAC_STATS));
@@ -185,40 +357,170 @@ impl IApp for MonitorApp {
             let req = api.subscribe_report(agent.id, rf_id, trigger.clone());
             self.req_kind.insert((agent.id, req), rf_id.0);
         }
+        if self.cfg.mode == MonitorMode::Adaptive {
+            self.adapt.insert(
+                agent.id,
+                AdaptState { period_ms: self.cfg.period_ms, last_change_ms: api.now_ms() },
+            );
+        }
     }
 
     fn on_agent_disconnected(&mut self, _api: &mut ServerApi, agent: AgentId) {
         self.req_kind.retain(|(a, _), _| *a != agent);
+        self.decoders.retain(|(a, _), _| *a != agent);
+        self.adapt.remove(&agent);
         let mut db = self.db.lock();
         db.raw_mac.remove(&agent);
         db.raw_rlc.remove(&agent);
         db.raw_pdcp.remove(&agent);
     }
 
-    fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
+    fn on_indication(&mut self, api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
         self.counters.indications.fetch_add(1, Ordering::Relaxed);
         obs().indications.inc();
         let Ok((_, msg)) = ind.sm_payload() else { return };
         self.counters.bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
         obs().bytes.add(msg.len() as u64);
-        if !self.cfg.store {
+        let req_id = ind.req_id();
+        let Some(kind) = self.req_kind.get(&(agent, req_id)).copied() else { return };
+
+        if !self.delta_mode() {
+            if !self.cfg.store {
+                return;
+            }
+            // Write path: store the encoded payload; decoding happens
+            // lazily on read.  `Bytes::copy_from_slice` is the only copy.
+            let raw = bytes::Bytes::copy_from_slice(msg);
+            match kind {
+                k if k == rf::MAC_STATS => {
+                    self.db.lock().raw_mac.insert(agent, raw);
+                }
+                k if k == rf::RLC_STATS => {
+                    self.db.lock().raw_rlc.insert(agent, raw);
+                }
+                k if k == rf::PDCP_STATS => {
+                    self.db.lock().raw_pdcp.insert(agent, raw);
+                }
+                _ => {}
+            }
             return;
         }
-        let kind = self.req_kind.get(&(agent, ind.req_id())).copied();
-        // Write path: store the encoded payload; decoding happens lazily
-        // on read.  `Bytes::copy_from_slice` is the only copy.
-        let raw = bytes::Bytes::copy_from_slice(msg);
-        match kind {
-            Some(k) if k == rf::MAC_STATS => {
-                self.db.lock().raw_mac.insert(agent, raw);
+
+        // Delta path: reconstruct the snapshot from the frame.
+        let codec = self.cfg.sm_codec;
+        let entry = self.decoders.entry((agent, req_id)).or_insert_with(|| DecEntry {
+            dec: match kind {
+                k if k == rf::RLC_STATS => AnyDecoder::Rlc(DeltaDecoder::new()),
+                k if k == rf::PDCP_STATS => AnyDecoder::Pdcp(DeltaDecoder::new()),
+                _ => AnyDecoder::Mac(DeltaDecoder::new()),
+            },
+            last_resync_ms: 0,
+        });
+        let mut changed = false;
+        let mut anomaly = false;
+        let mut need_keyframe = false;
+        let mut decode_err = false;
+        let thr = self.cfg.adaptive;
+        match &mut entry.dec {
+            AnyDecoder::Mac(dec) => match dec.apply(msg, codec) {
+                Ok(DeltaEvent::Snapshot { snap, changed: ch, .. }) => {
+                    changed = ch;
+                    anomaly = snap.ues.iter().any(|u| u.dl_backlog_bytes > thr.backlog_bytes_thr);
+                    if self.cfg.store {
+                        store_snapshot!(self, agent, snap, raw_mac);
+                    }
+                }
+                Ok(DeltaEvent::NeedKeyframe { .. }) => need_keyframe = true,
+                Err(_) => decode_err = true,
+            },
+            AnyDecoder::Rlc(dec) => match dec.apply(msg, codec) {
+                Ok(DeltaEvent::Snapshot { snap, changed: ch, .. }) => {
+                    changed = ch;
+                    anomaly = snap.bearers.iter().any(|b| b.sojourn_us_avg > thr.sojourn_us_thr);
+                    if self.cfg.store {
+                        store_snapshot!(self, agent, snap, raw_rlc);
+                    }
+                }
+                Ok(DeltaEvent::NeedKeyframe { .. }) => need_keyframe = true,
+                Err(_) => decode_err = true,
+            },
+            AnyDecoder::Pdcp(dec) => match dec.apply(msg, codec) {
+                Ok(DeltaEvent::Snapshot { snap, changed: ch, .. }) => {
+                    changed = ch;
+                    if self.cfg.store {
+                        store_snapshot!(self, agent, snap, raw_pdcp);
+                    }
+                }
+                Ok(DeltaEvent::NeedKeyframe { .. }) => need_keyframe = true,
+                Err(_) => decode_err = true,
+            },
+        }
+        if decode_err {
+            self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let now = api.now_ms();
+        if need_keyframe {
+            // The stream lost sync (restart, loss, divergence): re-issue
+            // the subscription so the agent bumps the epoch and keyframes.
+            // Rate-limited per subscription to survive pathological peers.
+            self.counters.resyncs.fetch_add(1, Ordering::Relaxed);
+            let guard_ok = now.saturating_sub(entry.last_resync_ms) >= RESYNC_GUARD_MS;
+            if guard_ok {
+                if let Some(e) = self.decoders.get_mut(&(agent, req_id)) {
+                    e.last_resync_ms = now;
+                }
+                let period =
+                    self.adapt.get(&agent).map(|s| s.period_ms).unwrap_or(self.cfg.period_ms);
+                let trigger = self.cfg.trigger_bytes(period);
+                api.retune_subscription(agent, req_id, trigger);
+                self.counters.retunes.fetch_add(1, Ordering::Relaxed);
+                obs().retunes_resync.inc();
             }
-            Some(k) if k == rf::RLC_STATS => {
-                self.db.lock().raw_rlc.insert(agent, raw);
+            return;
+        }
+        if self.cfg.mode != MonitorMode::Adaptive {
+            return;
+        }
+        // Adaptive state machine, tighten half: an anomaly on the
+        // reconstructed KPIs snaps the period to the configured minimum.
+        let Some(state) = self.adapt.get_mut(&agent) else { return };
+        if changed || anomaly {
+            state.last_change_ms = now;
+        }
+        if anomaly && state.period_ms > thr.min_period_ms {
+            state.period_ms = thr.min_period_ms;
+            state.last_change_ms = now;
+            obs().retunes_tighten.inc();
+            self.retune_agent(api, agent, thr.min_period_ms);
+        }
+    }
+
+    fn on_tick(&mut self, api: &mut ServerApi, now_ms: u64) {
+        if self.cfg.mode != MonitorMode::Adaptive {
+            return;
+        }
+        // Backoff half: agents whose content has not changed for
+        // `quiet_periods` report periods get their period doubled (up to
+        // the cap); any change or anomaly resets the quiet clock, and the
+        // tighten half snaps them back to the minimum immediately.
+        let thr = self.cfg.adaptive;
+        let mut backoffs = Vec::new();
+        for (&agent, state) in self.adapt.iter_mut() {
+            if state.period_ms >= thr.max_period_ms {
+                continue;
             }
-            Some(k) if k == rf::PDCP_STATS => {
-                self.db.lock().raw_pdcp.insert(agent, raw);
+            let quiet_ms = thr.quiet_periods.max(1) as u64 * state.period_ms.max(1) as u64;
+            if now_ms.saturating_sub(state.last_change_ms) >= quiet_ms {
+                state.period_ms = (state.period_ms.saturating_mul(2)).min(thr.max_period_ms);
+                // Space successive backoffs by a fresh quiet interval.
+                state.last_change_ms = now_ms;
+                backoffs.push((agent, state.period_ms));
             }
-            _ => {}
+        }
+        for (agent, period) in backoffs {
+            obs().retunes_backoff.inc();
+            self.retune_agent(api, agent, period);
         }
     }
 }

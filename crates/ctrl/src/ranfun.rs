@@ -14,6 +14,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use flexric::agent::{AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
+use flexric::report::ReportSender;
 use flexric_e2ap::{
     Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest,
 };
@@ -29,7 +30,7 @@ use flexric_sm::{
     rrc::{RrcCtrl, RrcEventInd},
     slice::{SliceCtrl, SliceStatsInd},
     tc::{TcCtrl, TcStatsInd},
-    RanFuncDef, SmCodec, SmPayload,
+    RanFuncDef, ReportTrigger, SmCodec, SmPayload,
 };
 
 /// Shared handle to a simulated base station: the simulator plus the cell
@@ -107,12 +108,13 @@ macro_rules! stats_fn {
             bs: SimBs,
             sm_codec: SmCodec,
             subs: PeriodicSubs,
+            sender: ReportSender<$ind>,
         }
 
         impl $name {
             /// Creates the function over a simulated base station.
             pub fn new(bs: SimBs, sm_codec: SmCodec) -> Self {
-                Self { bs, sm_codec, subs: PeriodicSubs::new() }
+                Self { bs, sm_codec, subs: PeriodicSubs::new(), sender: ReportSender::new() }
             }
         }
 
@@ -132,7 +134,25 @@ macro_rules! stats_fn {
                 sub: &SubscriptionInfo,
                 _req: &RicSubscriptionRequest,
             ) -> Result<(), Cause> {
-                self.subs.admit(sub, self.sm_codec, ctx.now_ms)
+                self.subs.admit(sub, self.sm_codec, ctx.now_ms)?;
+                if let Ok(t) = ReportTrigger::decode(self.sm_codec, &sub.trigger) {
+                    self.sender.reset(sub, &t);
+                }
+                Ok(())
+            }
+            fn on_subscription_update(
+                &mut self,
+                ctx: &mut AgentCtx,
+                sub: &SubscriptionInfo,
+                _req: &RicSubscriptionRequest,
+            ) -> Result<(), Cause> {
+                // Server-driven retune: new period takes effect without a
+                // resubscribe.  Period-only changes keep the delta stream;
+                // identical-trigger retunes (resync requests) and mode
+                // changes force a keyframe.
+                let t = self.subs.retune(sub, self.sm_codec, ctx.now_ms)?;
+                self.sender.retune(sub, &t);
+                Ok(())
             }
             fn on_subscription_delete(
                 &mut self,
@@ -141,6 +161,7 @@ macro_rules! stats_fn {
                 req_id: RicRequestId,
             ) {
                 self.subs.remove(ctrl, req_id);
+                self.sender.delete(ctrl, req_id);
             }
             fn on_control(
                 &mut self,
@@ -154,20 +175,29 @@ macro_rules! stats_fn {
                 if self.subs.is_empty() {
                     return;
                 }
-                let mut due: Vec<SubscriptionInfo> = Vec::new();
-                self.subs.for_due(ctx.now_ms, |sub, _| due.push(sub.clone()));
+                let mut due: Vec<(SubscriptionInfo, ReportTrigger)> = Vec::new();
+                self.subs.for_due(ctx.now_ms, |sub, t| due.push((sub.clone(), t.clone())));
                 if due.is_empty() {
                     return;
                 }
-                // One snapshot per tick, shared by all due subscriptions.
+                // One snapshot per tick, shared by all due subscriptions;
+                // the sender applies the per-subscription report mode
+                // (full / delta / suppressed) to the filtered view.
                 let ind: $ind = {
                     let mut sim = self.bs.sim.lock();
                     sim.cells[self.bs.cell].$snapshot()
                 };
-                for sub in due {
+                for (sub, trigger) in due {
                     let filtered = $filter(&ind, ctx, &sub);
-                    let msg = Bytes::from(filtered.encode(self.sm_codec));
-                    ctx.send_indication(&sub, None, Bytes::new(), msg);
+                    self.sender.send(
+                        ctx,
+                        &sub,
+                        &trigger,
+                        &filtered,
+                        self.sm_codec,
+                        None,
+                        Bytes::new(),
+                    );
                 }
             }
         }

@@ -26,6 +26,7 @@
 //! from a real-time tokio interval or from the experiment's loop.
 
 pub mod cell;
+pub mod kpi;
 pub mod nvs;
 pub mod phy;
 pub mod rlc;
@@ -34,6 +35,7 @@ pub mod tc;
 pub mod traffic;
 
 pub use cell::{Cell, CellConfig, UeConfig};
+pub use kpi::{KpiGen, Phase};
 pub use phy::{bytes_per_prb_tti, cell_rate_kbps, Rat};
 pub use rlc::Packet;
 pub use sim::{PathConfig, Sim};

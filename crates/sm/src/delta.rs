@@ -1,0 +1,1032 @@
+//! Delta-encoded indication streams: dirty-field bitmaps, keyframes, and
+//! suppression for the periodic monitoring service models.
+//!
+//! A full KPI snapshot every report period for every agent makes
+//! monitoring traffic the dominant byte stream at scale ("Power-Efficient
+//! RAN Intelligent Controllers Through Optimized KPI Monitoring",
+//! PAPERS.md).  This module lets a report subscription opt into a *delta
+//! stream* ([`crate::trigger::ReportMode::Delta`]):
+//!
+//! * each indication carries only the fields that changed since the last
+//!   emitted report, as a per-row dirty bitmap ([`DeltaRows::FIELD_COUNT`]
+//!   bits) plus the changed values;
+//! * every `keyframe_every`-th report opportunity emits a *keyframe* — the
+//!   full snapshot in the subscription's [`SmCodec`] — bounding the resync
+//!   window and doubling as liveness for quiescent cells;
+//! * a report whose content hash ([`content_hash`]) equals the previous
+//!   report's is *suppressed* entirely (nothing is sent; the server's last
+//!   reconstruction stays valid);
+//! * frames are tagged with a stream *epoch* that bumps on every
+//!   (re)subscription, mode change, and resync request, so the
+//!   reconnect/replay machinery of the procedure layer forces a keyframe
+//!   instead of letting stale deltas apply to a stale base.  Period-only
+//!   retunes deliberately do *not* bump the epoch: sequence continuity
+//!   over the ordered transport keeps the receiver's base valid, so
+//!   backing off a quiescent cell costs no keyframe.
+//!
+//! The decoder reconstructs the full snapshot from the last keyframe plus
+//! deltas and verifies a 64-bit post-hash carried in every delta frame:
+//! any divergence (reordering, lost frame, codec bug) surfaces as
+//! [`DeltaEvent::NeedKeyframe`] rather than silently wrong statistics, and
+//! the controller answers it by retuning the subscription (which forces a
+//! keyframe).  Reconstruction is exact: re-encoding the reconstructed
+//! snapshot is byte-identical to encoding the sender's snapshot.
+//!
+//! The delta frame itself uses a codec-independent bit-packed wire format
+//! (like `BearerAddr`) — dirty bitmaps are inherently bit-oriented — while
+//! embedded keyframes use the subscription's negotiated [`SmCodec`].
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use flexric_codec::error::{CodecError, Result};
+use flexric_codec::per::{BitReader, BitWriter};
+
+use crate::trigger::ReportMode;
+use crate::{SmCodec, SmPayload};
+
+/// Rows-of-scalars view of a snapshot payload, the shape all periodic
+/// monitoring SMs share: a timestamp, at most one auxiliary header scalar,
+/// and a list of keyed rows whose fields all widen to `u64`.
+///
+/// Implementations must be *exact*: `field`/`set_field` round-trip every
+/// representable value, and two snapshots with equal keys, fields, aux and
+/// [`DeltaRows::structure_sig`] encode byte-identically (timestamps are
+/// carried explicitly by delta frames).
+pub trait DeltaRows: SmPayload + Clone + PartialEq {
+    /// The row type.
+    type Row: Clone + PartialEq;
+    /// Diffable fields per row, excluding the key (≤ 32).
+    const FIELD_COUNT: u32;
+    /// Label for metrics and debugging.
+    const NAME: &'static str;
+
+    /// Snapshot timestamp (always changes; carried explicitly, excluded
+    /// from the content hash so pure timestamp advances suppress).
+    fn tstamp_ms(&self) -> u64;
+    /// Sets the snapshot timestamp.
+    fn set_tstamp_ms(&mut self, t: u64);
+    /// Auxiliary header scalar (e.g. the MAC cell PRB capacity); `0` if
+    /// the payload has none.
+    fn aux(&self) -> u64 {
+        0
+    }
+    /// Sets the auxiliary header scalar.
+    fn set_aux(&mut self, _v: u64) {}
+    /// The rows.
+    fn rows(&self) -> &[Self::Row];
+    /// Mutable row storage, for reconstruction.
+    fn rows_mut(&mut self) -> &mut Vec<Self::Row>;
+    /// Stable identity of a row within the stream (e.g. RNTI, or
+    /// RNTI|DRB).  Rows are diffed against the previous row of the same
+    /// key; keys that disappear are encoded as removals.
+    fn row_key(row: &Self::Row) -> u32;
+    /// Reads field `i` (0-based, `< FIELD_COUNT`) widened to `u64`.
+    fn field(row: &Self::Row, i: u32) -> u64;
+    /// Writes field `i` (narrowing as the row type requires).
+    fn set_field(row: &mut Self::Row, i: u32, v: u64);
+    /// A fresh row for `key` with all fields at their default; new keys
+    /// are encoded as a full-bitmap diff against this.
+    fn new_row(key: u32) -> Self::Row;
+    /// Signature of row identity not captured by keys and fields (e.g.
+    /// the KPM measurement-name sequence).  A change forces a keyframe.
+    fn structure_sig(&self) -> u64 {
+        0
+    }
+}
+
+/// FNV-1a 64-bit, the stream's content hash primitive.
+#[inline]
+fn fnv1a(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for byte in v.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed for FNV-1a.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Hashes a string into the stream hash (for `structure_sig` impls).
+pub fn hash_str(h: u64, s: &str) -> u64 {
+    let mut h = fnv1a(h, s.len() as u64);
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of a snapshot: aux, structure signature, and every row's
+/// key and fields, in row order.  The timestamp is deliberately excluded —
+/// a report that differs only by timestamp is suppressible.
+pub fn content_hash<T: DeltaRows>(snap: &T) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, snap.aux());
+    h = fnv1a(h, snap.structure_sig());
+    h = fnv1a(h, snap.rows().len() as u64);
+    for row in snap.rows() {
+        h = fnv1a(h, T::row_key(row) as u64);
+        for i in 0..T::FIELD_COUNT {
+            h = fnv1a(h, T::field(row, i));
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+/// Global SM-report series (PR 5 convention: registered at zero on first
+/// touch of the layer, so every series is visible even while idle — call
+/// [`register_metrics`] at startup from any component on the report path).
+pub struct DeltaObs {
+    /// `flexric_sm_report_bytes_total{mode="full"}`.
+    pub bytes_full: flexric_obs::Counter,
+    /// `flexric_sm_report_bytes_total{mode="delta"}`.
+    pub bytes_delta: flexric_obs::Counter,
+    /// `flexric_sm_report_bytes_total{mode="keyframe"}`.
+    pub bytes_keyframe: flexric_obs::Counter,
+    /// Reports suppressed by the unchanged-snapshot hash.
+    pub suppressed: flexric_obs::Counter,
+    /// Keyframes emitted.
+    pub keyframes: flexric_obs::Counter,
+    /// Decoder resyncs requested (epoch/sequence/hash divergence).
+    pub resyncs: flexric_obs::Counter,
+    /// Malformed delta frames (wire-level decode failures).
+    pub decode_errors: flexric_obs::Counter,
+}
+
+/// The registered series (see [`DeltaObs`]).
+pub fn obs() -> &'static DeltaObs {
+    static OBS: std::sync::OnceLock<DeltaObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let bytes = "SM report payload bytes emitted, by report mode";
+        DeltaObs {
+            bytes_full: flexric_obs::counter_with(
+                "flexric_sm_report_bytes_total",
+                &[("mode", "full")],
+                bytes,
+            ),
+            bytes_delta: flexric_obs::counter_with(
+                "flexric_sm_report_bytes_total",
+                &[("mode", "delta")],
+                bytes,
+            ),
+            bytes_keyframe: flexric_obs::counter_with(
+                "flexric_sm_report_bytes_total",
+                &[("mode", "keyframe")],
+                bytes,
+            ),
+            suppressed: flexric_obs::counter(
+                "flexric_sm_reports_suppressed_total",
+                "Reports suppressed because the snapshot content was unchanged",
+            ),
+            keyframes: flexric_obs::counter(
+                "flexric_sm_keyframes_total",
+                "Full-snapshot keyframes emitted on delta streams",
+            ),
+            resyncs: flexric_obs::counter(
+                "flexric_sm_delta_resyncs_total",
+                "Delta decoder resyncs (epoch/sequence/hash divergence)",
+            ),
+            decode_errors: flexric_obs::counter(
+                "flexric_sm_delta_decode_errors_total",
+                "Malformed delta frames rejected by the decoder",
+            ),
+        }
+    })
+}
+
+/// Registers every SM-report series at zero (idempotent).
+pub fn register_metrics() {
+    let _ = obs();
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+/// Upper bound on rows per frame, mirroring the SM decoders' own limits.
+const MAX_ROWS: usize = 65_536;
+
+/// A decoded delta frame, before application.
+struct DeltaBody {
+    tstamp_ms: u64,
+    aux: Option<u64>,
+    /// `(key, bitmap, values-in-ascending-bit-order)`.
+    changed: Vec<(u32, u32, Vec<u64>)>,
+    removed: Vec<u32>,
+    /// Explicit final key order, when append-order reconstruction would
+    /// be wrong (row reordering between snapshots).
+    order: Option<Vec<u32>>,
+    post_hash: u64,
+}
+
+fn encode_frame_header(w: &mut BitWriter, epoch: u32, seq: u32, is_delta: bool) {
+    w.put_bits(epoch as u64, 32);
+    w.put_bits(seq as u64, 32);
+    w.put_bit(is_delta);
+}
+
+fn encode_delta_body<T: DeltaRows>(w: &mut BitWriter, body: &DeltaBody) {
+    w.put_uint(body.tstamp_ms);
+    w.put_bit(body.aux.is_some());
+    if let Some(aux) = body.aux {
+        w.put_uint(aux);
+    }
+    w.put_length(body.changed.len());
+    for (key, bitmap, values) in &body.changed {
+        w.put_bits(*key as u64, 32);
+        w.put_bits(*bitmap as u64, T::FIELD_COUNT);
+        for v in values {
+            w.put_uint(*v);
+        }
+    }
+    w.put_length(body.removed.len());
+    for key in &body.removed {
+        w.put_bits(*key as u64, 32);
+    }
+    w.put_bit(body.order.is_some());
+    if let Some(order) = &body.order {
+        w.put_length(order.len());
+        for key in order {
+            w.put_bits(*key as u64, 32);
+        }
+    }
+    w.put_bits(body.post_hash, 64);
+}
+
+fn decode_delta_body<T: DeltaRows>(r: &mut BitReader) -> Result<DeltaBody> {
+    let tstamp_ms = r.get_uint()?;
+    let aux = if r.get_bit()? { Some(r.get_uint()?) } else { None };
+    let n_changed = r.get_length()?;
+    if n_changed > MAX_ROWS {
+        return Err(CodecError::Malformed { what: "too many changed rows" });
+    }
+    let mut changed = Vec::with_capacity(n_changed.min(1024));
+    for _ in 0..n_changed {
+        let key = r.get_bits(32)? as u32;
+        let bitmap = r.get_bits(T::FIELD_COUNT)? as u32;
+        let mut values = Vec::with_capacity(bitmap.count_ones() as usize);
+        for _ in 0..bitmap.count_ones() {
+            values.push(r.get_uint()?);
+        }
+        changed.push((key, bitmap, values));
+    }
+    let n_removed = r.get_length()?;
+    if n_removed > MAX_ROWS {
+        return Err(CodecError::Malformed { what: "too many removed rows" });
+    }
+    let mut removed = Vec::with_capacity(n_removed.min(1024));
+    for _ in 0..n_removed {
+        removed.push(r.get_bits(32)? as u32);
+    }
+    let order = if r.get_bit()? {
+        let n = r.get_length()?;
+        if n > MAX_ROWS {
+            return Err(CodecError::Malformed { what: "order too long" });
+        }
+        let mut order = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            order.push(r.get_bits(32)? as u32);
+        }
+        Some(order)
+    } else {
+        None
+    };
+    let post_hash = r.get_bits(64)?;
+    Ok(DeltaBody { tstamp_ms, aux, changed, removed, order, post_hash })
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+/// What one report opportunity produced on a delta stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOut {
+    /// A full-snapshot keyframe frame.
+    Keyframe(Vec<u8>),
+    /// A dirty-field delta frame.
+    Delta(Vec<u8>),
+    /// Nothing: the snapshot content was unchanged.
+    Suppressed,
+}
+
+/// Per-subscription delta encoder: diffs each snapshot against the last
+/// emitted one, schedules keyframes, and suppresses unchanged reports.
+#[derive(Debug)]
+pub struct DeltaEncoder<T: DeltaRows> {
+    /// Stream incarnation; bumped by [`DeltaEncoder::force_keyframe`]
+    /// (resubscribe, retune, reconnect replay).
+    epoch: u32,
+    /// Sequence of the last *emitted* frame (suppressed reports do not
+    /// advance it, so the decoder never sees a gap from suppression).
+    seq: u32,
+    /// Report opportunities since the last keyframe.
+    since_key: u32,
+    keyframe_every: u32,
+    last: Option<T>,
+    last_hash: u64,
+}
+
+impl<T: DeltaRows> DeltaEncoder<T> {
+    /// A fresh stream; the first report is always a keyframe.
+    pub fn new(keyframe_every: u32) -> Self {
+        register_metrics();
+        DeltaEncoder {
+            epoch: 1,
+            seq: 0,
+            since_key: 0,
+            keyframe_every: keyframe_every.max(1),
+            last: None,
+            last_hash: 0,
+        }
+    }
+
+    /// Current stream epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Starts a new stream incarnation: the next report is a keyframe
+    /// under a fresh epoch.  Called on resubscription, retune, and
+    /// reconnect replay so the receiver never applies deltas across a
+    /// discontinuity.
+    pub fn force_keyframe(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1).max(1);
+        self.last = None;
+        self.since_key = 0;
+    }
+
+    /// Encodes one report opportunity.  Exactly one of: a keyframe (first
+    /// report, periodic refresh, or structural change), a delta frame, or
+    /// suppression.
+    pub fn encode(&mut self, snap: &T, codec: SmCodec) -> DeltaOut {
+        self.since_key += 1;
+        let hash = content_hash(snap);
+        let keyframe_due = self.since_key >= self.keyframe_every;
+        let base_ok = match &self.last {
+            None => false,
+            Some(last) => {
+                last.structure_sig() == snap.structure_sig() && unique_keys::<T>(snap.rows())
+            }
+        };
+        if base_ok && !keyframe_due && hash == self.last_hash {
+            obs().suppressed.inc();
+            return DeltaOut::Suppressed;
+        }
+        if !base_ok || keyframe_due {
+            return DeltaOut::Keyframe(self.emit_keyframe(snap, hash, codec));
+        }
+        let last = self.last.as_ref().expect("base_ok implies last");
+        let body = diff(last, snap, hash);
+        let mut w = BitWriter::with_capacity(256);
+        self.seq = self.seq.wrapping_add(1);
+        encode_frame_header(&mut w, self.epoch, self.seq, true);
+        encode_delta_body::<T>(&mut w, &body);
+        let frame = w.finish();
+        // A pathological diff can exceed the keyframe (every field of
+        // every row dirty, plus bitmaps); fall back to a keyframe so the
+        // stream never costs more than full reporting plus the header.
+        let key_len = estimate_keyframe_len(snap, codec);
+        if frame.len() > key_len {
+            self.seq = self.seq.wrapping_sub(1);
+            return DeltaOut::Keyframe(self.emit_keyframe(snap, hash, codec));
+        }
+        self.last = Some(snap.clone());
+        self.last_hash = hash;
+        obs().bytes_delta.add(frame.len() as u64);
+        DeltaOut::Delta(frame)
+    }
+
+    fn emit_keyframe(&mut self, snap: &T, hash: u64, codec: SmCodec) -> Vec<u8> {
+        let blob = snap.encode(codec);
+        let mut w = BitWriter::with_capacity(blob.len() + 16);
+        self.seq = self.seq.wrapping_add(1);
+        encode_frame_header(&mut w, self.epoch, self.seq, false);
+        w.put_octets(&blob);
+        self.since_key = 0;
+        self.last = Some(snap.clone());
+        self.last_hash = hash;
+        let frame = w.finish();
+        obs().keyframes.inc();
+        obs().bytes_keyframe.add(frame.len() as u64);
+        frame
+    }
+}
+
+/// Whether every row key is unique (delta diffing requires it; duplicate
+/// keys — possible for degenerate KPM reports — force keyframes instead).
+fn unique_keys<T: DeltaRows>(rows: &[T::Row]) -> bool {
+    let mut seen = std::collections::HashSet::with_capacity(rows.len());
+    rows.iter().all(|r| seen.insert(T::row_key(r)))
+}
+
+fn estimate_keyframe_len<T: DeltaRows>(snap: &T, codec: SmCodec) -> usize {
+    // Header (9 B) + length determinant + blob; the blob length dominates.
+    9 + 4 + snap.encode(codec).len()
+}
+
+fn diff<T: DeltaRows>(prev: &T, cur: &T, post_hash: u64) -> DeltaBody {
+    let prev_idx: HashMap<u32, &T::Row> = prev.rows().iter().map(|r| (T::row_key(r), r)).collect();
+    let cur_keys: std::collections::HashSet<u32> =
+        cur.rows().iter().map(|r| T::row_key(r)).collect();
+    let mut changed = Vec::new();
+    let mut new_keys = Vec::new();
+    for row in cur.rows() {
+        let key = T::row_key(row);
+        let base_row;
+        let is_new = !prev_idx.contains_key(&key);
+        let base = match prev_idx.get(&key) {
+            Some(p) => *p,
+            None => {
+                new_keys.push(key);
+                base_row = T::new_row(key);
+                &base_row
+            }
+        };
+        let mut bitmap = 0u32;
+        let mut values = Vec::new();
+        for i in 0..T::FIELD_COUNT {
+            let v = T::field(row, i);
+            if v != T::field(base, i) {
+                bitmap |= 1 << i;
+                values.push(v);
+            }
+        }
+        // New keys must appear even with an empty bitmap (an all-default
+        // row), or the decoder would never materialize them.
+        if bitmap != 0 || is_new {
+            changed.push((key, bitmap, values));
+        }
+    }
+    let removed: Vec<u32> =
+        prev.rows().iter().map(|r| T::row_key(r)).filter(|k| !cur_keys.contains(k)).collect();
+    // Expected reconstruction order: surviving previous rows in place,
+    // new rows appended in snapshot order.  Carry an explicit order only
+    // when the snapshot deviates (reordering).
+    let mut expected: Vec<u32> =
+        prev.rows().iter().map(|r| T::row_key(r)).filter(|k| cur_keys.contains(k)).collect();
+    expected.extend(new_keys.iter().copied());
+    let actual: Vec<u32> = cur.rows().iter().map(|r| T::row_key(r)).collect();
+    let order = (expected != actual).then_some(actual);
+    DeltaBody {
+        tstamp_ms: cur.tstamp_ms(),
+        aux: (cur.aux() != prev.aux()).then(|| cur.aux()),
+        changed,
+        removed,
+        order,
+        post_hash,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+/// Outcome of feeding one frame to the decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaEvent<T> {
+    /// The stream's current full snapshot, reconstructed.
+    Snapshot {
+        /// The reconstruction (byte-identical to the sender's snapshot).
+        snap: T,
+        /// Whether any content changed relative to the previous
+        /// reconstruction (keyframes of unchanged content report `false`).
+        changed: bool,
+        /// Whether this frame was a keyframe.
+        keyframe: bool,
+    },
+    /// The frame could not be applied (stale epoch, sequence gap, or hash
+    /// divergence); the sender must be asked for a keyframe — e.g. by
+    /// retuning the subscription.
+    NeedKeyframe {
+        /// Why the stream lost sync.
+        reason: &'static str,
+    },
+}
+
+/// Per-subscription delta decoder: holds the last reconstruction and
+/// applies keyframes and deltas, verifying the post-hash of every delta.
+#[derive(Debug, Default)]
+pub struct DeltaDecoder<T: DeltaRows> {
+    epoch: u32,
+    seq: u32,
+    last: Option<T>,
+    /// Keyframes applied.
+    pub keyframes: u64,
+    /// Delta frames applied.
+    pub deltas: u64,
+    /// Resyncs requested ([`DeltaEvent::NeedKeyframe`] outcomes).
+    pub resyncs: u64,
+}
+
+impl<T: DeltaRows> DeltaDecoder<T> {
+    /// A decoder with no base snapshot; the first useful frame is a
+    /// keyframe.
+    pub fn new() -> Self {
+        register_metrics();
+        DeltaDecoder { epoch: 0, seq: 0, last: None, keyframes: 0, deltas: 0, resyncs: 0 }
+    }
+
+    /// The current reconstruction, if the stream is in sync.
+    pub fn current(&self) -> Option<&T> {
+        self.last.as_ref()
+    }
+
+    /// Applies one frame.  `Err` means the frame was malformed at the
+    /// wire level; [`DeltaEvent::NeedKeyframe`] means it was well-formed
+    /// but unusable without a fresh keyframe.
+    pub fn apply(&mut self, frame: &[u8], codec: SmCodec) -> Result<DeltaEvent<T>> {
+        let res = self.apply_inner(frame, codec);
+        match &res {
+            Err(_) => obs().decode_errors.inc(),
+            Ok(DeltaEvent::NeedKeyframe { .. }) => {
+                self.resyncs += 1;
+                obs().resyncs.inc();
+            }
+            Ok(DeltaEvent::Snapshot { .. }) => {}
+        }
+        res
+    }
+
+    fn apply_inner(&mut self, frame: &[u8], codec: SmCodec) -> Result<DeltaEvent<T>> {
+        let mut r = BitReader::new(frame);
+        let epoch = r.get_bits(32)? as u32;
+        let seq = r.get_bits(32)? as u32;
+        let is_delta = r.get_bit()?;
+        if !is_delta {
+            let blob = r.get_octets()?;
+            let snap = T::decode(codec, blob)?;
+            let changed = match &self.last {
+                Some(prev) => content_hash(prev) != content_hash(&snap),
+                None => true,
+            };
+            self.epoch = epoch;
+            self.seq = seq;
+            self.last = Some(snap.clone());
+            self.keyframes += 1;
+            return Ok(DeltaEvent::Snapshot { snap, changed, keyframe: true });
+        }
+        let body = decode_delta_body::<T>(&mut r)?;
+        if self.last.is_none() {
+            return Ok(DeltaEvent::NeedKeyframe { reason: "no keyframe yet" });
+        }
+        if epoch != self.epoch {
+            return Ok(DeltaEvent::NeedKeyframe { reason: "epoch changed" });
+        }
+        if seq != self.seq.wrapping_add(1) {
+            return Ok(DeltaEvent::NeedKeyframe { reason: "sequence gap" });
+        }
+        let prev = self.last.as_ref().expect("checked above");
+        let Some(snap) = apply_body(prev, &body) else {
+            self.last = None;
+            return Ok(DeltaEvent::NeedKeyframe { reason: "inconsistent delta" });
+        };
+        if content_hash(&snap) != body.post_hash {
+            // Divergence is terminal for this epoch: drop the base so no
+            // further delta applies until a keyframe restores it.
+            self.last = None;
+            return Ok(DeltaEvent::NeedKeyframe { reason: "hash mismatch" });
+        }
+        let changed = !body.changed.is_empty() || !body.removed.is_empty() || body.aux.is_some();
+        self.seq = seq;
+        self.last = Some(snap.clone());
+        self.deltas += 1;
+        Ok(DeltaEvent::Snapshot { snap, changed, keyframe: false })
+    }
+}
+
+/// Applies a delta body to the previous reconstruction; `None` if the
+/// body references state the base does not have (caught by the post-hash
+/// path as a resync anyway, but detected early here).
+fn apply_body<T: DeltaRows>(prev: &T, body: &DeltaBody) -> Option<T> {
+    let mut snap = prev.clone();
+    snap.set_tstamp_ms(body.tstamp_ms);
+    if let Some(aux) = body.aux {
+        snap.set_aux(aux);
+    }
+    let removed: std::collections::HashSet<u32> = body.removed.iter().copied().collect();
+    let rows = snap.rows_mut();
+    rows.retain(|r| !removed.contains(&T::row_key(r)));
+    let mut index: HashMap<u32, usize> =
+        rows.iter().enumerate().map(|(i, r)| (T::row_key(r), i)).collect();
+    for (key, bitmap, values) in &body.changed {
+        let idx = match index.get(key) {
+            Some(i) => *i,
+            None => {
+                rows.push(T::new_row(*key));
+                index.insert(*key, rows.len() - 1);
+                rows.len() - 1
+            }
+        };
+        let row = &mut rows[idx];
+        let mut vi = 0;
+        for i in 0..T::FIELD_COUNT {
+            if bitmap & (1 << i) != 0 {
+                T::set_field(row, i, *values.get(vi)?);
+                vi += 1;
+            }
+        }
+    }
+    if let Some(order) = &body.order {
+        if order.len() != rows.len() {
+            return None;
+        }
+        let mut by_key: HashMap<u32, T::Row> =
+            rows.drain(..).map(|r| (T::row_key(&r), r)).collect();
+        for key in order {
+            rows.push(by_key.remove(key)?);
+        }
+    }
+    Some(snap)
+}
+
+// ---------------------------------------------------------------------------
+// Per-subscription stream sets
+// ---------------------------------------------------------------------------
+
+/// What a report opportunity produced, across both report modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportOut {
+    /// Send these payload bytes (full snapshot, keyframe, or delta).
+    Send(Vec<u8>),
+    /// Send nothing (suppressed).
+    Suppressed,
+}
+
+/// Encoder streams keyed by subscription, with the full/delta mode switch
+/// folded in — the agent-side integration point for RAN functions.
+#[derive(Debug, Default)]
+pub struct DeltaStreams<K: Eq + Hash, T: DeltaRows> {
+    streams: HashMap<K, DeltaEncoder<T>>,
+}
+
+impl<K: Eq + Hash, T: DeltaRows> DeltaStreams<K, T> {
+    /// An empty stream set.
+    pub fn new() -> Self {
+        register_metrics();
+        DeltaStreams { streams: HashMap::new() }
+    }
+
+    /// (Re)starts the stream of a subscription: an existing stream bumps
+    /// its epoch (next report is a keyframe), a new one starts fresh.
+    /// Call on subscription admit *and* on retune/update.
+    pub fn reset(&mut self, key: K, keyframe_every: u32) {
+        self.streams
+            .entry(key)
+            .and_modify(|e| e.force_keyframe())
+            .or_insert_with(|| DeltaEncoder::new(keyframe_every.max(1)));
+    }
+
+    /// Ensures the stream of a subscription exists *without* restarting
+    /// it.  A period-only retune over an ordered transport preserves
+    /// sequence continuity, so the receiver's delta base stays valid and
+    /// forcing a keyframe would only waste bytes.
+    pub fn ensure(&mut self, key: K, keyframe_every: u32) {
+        self.streams.entry(key).or_insert_with(|| DeltaEncoder::new(keyframe_every.max(1)));
+    }
+
+    /// Drops the stream of a deleted subscription.
+    pub fn remove(&mut self, key: &K) {
+        self.streams.remove(key);
+    }
+
+    /// Drops every stream whose key fails the predicate (e.g. all
+    /// subscriptions of a departed controller).
+    pub fn retain_keys(&mut self, mut f: impl FnMut(&K) -> bool) {
+        self.streams.retain(|k, _| f(k));
+    }
+
+    /// Drops every stream (controller reset).
+    pub fn clear(&mut self) {
+        self.streams.clear();
+    }
+
+    /// Encodes one report opportunity under the subscription's mode.
+    /// Full mode bypasses the stream; delta mode diffs/suppresses.  All
+    /// `flexric_sm_report_*` series are counted here.
+    pub fn report(&mut self, key: K, mode: ReportMode, snap: &T, codec: SmCodec) -> ReportOut {
+        match mode {
+            ReportMode::Full => {
+                // A mode flip back to full invalidates the delta base.
+                if let Some(enc) = self.streams.get_mut(&key) {
+                    enc.force_keyframe();
+                }
+                let buf = snap.encode(codec);
+                obs().bytes_full.add(buf.len() as u64);
+                ReportOut::Send(buf)
+            }
+            ReportMode::Delta { keyframe_every } => {
+                let enc = self
+                    .streams
+                    .entry(key)
+                    .or_insert_with(|| DeltaEncoder::new(keyframe_every.max(1)));
+                match enc.encode(snap, codec) {
+                    DeltaOut::Keyframe(buf) | DeltaOut::Delta(buf) => ReportOut::Send(buf),
+                    DeltaOut::Suppressed => ReportOut::Suppressed,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::{MacStatsInd, MacUeStats};
+    use crate::rlc::{RlcBearerStats, RlcStatsInd};
+
+    fn mac(tstamp: u64, ues: &[(u16, u64)]) -> MacStatsInd {
+        MacStatsInd {
+            tstamp_ms: tstamp,
+            cell_prbs: 106,
+            ues: ues
+                .iter()
+                .map(|(rnti, c)| MacUeStats {
+                    rnti: *rnti,
+                    cqi: 12,
+                    mcs: 20,
+                    prbs_dl: (*c % 50) as u32,
+                    tbs_dl_bytes: c * 1500,
+                    dl_aggr_bytes: c * 3000,
+                    ..Default::default()
+                })
+                .collect(),
+        }
+    }
+
+    fn roundtrip(frames: &[DeltaOut], codec: SmCodec) -> Vec<DeltaEvent<MacStatsInd>> {
+        let mut dec = DeltaDecoder::new();
+        frames
+            .iter()
+            .filter_map(|f| match f {
+                DeltaOut::Keyframe(b) | DeltaOut::Delta(b) => {
+                    Some(dec.apply(b, codec).expect("well-formed frame"))
+                }
+                DeltaOut::Suppressed => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keyframe_then_deltas_reconstruct_exactly() {
+        for codec in SmCodec::ALL {
+            let mut enc = DeltaEncoder::new(16);
+            let snaps = [
+                mac(0, &[(1, 10), (2, 20)]),
+                mac(10, &[(1, 11), (2, 20)]),
+                mac(20, &[(1, 11), (2, 20), (3, 5)]),
+                mac(30, &[(2, 21), (3, 5)]),
+            ];
+            let frames: Vec<DeltaOut> = snaps.iter().map(|s| enc.encode(s, codec)).collect();
+            assert!(matches!(frames[0], DeltaOut::Keyframe(_)), "first is keyframe");
+            assert!(frames[1..].iter().all(|f| matches!(f, DeltaOut::Delta(_))));
+            let events = roundtrip(&frames, codec);
+            assert_eq!(events.len(), snaps.len());
+            for (ev, snap) in events.iter().zip(snaps.iter()) {
+                match ev {
+                    DeltaEvent::Snapshot { snap: got, changed, .. } => {
+                        assert_eq!(got, snap, "{codec:?} reconstruction");
+                        assert_eq!(got.encode(codec), snap.encode(codec), "byte-identical");
+                        assert!(*changed);
+                    }
+                    other => panic!("{codec:?}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_snapshot_suppressed_timestamp_ignored() {
+        let mut enc = DeltaEncoder::new(1000);
+        let a = mac(0, &[(1, 10)]);
+        let mut b = a.clone();
+        b.tstamp_ms = 50;
+        assert!(matches!(enc.encode(&a, SmCodec::Asn1Per), DeltaOut::Keyframe(_)));
+        assert_eq!(enc.encode(&b, SmCodec::Asn1Per), DeltaOut::Suppressed);
+        // Any content change un-suppresses.
+        let mut c = b.clone();
+        c.ues[0].bsr = 777;
+        assert!(matches!(enc.encode(&c, SmCodec::Asn1Per), DeltaOut::Delta(_)));
+    }
+
+    #[test]
+    fn periodic_keyframe_even_when_quiescent() {
+        let mut enc = DeltaEncoder::new(4);
+        let snap = mac(0, &[(1, 10)]);
+        let kinds: Vec<u8> = (0..9)
+            .map(|i| {
+                let mut s = snap.clone();
+                s.tstamp_ms = i * 10;
+                match enc.encode(&s, SmCodec::Flatb) {
+                    DeltaOut::Keyframe(_) => b'k',
+                    DeltaOut::Delta(_) => b'd',
+                    DeltaOut::Suppressed => b's',
+                }
+            })
+            .collect();
+        // Opportunity 1 keys; 2-3 suppress; 4th opportunity re-keys.
+        assert_eq!(kinds, b"ksssksssk".to_vec());
+    }
+
+    #[test]
+    fn lost_delta_detected_and_keyframe_resyncs() {
+        let codec = SmCodec::Flatb;
+        let mut enc = DeltaEncoder::new(100);
+        let mut dec = DeltaDecoder::<MacStatsInd>::new();
+        let s1 = mac(0, &[(1, 1)]);
+        let s2 = mac(10, &[(1, 2)]);
+        let s3 = mac(20, &[(1, 3)]);
+        let DeltaOut::Keyframe(f1) = enc.encode(&s1, codec) else { panic!() };
+        let DeltaOut::Delta(_lost) = enc.encode(&s2, codec) else { panic!() };
+        let DeltaOut::Delta(f3) = enc.encode(&s3, codec) else { panic!() };
+        assert!(matches!(dec.apply(&f1, codec).unwrap(), DeltaEvent::Snapshot { .. }));
+        // The f2 delta is lost: f3 has a sequence gap.
+        assert!(matches!(
+            dec.apply(&f3, codec).unwrap(),
+            DeltaEvent::NeedKeyframe { reason: "sequence gap" }
+        ));
+        // The resync path: force a keyframe (as a retune would).
+        enc.force_keyframe();
+        let s4 = mac(30, &[(1, 4)]);
+        let DeltaOut::Keyframe(f4) = enc.encode(&s4, codec) else { panic!() };
+        match dec.apply(&f4, codec).unwrap() {
+            DeltaEvent::Snapshot { snap, keyframe: true, .. } => assert_eq!(snap, s4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And the stream continues with deltas.
+        let s5 = mac(40, &[(1, 5)]);
+        let DeltaOut::Delta(f5) = enc.encode(&s5, codec) else { panic!() };
+        match dec.apply(&f5, codec).unwrap() {
+            DeltaEvent::Snapshot { snap, keyframe: false, .. } => assert_eq!(snap, s5),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(dec.resyncs, 1);
+    }
+
+    #[test]
+    fn epoch_change_requires_keyframe() {
+        let codec = SmCodec::Asn1Per;
+        let mut enc = DeltaEncoder::new(100);
+        let mut dec = DeltaDecoder::<MacStatsInd>::new();
+        let DeltaOut::Keyframe(f1) = enc.encode(&mac(0, &[(1, 1)]), codec) else { panic!() };
+        dec.apply(&f1, codec).unwrap();
+        // A new incarnation (reconnect replay) under a bumped epoch.
+        enc.force_keyframe();
+        let DeltaOut::Keyframe(f2) = enc.encode(&mac(10, &[(1, 2)]), codec) else { panic!() };
+        // Deltas of the new epoch apply only after its keyframe.
+        let DeltaOut::Delta(f3) = enc.encode(&mac(20, &[(1, 3)]), codec) else { panic!() };
+        let mut stale = DeltaDecoder::<MacStatsInd>::new();
+        stale.apply(&f1, codec).unwrap();
+        assert!(matches!(
+            stale.apply(&f3, codec).unwrap(),
+            DeltaEvent::NeedKeyframe { reason: "epoch changed" }
+        ));
+        dec.apply(&f2, codec).unwrap();
+        assert!(matches!(dec.apply(&f3, codec).unwrap(), DeltaEvent::Snapshot { .. }));
+    }
+
+    #[test]
+    fn row_reordering_reconstructs_in_order() {
+        let codec = SmCodec::Flatb;
+        let mut enc = DeltaEncoder::new(100);
+        let mut dec = DeltaDecoder::<MacStatsInd>::new();
+        let s1 = mac(0, &[(1, 1), (2, 2), (3, 3)]);
+        let s2 = mac(10, &[(3, 3), (1, 1), (2, 9)]); // reordered + one change
+        let DeltaOut::Keyframe(f1) = enc.encode(&s1, codec) else { panic!() };
+        let f2 = match enc.encode(&s2, codec) {
+            DeltaOut::Delta(f) => f,
+            DeltaOut::Keyframe(f) => f, // acceptable fallback, still exact
+            DeltaOut::Suppressed => panic!("content changed"),
+        };
+        dec.apply(&f1, codec).unwrap();
+        match dec.apply(&f2, codec).unwrap() {
+            DeltaEvent::Snapshot { snap, .. } => {
+                assert_eq!(snap, s2);
+                assert_eq!(snap.encode(codec), s2.encode(codec));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_frames_rejected_not_panicking() {
+        let mut dec = DeltaDecoder::<RlcStatsInd>::new();
+        assert!(dec.apply(&[], SmCodec::Asn1Per).is_err());
+        let _ = dec.apply(&[0xFF; 11], SmCodec::Asn1Per);
+        let _ = dec.apply(&[0x00; 32], SmCodec::Flatb);
+    }
+
+    #[test]
+    fn rlc_stream_roundtrip() {
+        let codec = SmCodec::Asn1Per;
+        let mk = |t: u64, soj: u64| RlcStatsInd {
+            tstamp_ms: t,
+            bearers: vec![RlcBearerStats {
+                rnti: 0x4601,
+                drb_id: 1,
+                tx_pdus: t,
+                sojourn_us_avg: soj,
+                ..Default::default()
+            }],
+        };
+        let mut enc = DeltaEncoder::new(8);
+        let mut dec = DeltaDecoder::<RlcStatsInd>::new();
+        for i in 0..20u64 {
+            let snap = mk(i * 10, 100 + i * 7);
+            match enc.encode(&snap, codec) {
+                DeltaOut::Keyframe(f) | DeltaOut::Delta(f) => match dec.apply(&f, codec).unwrap() {
+                    DeltaEvent::Snapshot { snap: got, .. } => {
+                        assert_eq!(got, snap);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                },
+                DeltaOut::Suppressed => panic!("every report changes"),
+            }
+        }
+        assert_eq!(dec.resyncs, 0);
+    }
+
+    #[test]
+    fn delta_frames_smaller_than_full_snapshots() {
+        let codec = SmCodec::Flatb;
+        let base: Vec<(u16, u64)> = (0..32).map(|i| (0x4601 + i as u16, 100)).collect();
+        let mut enc = DeltaEncoder::new(1000);
+        let s1 = mac(0, &base);
+        enc.encode(&s1, codec);
+        // One UE's counters move.
+        let mut bumped = base.clone();
+        bumped[3].1 = 101;
+        let s2 = mac(10, &bumped);
+        let DeltaOut::Delta(f) = enc.encode(&s2, codec) else { panic!("expected delta") };
+        let full = s2.encode(codec).len();
+        assert!(
+            f.len() * 4 < full,
+            "delta {} B should be ≪ full {} B for a 1-of-32-UE change",
+            f.len(),
+            full
+        );
+    }
+
+    #[test]
+    fn ensure_preserves_stream_reset_rekeys() {
+        let codec = SmCodec::Flatb;
+        let mode = ReportMode::Delta { keyframe_every: 100 };
+        let mut streams: DeltaStreams<u32, MacStatsInd> = DeltaStreams::new();
+        streams.reset(7, 100);
+        let ReportOut::Send(_) = streams.report(7, mode, &mac(0, &[(1, 1)]), codec) else {
+            panic!()
+        };
+        // A soft retune (period-only change) keeps the stream: the next
+        // changed report is still a delta, not a keyframe.
+        streams.ensure(7, 100);
+        let ReportOut::Send(f) = streams.report(7, mode, &mac(10, &[(1, 2)]), codec) else {
+            panic!()
+        };
+        let mut dec = DeltaDecoder::<MacStatsInd>::new();
+        assert!(matches!(
+            dec.apply(&f, codec).unwrap(),
+            DeltaEvent::NeedKeyframe { reason: "no keyframe yet" }
+        ));
+        // A hard reset (re-admit or resync request) bumps the epoch: the
+        // next report is a keyframe again.
+        streams.reset(7, 100);
+        let ReportOut::Send(f) = streams.report(7, mode, &mac(20, &[(1, 3)]), codec) else {
+            panic!()
+        };
+        match dec.apply(&f, codec).unwrap() {
+            DeltaEvent::Snapshot { keyframe, .. } => assert!(keyframe),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streams_full_mode_counts_and_mode_flip_rekeys() {
+        let codec = SmCodec::Flatb;
+        let mut streams: DeltaStreams<u32, MacStatsInd> = DeltaStreams::new();
+        let snap = mac(0, &[(1, 1)]);
+        let ReportOut::Send(full) = streams.report(7, ReportMode::Full, &snap, codec) else {
+            panic!()
+        };
+        assert_eq!(full, snap.encode(codec));
+        // Delta mode: fresh stream keys first.
+        let ReportOut::Send(kf) =
+            streams.report(7, ReportMode::Delta { keyframe_every: 8 }, &snap, codec)
+        else {
+            panic!()
+        };
+        assert_ne!(kf, full, "keyframe frame is wrapped, not the bare snapshot");
+        // Unchanged content suppresses on the delta stream.
+        let mut s2 = snap.clone();
+        s2.tstamp_ms = 99;
+        assert_eq!(
+            streams.report(7, ReportMode::Delta { keyframe_every: 8 }, &s2, codec),
+            ReportOut::Suppressed
+        );
+    }
+}

@@ -9,6 +9,7 @@ use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
 
+use crate::delta::{hash_str, DeltaRows};
 use crate::SmPayload;
 
 /// Well-known measurement names (3GPP TS 28.552 style).
@@ -197,6 +198,62 @@ impl SmPayload for KpmReport {
     }
 }
 
+/// Delta streams diff KPM *values* only: record identity (name + UE
+/// label) lives in [`DeltaRows::structure_sig`], so any change to the
+/// measurement set — new UE, renamed measurement, reordering — forces a
+/// keyframe rather than trying to carry a string through a delta frame.
+/// `new_row` is therefore unreachable in a consistent stream (and an
+/// inconsistent one fails the post-hash and resyncs).
+impl DeltaRows for KpmReport {
+    type Row = KpmRecord;
+    const FIELD_COUNT: u32 = 1;
+    const NAME: &'static str = "kpm";
+
+    fn tstamp_ms(&self) -> u64 {
+        self.tstamp_ms
+    }
+    fn set_tstamp_ms(&mut self, t: u64) {
+        self.tstamp_ms = t;
+    }
+    fn aux(&self) -> u64 {
+        self.granularity_ms as u64
+    }
+    fn set_aux(&mut self, v: u64) {
+        self.granularity_ms = v as u32;
+    }
+    fn rows(&self) -> &[KpmRecord] {
+        &self.records
+    }
+    fn rows_mut(&mut self) -> &mut Vec<KpmRecord> {
+        &mut self.records
+    }
+    fn row_key(row: &KpmRecord) -> u32 {
+        let h = hash_str(0xcbf2_9ce4_8422_2325, &row.name);
+        let h = match row.rnti {
+            Some(r) => h.wrapping_mul(31).wrapping_add(r as u64 + 1),
+            None => h.wrapping_mul(31),
+        };
+        (h ^ (h >> 32)) as u32
+    }
+    fn field(row: &KpmRecord, _i: u32) -> u64 {
+        row.value
+    }
+    fn set_field(row: &mut KpmRecord, _i: u32, v: u64) {
+        row.value = v;
+    }
+    fn new_row(_key: u32) -> KpmRecord {
+        KpmRecord { name: String::new(), rnti: None, value: 0 }
+    }
+    fn structure_sig(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for rec in &self.records {
+            h = hash_str(h, &rec.name);
+            h = h.wrapping_mul(31).wrapping_add(rec.rnti.map_or(0, |r| r as u64 + 1));
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +268,43 @@ mod tests {
             ue_filter: Some(0x4601),
         });
         garbage_rejected::<KpmActionDef>();
+    }
+
+    #[test]
+    fn delta_stream_values_only_and_structure_change_rekeys() {
+        use crate::delta::{DeltaDecoder, DeltaEncoder, DeltaEvent, DeltaOut};
+        use crate::SmCodec;
+        let codec = SmCodec::Asn1Per;
+        let mk = |t: u64, prb: u64, thp: u64| KpmReport {
+            tstamp_ms: t,
+            granularity_ms: 1_000,
+            records: vec![
+                KpmRecord { name: meas::RRU_PRB_TOT_DL.into(), rnti: None, value: prb },
+                KpmRecord { name: meas::DRB_UE_THP_DL.into(), rnti: Some(0x4601), value: thp },
+            ],
+        };
+        let mut enc = DeltaEncoder::new(100);
+        let mut dec = DeltaDecoder::<KpmReport>::new();
+        let s1 = mk(0, 100, 30_000);
+        let s2 = mk(1000, 120, 31_000);
+        let DeltaOut::Keyframe(f1) = enc.encode(&s1, codec) else { panic!() };
+        let DeltaOut::Delta(f2) = enc.encode(&s2, codec) else { panic!("values-only delta") };
+        dec.apply(&f1, codec).unwrap();
+        match dec.apply(&f2, codec).unwrap() {
+            DeltaEvent::Snapshot { snap, .. } => {
+                assert_eq!(snap, s2);
+                assert_eq!(snap.encode(codec), s2.encode(codec));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A new record (new UE) changes the structure signature: keyframe.
+        let mut s3 = mk(2000, 120, 31_000);
+        s3.records.push(KpmRecord {
+            name: meas::DRB_UE_THP_DL.into(),
+            rnti: Some(0x4602),
+            value: 5_000,
+        });
+        assert!(matches!(enc.encode(&s3, codec), DeltaOut::Keyframe(_)));
     }
 
     #[test]

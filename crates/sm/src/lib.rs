@@ -16,6 +16,7 @@
 //! FlatBuffers-style codec ([`SmCodec`]), independently of the E2AP
 //! encoding — giving the four E2AP×E2SM combinations of the paper's Fig. 7.
 
+pub mod delta;
 pub mod funcdef;
 pub mod hw;
 pub mod kpm;
@@ -27,8 +28,12 @@ pub mod slice;
 pub mod tc;
 pub mod trigger;
 
+pub use delta::{
+    content_hash, DeltaDecoder, DeltaEncoder, DeltaEvent, DeltaOut, DeltaRows, DeltaStreams,
+    ReportOut,
+};
 pub use funcdef::RanFuncDef;
-pub use trigger::ReportTrigger;
+pub use trigger::{ReportMode, ReportTrigger};
 
 use flexric_codec::error::Result;
 use flexric_codec::fb::{FbBuilder, FbView};

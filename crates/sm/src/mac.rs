@@ -12,6 +12,7 @@ use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
 
+use crate::delta::DeltaRows;
 use crate::SmPayload;
 
 /// Per-UE MAC statistics.
@@ -175,6 +176,71 @@ impl SmPayload for MacStatsInd {
             cell_prbs: t.req_u32(1, "cell prbs")?,
             ues,
         })
+    }
+}
+
+impl DeltaRows for MacStatsInd {
+    type Row = MacUeStats;
+    const FIELD_COUNT: u32 = 13;
+    const NAME: &'static str = "mac";
+
+    fn tstamp_ms(&self) -> u64 {
+        self.tstamp_ms
+    }
+    fn set_tstamp_ms(&mut self, t: u64) {
+        self.tstamp_ms = t;
+    }
+    fn aux(&self) -> u64 {
+        self.cell_prbs as u64
+    }
+    fn set_aux(&mut self, v: u64) {
+        self.cell_prbs = v as u32;
+    }
+    fn rows(&self) -> &[MacUeStats] {
+        &self.ues
+    }
+    fn rows_mut(&mut self) -> &mut Vec<MacUeStats> {
+        &mut self.ues
+    }
+    fn row_key(row: &MacUeStats) -> u32 {
+        row.rnti as u32
+    }
+    fn field(row: &MacUeStats, i: u32) -> u64 {
+        match i {
+            0 => row.cqi as u64,
+            1 => row.mcs as u64,
+            2 => row.prbs_dl as u64,
+            3 => row.prbs_ul as u64,
+            4 => row.tbs_dl_bytes,
+            5 => row.tbs_ul_bytes,
+            6 => row.dl_aggr_bytes,
+            7 => row.ul_aggr_bytes,
+            8 => row.bsr as u64,
+            9 => row.dl_backlog_bytes,
+            10 => row.slice_id as u64,
+            11 => row.plmn_mcc as u64,
+            _ => row.plmn_mnc as u64,
+        }
+    }
+    fn set_field(row: &mut MacUeStats, i: u32, v: u64) {
+        match i {
+            0 => row.cqi = v as u8,
+            1 => row.mcs = v as u8,
+            2 => row.prbs_dl = v as u32,
+            3 => row.prbs_ul = v as u32,
+            4 => row.tbs_dl_bytes = v,
+            5 => row.tbs_ul_bytes = v,
+            6 => row.dl_aggr_bytes = v,
+            7 => row.ul_aggr_bytes = v,
+            8 => row.bsr = v as u32,
+            9 => row.dl_backlog_bytes = v,
+            10 => row.slice_id = v as u32,
+            11 => row.plmn_mcc = v as u16,
+            _ => row.plmn_mnc = v as u16,
+        }
+    }
+    fn new_row(key: u32) -> MacUeStats {
+        MacUeStats { rnti: key as u16, ..Default::default() }
     }
 }
 

@@ -7,6 +7,7 @@ use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
 
+use crate::delta::DeltaRows;
 use crate::SmPayload;
 
 /// Per-(UE, DRB) PDCP statistics.
@@ -132,6 +133,53 @@ impl SmPayload for PdcpStatsInd {
             bearers.push(dec_bearer_fb(&v.table_at(i)?)?);
         }
         Ok(PdcpStatsInd { tstamp_ms: t.req_u64(0, "tstamp")?, bearers })
+    }
+}
+
+impl DeltaRows for PdcpStatsInd {
+    type Row = PdcpBearerStats;
+    const FIELD_COUNT: u32 = 7;
+    const NAME: &'static str = "pdcp";
+
+    fn tstamp_ms(&self) -> u64 {
+        self.tstamp_ms
+    }
+    fn set_tstamp_ms(&mut self, t: u64) {
+        self.tstamp_ms = t;
+    }
+    fn rows(&self) -> &[PdcpBearerStats] {
+        &self.bearers
+    }
+    fn rows_mut(&mut self) -> &mut Vec<PdcpBearerStats> {
+        &mut self.bearers
+    }
+    fn row_key(row: &PdcpBearerStats) -> u32 {
+        row.rnti as u32 | ((row.drb_id as u32) << 16)
+    }
+    fn field(row: &PdcpBearerStats, i: u32) -> u64 {
+        match i {
+            0 => row.tx_pdus,
+            1 => row.tx_bytes,
+            2 => row.rx_pdus,
+            3 => row.rx_bytes,
+            4 => row.tx_aggr_bytes,
+            5 => row.rx_aggr_bytes,
+            _ => row.rx_discards,
+        }
+    }
+    fn set_field(row: &mut PdcpBearerStats, i: u32, v: u64) {
+        match i {
+            0 => row.tx_pdus = v,
+            1 => row.tx_bytes = v,
+            2 => row.rx_pdus = v,
+            3 => row.rx_bytes = v,
+            4 => row.tx_aggr_bytes = v,
+            5 => row.rx_aggr_bytes = v,
+            _ => row.rx_discards = v,
+        }
+    }
+    fn new_row(key: u32) -> PdcpBearerStats {
+        PdcpBearerStats { rnti: key as u16, drb_id: (key >> 16) as u8, ..Default::default() }
     }
 }
 

@@ -8,6 +8,7 @@ use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
 
+use crate::delta::DeltaRows;
 use crate::SmPayload;
 
 /// Per-(UE, DRB) RLC statistics.
@@ -139,6 +140,55 @@ impl SmPayload for RlcStatsInd {
             bearers.push(dec_bearer_fb(&v.table_at(i)?)?);
         }
         Ok(RlcStatsInd { tstamp_ms: t.req_u64(0, "tstamp")?, bearers })
+    }
+}
+
+impl DeltaRows for RlcStatsInd {
+    type Row = RlcBearerStats;
+    const FIELD_COUNT: u32 = 8;
+    const NAME: &'static str = "rlc";
+
+    fn tstamp_ms(&self) -> u64 {
+        self.tstamp_ms
+    }
+    fn set_tstamp_ms(&mut self, t: u64) {
+        self.tstamp_ms = t;
+    }
+    fn rows(&self) -> &[RlcBearerStats] {
+        &self.bearers
+    }
+    fn rows_mut(&mut self) -> &mut Vec<RlcBearerStats> {
+        &mut self.bearers
+    }
+    fn row_key(row: &RlcBearerStats) -> u32 {
+        row.rnti as u32 | ((row.drb_id as u32) << 16)
+    }
+    fn field(row: &RlcBearerStats, i: u32) -> u64 {
+        match i {
+            0 => row.tx_pdus,
+            1 => row.tx_bytes,
+            2 => row.retx_pdus,
+            3 => row.dropped_pdus,
+            4 => row.buffer_bytes,
+            5 => row.buffer_pkts as u64,
+            6 => row.sojourn_us_avg,
+            _ => row.sojourn_us_max,
+        }
+    }
+    fn set_field(row: &mut RlcBearerStats, i: u32, v: u64) {
+        match i {
+            0 => row.tx_pdus = v,
+            1 => row.tx_bytes = v,
+            2 => row.retx_pdus = v,
+            3 => row.dropped_pdus = v,
+            4 => row.buffer_bytes = v,
+            5 => row.buffer_pkts = v as u32,
+            6 => row.sojourn_us_avg = v,
+            _ => row.sojourn_us_max = v,
+        }
+    }
+    fn new_row(key: u32) -> RlcBearerStats {
+        RlcBearerStats { rnti: key as u16, drb_id: (key >> 16) as u8, ..Default::default() }
     }
 }
 

@@ -6,6 +6,23 @@ use flexric_codec::per::{BitReader, BitWriter};
 
 use crate::SmPayload;
 
+/// How report payloads are encoded on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReportMode {
+    /// Every indication carries the full snapshot (the paper's baseline).
+    #[default]
+    Full,
+    /// Indications carry dirty-field deltas against the previously
+    /// emitted report ([`crate::delta`]), with a full keyframe every
+    /// `keyframe_every` report opportunities and unchanged snapshots
+    /// suppressed outright.
+    Delta {
+        /// Report opportunities per keyframe (≥ 1; 1 degenerates to
+        /// full reporting in keyframe framing).
+        keyframe_every: u32,
+    },
+}
+
 /// Periodic report trigger: "send an indication every `period_ms`".
 ///
 /// This is the trigger every statistics subscription in the paper uses
@@ -22,12 +39,28 @@ pub struct ReportTrigger {
     /// Upper bound of the RNTI filter range (inclusive); `lo=1, hi=0`
     /// encodes "no filter".
     pub rnti_filter_hi: u16,
+    /// Full-snapshot vs delta-encoded indications.
+    pub mode: ReportMode,
 }
 
 impl ReportTrigger {
-    /// A trigger with the given period and no UE filter.
+    /// A trigger with the given period, no UE filter, full reports.
     pub fn every_ms(period_ms: u32) -> Self {
-        ReportTrigger { period_ms, rnti_filter_lo: 1, rnti_filter_hi: 0 }
+        ReportTrigger { period_ms, rnti_filter_lo: 1, rnti_filter_hi: 0, mode: ReportMode::Full }
+    }
+
+    /// A delta-mode trigger with the given period and keyframe cadence.
+    pub fn delta_every_ms(period_ms: u32, keyframe_every: u32) -> Self {
+        ReportTrigger {
+            mode: ReportMode::Delta { keyframe_every: keyframe_every.max(1) },
+            ..ReportTrigger::every_ms(period_ms)
+        }
+    }
+
+    /// The same trigger with a different period — what a server-driven
+    /// retune changes.
+    pub fn with_period_ms(self, period_ms: u32) -> Self {
+        ReportTrigger { period_ms, ..self }
     }
 
     /// Whether this trigger filters UEs at all.
@@ -46,27 +79,47 @@ impl SmPayload for ReportTrigger {
         w.put_uint(self.period_ms as u64);
         w.put_bits(self.rnti_filter_lo as u64, 16);
         w.put_bits(self.rnti_filter_hi as u64, 16);
+        match self.mode {
+            ReportMode::Full => w.put_bit(false),
+            ReportMode::Delta { keyframe_every } => {
+                w.put_bit(true);
+                w.put_uint(keyframe_every as u64);
+            }
+        }
     }
 
     fn decode_per(r: &mut BitReader) -> Result<Self> {
-        Ok(ReportTrigger {
-            period_ms: r.get_uint()? as u32,
-            rnti_filter_lo: r.get_bits(16)? as u16,
-            rnti_filter_hi: r.get_bits(16)? as u16,
-        })
+        let period_ms = r.get_uint()? as u32;
+        let rnti_filter_lo = r.get_bits(16)? as u16;
+        let rnti_filter_hi = r.get_bits(16)? as u16;
+        let mode = if r.get_bit()? {
+            let keyframe_every = (r.get_uint()? as u32).max(1);
+            ReportMode::Delta { keyframe_every }
+        } else {
+            ReportMode::Full
+        };
+        Ok(ReportTrigger { period_ms, rnti_filter_lo, rnti_filter_hi, mode })
     }
 
     fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
         let mut t = TableBuilder::new();
         t.u32(0, self.period_ms).u16(1, self.rnti_filter_lo).u16(2, self.rnti_filter_hi);
+        if let ReportMode::Delta { keyframe_every } = self.mode {
+            t.u32(3, keyframe_every.max(1));
+        }
         t.end(b)
     }
 
     fn decode_fb(t: &FbTable) -> Result<Self> {
+        let mode = match t.u32(3)?.unwrap_or(0) {
+            0 => ReportMode::Full,
+            k => ReportMode::Delta { keyframe_every: k },
+        };
         Ok(ReportTrigger {
             period_ms: t.u32(0)?.ok_or(CodecError::Malformed { what: "trigger period" })?,
             rnti_filter_lo: t.u16(1)?.unwrap_or(1),
             rnti_filter_hi: t.u16(2)?.unwrap_or(0),
+            mode,
         })
     }
 }
@@ -79,7 +132,19 @@ mod tests {
     #[test]
     fn roundtrip() {
         roundtrip_both(&ReportTrigger::every_ms(1));
-        roundtrip_both(&ReportTrigger { period_ms: 10, rnti_filter_lo: 5, rnti_filter_hi: 20 });
+        roundtrip_both(&ReportTrigger {
+            period_ms: 10,
+            rnti_filter_lo: 5,
+            rnti_filter_hi: 20,
+            mode: ReportMode::Full,
+        });
+        roundtrip_both(&ReportTrigger::delta_every_ms(10, 16));
+        roundtrip_both(&ReportTrigger {
+            period_ms: 0,
+            rnti_filter_lo: 3,
+            rnti_filter_hi: 7,
+            mode: ReportMode::Delta { keyframe_every: 1 },
+        });
         garbage_rejected::<ReportTrigger>();
     }
 
@@ -88,9 +153,29 @@ mod tests {
         let all = ReportTrigger::every_ms(1);
         assert!(!all.has_filter());
         assert!(all.matches(0) && all.matches(u16::MAX));
-        let some = ReportTrigger { period_ms: 1, rnti_filter_lo: 10, rnti_filter_hi: 12 };
+        let some = ReportTrigger {
+            period_ms: 1,
+            rnti_filter_lo: 10,
+            rnti_filter_hi: 12,
+            mode: ReportMode::Full,
+        };
         assert!(some.has_filter());
         assert!(some.matches(10) && some.matches(12));
         assert!(!some.matches(9) && !some.matches(13));
+    }
+
+    #[test]
+    fn retune_and_mode_helpers() {
+        let t = ReportTrigger::delta_every_ms(10, 8);
+        assert_eq!(t.mode, ReportMode::Delta { keyframe_every: 8 });
+        let r = t.with_period_ms(80);
+        assert_eq!(r.period_ms, 80);
+        assert_eq!(r.mode, t.mode, "retune preserves mode and filter");
+        assert_eq!(r.rnti_filter_lo, t.rnti_filter_lo);
+        // keyframe_every is clamped to ≥ 1 at construction and decode.
+        assert_eq!(
+            ReportTrigger::delta_every_ms(5, 0).mode,
+            ReportMode::Delta { keyframe_every: 1 }
+        );
     }
 }

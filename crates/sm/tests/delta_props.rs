@@ -1,0 +1,234 @@
+//! Property tests for the delta indication codec: for arbitrary KPI
+//! snapshots, mutation sequences (dirty-field subsets, row churn), and
+//! keyframe intervals, keyframe + delta-apply reconstruction is
+//! byte-identical to encoding the sender's snapshot directly; and losing
+//! a delta frame is always detected, with a forced keyframe resyncing
+//! the stream.  Runs under both the real proptest (cargo) and the
+//! mini_proptest shim (tools/offline_verify).
+
+use flexric_sm::delta::{DeltaDecoder, DeltaEncoder, DeltaEvent, DeltaOut, DeltaRows};
+use flexric_sm::mac::{MacStatsInd, MacUeStats};
+use flexric_sm::{SmCodec, SmPayload};
+use proptest::prelude::*;
+
+/// Clamps a raw u64 into the legal range of MAC field `i` (CQI, MCS and
+/// PLMN digits are range-constrained on the PER wire).
+fn legal(i: u32, v: u64) -> u64 {
+    match i {
+        0 => v % 16,
+        1 => v % 32,
+        2 | 3 | 8 | 10 => v % (u32::MAX as u64 + 1),
+        11 | 12 => v % 1000,
+        _ => v,
+    }
+}
+
+fn snapshot_of(rows: &[(u16, u64)]) -> MacStatsInd {
+    let mut snap = MacStatsInd { tstamp_ms: 0, cell_prbs: 106, ues: Vec::new() };
+    for (rnti, seed) in rows {
+        let mut ue = MacUeStats { rnti: *rnti, ..Default::default() };
+        for i in 0..MacStatsInd::FIELD_COUNT {
+            let v = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+            MacStatsInd::set_field(&mut ue, i, legal(i, v));
+        }
+        snap.ues.push(ue);
+    }
+    snap
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(u16, u64)>> {
+    prop::collection::vec((any::<u64>(), any::<u64>()), 0..24).prop_map(|seeds| {
+        // Index-derived RNTIs keep row keys unique (duplicate keys force
+        // keyframes by design and are tested separately).
+        seeds.into_iter().enumerate().map(|(i, (_, seed))| (0x4601 + i as u16, seed)).collect()
+    })
+}
+
+/// One mutation step: `(what, row selector, field, value)`.
+type Op = (u8, prop::sample::Index, u32, u64);
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0..8u8, any::<prop::sample::Index>(), 0..13u32, any::<u64>()), 0..40)
+}
+
+/// Applies one mutation to the snapshot, keeping row keys unique.
+fn apply_op(snap: &mut MacStatsInd, next_rnti: &mut u16, op: &Op) {
+    let (what, row, field, value) = op;
+    match what {
+        // Remove the selected row.
+        0 if !snap.ues.is_empty() => {
+            let i = row.index(snap.ues.len());
+            snap.ues.remove(i);
+        }
+        // Add a fresh row.
+        1 => {
+            *next_rnti += 1;
+            let mut ue = MacUeStats { rnti: *next_rnti, ..Default::default() };
+            MacStatsInd::set_field(&mut ue, field % 13, legal(field % 13, *value));
+            snap.ues.push(ue);
+        }
+        // Swap two rows (reordering).
+        2 if snap.ues.len() >= 2 => {
+            let i = row.index(snap.ues.len());
+            let j = (i + 1) % snap.ues.len();
+            snap.ues.swap(i, j);
+        }
+        // Touch the aux header scalar.
+        3 => snap.cell_prbs = (*value % 1000) as u32,
+        // Mutate one field of one row (the common case).
+        _ if !snap.ues.is_empty() => {
+            let i = row.index(snap.ues.len());
+            MacStatsInd::set_field(&mut snap.ues[i], *field, legal(*field, *value));
+        }
+        _ => {}
+    }
+    snap.tstamp_ms += 1;
+}
+
+proptest! {
+    /// Whatever the mutation sequence and keyframe interval, every frame
+    /// the encoder emits reconstructs to the exact snapshot — value-,
+    /// order- and byte-identical under both codecs — and suppressed
+    /// reports leave the previous reconstruction in place.
+    #[test]
+    fn reconstruction_is_byte_identical(
+        rows in arb_rows(),
+        ops in arb_ops(),
+        keyframe_every in 1..20u32,
+        codec_fb in any::<bool>(),
+    ) {
+        let codec = if codec_fb { SmCodec::Flatb } else { SmCodec::Asn1Per };
+        let mut snap = snapshot_of(&rows);
+        let mut next_rnti = 0x4601 + 64;
+        let mut enc = DeltaEncoder::new(keyframe_every);
+        let mut dec = DeltaDecoder::<MacStatsInd>::new();
+        let mut last_emitted = None;
+        for step in 0..ops.len() + 1 {
+            if step > 0 {
+                apply_op(&mut snap, &mut next_rnti, &ops[step - 1]);
+            }
+            match enc.encode(&snap, codec) {
+                DeltaOut::Keyframe(f) | DeltaOut::Delta(f) => {
+                    match dec.apply(&f, codec).expect("well-formed frame") {
+                        DeltaEvent::Snapshot { snap: got, .. } => {
+                            prop_assert_eq!(&got, &snap);
+                            prop_assert_eq!(got.encode(codec), snap.encode(codec));
+                            last_emitted = Some(snap.clone());
+                        }
+                        DeltaEvent::NeedKeyframe { reason } => {
+                            panic!("lossless stream must never resync: {reason}");
+                        }
+                    }
+                }
+                DeltaOut::Suppressed => {
+                    // Suppression is only legal when content is unchanged.
+                    let prev = last_emitted.as_ref().expect("first report never suppressed");
+                    prop_assert_eq!(
+                        flexric_sm::content_hash(prev),
+                        flexric_sm::content_hash(&snap)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(dec.resyncs, 0);
+    }
+
+    /// Keyframes appear at least every `keyframe_every` report
+    /// opportunities, even when every report is suppressed in between.
+    #[test]
+    fn keyframe_cadence_holds(
+        rows in arb_rows(),
+        keyframe_every in 1..12u32,
+        reports in 1..40usize,
+    ) {
+        let snap = snapshot_of(&rows);
+        let mut enc = DeltaEncoder::new(keyframe_every);
+        let mut since = 0u32;
+        for step in 0..reports {
+            let mut s = snap.clone();
+            s.tstamp_ms = step as u64;
+            match enc.encode(&s, SmCodec::Asn1Per) {
+                DeltaOut::Keyframe(_) => since = 0,
+                DeltaOut::Delta(_) | DeltaOut::Suppressed => {
+                    since += 1;
+                    prop_assert!(since < keyframe_every, "overdue keyframe");
+                }
+            }
+        }
+    }
+
+    /// Dropping any single delta frame from a changing stream is detected
+    /// (sequence gap → NeedKeyframe, never a wrong snapshot), and forcing
+    /// a keyframe resynchronizes the decoder exactly.
+    #[test]
+    fn lost_delta_detected_and_keyframe_resyncs(
+        rows in arb_rows(),
+        ops in arb_ops(),
+        drop_at in any::<prop::sample::Index>(),
+    ) {
+        let codec = SmCodec::Flatb;
+        let mut snap = snapshot_of(&rows);
+        let mut next_rnti = 0x4601 + 64;
+        // Large interval so the recovery below is driven by the forced
+        // keyframe, not the periodic one.
+        let mut enc = DeltaEncoder::new(10_000);
+        let mut frames = Vec::new();
+        let mut snaps = Vec::new();
+        for step in 0..ops.len() + 1 {
+            if step > 0 {
+                apply_op(&mut snap, &mut next_rnti, &ops[step - 1]);
+            }
+            match enc.encode(&snap, codec) {
+                DeltaOut::Keyframe(f) | DeltaOut::Delta(f) => {
+                    frames.push(f);
+                    snaps.push(snap.clone());
+                }
+                DeltaOut::Suppressed => {}
+            }
+        }
+        let drop = drop_at.index(frames.len());
+        let mut dec = DeltaDecoder::<MacStatsInd>::new();
+        let mut desynced = false;
+        for (i, f) in frames.iter().enumerate() {
+            if i == drop {
+                continue;
+            }
+            match dec.apply(f, codec).expect("well-formed frame") {
+                DeltaEvent::Snapshot { snap: got, keyframe, .. } => {
+                    // After the gap only a keyframe may deliver a snapshot.
+                    prop_assert!(!desynced || keyframe);
+                    if !desynced || keyframe {
+                        desynced = false;
+                        prop_assert_eq!(&got, &snaps[i]);
+                    }
+                }
+                DeltaEvent::NeedKeyframe { .. } => {
+                    prop_assert!(i > drop, "loss detected before the gap");
+                    desynced = true;
+                }
+            }
+        }
+        // The resync path: a forced keyframe restores exact state.
+        enc.force_keyframe();
+        snap.tstamp_ms += 1;
+        let DeltaOut::Keyframe(f) = enc.encode(&snap, codec) else {
+            panic!("force_keyframe must produce a keyframe")
+        };
+        match dec.apply(&f, codec).expect("well-formed keyframe") {
+            DeltaEvent::Snapshot { snap: got, keyframe, .. } => {
+                prop_assert!(keyframe);
+                prop_assert_eq!(&got, &snap);
+                prop_assert_eq!(got.encode(codec), snap.encode(codec));
+            }
+            DeltaEvent::NeedKeyframe { reason } => panic!("keyframe rejected: {reason}"),
+        }
+    }
+
+    /// Arbitrary bytes never panic the delta decoder.
+    #[test]
+    fn garbage_never_panics(buf in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = DeltaDecoder::<MacStatsInd>::new();
+        let _ = dec.apply(&buf, SmCodec::Asn1Per);
+        let _ = dec.apply(&buf, SmCodec::Flatb);
+    }
+}

@@ -44,6 +44,16 @@ $RUSTC --crate-type rlib --crate-name flexric_codec \
 $RUSTC --crate-type rlib --crate-name flexric_transport \
     --extern bytes="$WORK/libbytes.rlib" \
     transport_core.rs -o "$WORK/libflexric_transport.rlib"
+$RUSTC --crate-type rlib --crate-name flexric_sm \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_codec="$WORK/libflexric_codec.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    "$ROOT/crates/sm/src/lib.rs" -o "$WORK/libflexric_sm.rlib"
+# ransim's KPI workload module is deliberately std+sm-only so it compiles
+# standalone here (the rest of ransim needs rand/parking_lot).
+$RUSTC --crate-type rlib --crate-name ransim_kpi \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    "$ROOT/crates/ransim/src/kpi.rs" -o "$WORK/libransim_kpi.rlib"
 
 # 3. Unit + property tests of the real modules.
 $RUSTC --test --crate-name obs_tests \
@@ -64,6 +74,24 @@ $RUSTC --test --crate-name transport_core_tests \
     --extern bytes="$WORK/libbytes.rlib" \
     transport_core.rs -o "$WORK/transport_core_tests"
 "$WORK/transport_core_tests" --quiet
+$RUSTC --test --crate-name sm_tests \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_codec="$WORK/libflexric_codec.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    "$ROOT/crates/sm/src/lib.rs" -o "$WORK/sm_tests"
+"$WORK/sm_tests" --quiet
+$RUSTC --test --crate-name kpi_tests \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    "$ROOT/crates/ransim/src/kpi.rs" -o "$WORK/kpi_tests"
+"$WORK/kpi_tests" --quiet
+
+# 4b. The real delta-stream property tests (crates/sm/tests/delta_props.rs).
+$RUSTC --test --crate-name delta_props \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    --extern proptest="$WORK/libproptest.rlib" \
+    "$ROOT/crates/sm/tests/delta_props.rs" -o "$WORK/delta_props"
+"$WORK/delta_props" --quiet
 
 # 4. The real receive-path property tests (tests/rx_props.rs), verbatim.
 $RUSTC --test --crate-name rx_props \
@@ -81,6 +109,19 @@ $RUSTC --crate-name ab_bench \
     --extern flexric_codec="$WORK/libflexric_codec.rlib" \
     --extern flexric_transport="$WORK/libflexric_transport.rlib" \
     ab_bench.rs -o "$WORK/ab_bench"
-"$WORK/ab_bench" | tee "$WORK/ab.json"
+# (redirect + cat, not `| tee`: a pipe would mask the exit status)
+"$WORK/ab_bench" > "$WORK/ab.json"
+cat "$WORK/ab.json"
+
+# 6. Adaptive-monitoring A/B (full vs delta vs adaptive; feeds
+#    BENCH_fig7b.json): real delta codec + real kpi workload, with
+#    byte-identical reconstruction asserted as it runs.
+$RUSTC --crate-name delta_ab \
+    --extern bytes="$WORK/libbytes.rlib" \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    --extern ransim_kpi="$WORK/libransim_kpi.rlib" \
+    delta_ab.rs -o "$WORK/delta_ab"
+"$WORK/delta_ab" > "$WORK/fig7b.json"
+cat "$WORK/fig7b.json"
 
 echo "offline verify: ALL PASS (see caveats in tools/offline_verify/run.sh header)"
