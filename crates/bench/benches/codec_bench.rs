@@ -93,6 +93,15 @@ fn bench_sm(c: &mut Criterion) {
             b.iter(|| MacStatsInd::decode(codec, std::hint::black_box(&encoded)).unwrap())
         });
     }
+    // Allocate-per-message `encode` vs the scratch-reusing `encode_into`
+    // path the agent report loop runs on: same generic body, but the
+    // frozen-split buffer reclaims its capacity between messages.
+    let mut scratch = BytesMut::with_capacity(4096);
+    for codec in SmCodec::ALL {
+        group.bench_function(format!("encode_into/{}", codec.label()), |b| {
+            b.iter(|| std::hint::black_box(&ind).encode_into(codec, &mut scratch))
+        });
+    }
     // FlexRAN's protobuf baseline on the same snapshot.
     let pb = encode_stats_pb(&ind);
     group.bench_function("encode/PB", |b| b.iter(|| encode_stats_pb(std::hint::black_box(&ind))));

@@ -55,6 +55,10 @@ fn enc_fn_item<B: ByteSink>(b: &mut FbBuilder<B>, f: &RanFunctionItem) -> u32 {
     let oid = b.string(&f.oid);
     let mut t = TableBuilder::new();
     t.u16(0, f.id.0).off(1, def).u16(2, f.revision).off(3, oid);
+    // New slots default-elide at 1.0, keeping pre-versioning peers readable.
+    if f.version != FnVersion::V1 {
+        t.u16(4, f.version.major).u16(5, f.version.minor);
+    }
     t.end(b)
 }
 
@@ -161,6 +165,7 @@ fn dec_fn_item(t: &FbTable) -> Result<RanFunctionItem> {
         definition: crate::borrow::mk_bytes(t.req_bytes(1, "fn def")?),
         revision: t.req_u16(2, "fn revision")?,
         oid: t.string(3)?.ok_or(CodecError::Malformed { what: "fn oid" })?.to_owned(),
+        version: FnVersion::new(t.u16(4)?.unwrap_or(1), t.u16(5)?.unwrap_or(0)),
     })
 }
 

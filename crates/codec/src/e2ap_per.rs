@@ -126,6 +126,14 @@ fn put_fn_item<B: ByteSink>(w: &mut BitWriter<B>, f: &RanFunctionItem) {
     w.put_octets(&f.definition);
     w.put_bits(f.revision as u64, 16);
     w.put_utf8(&f.oid);
+    // SM version as an optional trailer: the default (1.0) encodes as
+    // absent, so pre-versioning captures and peers stay wire-compatible.
+    let versioned = f.version != FnVersion::V1;
+    w.put_bit(versioned);
+    if versioned {
+        w.put_bits(f.version.major as u64, 16);
+        w.put_bits(f.version.minor as u64, 16);
+    }
 }
 
 fn get_fn_item(r: &mut BitReader) -> Result<RanFunctionItem> {
@@ -133,7 +141,12 @@ fn get_fn_item(r: &mut BitReader) -> Result<RanFunctionItem> {
     let definition = crate::borrow::mk_bytes(r.get_octets()?);
     let revision = r.get_bits(16)? as u16;
     let oid = r.get_utf8()?;
-    Ok(RanFunctionItem { id, definition, revision, oid })
+    let version = if r.get_bit()? {
+        FnVersion::new(r.get_bits(16)? as u16, r.get_bits(16)? as u16)
+    } else {
+        FnVersion::V1
+    };
+    Ok(RanFunctionItem { id, definition, revision, oid, version })
 }
 
 fn put_component<B: ByteSink>(w: &mut BitWriter<B>, c: &E2NodeComponentConfig) {

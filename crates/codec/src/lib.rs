@@ -197,6 +197,7 @@ mod tests {
             definition: Bytes::from_static(b"\x01\x02def"),
             revision: 3,
             oid: "flexric.sm.mac_stats".into(),
+            version: FnVersion::new(2, 1),
         };
         let comp = E2NodeComponentConfig {
             interface: InterfaceType::F1,
@@ -612,7 +613,14 @@ mod prop_tests {
             any::<u8>(),
             (0u16..1000, 0u16..1000, 2u8..4, 0u8..7, any::<u64>()),
             proptest::collection::vec(
-                (0u16..=4095, arb_bytes(), any::<u16>(), "[a-z.]{0,32}"),
+                (
+                    0u16..=4095,
+                    arb_bytes(),
+                    any::<u16>(),
+                    "[a-z.]{0,32}",
+                    any::<u16>(),
+                    any::<u16>(),
+                ),
                 0..8,
             ),
         )
@@ -626,11 +634,12 @@ mod prop_tests {
                     ),
                     ran_functions: fns
                         .into_iter()
-                        .map(|(id, definition, revision, oid)| RanFunctionItem {
+                        .map(|(id, definition, revision, oid, vmaj, vmin)| RanFunctionItem {
                             id: RanFunctionId::new(id),
                             definition,
                             revision,
                             oid,
+                            version: FnVersion::new(vmaj, vmin),
                         })
                         .collect(),
                     component_configs: vec![],

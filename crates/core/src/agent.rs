@@ -208,6 +208,12 @@ pub trait RanFunction: Send {
     fn revision(&self) -> u16 {
         1
     }
+    /// Service-model version advertised behind the OID (`major.minor`).
+    /// Registry-backed functions report their descriptor's version; the
+    /// default matches pre-versioning peers.
+    fn version(&self) -> FnVersion {
+        FnVersion::V1
+    }
 
     /// A controller requests a subscription.  Return the admitted actions
     /// (commonly all of them) or a cause for rejection.  The function is
@@ -613,6 +619,7 @@ impl Agent {
                 definition: f.definition(),
                 revision: f.revision(),
                 oid: f.oid(),
+                version: f.version(),
             })
             .collect()
     }

@@ -99,7 +99,7 @@ impl<T: DeltaRows> ReportSender<T> {
     ) -> bool {
         match self.streams.report((sub.ctrl, sub.req_id), trigger.mode, snap, codec) {
             ReportOut::Send(buf) => {
-                ctx.send_indication(sub, sn, header, Bytes::from(buf));
+                ctx.send_indication(sub, sn, header, buf);
                 true
             }
             ReportOut::Suppressed => false,

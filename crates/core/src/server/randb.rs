@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use flexric_e2ap::{E2NodeType, GlobalE2NodeId, Plmn, RanFunctionId, RanFunctionItem};
+use flexric_e2ap::{E2NodeType, FnVersion, GlobalE2NodeId, Plmn, RanFunctionId, RanFunctionItem};
 
 /// Identifier of a connected agent at the server.
 pub type AgentId = usize;
@@ -27,9 +27,20 @@ pub struct AgentInfo {
 }
 
 impl AgentInfo {
-    /// Finds an advertised function by OID.
+    /// Finds an advertised function by OID (any version; the setup
+    /// negotiation already filtered out incompatible ones).
     pub fn function_by_oid(&self, oid: &str) -> Option<&RanFunctionItem> {
         self.functions.iter().find(|f| f.oid == oid)
+    }
+
+    /// Finds an advertised function by OID whose version is
+    /// major-compatible with `want`, preferring the highest minor — the
+    /// version-aware variant of [`AgentInfo::function_by_oid`].
+    pub fn function_by_oid_compat(&self, oid: &str, want: FnVersion) -> Option<&RanFunctionItem> {
+        self.functions
+            .iter()
+            .filter(|f| f.oid == oid && f.version.major == want.major)
+            .max_by_key(|f| f.version.minor)
     }
 
     /// Finds an advertised function by id.
@@ -157,6 +168,7 @@ mod tests {
                 definition: bytes::Bytes::new(),
                 revision: 1,
                 oid: "flexric.sm.mac_stats".into(),
+                version: FnVersion::V1,
             }],
             peer: "test".into(),
         }
@@ -231,5 +243,26 @@ mod tests {
         let a = db.agent(0).unwrap();
         assert!(a.function(RanFunctionId::new(142)).is_some());
         assert!(a.function(RanFunctionId::new(1)).is_none());
+    }
+
+    #[test]
+    fn version_aware_oid_lookup() {
+        let mut base = info(0, E2NodeType::Gnb, 1);
+        let mut v21 = base.functions[0].clone();
+        v21.id = RanFunctionId::new(200);
+        v21.version = FnVersion::new(2, 1);
+        let mut v23 = v21.clone();
+        v23.id = RanFunctionId::new(201);
+        v23.version = FnVersion::new(2, 3);
+        base.functions.extend([v21, v23]);
+        // Major must match; highest minor among compatible wins.
+        let got = base.function_by_oid_compat("flexric.sm.mac_stats", FnVersion::new(2, 0));
+        assert_eq!(got.unwrap().version, FnVersion::new(2, 3));
+        let got = base.function_by_oid_compat("flexric.sm.mac_stats", FnVersion::V1);
+        assert_eq!(got.unwrap().version, FnVersion::V1);
+        assert!(base
+            .function_by_oid_compat("flexric.sm.mac_stats", FnVersion::new(3, 0))
+            .is_none());
+        assert!(base.function_by_oid_compat("flexric.sm.nope", FnVersion::V1).is_none());
     }
 }

@@ -693,6 +693,52 @@ impl ShardRuntime {
     }
 
     fn handle_new_agent(&mut self, req: E2SetupRequest, transport: flexric_transport::Transport) {
+        // Capability negotiation against the SM registry before any
+        // identity is allocated: each advertised function resolves by OID
+        // + semver-compatible version (major must match; the registry
+        // serves the highest compatible minor).  Unknown OIDs and
+        // major-incompatible versions carry an explicit E2AP cause back
+        // to the agent instead of being silently dropped.
+        let registry = flexric_sm::registry::global();
+        let mut accepted_fns = Vec::new();
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        for f in &req.ran_functions {
+            let offered = flexric_sm::SmVersion::new(f.version.major, f.version.minor);
+            match registry.negotiate(&f.oid, offered) {
+                Ok(_) => {
+                    accepted.push(f.id);
+                    accepted_fns.push(f.clone());
+                }
+                Err(e) => {
+                    let cause = match e {
+                        flexric_sm::registry::NegotiationError::UnknownOid { .. } => {
+                            Cause::RicService(RicServiceCause::FunctionNotSupported)
+                        }
+                        flexric_sm::registry::NegotiationError::MajorMismatch { .. } => {
+                            Cause::RicService(RicServiceCause::FunctionVersionMismatch)
+                        }
+                    };
+                    rejected.push((f.id, cause));
+                }
+            }
+        }
+        if accepted.is_empty() && !req.ran_functions.is_empty() {
+            // Nothing this RIC can serve: fail the setup on the raw
+            // transport and never register the node.
+            let cause = rejected[0].1;
+            let pdu = E2apPdu::E2SetupFailure(E2SetupFailure {
+                transaction_id: req.transaction_id,
+                cause,
+                time_to_wait_ms: None,
+            });
+            let buf = Bytes::from(self.core.codec.encode(&pdu));
+            tokio::spawn(async move {
+                let mut transport = transport;
+                let _ = transport.send(WireMsg::e2ap(buf)).await;
+            });
+            return;
+        }
         // An agent presenting a known global E2 node id is rebound to its
         // previous AgentId: a reconnect, not a new node.  Entity-key shard
         // affinity guarantees the previous identity lives on this shard.
@@ -715,20 +761,16 @@ impl ShardRuntime {
         self.router.bind(agent_id, self.idx);
         let peer = self.spawn_conn(agent_id, transport);
 
-        let info = AgentInfo {
-            id: agent_id,
-            node: req.global_node,
-            functions: req.ran_functions.clone(),
-            peer,
-        };
-        let accepted = req.ran_functions.iter().map(|f| f.id).collect();
+        // Only negotiated functions enter the RAN database: iApps never
+        // see (and cannot subscribe to) a function the RIC rejected.
+        let info = AgentInfo { id: agent_id, node: req.global_node, functions: accepted_fns, peer };
         self.core.outbox.push((
             agent_id.into(),
             E2apPdu::E2SetupResponse(E2SetupResponse {
                 transaction_id: req.transaction_id,
                 global_ric: self.core.ric_id,
                 accepted,
-                rejected: vec![],
+                rejected,
             }),
         ));
         let formed = self.core.randb.add_agent(info.clone());

@@ -43,6 +43,19 @@ struct CounterFn {
 
 impl CounterFn {
     fn new(sm_codec: SmCodec) -> Self {
+        // The server negotiates advertised SMs against the global registry,
+        // so the test SM registers like any third-party plugin (idempotent;
+        // duplicate registrations across tests are ignored).
+        let _ = flexric_sm::registry::global().register(
+            flexric_sm::SmDescriptor::new(
+                7,
+                "test.counter",
+                flexric_sm::SmVersion::V1,
+                flexric_sm::RanFuncDef::simple("COUNTER", "e2e test counter SM"),
+            )
+            .trigger::<ReportTrigger>()
+            .indication::<HwPing>(),
+        );
         CounterFn {
             subs: PeriodicSubs::new(),
             sm_codec,

@@ -51,6 +51,18 @@ struct PingFn {
 
 impl PingFn {
     fn new(sm_codec: SmCodec) -> Self {
+        // Register the test SM so the server's setup negotiation accepts
+        // it (idempotent across tests in this binary).
+        let _ = flexric_sm::registry::global().register(
+            flexric_sm::SmDescriptor::new(
+                7,
+                "test.ping",
+                flexric_sm::SmVersion::V1,
+                flexric_sm::RanFuncDef::simple("PING", "robustness test ping SM"),
+            )
+            .trigger::<ReportTrigger>()
+            .indication::<HwPing>(),
+        );
         PingFn { subs: PeriodicSubs::new(), sm_codec, seq: 0 }
     }
 }

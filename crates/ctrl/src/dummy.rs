@@ -12,21 +12,23 @@
 //! Server-driven retunes arrive via [`RanFunction::on_subscription_update`]
 //! and restart the stream under a fresh epoch.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 
 use flexric::agent::{AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
 use flexric::report::ReportSender;
 use flexric_e2ap::{
-    Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest,
+    Cause, FnVersion, RanFunctionId, RicCause, RicControlRequest, RicRequestId,
+    RicSubscriptionRequest,
 };
 use flexric_ransim::kpi::KpiGen;
 use flexric_sm::{
     mac::{MacStatsInd, MacUeStats},
     oid,
     pdcp::{PdcpBearerStats, PdcpStatsInd},
-    rf,
     rlc::{RlcBearerStats, RlcStatsInd},
-    RanFuncDef, ReportMode, ReportTrigger, SmCodec, SmPayload,
+    ReportMode, ReportTrigger, SmCodec, SmDescriptor, SmPayload,
 };
 
 /// Which statistics a dummy function fabricates.
@@ -52,6 +54,7 @@ pub struct DummyStatsFn {
     kind: DummyKind,
     ue_count: u16,
     sm_codec: SmCodec,
+    desc: Arc<SmDescriptor>,
     subs: PeriodicSubs,
     counter: u64,
     /// Time-varying workload; `None` keeps the classic counter-driven
@@ -64,15 +67,17 @@ impl DummyStatsFn {
     /// Creates a dummy function of the given kind (counter-driven
     /// statistics, the Figs. 8b/9b workload).
     pub fn new(kind: DummyKind, ue_count: u16, sm_codec: SmCodec) -> Self {
-        let inner = match kind {
-            DummyKind::Mac => Inner::Mac(ReportSender::new()),
-            DummyKind::Rlc => Inner::Rlc(ReportSender::new()),
-            DummyKind::Pdcp => Inner::Pdcp(ReportSender::new()),
+        let (inner, oid) = match kind {
+            DummyKind::Mac => (Inner::Mac(ReportSender::new()), oid::MAC_STATS),
+            DummyKind::Rlc => (Inner::Rlc(ReportSender::new()), oid::RLC_STATS),
+            DummyKind::Pdcp => (Inner::Pdcp(ReportSender::new()), oid::PDCP_STATS),
         };
+        let desc = flexric_sm::registry::global().latest(oid).expect("bundled SM descriptor");
         DummyStatsFn {
             kind,
             ue_count,
             sm_codec,
+            desc,
             subs: PeriodicSubs::new(),
             counter: 0,
             kpi: None,
@@ -190,24 +195,16 @@ impl DummyStatsFn {
 
 impl RanFunction for DummyStatsFn {
     fn id(&self) -> RanFunctionId {
-        RanFunctionId::new(match self.kind {
-            DummyKind::Mac => rf::MAC_STATS,
-            DummyKind::Rlc => rf::RLC_STATS,
-            DummyKind::Pdcp => rf::PDCP_STATS,
-        })
+        RanFunctionId::new(self.desc.ran_function_id)
     }
     fn oid(&self) -> String {
-        match self.kind {
-            DummyKind::Mac => oid::MAC_STATS.to_owned(),
-            DummyKind::Rlc => oid::RLC_STATS.to_owned(),
-            DummyKind::Pdcp => oid::PDCP_STATS.to_owned(),
-        }
+        self.desc.oid.clone()
     }
     fn definition(&self) -> Bytes {
-        Bytes::from(
-            RanFuncDef::simple("DUMMY-STATS", "synthetic statistics for scaling tests")
-                .encode(self.sm_codec),
-        )
+        Bytes::from(self.desc.funcdef_bytes(self.sm_codec))
+    }
+    fn version(&self) -> FnVersion {
+        self.desc.version.into()
     }
     fn on_subscription(
         &mut self,

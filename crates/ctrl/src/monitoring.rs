@@ -11,6 +11,7 @@
 //! procedure ([`ServerApi::retune_subscription`]), so they inherit
 //! deadlines and retransmits from the endpoint layer.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -19,10 +20,9 @@ use parking_lot::Mutex;
 
 use flexric::server::{AgentId, AgentInfo, IApp, IndicationRef, ServerApi};
 use flexric_e2ap::{RanFunctionId, RicRequestId};
-use flexric_sm::delta::{DeltaDecoder, DeltaEvent};
+use flexric_sm::registry::{AnyDeltaDecoder, AnyDeltaEvent, AnyPayload, SmDescriptor};
 use flexric_sm::{
-    mac::MacStatsInd, oid, pdcp::PdcpStatsInd, rf, rlc::RlcStatsInd, ReportTrigger, SmCodec,
-    SmPayload,
+    mac::MacStatsInd, oid, pdcp::PdcpStatsInd, rlc::RlcStatsInd, ReportTrigger, SmCodec, SmPayload,
 };
 
 /// The in-memory statistics store.
@@ -33,38 +33,73 @@ use flexric_sm::{
 /// which is the "more efficiently organized internal data structure" of
 /// the paper's §5.3.  Under delta monitoring the stored payload is the
 /// re-encoded reconstruction, so readers are oblivious to the wire mode.
+///
+/// Payloads are keyed by SM OID, not by a hard-coded per-layer slot, so
+/// the store holds any registered SM — including third-party ones — and
+/// [`StatsDb::snapshot_any`] decodes them through the registry vtable.
 #[derive(Debug, Default)]
 pub struct StatsDb {
     sm_codec: SmCodec,
-    /// Latest raw MAC payload per agent.
-    pub raw_mac: std::collections::HashMap<AgentId, bytes::Bytes>,
-    /// Latest raw RLC payload per agent.
-    pub raw_rlc: std::collections::HashMap<AgentId, bytes::Bytes>,
-    /// Latest raw PDCP payload per agent.
-    pub raw_pdcp: std::collections::HashMap<AgentId, bytes::Bytes>,
+    /// Latest raw payload per SM OID per agent.
+    raw: std::collections::HashMap<String, std::collections::HashMap<AgentId, bytes::Bytes>>,
 }
 
 impl StatsDb {
+    /// The latest raw payload `agent` reported for the SM `oid`.
+    pub fn raw(&self, agent: AgentId, oid: &str) -> Option<&bytes::Bytes> {
+        self.raw.get(oid)?.get(&agent)
+    }
+
+    /// Decodes the latest snapshot of `agent` for `oid` through the
+    /// registry vtable; downcast the result when the concrete type is
+    /// known, or hand it to generic consumers.
+    pub fn snapshot_any(&self, agent: AgentId, oid: &str) -> Option<AnyPayload> {
+        let desc = flexric_sm::registry::global().latest(oid)?;
+        desc.decode_indication(self.sm_codec, self.raw(agent, oid)?).ok()
+    }
+
+    fn decode_as<T: SmPayload>(&self, agent: AgentId, oid: &str) -> Option<T> {
+        T::decode(self.sm_codec, self.raw(agent, oid)?).ok()
+    }
+
     /// Decodes the latest MAC snapshot of an agent.
     pub fn mac(&self, agent: AgentId) -> Option<MacStatsInd> {
-        MacStatsInd::decode(self.sm_codec, self.raw_mac.get(&agent)?).ok()
+        self.decode_as(agent, oid::MAC_STATS)
     }
 
     /// Decodes the latest RLC snapshot of an agent.
     pub fn rlc(&self, agent: AgentId) -> Option<RlcStatsInd> {
-        RlcStatsInd::decode(self.sm_codec, self.raw_rlc.get(&agent)?).ok()
+        self.decode_as(agent, oid::RLC_STATS)
     }
 
     /// Decodes the latest PDCP snapshot of an agent.
     pub fn pdcp(&self, agent: AgentId) -> Option<PdcpStatsInd> {
-        PdcpStatsInd::decode(self.sm_codec, self.raw_pdcp.get(&agent)?).ok()
+        self.decode_as(agent, oid::PDCP_STATS)
     }
 
     /// Agents with any stored statistics.
     pub fn agents(&self) -> Vec<AgentId> {
-        let mut ids: Vec<AgentId> = self.raw_mac.keys().copied().collect();
+        let mut ids: Vec<AgentId> = self.raw.values().flat_map(|m| m.keys().copied()).collect();
         ids.sort_unstable();
+        ids.dedup();
         ids
+    }
+
+    fn store(&mut self, agent: AgentId, oid: &str, raw: bytes::Bytes) {
+        match self.raw.get_mut(oid) {
+            Some(m) => {
+                m.insert(agent, raw);
+            }
+            None => {
+                self.raw.entry(oid.to_owned()).or_default().insert(agent, raw);
+            }
+        }
+    }
+
+    fn remove_agent(&mut self, agent: AgentId) {
+        for m in self.raw.values_mut() {
+            m.remove(&agent);
+        }
     }
 }
 
@@ -218,15 +253,11 @@ impl MonitorConfig {
     }
 }
 
-/// Per-subscription delta reconstruction state.
-enum AnyDecoder {
-    Mac(DeltaDecoder<MacStatsInd>),
-    Rlc(DeltaDecoder<RlcStatsInd>),
-    Pdcp(DeltaDecoder<PdcpStatsInd>),
-}
-
+/// Per-subscription delta reconstruction state.  The decoder comes from
+/// the SM's registry vtable ([`SmDescriptor::delta_decoder`]), so the
+/// iApp reconstructs any delta-capable SM without naming its types.
 struct DecEntry {
-    dec: AnyDecoder,
+    dec: Box<dyn AnyDeltaDecoder>,
     /// Storm guard: last time this stream asked the agent for a keyframe.
     last_resync_ms: u64,
 }
@@ -248,8 +279,8 @@ pub struct MonitorApp {
     cfg: MonitorConfig,
     db: Arc<Mutex<StatsDb>>,
     counters: Arc<MonitorCounters>,
-    /// Which SM each of our request ids belongs to.
-    req_kind: std::collections::HashMap<(AgentId, RicRequestId), u16>,
+    /// The SM descriptor behind each of our request ids.
+    subs: std::collections::HashMap<(AgentId, RicRequestId), Arc<SmDescriptor>>,
     /// Delta reconstruction per subscription (delta/adaptive modes).
     decoders: std::collections::HashMap<(AgentId, RicRequestId), DecEntry>,
     /// Adaptive period state per agent.
@@ -279,7 +310,7 @@ impl MonitorApp {
             cfg,
             db,
             counters,
-            req_kind: std::collections::HashMap::new(),
+            subs: std::collections::HashMap::new(),
             decoders: std::collections::HashMap::new(),
             adapt: std::collections::HashMap::new(),
             reconstruct_ns: None,
@@ -293,26 +324,38 @@ impl MonitorApp {
     /// Issues a retune of every subscription of `agent` to `period_ms`.
     fn retune_agent(&mut self, api: &mut ServerApi, agent: AgentId, period_ms: u32) {
         let trigger = self.cfg.trigger_bytes(period_ms);
-        for (&(a, req_id), _) in self.req_kind.iter() {
+        for (&(a, req_id), _) in self.subs.iter() {
             if a == agent {
                 api.retune_subscription(a, req_id, trigger.clone());
             }
         }
         self.counters.retunes.fetch_add(1, Ordering::Relaxed);
     }
-}
 
-/// Re-encodes and stores one reconstructed snapshot, timing the
-/// reconstruction (decode + re-encode) into the per-shard histogram.
-macro_rules! store_snapshot {
-    ($self:ident, $agent:ident, $snap:expr, $slot:ident) => {{
+    /// Anomaly predicates on reconstructed KPIs — iApp policy, applied to
+    /// the SMs this iApp understands via downcast.  SMs without a rule
+    /// (including third-party ones) are simply never anomalous.
+    fn is_anomalous(snap: &(dyn Any + Send), thr: AdaptiveConfig) -> bool {
+        if let Some(m) = snap.downcast_ref::<MacStatsInd>() {
+            return m.ues.iter().any(|u| u.dl_backlog_bytes > thr.backlog_bytes_thr);
+        }
+        if let Some(r) = snap.downcast_ref::<RlcStatsInd>() {
+            return r.bearers.iter().any(|b| b.sojourn_us_avg > thr.sojourn_us_thr);
+        }
+        false
+    }
+
+    /// Re-encodes and stores one reconstructed snapshot through the SM's
+    /// vtable, timing the reconstruction (decode + re-encode) into the
+    /// per-shard histogram.
+    fn store_reconstruction(&self, agent: AgentId, desc: &SmDescriptor, snap: &(dyn Any + Send)) {
         let t0 = flexric::mono_ns();
-        let raw = bytes::Bytes::from($snap.encode($self.cfg.sm_codec));
-        $self.db.lock().$slot.insert($agent, raw);
-        if let Some(h) = &$self.reconstruct_ns {
+        let Some(raw) = desc.encode_indication(snap, self.cfg.sm_codec) else { return };
+        self.db.lock().store(agent, &desc.oid, bytes::Bytes::from(raw));
+        if let Some(h) = &self.reconstruct_ns {
             h.record(flexric::mono_ns().saturating_sub(t0));
         }
-    }};
+    }
 }
 
 impl IApp for MonitorApp {
@@ -336,26 +379,31 @@ impl IApp for MonitorApp {
 
     fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
         let trigger = self.cfg.trigger_bytes(self.cfg.period_ms);
+        let registry = flexric_sm::registry::global();
         let mut want = Vec::new();
         if self.cfg.mac {
-            want.push((oid::MAC_STATS, rf::MAC_STATS));
+            want.push(oid::MAC_STATS);
         }
         if self.cfg.rlc {
-            want.push((oid::RLC_STATS, rf::RLC_STATS));
+            want.push(oid::RLC_STATS);
         }
         if self.cfg.pdcp {
-            want.push((oid::PDCP_STATS, rf::PDCP_STATS));
+            want.push(oid::PDCP_STATS);
         }
-        for (oid, default_rf) in want {
-            // Prefer the advertised function id; fall back to the
-            // well-known id for agents with terse definitions.
-            let rf_id =
-                agent.function_by_oid(oid).map(|f| f.id).unwrap_or(RanFunctionId::new(default_rf));
+        for oid in want {
+            let Some(desc) = registry.latest(oid) else { continue };
+            // Prefer the advertised, version-compatible function id; fall
+            // back to the descriptor's well-known id for agents with terse
+            // definitions.
+            let rf_id = agent
+                .function_by_oid_compat(&desc.oid, desc.version.into())
+                .map(|f| f.id)
+                .unwrap_or(RanFunctionId::new(desc.ran_function_id));
             if agent.function(rf_id).is_none() {
                 continue;
             }
             let req = api.subscribe_report(agent.id, rf_id, trigger.clone());
-            self.req_kind.insert((agent.id, req), rf_id.0);
+            self.subs.insert((agent.id, req), desc.clone());
         }
         if self.cfg.mode == MonitorMode::Adaptive {
             self.adapt.insert(
@@ -366,13 +414,10 @@ impl IApp for MonitorApp {
     }
 
     fn on_agent_disconnected(&mut self, _api: &mut ServerApi, agent: AgentId) {
-        self.req_kind.retain(|(a, _), _| *a != agent);
+        self.subs.retain(|(a, _), _| *a != agent);
         self.decoders.retain(|(a, _), _| *a != agent);
         self.adapt.remove(&agent);
-        let mut db = self.db.lock();
-        db.raw_mac.remove(&agent);
-        db.raw_rlc.remove(&agent);
-        db.raw_pdcp.remove(&agent);
+        self.db.lock().remove_agent(agent);
     }
 
     fn on_indication(&mut self, api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
@@ -382,82 +427,56 @@ impl IApp for MonitorApp {
         self.counters.bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
         obs().bytes.add(msg.len() as u64);
         let req_id = ind.req_id();
-        let Some(kind) = self.req_kind.get(&(agent, req_id)).copied() else { return };
+        let Some(desc) = self.subs.get(&(agent, req_id)).cloned() else { return };
 
         if !self.delta_mode() {
             if !self.cfg.store {
                 return;
             }
-            // Write path: store the encoded payload; decoding happens
-            // lazily on read.  `Bytes::copy_from_slice` is the only copy.
+            // Write path: store the encoded payload under the SM's OID;
+            // decoding happens lazily on read.  `Bytes::copy_from_slice`
+            // is the only copy.
             let raw = bytes::Bytes::copy_from_slice(msg);
-            match kind {
-                k if k == rf::MAC_STATS => {
-                    self.db.lock().raw_mac.insert(agent, raw);
-                }
-                k if k == rf::RLC_STATS => {
-                    self.db.lock().raw_rlc.insert(agent, raw);
-                }
-                k if k == rf::PDCP_STATS => {
-                    self.db.lock().raw_pdcp.insert(agent, raw);
-                }
-                _ => {}
-            }
+            self.db.lock().store(agent, &desc.oid, raw);
             return;
         }
 
-        // Delta path: reconstruct the snapshot from the frame.
+        // Delta path: reconstruct the snapshot from the frame with the
+        // SM's own delta decoder, obtained from its registry vtable.
         let codec = self.cfg.sm_codec;
-        let entry = self.decoders.entry((agent, req_id)).or_insert_with(|| DecEntry {
-            dec: match kind {
-                k if k == rf::RLC_STATS => AnyDecoder::Rlc(DeltaDecoder::new()),
-                k if k == rf::PDCP_STATS => AnyDecoder::Pdcp(DeltaDecoder::new()),
-                _ => AnyDecoder::Mac(DeltaDecoder::new()),
+        let entry = match self.decoders.entry((agent, req_id)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => match desc.delta_decoder() {
+                Some(dec) => v.insert(DecEntry { dec, last_resync_ms: 0 }),
+                None => {
+                    // The SM has no delta hooks, so its agent side can only
+                    // have sent full snapshots: store them as-is.
+                    if self.cfg.store {
+                        let raw = bytes::Bytes::copy_from_slice(msg);
+                        self.db.lock().store(agent, &desc.oid, raw);
+                    }
+                    return;
+                }
             },
-            last_resync_ms: 0,
-        });
+        };
         let mut changed = false;
         let mut anomaly = false;
         let mut need_keyframe = false;
-        let mut decode_err = false;
         let thr = self.cfg.adaptive;
-        match &mut entry.dec {
-            AnyDecoder::Mac(dec) => match dec.apply(msg, codec) {
-                Ok(DeltaEvent::Snapshot { snap, changed: ch, .. }) => {
-                    changed = ch;
-                    anomaly = snap.ues.iter().any(|u| u.dl_backlog_bytes > thr.backlog_bytes_thr);
-                    if self.cfg.store {
-                        store_snapshot!(self, agent, snap, raw_mac);
-                    }
+        let last_resync_ms = entry.last_resync_ms;
+        match entry.dec.apply(msg, codec) {
+            Ok(AnyDeltaEvent::Snapshot { snap, changed: ch }) => {
+                changed = ch;
+                anomaly = Self::is_anomalous(&*snap, thr);
+                if self.cfg.store {
+                    self.store_reconstruction(agent, &desc, &*snap);
                 }
-                Ok(DeltaEvent::NeedKeyframe { .. }) => need_keyframe = true,
-                Err(_) => decode_err = true,
-            },
-            AnyDecoder::Rlc(dec) => match dec.apply(msg, codec) {
-                Ok(DeltaEvent::Snapshot { snap, changed: ch, .. }) => {
-                    changed = ch;
-                    anomaly = snap.bearers.iter().any(|b| b.sojourn_us_avg > thr.sojourn_us_thr);
-                    if self.cfg.store {
-                        store_snapshot!(self, agent, snap, raw_rlc);
-                    }
-                }
-                Ok(DeltaEvent::NeedKeyframe { .. }) => need_keyframe = true,
-                Err(_) => decode_err = true,
-            },
-            AnyDecoder::Pdcp(dec) => match dec.apply(msg, codec) {
-                Ok(DeltaEvent::Snapshot { snap, changed: ch, .. }) => {
-                    changed = ch;
-                    if self.cfg.store {
-                        store_snapshot!(self, agent, snap, raw_pdcp);
-                    }
-                }
-                Ok(DeltaEvent::NeedKeyframe { .. }) => need_keyframe = true,
-                Err(_) => decode_err = true,
-            },
-        }
-        if decode_err {
-            self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
-            return;
+            }
+            Ok(AnyDeltaEvent::NeedKeyframe) => need_keyframe = true,
+            Err(_) => {
+                self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
         let now = api.now_ms();
         if need_keyframe {
@@ -465,7 +484,7 @@ impl IApp for MonitorApp {
             // the subscription so the agent bumps the epoch and keyframes.
             // Rate-limited per subscription to survive pathological peers.
             self.counters.resyncs.fetch_add(1, Ordering::Relaxed);
-            let guard_ok = now.saturating_sub(entry.last_resync_ms) >= RESYNC_GUARD_MS;
+            let guard_ok = now.saturating_sub(last_resync_ms) >= RESYNC_GUARD_MS;
             if guard_ok {
                 if let Some(e) = self.decoders.get_mut(&(agent, req_id)) {
                     e.last_resync_ms = now;

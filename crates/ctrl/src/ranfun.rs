@@ -16,7 +16,8 @@ use parking_lot::Mutex;
 use flexric::agent::{AgentCtx, CtrlId, PeriodicSubs, RanFunction, SubscriptionInfo};
 use flexric::report::ReportSender;
 use flexric_e2ap::{
-    Cause, RanFunctionId, RicCause, RicControlRequest, RicRequestId, RicSubscriptionRequest,
+    Cause, FnVersion, RanFunctionId, RicCause, RicControlRequest, RicRequestId,
+    RicSubscriptionRequest,
 };
 use flexric_ransim::Sim;
 use flexric_sm::{
@@ -25,13 +26,18 @@ use flexric_sm::{
     mac::MacStatsInd,
     oid,
     pdcp::PdcpStatsInd,
-    rf,
     rlc::RlcStatsInd,
     rrc::{RrcCtrl, RrcEventInd},
     slice::{SliceCtrl, SliceStatsInd},
     tc::{TcCtrl, TcStatsInd},
-    RanFuncDef, ReportTrigger, SmCodec, SmPayload,
+    ReportTrigger, SmCodec, SmDescriptor, SmPayload,
 };
+
+/// The registry descriptor of a bundled SM: the single source of function
+/// id, OID, version, and funcdef for every pre-defined RAN function here.
+fn desc_of(oid: &str) -> Arc<SmDescriptor> {
+    flexric_sm::registry::global().latest(oid).expect("bundled SM descriptor")
+}
 
 /// Shared handle to a simulated base station: the simulator plus the cell
 /// this agent fronts.
@@ -102,11 +108,12 @@ pub fn stats_bundle(bs: &SimBs, sm_codec: SmCodec) -> Vec<Box<dyn RanFunction>> 
 }
 
 macro_rules! stats_fn {
-    ($name:ident, $rf:expr, $oid:expr, $desc:expr, $snapshot:ident, $ind:ty, $filter:expr) => {
+    ($name:ident, $oid:expr, $snapshot:ident, $ind:ty, $filter:expr) => {
         /// Periodic statistics RAN function (see module docs).
         pub struct $name {
             bs: SimBs,
             sm_codec: SmCodec,
+            desc: Arc<SmDescriptor>,
             subs: PeriodicSubs,
             sender: ReportSender<$ind>,
         }
@@ -114,19 +121,28 @@ macro_rules! stats_fn {
         impl $name {
             /// Creates the function over a simulated base station.
             pub fn new(bs: SimBs, sm_codec: SmCodec) -> Self {
-                Self { bs, sm_codec, subs: PeriodicSubs::new(), sender: ReportSender::new() }
+                Self {
+                    bs,
+                    sm_codec,
+                    desc: desc_of($oid),
+                    subs: PeriodicSubs::new(),
+                    sender: ReportSender::new(),
+                }
             }
         }
 
         impl RanFunction for $name {
             fn id(&self) -> RanFunctionId {
-                RanFunctionId::new($rf)
+                RanFunctionId::new(self.desc.ran_function_id)
             }
             fn oid(&self) -> String {
-                $oid.to_owned()
+                self.desc.oid.clone()
             }
             fn definition(&self) -> Bytes {
-                Bytes::from(RanFuncDef::simple(stringify!($name), $desc).encode(self.sm_codec))
+                Bytes::from(self.desc.funcdef_bytes(self.sm_codec))
+            }
+            fn version(&self) -> FnVersion {
+                self.desc.version.into()
             }
             fn on_subscription(
                 &mut self,
@@ -226,61 +242,38 @@ fn filter_pdcp(ind: &PdcpStatsInd, ctx: &AgentCtx, sub: &SubscriptionInfo) -> Pd
     }
 }
 
-stats_fn!(
-    MacStatsFn,
-    rf::MAC_STATS,
-    oid::MAC_STATS,
-    "per-UE MAC statistics (CQI, MCS, PRBs, TBS)",
-    mac_stats,
-    MacStatsInd,
-    filter_mac
-);
-stats_fn!(
-    RlcStatsFn,
-    rf::RLC_STATS,
-    oid::RLC_STATS,
-    "per-bearer RLC buffer statistics incl. sojourn times",
-    rlc_stats,
-    RlcStatsInd,
-    filter_rlc
-);
-stats_fn!(
-    PdcpStatsFn,
-    rf::PDCP_STATS,
-    oid::PDCP_STATS,
-    "per-bearer PDCP packet/byte counters",
-    pdcp_stats,
-    PdcpStatsInd,
-    filter_pdcp
-);
+stats_fn!(MacStatsFn, oid::MAC_STATS, mac_stats, MacStatsInd, filter_mac);
+stats_fn!(RlcStatsFn, oid::RLC_STATS, rlc_stats, RlcStatsInd, filter_rlc);
+stats_fn!(PdcpStatsFn, oid::PDCP_STATS, pdcp_stats, PdcpStatsInd, filter_pdcp);
 
 /// Slice control RAN function (SC SM): applies slice configuration to the
 /// cell's MAC schedulers and reports slice status.
 pub struct SliceCtrlFn {
     bs: SimBs,
     sm_codec: SmCodec,
+    desc: Arc<SmDescriptor>,
     subs: PeriodicSubs,
 }
 
 impl SliceCtrlFn {
     /// Creates the function over a simulated base station.
     pub fn new(bs: SimBs, sm_codec: SmCodec) -> Self {
-        SliceCtrlFn { bs, sm_codec, subs: PeriodicSubs::new() }
+        SliceCtrlFn { bs, sm_codec, desc: desc_of(oid::SLICE_CTRL), subs: PeriodicSubs::new() }
     }
 }
 
 impl RanFunction for SliceCtrlFn {
     fn id(&self) -> RanFunctionId {
-        RanFunctionId::new(rf::SLICE_CTRL)
+        RanFunctionId::new(self.desc.ran_function_id)
     }
     fn oid(&self) -> String {
-        oid::SLICE_CTRL.to_owned()
+        self.desc.oid.clone()
     }
     fn definition(&self) -> Bytes {
-        Bytes::from(
-            RanFuncDef::simple("SLICE-CTRL", "RAT-agnostic radio resource slicing")
-                .encode(self.sm_codec),
-        )
+        Bytes::from(self.desc.funcdef_bytes(self.sm_codec))
+    }
+    fn version(&self) -> FnVersion {
+        self.desc.version.into()
     }
     fn on_subscription(
         &mut self,
@@ -346,6 +339,7 @@ impl RanFunction for SliceCtrlFn {
 pub struct TcCtrlFn {
     bs: SimBs,
     sm_codec: SmCodec,
+    desc: Arc<SmDescriptor>,
     /// Subscriptions with the bearer each one watches.
     subs: Vec<(SubscriptionInfo, BearerAddr, u32, u64)>, // (sub, bearer, period, next_due)
 }
@@ -353,22 +347,22 @@ pub struct TcCtrlFn {
 impl TcCtrlFn {
     /// Creates the function over a simulated base station.
     pub fn new(bs: SimBs, sm_codec: SmCodec) -> Self {
-        TcCtrlFn { bs, sm_codec, subs: Vec::new() }
+        TcCtrlFn { bs, sm_codec, desc: desc_of(oid::TC_CTRL), subs: Vec::new() }
     }
 }
 
 impl RanFunction for TcCtrlFn {
     fn id(&self) -> RanFunctionId {
-        RanFunctionId::new(rf::TC_CTRL)
+        RanFunctionId::new(self.desc.ran_function_id)
     }
     fn oid(&self) -> String {
-        oid::TC_CTRL.to_owned()
+        self.desc.oid.clone()
     }
     fn definition(&self) -> Bytes {
-        Bytes::from(
-            RanFuncDef::simple("TC-CTRL", "flow-level traffic control (classifier/queues/pacer)")
-                .encode(self.sm_codec),
-        )
+        Bytes::from(self.desc.funcdef_bytes(self.sm_codec))
+    }
+    fn version(&self) -> FnVersion {
+        self.desc.version.into()
     }
     fn on_subscription(
         &mut self,
@@ -431,13 +425,14 @@ impl RanFunction for TcCtrlFn {
 pub struct RrcEventFn {
     bs: SimBs,
     sm_codec: SmCodec,
+    desc: Arc<SmDescriptor>,
     subs: Vec<SubscriptionInfo>,
 }
 
 impl RrcEventFn {
     /// Creates the function over a simulated base station.
     pub fn new(bs: SimBs, sm_codec: SmCodec) -> Self {
-        RrcEventFn { bs, sm_codec, subs: Vec::new() }
+        RrcEventFn { bs, sm_codec, desc: desc_of(oid::RRC_EVENT), subs: Vec::new() }
     }
 }
 
@@ -446,6 +441,7 @@ impl RrcEventFn {
 pub struct KpmFn {
     bs: SimBs,
     sm_codec: SmCodec,
+    desc: Arc<SmDescriptor>,
     /// (sub, action def, last counters, next due ms)
     subs: Vec<(SubscriptionInfo, KpmActionDef, Vec<flexric_ransim::cell::KpmUeCounters>, u64)>,
 }
@@ -453,7 +449,7 @@ pub struct KpmFn {
 impl KpmFn {
     /// Creates the function over a simulated base station.
     pub fn new(bs: SimBs, sm_codec: SmCodec) -> Self {
-        KpmFn { bs, sm_codec, subs: Vec::new() }
+        KpmFn { bs, sm_codec, desc: desc_of(oid::KPM), subs: Vec::new() }
     }
 
     fn compute(
@@ -527,16 +523,16 @@ impl KpmFn {
 
 impl RanFunction for KpmFn {
     fn id(&self) -> RanFunctionId {
-        RanFunctionId::new(rf::KPM)
+        RanFunctionId::new(self.desc.ran_function_id)
     }
     fn oid(&self) -> String {
-        oid::KPM.to_owned()
+        self.desc.oid.clone()
     }
     fn definition(&self) -> Bytes {
-        Bytes::from(
-            RanFuncDef::simple("KPM", "3GPP performance measurements (E2SM-KPM style)")
-                .encode(self.sm_codec),
-        )
+        Bytes::from(self.desc.funcdef_bytes(self.sm_codec))
+    }
+    fn version(&self) -> FnVersion {
+        self.desc.version.into()
     }
     fn on_subscription(
         &mut self,
@@ -595,16 +591,16 @@ impl RanFunction for KpmFn {
 
 impl RanFunction for RrcEventFn {
     fn id(&self) -> RanFunctionId {
-        RanFunctionId::new(rf::RRC_EVENT)
+        RanFunctionId::new(self.desc.ran_function_id)
     }
     fn oid(&self) -> String {
-        oid::RRC_EVENT.to_owned()
+        self.desc.oid.clone()
     }
     fn definition(&self) -> Bytes {
-        Bytes::from(
-            RanFuncDef::simple("RRC-EVENT", "UE attach/detach/handover notifications")
-                .encode(self.sm_codec),
-        )
+        Bytes::from(self.desc.funcdef_bytes(self.sm_codec))
+    }
+    fn version(&self) -> FnVersion {
+        self.desc.version.into()
     }
     fn on_subscription(
         &mut self,
@@ -665,24 +661,28 @@ impl RanFunction for RrcEventFn {
 /// indication carrying the same payload (paper §5.2).
 pub struct HwFn {
     sm_codec: SmCodec,
+    desc: Arc<SmDescriptor>,
 }
 
 impl HwFn {
     /// Creates the ping responder.
     pub fn new(sm_codec: SmCodec) -> Self {
-        HwFn { sm_codec }
+        HwFn { sm_codec, desc: desc_of(oid::HW) }
     }
 }
 
 impl RanFunction for HwFn {
     fn id(&self) -> RanFunctionId {
-        RanFunctionId::new(rf::HW)
+        RanFunctionId::new(self.desc.ran_function_id)
     }
     fn oid(&self) -> String {
-        oid::HW.to_owned()
+        self.desc.oid.clone()
     }
     fn definition(&self) -> Bytes {
-        Bytes::from(RanFuncDef::simple("HW", "hello-world ping").encode(self.sm_codec))
+        Bytes::from(self.desc.funcdef_bytes(self.sm_codec))
+    }
+    fn version(&self) -> FnVersion {
+        self.desc.version.into()
     }
     fn on_subscription(
         &mut self,

@@ -189,17 +189,13 @@ pub async fn spawn_relay(
     Ok(handle)
 }
 
-/// Builds the advertisement for a relay fronting an HW-SM agent.
+/// Builds the advertisement for a relay fronting an HW-SM agent, from the
+/// registry's HW descriptor.
 pub fn hw_advertisement(sm_codec: flexric_sm::SmCodec) -> Vec<RanFunctionItem> {
-    use flexric_sm::SmPayload;
-    vec![RanFunctionItem {
-        id: RanFunctionId::new(flexric_sm::rf::HW),
-        definition: Bytes::from(
-            flexric_sm::RanFuncDef::simple("HW", "relayed hello-world").encode(sm_codec),
-        ),
-        revision: 1,
-        oid: flexric_sm::oid::HW.to_owned(),
-    }]
+    let desc = flexric_sm::registry::global()
+        .latest(flexric_sm::oid::HW)
+        .expect("HW SM is a builtin descriptor");
+    vec![desc.advertisement(sm_codec)]
 }
 
 /// Pinger utility: an upstream controller iApp that pings through

@@ -22,9 +22,11 @@ use flexric::server::{
     AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle,
 };
 use flexric_e2ap::{ControlAckRequest, RicRequestId};
+use flexric_sm::registry::SmDescriptor;
 use flexric_sm::slice::{SliceAlgo, SliceConf, SliceCtrl, SliceParams, SliceStatsInd, UeSchedAlgo};
 use flexric_sm::{oid, ReportTrigger, SmCodec, SmPayload};
 use flexric_xapp::http::{HttpServer, Request, Response, Router};
+use flexric_xapp::introspect;
 
 // ---------------------------------------------------------------------------
 // REST DTOs
@@ -186,6 +188,9 @@ pub struct ApplySliceCtrl {
 pub struct SliceApp {
     sm_codec: SmCodec,
     stats_period_ms: u32,
+    /// The SC SM's registry descriptor: version-aware function lookup and
+    /// indication decoding go through it.
+    desc: Arc<SmDescriptor>,
     latest: Arc<Mutex<HashMap<AgentId, SliceStatsInd>>>,
     pending: HashMap<(AgentId, RicRequestId), oneshot::Sender<CtrlReply>>,
 }
@@ -197,8 +202,16 @@ impl SliceApp {
         stats_period_ms: u32,
     ) -> (Self, Arc<Mutex<HashMap<AgentId, SliceStatsInd>>>) {
         let latest = Arc::new(Mutex::new(HashMap::new()));
+        let desc =
+            flexric_sm::registry::global().latest(oid::SLICE_CTRL).expect("bundled SM descriptor");
         (
-            SliceApp { sm_codec, stats_period_ms, latest: latest.clone(), pending: HashMap::new() },
+            SliceApp {
+                sm_codec,
+                stats_period_ms,
+                desc,
+                latest: latest.clone(),
+                pending: HashMap::new(),
+            },
             latest,
         )
     }
@@ -210,7 +223,7 @@ impl IApp for SliceApp {
     }
 
     fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
-        if let Some(f) = agent.function_by_oid(oid::SLICE_CTRL) {
+        if let Some(f) = agent.function_by_oid_compat(&self.desc.oid, self.desc.version.into()) {
             let trigger =
                 Bytes::from(ReportTrigger::every_ms(self.stats_period_ms).encode(self.sm_codec));
             api.subscribe_report(agent.id, f.id, trigger);
@@ -224,8 +237,11 @@ impl IApp for SliceApp {
 
     fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
         let Ok((_, msg)) = ind.sm_payload() else { return };
-        if let Ok(stats) = SliceStatsInd::decode(self.sm_codec, msg) {
-            self.latest.lock().insert(agent, stats);
+        // Decode through the registry vtable and downcast to the stats
+        // type this iApp renders.
+        let Ok(any) = self.desc.decode_indication(self.sm_codec, msg) else { return };
+        if let Ok(stats) = any.downcast::<SliceStatsInd>() {
+            self.latest.lock().insert(agent, *stats);
         }
     }
 
@@ -250,8 +266,11 @@ impl IApp for SliceApp {
     fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn Any + Send>) {
         let Ok(cmd) = msg.downcast::<ApplySliceCtrl>() else { return };
         let ApplySliceCtrl { agent, ctrl, reply } = *cmd;
-        let Some(rf_id) =
-            api.randb().agent(agent).and_then(|a| a.function_by_oid(oid::SLICE_CTRL)).map(|f| f.id)
+        let Some(rf_id) = api
+            .randb()
+            .agent(agent)
+            .and_then(|a| a.function_by_oid_compat(&self.desc.oid, self.desc.version.into()))
+            .map(|f| f.id)
         else {
             let _ =
                 reply.send(CtrlReply { ok: false, detail: format!("agent {agent} has no SC SM") });
@@ -285,7 +304,9 @@ async fn relay(server: &ServerHandle, agent: AgentId, ctrl: SliceCtrl) -> Respon
 /// * `POST /slice/algo` — select the slice algorithm ([`AlgoReq`]),
 /// * `POST /slice/conf` — add/modify slices ([`ConfReq`]),
 /// * `POST /slice/assoc` — associate UEs ([`AssocReq`]),
-/// * `POST /slice/del` — delete slices ([`DelReq`]).
+/// * `POST /slice/del` — delete slices ([`DelReq`]),
+/// * `GET  /sm/registry` — registered service models
+///   ([`flexric_xapp::introspect`]).
 pub async fn spawn_rest(
     listen: &str,
     server: ServerHandle,
@@ -399,7 +420,7 @@ pub async fn spawn_rest(
                 relay(&server, body.agent, SliceCtrl::DelSlices { ids: body.ids }).await
             }
         });
-    HttpServer::spawn(listen, router).await
+    HttpServer::spawn(listen, introspect::mount(router)).await
 }
 
 #[cfg(test)]

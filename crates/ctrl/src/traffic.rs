@@ -24,6 +24,7 @@ use flexric::server::{
     AgentId, AgentInfo, CtrlOutcome, IApp, IndicationRef, ServerApi, ServerHandle,
 };
 use flexric_e2ap::{ControlAckRequest, RicRequestId};
+use flexric_sm::registry::SmDescriptor;
 use flexric_sm::tc::{FiveTupleRule, PacerConf, QueueKind, TcCtrl, TcStatsInd};
 use flexric_sm::{oid, rlc::RlcStatsInd, ReportTrigger, SmCodec, SmPayload};
 use flexric_xapp::broker::BrokerClient;
@@ -86,8 +87,8 @@ pub struct StatsForwarderApp {
     period_ms: u32,
     broker_addr: String,
     publisher: Arc<tokio::sync::Mutex<Option<BrokerClient>>>,
-    /// (agent, req) → is_tc
-    req_kind: HashMap<(AgentId, RicRequestId), bool>,
+    /// The SM descriptor behind each of our request ids.
+    subs: HashMap<(AgentId, RicRequestId), Arc<SmDescriptor>>,
     /// Bearers to watch with the TC SM, configured by the experiment.
     tc_watch: Vec<BearerAddr>,
 }
@@ -106,7 +107,7 @@ impl StatsForwarderApp {
             period_ms,
             broker_addr,
             publisher: Arc::new(tokio::sync::Mutex::new(None)),
-            req_kind: HashMap::new(),
+            subs: HashMap::new(),
             tc_watch,
         }
     }
@@ -134,72 +135,72 @@ impl IApp for StatsForwarderApp {
     }
 
     fn on_agent_connected(&mut self, api: &mut ServerApi, agent: &AgentInfo) {
+        let registry = flexric_sm::registry::global();
         let trigger = Bytes::from(ReportTrigger::every_ms(self.period_ms).encode(self.sm_codec));
-        if let Some(f) = agent.function_by_oid(oid::RLC_STATS) {
-            let req = api.subscribe_report(agent.id, f.id, trigger.clone());
-            self.req_kind.insert((agent.id, req), false);
+        if let Some(desc) = registry.latest(oid::RLC_STATS) {
+            if let Some(f) = agent.function_by_oid_compat(&desc.oid, desc.version.into()) {
+                let req = api.subscribe_report(agent.id, f.id, trigger.clone());
+                self.subs.insert((agent.id, req), desc);
+            }
         }
-        if let Some(f) = agent.function_by_oid(oid::TC_CTRL) {
-            for bearer in &self.tc_watch {
-                let req = api.subscribe(
-                    agent.id,
-                    f.id,
-                    trigger.clone(),
-                    vec![flexric_e2ap::RicActionToBeSetup {
-                        id: flexric_e2ap::RicActionId(0),
-                        action_type: flexric_e2ap::RicActionType::Report,
-                        definition: Some(bearer.encode()),
-                        subsequent: None,
-                    }],
-                );
-                self.req_kind.insert((agent.id, req), true);
+        if let Some(desc) = registry.latest(oid::TC_CTRL) {
+            if let Some(f) = agent.function_by_oid_compat(&desc.oid, desc.version.into()) {
+                for bearer in &self.tc_watch {
+                    let req = api.subscribe(
+                        agent.id,
+                        f.id,
+                        trigger.clone(),
+                        vec![flexric_e2ap::RicActionToBeSetup {
+                            id: flexric_e2ap::RicActionId(0),
+                            action_type: flexric_e2ap::RicActionType::Report,
+                            definition: Some(bearer.encode()),
+                            subsequent: None,
+                        }],
+                    );
+                    self.subs.insert((agent.id, req), desc.clone());
+                }
             }
         }
     }
 
     fn on_indication(&mut self, _api: &mut ServerApi, agent: AgentId, ind: &IndicationRef) {
         let Ok((_, msg)) = ind.sm_payload() else { return };
-        let is_tc = self.req_kind.get(&(agent, ind.req_id())).copied();
-        match is_tc {
-            Some(false) => {
-                if let Ok(stats) = RlcStatsInd::decode(self.sm_codec, msg) {
-                    for b in &stats.bearers {
-                        let dto = RlcStatsDto {
-                            agent,
-                            tstamp_ms: stats.tstamp_ms,
-                            rnti: b.rnti,
-                            drb: b.drb_id,
-                            buffer_bytes: b.buffer_bytes,
-                            sojourn_us_avg: b.sojourn_us_avg,
-                            sojourn_us_max: b.sojourn_us_max,
-                            dropped_pdus: b.dropped_pdus,
-                        };
-                        if let Ok(json) = serde_json::to_vec(&dto) {
-                            self.publish(CHAN_RLC, json);
-                        }
-                    }
+        let Some(desc) = self.subs.get(&(agent, ind.req_id())) else { return };
+        // Decode through the subscription's registry vtable; the concrete
+        // type picks the broker channel.
+        let Ok(any) = desc.decode_indication(self.sm_codec, msg) else { return };
+        if let Some(stats) = any.downcast_ref::<RlcStatsInd>() {
+            for b in &stats.bearers {
+                let dto = RlcStatsDto {
+                    agent,
+                    tstamp_ms: stats.tstamp_ms,
+                    rnti: b.rnti,
+                    drb: b.drb_id,
+                    buffer_bytes: b.buffer_bytes,
+                    sojourn_us_avg: b.sojourn_us_avg,
+                    sojourn_us_max: b.sojourn_us_max,
+                    dropped_pdus: b.dropped_pdus,
+                };
+                if let Ok(json) = serde_json::to_vec(&dto) {
+                    self.publish(CHAN_RLC, json);
                 }
             }
-            Some(true) => {
-                if let Ok(stats) = TcStatsInd::decode(self.sm_codec, msg) {
-                    let dto = TcStatsDto {
-                        agent,
-                        tstamp_ms: stats.tstamp_ms,
-                        rnti: stats.rnti,
-                        drb: stats.drb_id,
-                        queues: stats
-                            .queues
-                            .iter()
-                            .map(|q| (q.id, q.backlog_bytes, q.sojourn_us_avg, q.drops))
-                            .collect(),
-                        pacer_rate_kbps: stats.pacer_rate_kbps,
-                    };
-                    if let Ok(json) = serde_json::to_vec(&dto) {
-                        self.publish(CHAN_TC, json);
-                    }
-                }
+        } else if let Some(stats) = any.downcast_ref::<TcStatsInd>() {
+            let dto = TcStatsDto {
+                agent,
+                tstamp_ms: stats.tstamp_ms,
+                rnti: stats.rnti,
+                drb: stats.drb_id,
+                queues: stats
+                    .queues
+                    .iter()
+                    .map(|q| (q.id, q.backlog_bytes, q.sojourn_us_avg, q.drops))
+                    .collect(),
+                pacer_rate_kbps: stats.pacer_rate_kbps,
+            };
+            if let Ok(json) = serde_json::to_vec(&dto) {
+                self.publish(CHAN_TC, json);
             }
-            None => {}
         }
     }
 }
@@ -259,8 +260,15 @@ impl IApp for TcManagerApp {
     fn on_custom(&mut self, api: &mut ServerApi, msg: Box<dyn Any + Send>) {
         let Ok(cmd) = msg.downcast::<ApplyTcCtrl>() else { return };
         let ApplyTcCtrl { agent, bearer, ctrl, reply } = *cmd;
-        let Some(rf_id) =
-            api.randb().agent(agent).and_then(|a| a.function_by_oid(oid::TC_CTRL)).map(|f| f.id)
+        let want = flexric_sm::registry::global()
+            .latest(oid::TC_CTRL)
+            .map(|d| d.version.into())
+            .unwrap_or(flexric_e2ap::FnVersion::V1);
+        let Some(rf_id) = api
+            .randb()
+            .agent(agent)
+            .and_then(|a| a.function_by_oid_compat(oid::TC_CTRL, want))
+            .map(|f| f.id)
         else {
             let _ =
                 reply.send(CtrlReply { ok: false, detail: format!("agent {agent} has no TC SM") });
@@ -373,7 +381,8 @@ impl TcCmdDto {
     }
 }
 
-/// Binds the TC controller's REST northbound (`POST /tc/cmd`).
+/// Binds the TC controller's REST northbound (`POST /tc/cmd`, plus
+/// `GET /sm/registry` from [`flexric_xapp::introspect`]).
 pub async fn spawn_rest(listen: &str, server: ServerHandle) -> std::io::Result<HttpServer> {
     let router = Router::new().route("POST", "/tc/cmd", move |req: Request| {
         let server = server.clone();
@@ -398,7 +407,7 @@ pub async fn spawn_rest(listen: &str, server: ServerHandle) -> std::io::Result<H
             }
         }
     });
-    HttpServer::spawn(listen, router).await
+    HttpServer::spawn(listen, flexric_xapp::introspect::mount(router)).await
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,11 @@ pub enum RicServiceCause {
     ExcessiveFunctions = 1,
     /// RIC cannot serve the function revision.
     RicResourceLimit = 2,
+    /// No service model with the advertised OID is registered at the RIC.
+    FunctionNotSupported = 3,
+    /// A service model with the OID exists, but no registered version is
+    /// semver-compatible with the advertised one (major mismatch).
+    FunctionVersionMismatch = 4,
 }
 
 /// Transport-layer causes.
@@ -144,6 +149,8 @@ impl Cause {
                 0 => RicServiceCause::FunctionNotRequired,
                 1 => RicServiceCause::ExcessiveFunctions,
                 2 => RicServiceCause::RicResourceLimit,
+                3 => RicServiceCause::FunctionNotSupported,
+                4 => RicServiceCause::FunctionVersionMismatch,
                 _ => return None,
             }),
             2 => Cause::Transport(match value {
@@ -209,7 +216,7 @@ mod tests {
     fn invalid_parts_rejected() {
         assert_eq!(Cause::from_parts(5, 0), None);
         assert_eq!(Cause::from_parts(0, 99), None);
-        assert_eq!(Cause::from_parts(1, 3), None);
+        assert_eq!(Cause::from_parts(1, 5), None);
         assert_eq!(Cause::from_parts(2, 2), None);
         assert_eq!(Cause::from_parts(3, 7), None);
         assert_eq!(Cause::from_parts(4, 4), None);

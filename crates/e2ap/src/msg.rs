@@ -7,6 +7,35 @@ use crate::ids::{
     GlobalE2NodeId, GlobalRicId, InterfaceType, RanFunctionId, RicActionId, RicRequestId,
 };
 
+/// Service-model version advertised alongside a RAN function: the
+/// `major.minor` the E2 node implements.  Negotiation is semver-style —
+/// the RIC serves the function iff it has a registered descriptor with
+/// the same major (highest minor wins); see `flexric-sm`'s registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnVersion {
+    /// Incompatible-change counter; must match exactly.
+    pub major: u16,
+    /// Backward-compatible revision.
+    pub minor: u16,
+}
+
+impl FnVersion {
+    /// Version 1.0, what pre-versioning peers are assumed to speak (the
+    /// wire encodes it as an absent field, so old captures still decode).
+    pub const V1: FnVersion = FnVersion { major: 1, minor: 0 };
+
+    /// A version literal.
+    pub const fn new(major: u16, minor: u16) -> Self {
+        FnVersion { major, minor }
+    }
+}
+
+impl Default for FnVersion {
+    fn default() -> Self {
+        FnVersion::V1
+    }
+}
+
 /// A RAN function as advertised during E2 setup / RIC service update.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RanFunctionItem {
@@ -18,6 +47,8 @@ pub struct RanFunctionItem {
     pub revision: u16,
     /// Service model object identifier, e.g. `"flexric.sm.mac_stats"`.
     pub oid: String,
+    /// Service-model version (`major.minor`) behind the OID.
+    pub version: FnVersion,
 }
 
 /// Configuration of one E2 node component (interface termination).
@@ -788,6 +819,7 @@ mod tests {
                 definition: Bytes::from_static(b"def"),
                 revision: 1,
                 oid: "flexric.sm.mac_stats".into(),
+                version: FnVersion::new(1, 2),
             }],
             component_configs: vec![],
         };

@@ -39,6 +39,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use bytes::{Bytes, BytesMut};
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::per::{BitReader, BitWriter};
 
@@ -654,7 +655,7 @@ fn apply_body<T: DeltaRows>(prev: &T, body: &DeltaBody) -> Option<T> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReportOut {
     /// Send these payload bytes (full snapshot, keyframe, or delta).
-    Send(Vec<u8>),
+    Send(Bytes),
     /// Send nothing (suppressed).
     Suppressed,
 }
@@ -664,13 +665,16 @@ pub enum ReportOut {
 #[derive(Debug, Default)]
 pub struct DeltaStreams<K: Eq + Hash, T: DeltaRows> {
     streams: HashMap<K, DeltaEncoder<T>>,
+    /// Scratch for full-mode encodes ([`SmPayload::encode_into`]); delta
+    /// frames already build in the encoder's own buffers.
+    scratch: BytesMut,
 }
 
 impl<K: Eq + Hash, T: DeltaRows> DeltaStreams<K, T> {
     /// An empty stream set.
     pub fn new() -> Self {
         register_metrics();
-        DeltaStreams { streams: HashMap::new() }
+        DeltaStreams { streams: HashMap::new(), scratch: BytesMut::new() }
     }
 
     /// (Re)starts the stream of a subscription: an existing stream bumps
@@ -717,7 +721,7 @@ impl<K: Eq + Hash, T: DeltaRows> DeltaStreams<K, T> {
                 if let Some(enc) = self.streams.get_mut(&key) {
                     enc.force_keyframe();
                 }
-                let buf = snap.encode(codec);
+                let buf = snap.encode_into(codec, &mut self.scratch);
                 obs().bytes_full.add(buf.len() as u64);
                 ReportOut::Send(buf)
             }
@@ -727,7 +731,9 @@ impl<K: Eq + Hash, T: DeltaRows> DeltaStreams<K, T> {
                     .entry(key)
                     .or_insert_with(|| DeltaEncoder::new(keyframe_every.max(1)));
                 match enc.encode(snap, codec) {
-                    DeltaOut::Keyframe(buf) | DeltaOut::Delta(buf) => ReportOut::Send(buf),
+                    DeltaOut::Keyframe(buf) | DeltaOut::Delta(buf) => {
+                        ReportOut::Send(Bytes::from(buf))
+                    }
                     DeltaOut::Suppressed => ReportOut::Suppressed,
                 }
             }

@@ -3,6 +3,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::SmPayload;
 
@@ -41,7 +42,7 @@ impl RanFuncDef {
     }
 }
 
-fn put_styles(w: &mut BitWriter, styles: &[FuncStyle]) {
+fn put_styles<B: ByteSink>(w: &mut BitWriter<B>, styles: &[FuncStyle]) {
     w.put_length(styles.len());
     for s in styles {
         w.put_uint(s.style as u32 as u64);
@@ -62,7 +63,7 @@ fn get_styles(r: &mut BitReader) -> Result<Vec<FuncStyle>> {
 }
 
 impl SmPayload for RanFuncDef {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_utf8(&self.name);
         w.put_utf8(&self.description);
         put_styles(w, &self.report_styles);
@@ -78,10 +79,10 @@ impl SmPayload for RanFuncDef {
         })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let name = b.string(&self.name);
         let desc = b.string(&self.description);
-        let enc_styles = |b: &mut FbBuilder, styles: &[FuncStyle]| -> u32 {
+        let enc_styles = |b: &mut FbBuilder<B>, styles: &[FuncStyle]| -> u32 {
             let offs: Vec<u32> = styles
                 .iter()
                 .map(|s| {

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::SmPayload;
 
@@ -32,7 +33,7 @@ impl HwPing {
 }
 
 impl SmPayload for HwPing {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.seq as u64);
         w.put_uint(self.tstamp_ns);
         w.put_octets(&self.payload);
@@ -46,7 +47,7 @@ impl SmPayload for HwPing {
         })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let payload = b.blob(&self.payload);
         let mut t = TableBuilder::new();
         t.u32(0, self.seq).u64(1, self.tstamp_ns).off(2, payload);

@@ -8,6 +8,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::delta::{hash_str, DeltaRows};
 use crate::SmPayload;
@@ -49,7 +50,7 @@ impl KpmActionDef {
 }
 
 impl SmPayload for KpmActionDef {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.granularity_ms as u64);
         w.put_length(self.measurements.len());
         for m in &self.measurements {
@@ -75,7 +76,7 @@ impl SmPayload for KpmActionDef {
         Ok(KpmActionDef { granularity_ms, measurements, ue_filter })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self.measurements.iter().map(|m| b.string(m)).collect();
         let v = b.vec_off(&offs);
         let mut t = TableBuilder::new();
@@ -125,7 +126,7 @@ pub struct KpmReport {
 }
 
 impl SmPayload for KpmReport {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.tstamp_ms);
         w.put_uint(self.granularity_ms as u64);
         w.put_length(self.records.len());
@@ -156,7 +157,7 @@ impl SmPayload for KpmReport {
         Ok(KpmReport { tstamp_ms, granularity_ms, records })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self
             .records
             .iter()

@@ -3,18 +3,35 @@
 //! Service models are "specifications in their own right" (paper Appendix
 //! A.3): each defines the payloads exchanged between an xApp/iApp and a RAN
 //! function — event triggers, action definitions, indication headers and
-//! messages, control headers/messages and outcomes.  This crate provides
-//! the SM set the paper introduces:
+//! messages, control headers/messages and outcomes.  This crate has three
+//! parts:
 //!
-//! * monitoring SMs — [`mac`], [`rlc`], [`pdcp`] statistics (§4.1, §5.1),
-//! * the slice control SM — [`slice`] (SC SM, §6.1.2),
-//! * the traffic control SM — [`tc`] (TC SM, §6.1.1),
-//! * RRC UE-event notifications — [`rrc`] (used for UE-to-slice discovery),
-//! * the hello-world SM — [`hw`] (the ping SM of §5.2's RTT experiments).
+//! 1. **The payload layer** ([`SmPayload`]): every SM payload encodes with
+//!    either the ASN.1-PER-style or the FlatBuffers-style codec
+//!    ([`SmCodec`]), independently of the E2AP encoding — the four
+//!    E2AP×E2SM combinations of the paper's Fig. 7.  The hot-path entry is
+//!    [`SmPayload::encode_into`], which reuses a caller-owned scratch
+//!    buffer (the PR 3 zero-allocation discipline); [`SmPayload::encode`]
+//!    is the allocating convenience form.
 //!
-//! Every SM payload can be encoded with either the ASN.1-PER-style or the
-//! FlatBuffers-style codec ([`SmCodec`]), independently of the E2AP
-//! encoding — giving the four E2AP×E2SM combinations of the paper's Fig. 7.
+//! 2. **The bundled SM set**: the monitoring SMs — [`mac`], [`rlc`],
+//!    [`pdcp`] statistics (§4.1, §5.1) and [`kpm`] (cf. O-RAN E2SM-KPM) —
+//!    plus the slice control SM ([`slice`], SC SM §6.1.2), the traffic
+//!    control SM ([`tc`], TC SM §6.1.1), RRC UE-event notifications
+//!    ([`rrc`]) and the hello-world SM ([`hw`], the ping SM of §5.2).
+//!    Monitoring SMs additionally speak the [`delta`] stream: dirty-field
+//!    delta indications with keyframes, suppression, and verified
+//!    reconstruction ([`ReportMode::Delta`] on the [`trigger`]).
+//!
+//! 3. **The plugin registry** ([`registry`]): every SM — bundled or
+//!    third-party — is described by a versioned [`registry::SmDescriptor`]
+//!    (RAN function id, OID, `major.minor` version, type-erased codec
+//!    vtable, delta hooks, funcdef builder) registered in a process-wide
+//!    [`registry::SmRegistry`].  Agents advertise `oid@version` from the
+//!    registry, servers negotiate semver-compatibility at E2 Setup (major
+//!    must match, highest minor wins), and iApps decode through the vtable
+//!    instead of static `match` arms — so a new service model plugs in
+//!    with zero core-code edits (see `examples/custom_sm.rs`).
 
 pub mod delta;
 pub mod funcdef;
@@ -22,6 +39,7 @@ pub mod hw;
 pub mod kpm;
 pub mod mac;
 pub mod pdcp;
+pub mod registry;
 pub mod rlc;
 pub mod rrc;
 pub mod slice;
@@ -33,11 +51,14 @@ pub use delta::{
     ReportOut,
 };
 pub use funcdef::RanFuncDef;
+pub use registry::{SmDescriptor, SmRegistry, SmVersion};
 pub use trigger::{ReportMode, ReportTrigger};
 
+use bytes::{Bytes, BytesMut};
 use flexric_codec::error::Result;
 use flexric_codec::fb::{FbBuilder, FbView};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 /// Which encoding an SM payload uses, independent of the E2AP encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -63,17 +84,22 @@ impl SmCodec {
 }
 
 /// Implemented by every SM payload: dual-codec encode/decode.
+///
+/// The `encode_per`/`encode_fb` bodies are generic over the output
+/// [`ByteSink`], so one implementation serves both the allocating
+/// [`encode`](SmPayload::encode) convenience and the scratch-reusing
+/// [`encode_into`](SmPayload::encode_into) hot path.
 pub trait SmPayload: Sized {
     /// Encodes into the PER-style writer.
-    fn encode_per(&self, w: &mut BitWriter);
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>);
     /// Decodes from the PER-style reader.
     fn decode_per(r: &mut BitReader) -> Result<Self>;
     /// Encodes into an FB-style message, returning the root table offset.
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32;
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32;
     /// Decodes from the root table of an FB-style message.
     fn decode_fb(t: &flexric_codec::fb::FbTable) -> Result<Self>;
 
-    /// Encodes with the chosen codec.
+    /// Encodes with the chosen codec into a fresh buffer.
     fn encode(&self, codec: SmCodec) -> Vec<u8> {
         match codec {
             SmCodec::Asn1Per => {
@@ -87,6 +113,30 @@ pub trait SmPayload: Sized {
                 b.finish(root)
             }
         }
+    }
+
+    /// Encodes with the chosen codec into a caller-owned scratch buffer,
+    /// splitting the message off as a frozen [`Bytes`].
+    ///
+    /// Byte-for-byte identical to [`encode`](SmPayload::encode) — both
+    /// dispatch to the same generic body.  Steady-state this allocates
+    /// nothing: once every frozen handle of a previous message drops, the
+    /// scratch buffer reclaims that capacity (the PR 3 `encode_into`
+    /// discipline, extended to SM payloads).
+    fn encode_into(&self, codec: SmCodec, buf: &mut BytesMut) -> Bytes {
+        match codec {
+            SmCodec::Asn1Per => {
+                let mut w = BitWriter::over(std::mem::take(buf));
+                self.encode_per(&mut w);
+                *buf = w.into_buf();
+            }
+            SmCodec::Flatb => {
+                let mut b = FbBuilder::over(std::mem::take(buf));
+                let root = self.encode_fb(&mut b);
+                *buf = b.finish_buf(root);
+            }
+        }
+        buf.split().freeze()
     }
 
     /// Decodes with the chosen codec.
@@ -105,6 +155,9 @@ pub trait SmPayload: Sized {
 }
 
 /// Well-known RAN function ids of the bundled service models.
+///
+/// These are the default ids the bundled [`registry`] descriptors carry;
+/// third-party SMs pick unused ids at registration time.
 pub mod rf {
     /// Hello-world SM (ping), cf. O-RAN's E2SM-HW.
     pub const HW: u16 = 2;
@@ -150,13 +203,18 @@ pub(crate) mod test_util {
     use super::*;
     use std::fmt::Debug;
 
-    /// Round-trips `msg` through both codecs and asserts equality.
+    /// Round-trips `msg` through both codecs and asserts equality, and
+    /// asserts the scratch-buffer encode path is byte-identical to the
+    /// allocating one.
     pub fn roundtrip_both<T: SmPayload + PartialEq + Debug>(msg: &T) {
+        let mut scratch = BytesMut::new();
         for codec in SmCodec::ALL {
             let buf = msg.encode(codec);
             let back =
                 T::decode(codec, &buf).unwrap_or_else(|e| panic!("{codec:?} decode failed: {e}"));
             assert_eq!(&back, msg, "{codec:?} roundtrip");
+            let frozen = msg.encode_into(codec, &mut scratch);
+            assert_eq!(&frozen[..], &buf[..], "{codec:?} encode_into byte-identical");
         }
     }
 

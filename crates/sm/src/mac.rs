@@ -11,6 +11,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::delta::DeltaRows;
 use crate::SmPayload;
@@ -59,7 +60,7 @@ pub struct MacStatsInd {
     pub ues: Vec<MacUeStats>,
 }
 
-fn put_ue(w: &mut BitWriter, u: &MacUeStats) {
+fn put_ue<B: ByteSink>(w: &mut BitWriter<B>, u: &MacUeStats) {
     w.put_bits(u.rnti as u64, 16);
     w.put_constrained(u.cqi as u64, 0, 15);
     w.put_constrained(u.mcs as u64, 0, 31);
@@ -95,7 +96,7 @@ fn get_ue(r: &mut BitReader) -> Result<MacUeStats> {
     })
 }
 
-fn enc_ue_fb(b: &mut FbBuilder, u: &MacUeStats) -> u32 {
+fn enc_ue_fb<B: ByteSink>(b: &mut FbBuilder<B>, u: &MacUeStats) -> u32 {
     let mut t = TableBuilder::new();
     t.u16(0, u.rnti)
         .u8(1, u.cqi)
@@ -134,7 +135,7 @@ fn dec_ue_fb(t: &FbTable) -> Result<MacUeStats> {
 }
 
 impl SmPayload for MacStatsInd {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.tstamp_ms);
         w.put_uint(self.cell_prbs as u64);
         w.put_length(self.ues.len());
@@ -157,7 +158,7 @@ impl SmPayload for MacStatsInd {
         Ok(MacStatsInd { tstamp_ms, cell_prbs, ues })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self.ues.iter().map(|u| enc_ue_fb(b, u)).collect();
         let ues = b.vec_off(&offs);
         let mut t = TableBuilder::new();

@@ -6,6 +6,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::delta::DeltaRows;
 use crate::SmPayload;
@@ -42,7 +43,7 @@ pub struct PdcpStatsInd {
     pub bearers: Vec<PdcpBearerStats>,
 }
 
-fn put_bearer(w: &mut BitWriter, s: &PdcpBearerStats) {
+fn put_bearer<B: ByteSink>(w: &mut BitWriter<B>, s: &PdcpBearerStats) {
     w.put_bits(s.rnti as u64, 16);
     w.put_bits(s.drb_id as u64, 8);
     w.put_uint(s.tx_pdus);
@@ -68,7 +69,7 @@ fn get_bearer(r: &mut BitReader) -> Result<PdcpBearerStats> {
     })
 }
 
-fn enc_bearer_fb(b: &mut FbBuilder, s: &PdcpBearerStats) -> u32 {
+fn enc_bearer_fb<B: ByteSink>(b: &mut FbBuilder<B>, s: &PdcpBearerStats) -> u32 {
     let mut t = TableBuilder::new();
     t.u16(0, s.rnti)
         .u8(1, s.drb_id)
@@ -97,7 +98,7 @@ fn dec_bearer_fb(t: &FbTable) -> Result<PdcpBearerStats> {
 }
 
 impl SmPayload for PdcpStatsInd {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.tstamp_ms);
         w.put_length(self.bearers.len());
         for s in &self.bearers {
@@ -118,7 +119,7 @@ impl SmPayload for PdcpStatsInd {
         Ok(PdcpStatsInd { tstamp_ms, bearers })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self.bearers.iter().map(|s| enc_bearer_fb(b, s)).collect();
         let bearers = b.vec_off(&offs);
         let mut t = TableBuilder::new();

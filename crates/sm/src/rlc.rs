@@ -7,6 +7,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::delta::DeltaRows;
 use crate::SmPayload;
@@ -45,7 +46,7 @@ pub struct RlcStatsInd {
     pub bearers: Vec<RlcBearerStats>,
 }
 
-fn put_bearer(w: &mut BitWriter, s: &RlcBearerStats) {
+fn put_bearer<B: ByteSink>(w: &mut BitWriter<B>, s: &RlcBearerStats) {
     w.put_bits(s.rnti as u64, 16);
     w.put_bits(s.drb_id as u64, 8);
     w.put_uint(s.tx_pdus);
@@ -73,7 +74,7 @@ fn get_bearer(r: &mut BitReader) -> Result<RlcBearerStats> {
     })
 }
 
-fn enc_bearer_fb(b: &mut FbBuilder, s: &RlcBearerStats) -> u32 {
+fn enc_bearer_fb<B: ByteSink>(b: &mut FbBuilder<B>, s: &RlcBearerStats) -> u32 {
     let mut t = TableBuilder::new();
     t.u16(0, s.rnti)
         .u8(1, s.drb_id)
@@ -104,7 +105,7 @@ fn dec_bearer_fb(t: &FbTable) -> Result<RlcBearerStats> {
 }
 
 impl SmPayload for RlcStatsInd {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.tstamp_ms);
         w.put_length(self.bearers.len());
         for s in &self.bearers {
@@ -125,7 +126,7 @@ impl SmPayload for RlcStatsInd {
         Ok(RlcStatsInd { tstamp_ms, bearers })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self.bearers.iter().map(|s| enc_bearer_fb(b, s)).collect();
         let bearers = b.vec_off(&offs);
         let mut t = TableBuilder::new();

@@ -10,6 +10,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::SmPayload;
 
@@ -72,7 +73,7 @@ pub struct RrcEventInd {
 }
 
 impl SmPayload for RrcEventInd {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.tstamp_ms);
         w.put_length(self.events.len());
         for e in &self.events {
@@ -107,7 +108,7 @@ impl SmPayload for RrcEventInd {
         Ok(RrcEventInd { tstamp_ms, events })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self
             .events
             .iter()
@@ -165,7 +166,7 @@ pub enum RrcCtrl {
 }
 
 impl SmPayload for RrcCtrl {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         match self {
             RrcCtrl::Handover { rnti, target_cell } => {
                 w.put_constrained(0, 0, 1);
@@ -190,7 +191,7 @@ impl SmPayload for RrcCtrl {
         }
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let mut t = TableBuilder::new();
         match self {
             RrcCtrl::Handover { rnti, target_cell } => {

@@ -12,6 +12,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::SmPayload;
 
@@ -188,7 +189,7 @@ pub struct SliceStatsInd {
 // Codec helpers
 // ---------------------------------------------------------------------------
 
-fn put_params(w: &mut BitWriter, p: &SliceParams) {
+fn put_params<B: ByteSink>(w: &mut BitWriter<B>, p: &SliceParams) {
     match p {
         SliceParams::NvsCapacity { share_milli } => {
             w.put_constrained(0, 0, 2);
@@ -219,7 +220,7 @@ fn get_params(r: &mut BitReader) -> Result<SliceParams> {
     }
 }
 
-fn put_conf(w: &mut BitWriter, c: &SliceConf) {
+fn put_conf<B: ByteSink>(w: &mut BitWriter<B>, c: &SliceConf) {
     w.put_uint(c.id as u64);
     w.put_utf8(&c.label);
     put_params(w, &c.params);
@@ -265,7 +266,7 @@ fn dec_params_fb(t: &FbTable, base: u16) -> Result<SliceParams> {
     }
 }
 
-fn enc_conf_fb(b: &mut FbBuilder, c: &SliceConf) -> u32 {
+fn enc_conf_fb<B: ByteSink>(b: &mut FbBuilder<B>, c: &SliceConf) -> u32 {
     let label = b.string(&c.label);
     let mut t = TableBuilder::new();
     t.u32(0, c.id).off(1, label).u8(2, c.ue_sched as u8);
@@ -284,7 +285,7 @@ fn dec_conf_fb(t: &FbTable) -> Result<SliceConf> {
     })
 }
 
-fn put_assoc(w: &mut BitWriter, assoc: &[(u16, u32)]) {
+fn put_assoc<B: ByteSink>(w: &mut BitWriter<B>, assoc: &[(u16, u32)]) {
     w.put_length(assoc.len());
     for (rnti, slice) in assoc {
         w.put_bits(*rnti as u64, 16);
@@ -304,7 +305,7 @@ fn get_assoc(r: &mut BitReader) -> Result<Vec<(u16, u32)>> {
     Ok(out)
 }
 
-fn enc_assoc_fb(b: &mut FbBuilder, assoc: &[(u16, u32)]) -> u32 {
+fn enc_assoc_fb<B: ByteSink>(b: &mut FbBuilder<B>, assoc: &[(u16, u32)]) -> u32 {
     // Encoded as a flat u64 vector: (rnti << 32) | slice.
     let packed: Vec<u64> = assoc.iter().map(|(r, s)| ((*r as u64) << 32) | *s as u64).collect();
     b.vec_u64(&packed)
@@ -320,7 +321,7 @@ fn dec_assoc_fb(v: &flexric_codec::fb::FbVector) -> Result<Vec<(u16, u32)>> {
 }
 
 impl SmPayload for SliceCtrl {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         match self {
             SliceCtrl::SetAlgo { algo } => {
                 w.put_constrained(0, 0, 3);
@@ -383,7 +384,7 @@ impl SmPayload for SliceCtrl {
         }
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         match self {
             SliceCtrl::SetAlgo { algo } => {
                 let mut t = TableBuilder::new();
@@ -444,7 +445,7 @@ impl SmPayload for SliceCtrl {
 }
 
 impl SmPayload for SliceStatsInd {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.tstamp_ms);
         w.put_constrained(self.algo as u64, 0, 3);
         w.put_length(self.slices.len());
@@ -479,7 +480,7 @@ impl SmPayload for SliceStatsInd {
         Ok(SliceStatsInd { tstamp_ms, algo, slices, ue_assoc })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self
             .slices
             .iter()

@@ -11,6 +11,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::SmPayload;
 
@@ -191,7 +192,7 @@ pub struct TcStatsInd {
 // PER helpers
 // ---------------------------------------------------------------------------
 
-fn put_kind(w: &mut BitWriter, k: &QueueKind) {
+fn put_kind<B: ByteSink>(w: &mut BitWriter<B>, k: &QueueKind) {
     match k {
         QueueKind::Fifo { cap_bytes } => {
             w.put_constrained(0, 0, 1);
@@ -216,7 +217,7 @@ fn get_kind(r: &mut BitReader) -> Result<QueueKind> {
     }
 }
 
-fn put_opt_uint(w: &mut BitWriter, v: Option<u64>) {
+fn put_opt_uint<B: ByteSink>(w: &mut BitWriter<B>, v: Option<u64>) {
     w.put_bit(v.is_some());
     if let Some(v) = v {
         w.put_uint(v);
@@ -231,7 +232,7 @@ fn get_opt_uint(r: &mut BitReader) -> Result<Option<u64>> {
     }
 }
 
-fn put_rule(w: &mut BitWriter, rule: &FiveTupleRule) {
+fn put_rule<B: ByteSink>(w: &mut BitWriter<B>, rule: &FiveTupleRule) {
     w.put_uint(rule.id as u64);
     put_opt_uint(w, rule.src_ip.map(u64::from));
     put_opt_uint(w, rule.dst_ip.map(u64::from));
@@ -251,7 +252,7 @@ fn get_rule(r: &mut BitReader) -> Result<FiveTupleRule> {
     })
 }
 
-fn put_pacer(w: &mut BitWriter, p: &PacerConf) {
+fn put_pacer<B: ByteSink>(w: &mut BitWriter<B>, p: &PacerConf) {
     match p {
         PacerConf::None => w.put_constrained(0, 0, 1),
         PacerConf::Bdp { target_delay_us } => {
@@ -273,7 +274,7 @@ fn get_pacer(r: &mut BitReader) -> Result<PacerConf> {
 // FB helpers
 // ---------------------------------------------------------------------------
 
-fn enc_rule_fb(b: &mut FbBuilder, rule: &FiveTupleRule) -> u32 {
+fn enc_rule_fb<B: ByteSink>(b: &mut FbBuilder<B>, rule: &FiveTupleRule) -> u32 {
     let mut t = TableBuilder::new();
     t.u32(0, rule.id);
     if let Some(v) = rule.src_ip {
@@ -306,7 +307,7 @@ fn dec_rule_fb(t: &FbTable) -> Result<FiveTupleRule> {
 }
 
 impl SmPayload for TcCtrl {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         match self {
             TcCtrl::AddQueue { id, kind } => {
                 w.put_constrained(0, 0, 5);
@@ -371,7 +372,7 @@ impl SmPayload for TcCtrl {
         }
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         match self {
             TcCtrl::AddQueue { id, kind } => {
                 let mut t = TableBuilder::new();
@@ -475,7 +476,7 @@ impl SmPayload for TcCtrl {
 }
 
 impl SmPayload for TcStatsInd {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.tstamp_ms);
         w.put_bits(self.rnti as u64, 16);
         w.put_bits(self.drb_id as u64, 8);
@@ -518,7 +519,7 @@ impl SmPayload for TcStatsInd {
         Ok(TcStatsInd { tstamp_ms, rnti, drb_id, queues, pacer_rate_kbps })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let offs: Vec<u32> = self
             .queues
             .iter()

@@ -3,6 +3,7 @@
 use flexric_codec::error::{CodecError, Result};
 use flexric_codec::fb::{FbBuilder, FbTable, TableBuilder};
 use flexric_codec::per::{BitReader, BitWriter};
+use flexric_codec::ByteSink;
 
 use crate::SmPayload;
 
@@ -75,7 +76,7 @@ impl ReportTrigger {
 }
 
 impl SmPayload for ReportTrigger {
-    fn encode_per(&self, w: &mut BitWriter) {
+    fn encode_per<B: ByteSink>(&self, w: &mut BitWriter<B>) {
         w.put_uint(self.period_ms as u64);
         w.put_bits(self.rnti_filter_lo as u64, 16);
         w.put_bits(self.rnti_filter_hi as u64, 16);
@@ -101,7 +102,7 @@ impl SmPayload for ReportTrigger {
         Ok(ReportTrigger { period_ms, rnti_filter_lo, rnti_filter_hi, mode })
     }
 
-    fn encode_fb(&self, b: &mut FbBuilder) -> u32 {
+    fn encode_fb<B: ByteSink>(&self, b: &mut FbBuilder<B>) -> u32 {
         let mut t = TableBuilder::new();
         t.u32(0, self.period_ms).u16(1, self.rnti_filter_lo).u16(2, self.rnti_filter_hi);
         if let ReportMode::Delta { keyframe_every } = self.mode {

@@ -1,0 +1,147 @@
+//! Property tests for the SM registry: against a model set of
+//! `(oid, major, minor)` registrations, the registry's acceptance
+//! decisions, version ordering, latest-version resolution, and semver
+//! negotiation all match the spec — duplicates are explicit errors
+//! (never silent overwrites), and negotiation returns exactly the
+//! highest compatible minor or an explicit failure.  Runs under both the
+//! real proptest (cargo) and the mini_proptest shim
+//! (tools/offline_verify).
+
+use flexric_sm::registry::{NegotiationError, RegisterError, SmRegistry};
+use flexric_sm::{RanFuncDef, SmDescriptor, SmVersion};
+use proptest::prelude::*;
+
+/// Distinct OID namespace per index; RAN function ids derived per
+/// `(oid, version)` so id ownership never collides across OIDs (same-OID
+/// reuse across versions is legal by design).
+fn oid_of(o: usize) -> String {
+    format!("prop.sm.{o}")
+}
+
+fn rf_of(o: usize, major: u16, minor: u16) -> u16 {
+    (o as u16) * 1000 + major * 10 + minor
+}
+
+fn desc_of(o: usize, major: u16, minor: u16) -> SmDescriptor {
+    SmDescriptor::new(
+        rf_of(o, major, minor),
+        oid_of(o),
+        SmVersion::new(major, minor),
+        RanFuncDef::simple("PROP", "registry property test SM"),
+    )
+}
+
+proptest! {
+    /// Whatever the registration sequence, the registry agrees with a
+    /// model set: first registration of an `(oid, version)` succeeds,
+    /// re-registration is a `DuplicateVersion` error that leaves the
+    /// original untouched, per-OID version lists stay ascending, and
+    /// `latest` is the model maximum.
+    #[test]
+    fn registration_matches_model(
+        entries in prop::collection::vec((0..5usize, 1..4u16, 0..5u16), 0..40),
+    ) {
+        let reg = SmRegistry::new();
+        let mut model: std::collections::BTreeSet<(usize, u16, u16)> = Default::default();
+        for &(o, major, minor) in &entries {
+            let res = reg.register(desc_of(o, major, minor));
+            if model.insert((o, major, minor)) {
+                prop_assert!(res.is_ok(), "fresh version must register: {res:?}");
+            } else {
+                prop_assert!(
+                    matches!(res, Err(RegisterError::DuplicateVersion { .. })),
+                    "duplicate must be an explicit error: {res:?}"
+                );
+            }
+        }
+        prop_assert_eq!(reg.len(), model.len());
+        for o in 0..5usize {
+            let oid = oid_of(o);
+            let want: Vec<SmVersion> = model
+                .iter()
+                .filter(|(mo, _, _)| *mo == o)
+                .map(|&(_, ma, mi)| SmVersion::new(ma, mi))
+                .collect();
+            // BTreeSet iteration order == ascending (major, minor), the
+            // registry's documented ordering.
+            prop_assert_eq!(reg.versions(&oid), want.clone());
+            prop_assert_eq!(reg.latest(&oid).map(|d| d.version), want.last().copied());
+            // Every surviving descriptor is the ORIGINAL registration:
+            // its RAN function id still encodes its own version.
+            for d in reg.versions(&oid) {
+                let got = reg
+                    .by_ran_function(rf_of(o, d.major, d.minor))
+                    .expect("registered id resolves");
+                prop_assert_eq!(got.version, d);
+                prop_assert_eq!(&got.oid, &oid);
+            }
+        }
+    }
+
+    /// Negotiation returns exactly the highest minor of the offered
+    /// major, `MajorMismatch` when the OID exists but no major matches,
+    /// and `UnknownOid` when nothing is registered under the OID.
+    #[test]
+    fn negotiation_picks_highest_compatible_minor(
+        entries in prop::collection::vec((0..5usize, 1..4u16, 0..5u16), 0..40),
+        offered_minor in 0..8u16,
+    ) {
+        let reg = SmRegistry::new();
+        let mut model: std::collections::BTreeSet<(usize, u16, u16)> = Default::default();
+        for &(o, major, minor) in &entries {
+            if model.insert((o, major, minor)) {
+                reg.register(desc_of(o, major, minor)).unwrap();
+            }
+        }
+        for o in 0..6usize {
+            let oid = oid_of(o);
+            let registered = model.iter().any(|(mo, _, _)| *mo == o);
+            for major in 1..4u16 {
+                let best = model
+                    .iter()
+                    .filter(|&&(mo, ma, _)| mo == o && ma == major)
+                    .map(|&(_, _, mi)| mi)
+                    .max();
+                let got = reg.negotiate(&oid, SmVersion::new(major, offered_minor));
+                match (got, best) {
+                    (Ok(d), Some(mi)) => {
+                        prop_assert_eq!(d.version, SmVersion::new(major, mi));
+                        // Minor skew both ways interoperates: the offer's
+                        // minor never affects the outcome.
+                        prop_assert!(d.version.compatible(SmVersion::new(major, offered_minor)));
+                    }
+                    (Err(NegotiationError::MajorMismatch { .. }), None) => {
+                        prop_assert!(registered, "MajorMismatch implies the OID exists");
+                    }
+                    (Err(NegotiationError::UnknownOid { .. }), None) => {
+                        prop_assert!(!registered, "UnknownOid implies nothing registered");
+                    }
+                    (got, best) => {
+                        prop_assert!(false, "negotiation mismatch: {got:?} vs best={best:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A RAN function id owned by one OID can never be claimed by
+    /// another, whatever the version offered.
+    #[test]
+    fn function_id_ownership_is_stable(
+        major in 1..4u16,
+        minor in 0..5u16,
+    ) {
+        let reg = SmRegistry::new();
+        reg.register(desc_of(0, 1, 0)).unwrap();
+        let thief = SmDescriptor::new(
+            rf_of(0, 1, 0),
+            oid_of(1),
+            SmVersion::new(major, minor),
+            RanFuncDef::simple("THIEF", "claims someone else's id"),
+        );
+        let res = reg.register(thief);
+        prop_assert!(matches!(res, Err(RegisterError::FunctionIdTaken { .. })), "{res:?}");
+        prop_assert_eq!(&reg.by_ran_function(rf_of(0, 1, 0)).unwrap().oid, &oid_of(0));
+        prop_assert_eq!(reg.len(), 1);
+    }
+}

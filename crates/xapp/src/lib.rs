@@ -12,11 +12,15 @@
 //!   length-framed TCP protocol), the stats-push channel of the TC
 //!   controller;
 //! * [`metrics`] — a Prometheus-text `/metrics` route for the HTTP
-//!   server, exporting the process-wide obs registry.
+//!   server, exporting the process-wide obs registry;
+//! * [`introspect`] — a `GET /sm/registry` route listing every service
+//!   model registered in the process (OID, version, codec support), so
+//!   xApps discover capabilities without E2AP access.
 //!
 //! The recursive controller's northbound is the agent library itself and
 //! lives in `flexric-ctrl`.
 
 pub mod broker;
 pub mod http;
+pub mod introspect;
 pub mod metrics;

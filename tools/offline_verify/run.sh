@@ -47,6 +47,7 @@ $RUSTC --crate-type rlib --crate-name flexric_transport \
 $RUSTC --crate-type rlib --crate-name flexric_sm \
     --extern bytes="$WORK/libbytes.rlib" \
     --extern flexric_codec="$WORK/libflexric_codec.rlib" \
+    --extern flexric_e2ap="$WORK/libflexric_e2ap.rlib" \
     --extern flexric_obs="$WORK/libflexric_obs.rlib" \
     "$ROOT/crates/sm/src/lib.rs" -o "$WORK/libflexric_sm.rlib"
 # ransim's KPI workload module is deliberately std+sm-only so it compiles
@@ -77,6 +78,7 @@ $RUSTC --test --crate-name transport_core_tests \
 $RUSTC --test --crate-name sm_tests \
     --extern bytes="$WORK/libbytes.rlib" \
     --extern flexric_codec="$WORK/libflexric_codec.rlib" \
+    --extern flexric_e2ap="$WORK/libflexric_e2ap.rlib" \
     --extern flexric_obs="$WORK/libflexric_obs.rlib" \
     "$ROOT/crates/sm/src/lib.rs" -o "$WORK/sm_tests"
 "$WORK/sm_tests" --quiet
@@ -92,6 +94,13 @@ $RUSTC --test --crate-name delta_props \
     --extern proptest="$WORK/libproptest.rlib" \
     "$ROOT/crates/sm/tests/delta_props.rs" -o "$WORK/delta_props"
 "$WORK/delta_props" --quiet
+
+# 4c. The real SM-registry property tests (crates/sm/tests/registry_props.rs).
+$RUSTC --test --crate-name registry_props \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    --extern proptest="$WORK/libproptest.rlib" \
+    "$ROOT/crates/sm/tests/registry_props.rs" -o "$WORK/registry_props"
+"$WORK/registry_props" --quiet
 
 # 4. The real receive-path property tests (tests/rx_props.rs), verbatim.
 $RUSTC --test --crate-name rx_props \
