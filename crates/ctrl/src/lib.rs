@@ -11,6 +11,10 @@
 //!   of the process-wide obs metrics registry;
 //! * [`slicing`] — the RAT-unaware slicing controller of §6.1.2 (SC SM +
 //!   REST northbound);
+//! * [`sla`] / [`sla_solver`] — the closed-loop SLA enforcement xApp:
+//!   reads per-slice KPIs from the monitoring store, re-solves NVS
+//!   shares against configured targets and pushes them through the SC
+//!   SM control path;
 //! * [`traffic`] — the flow-based traffic controller of §6.1.1 (TC SM +
 //!   broker/REST northbound + the bufferbloat-fighting xApp);
 //! * [`recursive`] — the network-virtualization controller of §6.2
@@ -34,5 +38,7 @@ pub mod oran_emu;
 pub mod ranfun;
 pub mod recursive;
 pub mod relay;
+pub mod sla;
+pub mod sla_solver;
 pub mod slicing;
 pub mod traffic;

@@ -40,14 +40,22 @@ use flexric_sm::{
 #[derive(Debug, Default)]
 pub struct StatsDb {
     sm_codec: SmCodec,
-    /// Latest raw payload per SM OID per agent.
-    raw: std::collections::HashMap<String, std::collections::HashMap<AgentId, bytes::Bytes>>,
+    /// Latest raw payload per SM OID per agent, with its store time.
+    raw: std::collections::HashMap<String, std::collections::HashMap<AgentId, DbEntry>>,
+}
+
+/// One stored payload plus the time it was last refreshed — the TTL
+/// eviction of [`StatsDb::evict_stale`] keys off `updated_ms`.
+#[derive(Debug)]
+struct DbEntry {
+    raw: bytes::Bytes,
+    updated_ms: u64,
 }
 
 impl StatsDb {
     /// The latest raw payload `agent` reported for the SM `oid`.
     pub fn raw(&self, agent: AgentId, oid: &str) -> Option<&bytes::Bytes> {
-        self.raw.get(oid)?.get(&agent)
+        self.raw.get(oid)?.get(&agent).map(|e| &e.raw)
     }
 
     /// Decodes the latest snapshot of `agent` for `oid` through the
@@ -85,13 +93,14 @@ impl StatsDb {
         ids
     }
 
-    fn store(&mut self, agent: AgentId, oid: &str, raw: bytes::Bytes) {
+    fn store(&mut self, agent: AgentId, oid: &str, raw: bytes::Bytes, now_ms: u64) {
+        let entry = DbEntry { raw, updated_ms: now_ms };
         match self.raw.get_mut(oid) {
             Some(m) => {
-                m.insert(agent, raw);
+                m.insert(agent, entry);
             }
             None => {
-                self.raw.entry(oid.to_owned()).or_default().insert(agent, raw);
+                self.raw.entry(oid.to_owned()).or_default().insert(agent, entry);
             }
         }
     }
@@ -100,6 +109,25 @@ impl StatsDb {
         for m in self.raw.values_mut() {
             m.remove(&agent);
         }
+    }
+
+    /// Evicts entries not refreshed within `ttl_ms` of `now_ms` and
+    /// returns how many were dropped.  Before this existed, rows of
+    /// departed reporters (agents whose subscription died without a
+    /// disconnect, churned-out dummy UE agents, cells in a long outage)
+    /// accumulated forever; churn scenarios made the leak structural.
+    pub fn evict_stale(&mut self, now_ms: u64, ttl_ms: u64) -> u64 {
+        let mut evicted = 0;
+        for m in self.raw.values_mut() {
+            let before = m.len();
+            m.retain(|_, e| now_ms.saturating_sub(e.updated_ms) < ttl_ms.max(1));
+            evicted += (before - m.len()) as u64;
+        }
+        self.raw.retain(|_, m| !m.is_empty());
+        if evicted > 0 {
+            obs().evicted.add(evicted);
+        }
+        evicted
     }
 }
 
@@ -110,6 +138,7 @@ struct MonitorObs {
     retunes_backoff: flexric_obs::Counter,
     retunes_tighten: flexric_obs::Counter,
     retunes_resync: flexric_obs::Counter,
+    evicted: flexric_obs::Counter,
 }
 
 fn obs() -> &'static MonitorObs {
@@ -139,6 +168,10 @@ fn obs() -> &'static MonitorObs {
                 "flexric_ctrl_retunes_total",
                 &[("dir", "resync")],
                 retunes,
+            ),
+            evicted: flexric_obs::counter(
+                "flexric_ctrl_statsdb_evicted_total",
+                "StatsDb entries dropped by TTL eviction (stale reporters)",
             ),
         }
     })
@@ -213,9 +246,15 @@ pub struct MonitorConfig {
     pub rlc: bool,
     /// Subscribe to PDCP statistics.
     pub pdcp: bool,
+    /// Subscribe to SC SM slice statistics (per-slice throughput — the
+    /// feed of the SLA xApp).
+    pub slice: bool,
     /// Decode payloads into the store.  Disabled for pure-throughput
     /// scaling runs where only the dispatch cost is being measured.
     pub store: bool,
+    /// TTL for stored entries: rows a reporter stops refreshing for this
+    /// long are evicted on the iApp tick (`None` disables eviction).
+    pub stale_ttl_ms: Option<u64>,
     /// Full, delta, or adaptive reporting.
     pub mode: MonitorMode,
     /// Keyframe cadence of delta subscriptions (report opportunities
@@ -233,7 +272,9 @@ impl Default for MonitorConfig {
             mac: true,
             rlc: true,
             pdcp: true,
+            slice: false,
             store: true,
+            stale_ttl_ms: Some(60_000),
             mode: MonitorMode::Full,
             keyframe_every: 16,
             adaptive: AdaptiveConfig::default(),
@@ -348,10 +389,16 @@ impl MonitorApp {
     /// Re-encodes and stores one reconstructed snapshot through the SM's
     /// vtable, timing the reconstruction (decode + re-encode) into the
     /// per-shard histogram.
-    fn store_reconstruction(&self, agent: AgentId, desc: &SmDescriptor, snap: &(dyn Any + Send)) {
+    fn store_reconstruction(
+        &self,
+        agent: AgentId,
+        desc: &SmDescriptor,
+        snap: &(dyn Any + Send),
+        now_ms: u64,
+    ) {
         let t0 = flexric::mono_ns();
         let Some(raw) = desc.encode_indication(snap, self.cfg.sm_codec) else { return };
-        self.db.lock().store(agent, &desc.oid, bytes::Bytes::from(raw));
+        self.db.lock().store(agent, &desc.oid, bytes::Bytes::from(raw), now_ms);
         if let Some(h) = &self.reconstruct_ns {
             h.record(flexric::mono_ns().saturating_sub(t0));
         }
@@ -389,6 +436,9 @@ impl IApp for MonitorApp {
         }
         if self.cfg.pdcp {
             want.push(oid::PDCP_STATS);
+        }
+        if self.cfg.slice {
+            want.push(oid::SLICE_CTRL);
         }
         for oid in want {
             let Some(desc) = registry.latest(oid) else { continue };
@@ -437,7 +487,7 @@ impl IApp for MonitorApp {
             // decoding happens lazily on read.  `Bytes::copy_from_slice`
             // is the only copy.
             let raw = bytes::Bytes::copy_from_slice(msg);
-            self.db.lock().store(agent, &desc.oid, raw);
+            self.db.lock().store(agent, &desc.oid, raw, api.now_ms());
             return;
         }
 
@@ -453,7 +503,7 @@ impl IApp for MonitorApp {
                     // have sent full snapshots: store them as-is.
                     if self.cfg.store {
                         let raw = bytes::Bytes::copy_from_slice(msg);
-                        self.db.lock().store(agent, &desc.oid, raw);
+                        self.db.lock().store(agent, &desc.oid, raw, api.now_ms());
                     }
                     return;
                 }
@@ -469,7 +519,7 @@ impl IApp for MonitorApp {
                 changed = ch;
                 anomaly = Self::is_anomalous(&*snap, thr);
                 if self.cfg.store {
-                    self.store_reconstruction(agent, &desc, &*snap);
+                    self.store_reconstruction(agent, &desc, &*snap, api.now_ms());
                 }
             }
             Ok(AnyDeltaEvent::NeedKeyframe) => need_keyframe = true,
@@ -516,6 +566,9 @@ impl IApp for MonitorApp {
     }
 
     fn on_tick(&mut self, api: &mut ServerApi, now_ms: u64) {
+        if let Some(ttl) = self.cfg.stale_ttl_ms {
+            self.db.lock().evict_stale(now_ms, ttl);
+        }
         if self.cfg.mode != MonitorMode::Adaptive {
             return;
         }
@@ -541,5 +594,42 @@ impl IApp for MonitorApp {
             obs().retunes_backoff.inc();
             self.retune_agent(api, agent, period);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: departed reporters' rows used to live forever — only a
+    /// clean agent disconnect pruned them.  TTL eviction must drop rows
+    /// that stop being refreshed while keeping live ones untouched.
+    #[test]
+    fn statsdb_ttl_evicts_stale_rows() {
+        let mut db = StatsDb::default();
+        db.store(1, oid::MAC_STATS, bytes::Bytes::from_static(b"a"), 1_000);
+        db.store(2, oid::MAC_STATS, bytes::Bytes::from_static(b"b"), 1_000);
+        db.store(2, oid::RLC_STATS, bytes::Bytes::from_static(b"c"), 1_000);
+        // Agent 2 keeps reporting; agent 1 churns out silently.
+        db.store(2, oid::MAC_STATS, bytes::Bytes::from_static(b"b2"), 30_000);
+        db.store(2, oid::RLC_STATS, bytes::Bytes::from_static(b"c2"), 30_000);
+        assert_eq!(db.evict_stale(31_000, 60_000), 0, "nothing stale yet");
+        let evicted = db.evict_stale(62_000, 60_000);
+        assert_eq!(evicted, 1, "agent 1's abandoned row evicted");
+        assert!(db.raw(1, oid::MAC_STATS).is_none());
+        assert_eq!(db.raw(2, oid::MAC_STATS).unwrap().as_ref(), b"b2");
+        assert_eq!(db.agents(), vec![2]);
+        // A refresh resurrects the TTL clock.
+        db.store(2, oid::MAC_STATS, bytes::Bytes::from_static(b"b3"), 100_000);
+        assert_eq!(db.evict_stale(120_000, 60_000), 1, "only the RLC row aged out");
+        assert!(db.raw(2, oid::MAC_STATS).is_some());
+    }
+
+    #[test]
+    fn statsdb_eviction_disabled_with_long_ttl() {
+        let mut db = StatsDb::default();
+        db.store(7, oid::PDCP_STATS, bytes::Bytes::from_static(b"x"), 0);
+        assert_eq!(db.evict_stale(u64::MAX / 2, u64::MAX / 2), 0);
+        assert!(db.raw(7, oid::PDCP_STATS).is_some());
     }
 }

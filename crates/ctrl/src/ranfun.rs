@@ -438,12 +438,19 @@ impl RrcEventFn {
 
 /// KPM RAN function: computes 3GPP-style measurements from the cell's
 /// cumulative counters at the subscription's granularity period.
+/// Baseline for one KPM subscription's delta computations: the per-UE
+/// cumulative counters plus the cell's handover counter.
+struct KpmBaseline {
+    ues: Vec<flexric_ransim::cell::KpmUeCounters>,
+    ho_total: u64,
+}
+
 pub struct KpmFn {
     bs: SimBs,
     sm_codec: SmCodec,
     desc: Arc<SmDescriptor>,
     /// (sub, action def, last counters, next due ms)
-    subs: Vec<(SubscriptionInfo, KpmActionDef, Vec<flexric_ransim::cell::KpmUeCounters>, u64)>,
+    subs: Vec<(SubscriptionInfo, KpmActionDef, KpmBaseline, u64)>,
 }
 
 impl KpmFn {
@@ -452,12 +459,19 @@ impl KpmFn {
         KpmFn { bs, sm_codec, desc: desc_of(oid::KPM), subs: Vec::new() }
     }
 
+    fn baseline(&self) -> KpmBaseline {
+        let sim = self.bs.sim.lock();
+        let cell = &sim.cells[self.bs.cell];
+        KpmBaseline { ues: cell.kpm_counters(), ho_total: cell.ho_in_total + cell.ho_out_total }
+    }
+
     fn compute(
         def: &KpmActionDef,
-        prev: &[flexric_ransim::cell::KpmUeCounters],
-        cur: &[flexric_ransim::cell::KpmUeCounters],
+        base: &KpmBaseline,
+        curb: &KpmBaseline,
         now_ms: u64,
     ) -> KpmReport {
+        let (prev, cur) = (&base.ues[..], &curb.ues[..]);
         let period = def.granularity_ms.max(1) as u64;
         let mut records = Vec::new();
         let prev_of = |rnti: u16| prev.iter().find(|c| c.rnti == rnti);
@@ -469,7 +483,9 @@ impl KpmFn {
                             continue;
                         }
                         let before = prev_of(c.rnti).map(|p| p.dl_bytes_total).unwrap_or(0);
-                        let kbps = (c.dl_bytes_total - before) * 8 / period;
+                        // Saturating: a UE handed into this cell carries
+                        // counters from its previous serving cell.
+                        let kbps = c.dl_bytes_total.saturating_sub(before) * 8 / period;
                         records.push(KpmRecord {
                             name: name.clone(),
                             rnti: Some(c.rnti),
@@ -483,7 +499,9 @@ impl KpmFn {
                     records.push(KpmRecord {
                         name: name.clone(),
                         rnti: None,
-                        value: total - before,
+                        // Saturating: handovers move cumulative counters
+                        // between cells mid-subscription.
+                        value: total.saturating_sub(before),
                     });
                 }
                 kpm::meas::DRB_RLC_SDU_DELAY_DL => {
@@ -504,7 +522,7 @@ impl KpmFn {
                     records.push(KpmRecord {
                         name: name.clone(),
                         rnti: None,
-                        value: total - before,
+                        value: total.saturating_sub(before),
                     });
                 }
                 kpm::meas::RRC_CONN_MEAN => {
@@ -512,6 +530,13 @@ impl KpmFn {
                         name: name.clone(),
                         rnti: None,
                         value: cur.len() as u64,
+                    });
+                }
+                kpm::meas::HO_EXE_TOTAL => {
+                    records.push(KpmRecord {
+                        name: name.clone(),
+                        rnti: None,
+                        value: curb.ho_total.saturating_sub(base.ho_total),
                     });
                 }
                 _ => {} // unknown measurements are skipped, per KPM practice
@@ -547,7 +572,7 @@ impl RanFunction for KpmFn {
             .ok_or(Cause::Ric(RicCause::ActionNotSupported))?;
         let def = KpmActionDef::decode(self.sm_codec, def)
             .map_err(|_| Cause::Ric(RicCause::ActionNotSupported))?;
-        let baseline = self.bs.sim.lock().cells[self.bs.cell].kpm_counters();
+        let baseline = self.baseline();
         self.subs.push((sub.clone(), def, baseline, 0));
         Ok(())
     }
@@ -568,7 +593,7 @@ impl RanFunction for KpmFn {
             if now < self.subs[i].3 {
                 continue;
             }
-            let cur = self.bs.sim.lock().cells[self.bs.cell].kpm_counters();
+            let cur = self.baseline();
             let (sub, def) = (self.subs[i].0.clone(), self.subs[i].1.clone());
             let report = Self::compute(&def, &self.subs[i].2, &cur, now);
             self.subs[i].2 = cur;

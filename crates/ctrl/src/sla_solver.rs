@@ -1,0 +1,319 @@
+//! The NVS share re-solver behind the closed-loop SLA controller.
+//!
+//! Pure arithmetic over observed per-slice KPIs: no clocks, no I/O, no
+//! SDK types, so the module compiles standalone (offline harness) and
+//! its behaviour is exactly reproducible.  The controller iApp
+//! ([`crate::sla`]) feeds it observations decoded from the monitoring
+//! store and pushes whatever share vector it returns through the SC SM
+//! control path.
+//!
+//! The solver is a damped proportional reallocator, not an optimizer:
+//! slices violating their SLA bid for extra capacity share proportional
+//! to how badly they miss, slices comfortably above target yield share
+//! down to a configured floor, and the transfer is capped per round so
+//! the loop cannot oscillate faster than the measurement cadence.  The
+//! NVS admission invariant (Σ share ≤ budget, 1000 milli by default) is
+//! preserved by construction: grants never exceed what yielding slices
+//! and unallocated slack put on the table.
+
+/// Per-slice service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaTarget {
+    /// Slice id the objective applies to.
+    pub slice: u32,
+    /// Minimum aggregate downlink throughput, kbit/s (0 = don't care).
+    pub thr_kbps_min: f64,
+    /// Maximum average RLC sojourn delay, milliseconds (0 = don't care).
+    pub delay_ms_max: f64,
+    /// Share floor in milli-units the solver never yields below.
+    pub floor_milli: u32,
+}
+
+/// One observed slice: what the monitoring plane currently sees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceObs {
+    /// Slice id.
+    pub slice: u32,
+    /// Currently configured NVS capacity share, milli-units.
+    pub share_milli: u32,
+    /// Observed aggregate downlink throughput, kbit/s.
+    pub thr_kbps: f64,
+    /// Observed average RLC sojourn delay, milliseconds.
+    pub delay_ms: f64,
+    /// UEs currently associated.
+    pub num_ues: u32,
+}
+
+/// Solver knobs.
+#[derive(Debug, Clone)]
+pub struct SolverCfg {
+    /// Total share budget in milli-units (NVS admission bound).
+    pub budget_milli: u32,
+    /// Largest share transfer into/out of one slice per round.
+    pub max_step_milli: u32,
+    /// Relative margin a slice must hold above target before it is
+    /// considered a donor (hysteresis against thrashing).
+    pub headroom: f64,
+}
+
+impl Default for SolverCfg {
+    fn default() -> Self {
+        SolverCfg { budget_milli: 1000, max_step_milli: 150, headroom: 0.15 }
+    }
+}
+
+/// How badly an observation misses its target, as a ratio in `[0, ∞)`;
+/// `0` means the SLA is met.
+fn severity(t: &SlaTarget, o: &SliceObs) -> f64 {
+    let mut s: f64 = 0.0;
+    if t.thr_kbps_min > 0.0 && o.num_ues > 0 {
+        let thr = o.thr_kbps.max(1.0);
+        if thr < t.thr_kbps_min {
+            s = s.max(t.thr_kbps_min / thr - 1.0);
+        }
+    }
+    if t.delay_ms_max > 0.0 && o.delay_ms > t.delay_ms_max {
+        s = s.max(o.delay_ms / t.delay_ms_max - 1.0);
+    }
+    s
+}
+
+/// Whether the slice meets its SLA with [`SolverCfg::headroom`] margin,
+/// making it eligible to donate share.
+fn comfortable(t: &SlaTarget, o: &SliceObs, headroom: f64) -> bool {
+    if o.num_ues == 0 {
+        // An empty slice holds its reservation but tolerates lending.
+        return true;
+    }
+    let thr_ok = t.thr_kbps_min <= 0.0 || o.thr_kbps >= t.thr_kbps_min * (1.0 + headroom);
+    let delay_ok = t.delay_ms_max <= 0.0 || o.delay_ms <= t.delay_ms_max * (1.0 - headroom);
+    thr_ok && delay_ok
+}
+
+/// Is the observation violating its target *right now* (no hysteresis)?
+/// The violation accounting of the SLA iApp uses this predicate.
+pub fn violated(t: &SlaTarget, o: &SliceObs) -> bool {
+    severity(t, o) > 0.0
+}
+
+/// Re-solves the share vector.  Returns `Some(new (slice, share_milli)
+/// pairs, sorted by slice id)` when at least one share changed, `None`
+/// when the current allocation should stand.
+///
+/// Deterministic: output depends only on the inputs (slices are
+/// processed in ascending id order; integer remainders go to the
+/// neediest slice first, ties broken by id).
+pub fn resolve(
+    targets: &[SlaTarget],
+    obs: &[SliceObs],
+    cfg: &SolverCfg,
+) -> Option<Vec<(u32, u32)>> {
+    let mut slices: Vec<SliceObs> = obs.to_vec();
+    slices.sort_by_key(|o| o.slice);
+    slices.dedup_by_key(|o| o.slice);
+    if slices.is_empty() {
+        return None;
+    }
+    let target_of = |id: u32| targets.iter().find(|t| t.slice == id);
+
+    // Bid collection: how much each slice wants (needy) or can spare
+    // (donor), both capped by max_step.
+    let mut need: Vec<(usize, u64)> = Vec::new(); // (idx, wanted milli)
+    let mut give: Vec<(usize, u64)> = Vec::new(); // (idx, spare milli)
+    let allocated: u64 = slices.iter().map(|o| o.share_milli as u64).sum();
+    let slack = (cfg.budget_milli as u64).saturating_sub(allocated);
+
+    for (i, o) in slices.iter().enumerate() {
+        let Some(t) = target_of(o.slice) else { continue };
+        let sev = severity(t, o);
+        if sev > 0.0 {
+            // Ask proportionally to the miss, at least one step quantum.
+            let want = ((o.share_milli.max(10) as f64) * sev).ceil() as u64;
+            need.push((i, want.clamp(10, cfg.max_step_milli as u64)));
+        } else if comfortable(t, o, cfg.headroom) {
+            let floor = t.floor_milli.min(o.share_milli);
+            let spare = (o.share_milli - floor) as u64;
+            if spare > 0 {
+                give.push((i, spare.min(cfg.max_step_milli as u64)));
+            }
+        }
+    }
+    if need.is_empty() {
+        return None;
+    }
+
+    let total_need: u64 = need.iter().map(|&(_, w)| w).sum();
+    let total_avail: u64 = slack + give.iter().map(|&(_, s)| s).sum::<u64>();
+    let grant_total = total_need.min(total_avail);
+    if grant_total == 0 {
+        return None;
+    }
+
+    let mut next: Vec<u64> = slices.iter().map(|o| o.share_milli as u64).collect();
+
+    // Distribute grants proportionally to the asks (largest-remainder,
+    // deterministic tie-break by ask size then index).
+    let mut granted = 0u64;
+    let mut grants: Vec<(usize, u64)> = need
+        .iter()
+        .map(|&(i, w)| {
+            let g = grant_total * w / total_need;
+            (i, g)
+        })
+        .collect();
+    granted += grants.iter().map(|&(_, g)| g).sum::<u64>();
+    let mut leftovers = grant_total - granted;
+    // Hand leftover milli-units to the largest askers first.
+    let mut order: Vec<usize> = (0..need.len()).collect();
+    order.sort_by(|&a, &b| need[b].1.cmp(&need[a].1).then(need[a].0.cmp(&need[b].0)));
+    for &k in &order {
+        if leftovers == 0 {
+            break;
+        }
+        grants[k].1 += 1;
+        leftovers -= 1;
+    }
+    for &(i, g) in &grants {
+        next[i] += g;
+    }
+
+    // Fund the grants: slack first, then donors proportionally.
+    let mut to_fund = grant_total.saturating_sub(slack);
+    if to_fund > 0 {
+        let total_give: u64 = give.iter().map(|&(_, s)| s).sum();
+        let mut taken = 0u64;
+        let mut takes: Vec<(usize, u64)> =
+            give.iter().map(|&(i, s)| (i, to_fund * s / total_give)).collect();
+        taken += takes.iter().map(|&(_, t)| t).sum::<u64>();
+        let mut rem = to_fund - taken;
+        let mut gorder: Vec<usize> = (0..give.len()).collect();
+        gorder.sort_by(|&a, &b| give[b].1.cmp(&give[a].1).then(give[a].0.cmp(&give[b].0)));
+        for &k in &gorder {
+            if rem == 0 {
+                break;
+            }
+            if takes[k].1 < give[k].1 {
+                takes[k].1 += 1;
+                rem -= 1;
+            }
+        }
+        for &(i, t) in &takes {
+            next[i] -= t.min(next[i]);
+        }
+        to_fund = rem;
+        let _ = to_fund;
+    }
+
+    // Safety: never exceed the budget even under rounding surprises.
+    let mut total: u64 = next.iter().sum();
+    let mut j = 0;
+    while total > cfg.budget_milli as u64 && j < next.len() {
+        let over = total - cfg.budget_milli as u64;
+        let cut = over.min(next[j]);
+        next[j] -= cut;
+        total -= cut;
+        j += 1;
+    }
+
+    let out: Vec<(u32, u32)> =
+        slices.iter().zip(&next).map(|(o, &s)| (o.slice, s as u32)).collect();
+    let changed = slices.iter().zip(&next).any(|(o, &s)| o.share_milli as u64 != s);
+    if changed {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(slice: u32, thr: f64, delay: f64, floor: u32) -> SlaTarget {
+        SlaTarget { slice, thr_kbps_min: thr, delay_ms_max: delay, floor_milli: floor }
+    }
+
+    fn o(slice: u32, share: u32, thr: f64, delay: f64, ues: u32) -> SliceObs {
+        SliceObs { slice, share_milli: share, thr_kbps: thr, delay_ms: delay, num_ues: ues }
+    }
+
+    #[test]
+    fn deficit_slice_gains_share() {
+        let targets = [t(0, 2_000.0, 0.0, 50), t(1, 0.0, 0.0, 50)];
+        let obs = [o(0, 200, 500.0, 1.0, 4), o(1, 800, 40_000.0, 1.0, 2)];
+        let next = resolve(&targets, &obs, &SolverCfg::default()).expect("reallocation");
+        let s0 = next.iter().find(|&&(id, _)| id == 0).unwrap().1;
+        let s1 = next.iter().find(|&&(id, _)| id == 1).unwrap().1;
+        assert!(s0 > 200, "violating slice must gain: {s0}");
+        assert!(s1 < 800, "comfortable slice must yield: {s1}");
+    }
+
+    #[test]
+    fn delay_violation_also_bids() {
+        let targets = [t(0, 0.0, 5.0, 50), t(1, 0.0, 0.0, 50)];
+        let obs = [o(0, 300, 1_000.0, 40.0, 3), o(1, 700, 9_000.0, 0.5, 1)];
+        let next = resolve(&targets, &obs, &SolverCfg::default()).expect("reallocation");
+        assert!(next.iter().find(|&&(id, _)| id == 0).unwrap().1 > 300);
+    }
+
+    #[test]
+    fn budget_preserved_and_floor_respected() {
+        let cfg = SolverCfg::default();
+        let targets = [t(0, 50_000.0, 0.0, 50), t(1, 0.0, 0.0, 400), t(2, 0.0, 0.0, 100)];
+        let obs =
+            [o(0, 100, 1_000.0, 1.0, 8), o(1, 450, 30_000.0, 1.0, 2), o(2, 450, 30_000.0, 1.0, 2)];
+        let next = resolve(&targets, &obs, &cfg).expect("reallocation");
+        let sum: u64 = next.iter().map(|&(_, s)| s as u64).sum();
+        assert!(sum <= cfg.budget_milli as u64, "Σshare {sum} > budget");
+        let s1 = next.iter().find(|&&(id, _)| id == 1).unwrap().1;
+        assert!(s1 >= 400, "floor violated: {s1}");
+    }
+
+    #[test]
+    fn no_change_when_all_met() {
+        let targets = [t(0, 1_000.0, 20.0, 50)];
+        let obs = [o(0, 500, 5_000.0, 1.0, 3)];
+        assert_eq!(resolve(&targets, &obs, &SolverCfg::default()), None);
+    }
+
+    #[test]
+    fn empty_slice_does_not_bid() {
+        // A slice with zero UEs never bids for share even with a
+        // throughput floor it trivially "misses".
+        let targets = [t(0, 10_000.0, 0.0, 50)];
+        let obs = [o(0, 300, 0.0, 0.0, 0)];
+        assert_eq!(resolve(&targets, &obs, &SolverCfg::default()), None);
+    }
+
+    #[test]
+    fn unallocated_slack_funds_grants_first() {
+        // 400 milli unallocated: the needy slice grows without anyone
+        // yielding.
+        let targets = [t(0, 9_000.0, 0.0, 50)];
+        let obs = [o(0, 200, 2_000.0, 1.0, 4), o(1, 400, 8_000.0, 1.0, 2)];
+        let next = resolve(&targets, &obs, &SolverCfg::default()).expect("reallocation");
+        assert!(next.iter().find(|&&(id, _)| id == 0).unwrap().1 > 200);
+        assert_eq!(next.iter().find(|&&(id, _)| id == 1).unwrap().1, 400);
+    }
+
+    #[test]
+    fn step_cap_bounds_per_round_transfer() {
+        let cfg = SolverCfg { max_step_milli: 60, ..SolverCfg::default() };
+        let targets = [t(0, 100_000.0, 0.0, 50), t(1, 0.0, 0.0, 100)];
+        let obs = [o(0, 100, 1_000.0, 1.0, 8), o(1, 900, 50_000.0, 1.0, 2)];
+        let next = resolve(&targets, &obs, &cfg).expect("reallocation");
+        let s0 = next.iter().find(|&&(id, _)| id == 0).unwrap().1;
+        assert!(s0 <= 160, "grant exceeded step cap: {s0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let targets = [t(0, 20_000.0, 8.0, 50), t(1, 5_000.0, 0.0, 100), t(2, 0.0, 0.0, 50)];
+        let obs =
+            [o(0, 150, 3_000.0, 22.0, 6), o(1, 250, 4_000.0, 3.0, 3), o(2, 600, 45_000.0, 0.4, 1)];
+        let a = resolve(&targets, &obs, &SolverCfg::default());
+        let b = resolve(&targets, &obs, &SolverCfg::default());
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+}

@@ -127,6 +127,10 @@ pub struct Cell {
     pub ues: Vec<Ue>,
     /// The slice scheduler.
     pub sched: SliceSched,
+    /// Cumulative handovers out of this cell (KPM surface, never reset).
+    pub ho_out_total: u64,
+    /// Cumulative handovers into this cell (KPM surface, never reset).
+    pub ho_in_total: u64,
     rrc_events: Vec<RrcUeEvent>,
     now_ms: u64,
     window_start_ms: u64,
@@ -139,6 +143,8 @@ impl Cell {
             cfg,
             ues: Vec::new(),
             sched: SliceSched::new(),
+            ho_out_total: 0,
+            ho_in_total: 0,
             rrc_events: Vec::new(),
             now_ms: 0,
             window_start_ms: 0,
@@ -194,6 +200,7 @@ impl Cell {
     pub(crate) fn extract_ue(&mut self, rnti: u16) -> Option<Ue> {
         let pos = self.ues.iter().position(|u| u.cfg.rnti == rnti)?;
         let ue = self.ues.remove(pos);
+        self.ho_out_total += 1;
         self.rrc_events.push(RrcEventKind::HandoverOut.event(
             ue.cfg.rnti,
             ue.cfg.plmn,
@@ -204,6 +211,7 @@ impl Cell {
 
     /// Inserts a handed-over UE (target side).
     pub(crate) fn insert_ue(&mut self, ue: Ue) {
+        self.ho_in_total += 1;
         self.rrc_events.push(RrcEventKind::HandoverIn.event(
             ue.cfg.rnti,
             ue.cfg.plmn,

@@ -30,6 +30,7 @@ pub mod kpi;
 pub mod nvs;
 pub mod phy;
 pub mod rlc;
+pub mod scenario;
 pub mod sim;
 pub mod tc;
 pub mod traffic;
@@ -38,5 +39,6 @@ pub use cell::{Cell, CellConfig, UeConfig};
 pub use kpi::{KpiGen, Phase};
 pub use phy::{bytes_per_prb_tti, cell_rate_kbps, Rat};
 pub use rlc::Packet;
+pub use scenario::{ScenarioEngine, ScenarioEvent, ScenarioSpec};
 pub use sim::{PathConfig, Sim};
 pub use traffic::{Flow, FlowConfig, FlowKind};

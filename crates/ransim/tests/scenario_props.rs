@@ -1,0 +1,117 @@
+//! Property tests on the scenario engine's contracts: determinism under
+//! a seed, UE conservation across churn and handovers, and Poisson
+//! arrival-rate sanity.  Runs under both the real proptest (cargo) and
+//! the mini_proptest shim (tools/offline_verify), so no proptest_config
+//! attributes and bodies kept cheap.
+
+use proptest::prelude::*;
+
+use flexric_ransim::scenario::{ChurnCfg, MobilityCfg, ScenarioSpec};
+use flexric_ransim::{ScenarioEngine, Sim};
+
+/// Builds, primes and runs a scenario for `ms` virtual milliseconds.
+fn run(spec: ScenarioSpec, ms: u64) -> (ScenarioEngine, Sim) {
+    let mut eng = ScenarioEngine::new(spec);
+    let mut sim = eng.build_sim();
+    eng.prime(&mut sim);
+    for _ in 0..ms {
+        sim.tick();
+        eng.advance(&mut sim);
+    }
+    (eng, sim)
+}
+
+/// A cheap spec: VoIP-only traffic so 256 cases stay fast.
+fn cheap_spec(seed: u64, cells: usize, mobile: bool) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "prop".to_owned(),
+        seed,
+        cells,
+        initial_ues: 2,
+        mobility: MobilityCfg {
+            step_ms: if mobile { 100 } else { 0 },
+            speed_min_mps: 8.0,
+            speed_max_mps: 20.0,
+            a3_ttt_ms: 200,
+            ..Default::default()
+        },
+        churn: ChurnCfg {
+            arrival_mean_ms: 600,
+            stay_mean_ms: 2_500,
+            max_ues: 24,
+            profile_weights: [1, 0, 0],
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    /// Same seed ⇒ identical event trace and identical aggregate stats;
+    /// the trace hash is the determinism contract benches rely on for
+    /// paired open/closed-loop comparisons.
+    #[test]
+    fn same_seed_reproduces_trace(seed in 1u64..100_000) {
+        let (a, _) = run(cheap_spec(seed, 2, true), 2_500);
+        let (b, _) = run(cheap_spec(seed, 2, true), 2_500);
+        prop_assert_eq!(a.trace_hash(), b.trace_hash());
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.ue_count(), b.ue_count());
+    }
+
+    /// UE conservation: every admitted arrival is either still attached
+    /// or departed — handovers move UEs between cells without creating
+    /// or losing them, and the engine's population always equals the
+    /// simulator's.
+    #[test]
+    fn ue_conservation_under_churn_and_handover(
+        seed in 1u64..50_000,
+        cells in 2usize..4,
+    ) {
+        let (eng, sim) = run(cheap_spec(seed, cells, true), 4_000);
+        let attached = eng.ue_count() as u64;
+        prop_assert_eq!(
+            eng.stats.arrivals, attached + eng.stats.departures,
+            "arrivals {} != attached {} + departures {}",
+            eng.stats.arrivals, attached, eng.stats.departures
+        );
+        let sim_pop: usize = sim.cells.iter().map(|c| c.ues.len()).sum();
+        prop_assert_eq!(sim_pop, eng.ue_count());
+        // Handovers moved UEs, never duplicated them: cumulative in ==
+        // cumulative out across the deployment.
+        let ho_out: u64 = sim.cells.iter().map(|c| c.ho_out_total).sum();
+        let ho_in: u64 = sim.cells.iter().map(|c| c.ho_in_total).sum();
+        prop_assert_eq!(ho_out, ho_in);
+        prop_assert_eq!(ho_out, eng.stats.handovers);
+    }
+
+    /// Poisson arrivals: over a long flat window the observed arrival
+    /// count lands within a generous band around T/mean (no diurnal, no
+    /// cap pressure, no departures interfering with the count).
+    #[test]
+    fn poisson_arrival_rate_sanity(
+        seed in 1u64..20_000,
+        mean_ms in 300u64..800,
+    ) {
+        let horizon = 20_000u64;
+        let spec = ScenarioSpec {
+            initial_ues: 0,
+            churn: ChurnCfg {
+                arrival_mean_ms: mean_ms,
+                stay_mean_ms: 1_000_000, // nobody leaves inside the window
+                max_ues: 1_000,
+                profile_weights: [1, 0, 0],
+                ..Default::default()
+            },
+            ..cheap_spec(seed, 1, false)
+        };
+        let (eng, _) = run(spec, horizon);
+        prop_assert_eq!(eng.stats.rejected, 0);
+        let expect = (horizon / mean_ms) as f64;
+        let got = eng.stats.arrivals as f64;
+        prop_assert!(
+            got > expect * 0.5 - 8.0 && got < expect * 2.0 + 8.0,
+            "arrivals {got} far from expected {expect} (mean {mean_ms} ms)"
+        );
+    }
+}

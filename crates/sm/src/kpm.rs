@@ -25,6 +25,8 @@ pub mod meas {
     pub const DRB_PDCP_SDU_VOLUME_DL: &str = "DRB.PdcpSduVolumeDL";
     /// Mean number of RRC-connected UEs.
     pub const RRC_CONN_MEAN: &str = "RRC.ConnMean";
+    /// Handovers executed at this cell in the period (in + out).
+    pub const HO_EXE_TOTAL: &str = "HO.ExeTotal";
 }
 
 /// KPM action definition: which measurements to report, how often.

@@ -55,6 +55,16 @@ $RUSTC --crate-type rlib --crate-name flexric_sm \
 $RUSTC --crate-type rlib --crate-name ransim_kpi \
     --extern flexric_sm="$WORK/libflexric_sm.rlib" \
     "$ROOT/crates/ransim/src/kpi.rs" -o "$WORK/libransim_kpi.rlib"
+# The FULL ransim crate is std+sm+obs-only in source (rand/parking_lot
+# are declared but unused), so the whole simulator — scheduler, RLC, TC,
+# traffic, scenario engine — compiles and tests under bare rustc.
+$RUSTC --crate-type rlib --crate-name flexric_ransim \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    "$ROOT/crates/ransim/src/lib.rs" -o "$WORK/libflexric_ransim.rlib"
+# The SLA share solver is std-only by design (see crates/ctrl/src/sla_solver.rs).
+$RUSTC --crate-type rlib --crate-name sla_solver \
+    "$ROOT/crates/ctrl/src/sla_solver.rs" -o "$WORK/libsla_solver.rlib"
 
 # 3. Unit + property tests of the real modules.
 $RUSTC --test --crate-name obs_tests \
@@ -86,6 +96,16 @@ $RUSTC --test --crate-name kpi_tests \
     --extern flexric_sm="$WORK/libflexric_sm.rlib" \
     "$ROOT/crates/ransim/src/kpi.rs" -o "$WORK/kpi_tests"
 "$WORK/kpi_tests" --quiet
+# Full ransim unit tests — scheduler, RLC, TC, traffic, and the scenario
+# engine (mobility/churn/outage determinism, handover conservation).
+$RUSTC --test --crate-name ransim_tests \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    "$ROOT/crates/ransim/src/lib.rs" -o "$WORK/ransim_tests"
+"$WORK/ransim_tests" --quiet
+$RUSTC --test --crate-name sla_solver_tests \
+    "$ROOT/crates/ctrl/src/sla_solver.rs" -o "$WORK/sla_solver_tests"
+"$WORK/sla_solver_tests" --quiet
 
 # 4b. The real delta-stream property tests (crates/sm/tests/delta_props.rs).
 $RUSTC --test --crate-name delta_props \
@@ -110,6 +130,16 @@ $RUSTC --test --crate-name rx_props \
     "$ROOT/crates/transport/tests/rx_props.rs" -o "$WORK/rx_props"
 "$WORK/rx_props" --quiet
 
+# 4d. Scenario-engine property tests (crates/ransim/tests/scenario_props.rs):
+#     seed determinism, UE conservation across handover, Poisson sanity.
+$RUSTC --test --crate-name scenario_props \
+    --extern flexric_ransim="$WORK/libflexric_ransim.rlib" \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    --extern proptest="$WORK/libproptest.rlib" \
+    "$ROOT/crates/ransim/tests/scenario_props.rs" -o "$WORK/scenario_props"
+"$WORK/scenario_props" --quiet
+
 # 5. Receive-path + codec A/B measurement (feeds BENCH_fig8b/9a notes).
 $RUSTC --crate-name ab_bench \
     --extern bytes="$WORK/libbytes.rlib" \
@@ -132,5 +162,18 @@ $RUSTC --crate-name delta_ab \
     delta_ab.rs -o "$WORK/delta_ab"
 "$WORK/delta_ab" > "$WORK/fig7b.json"
 cat "$WORK/fig7b.json"
+
+# 7. SLA closed-loop A/B (open vs closed NVS shares under scenario load;
+#    feeds BENCH_sla.json): real scenario engine + real simulator + real
+#    solver, trace hash-checked identical across arms, closed loop
+#    required to reduce violation time.
+$RUSTC --crate-name sla_ab \
+    --extern flexric_ransim="$WORK/libflexric_ransim.rlib" \
+    --extern flexric_sm="$WORK/libflexric_sm.rlib" \
+    --extern flexric_obs="$WORK/libflexric_obs.rlib" \
+    --extern sla_solver="$WORK/libsla_solver.rlib" \
+    sla_ab.rs -o "$WORK/sla_ab"
+"$WORK/sla_ab" > "$WORK/sla.json"
+cat "$WORK/sla.json"
 
 echo "offline verify: ALL PASS (see caveats in tools/offline_verify/run.sh header)"
